@@ -1,0 +1,69 @@
+"""Figures 19-21 — memory consumption (MC) versus task progress.
+
+MC is the deep size of each planner's traffic-scaling state (per-strip
+segment stores + crossing events for SRP; the (cell, time) reservation
+table for the grid baselines).  Expected shape: MC fluctuates with the
+number of in-flight routes (spikes near the diurnal arrival peaks),
+and SRP's peak sits below every baseline because a route costs a few
+segment endpoints instead of one reservation per timestep.
+"""
+
+import pytest
+
+from repro import Query, SRPPlanner, datasets, deep_sizeof
+from repro.analysis import format_series, format_table
+from benchmarks.conftest import BENCH_SCALE, DATASETS, PLANNERS
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_mc_curves(day_runs, dataset, bench_header, benchmark):
+    fig = {"W-1": "Fig. 19", "W-2": "Fig. 20", "W-3": "Fig. 21"}[dataset]
+    print()
+    print(bench_header)
+    print(f"{fig} — MC (planner state bytes) vs progress on {dataset}")
+    peaks = {}
+    for planner in PLANNERS:
+        result = day_runs.get(dataset, planner).result
+        series = [s for s in result.snapshots if s.mc_bytes is not None]
+        xs = [f"{s.progress:.0%}" for s in series[:: max(1, len(series) // 10)]]
+        ys = [s.mc_bytes for s in series[:: max(1, len(series) // 10)]]
+        print(format_series(planner, xs, ys, "progress", "MC bytes"))
+        peaks[planner] = result.peak_mc_bytes or 0
+    print("peak MC bytes:", peaks)
+    # Shape: SRP's peak memory is the smallest of all planners.
+    assert peaks["SRP"] == min(peaks.values())
+    benchmark(lambda: min(peaks.values()))
+
+
+def test_mc_peak_table(day_runs, bench_header, benchmark):
+    print()
+    print(bench_header)
+    names = list(PLANNERS)
+    rows = []
+    for dataset in DATASETS:
+        peaks = {p: day_runs.get(dataset, p).result.peak_mc_bytes or 0 for p in names}
+        srp = peaks["SRP"]
+        rows.append(
+            [dataset]
+            + [f"{peaks[p] / 1024:.0f}" for p in names]
+            + [f"{srp / max(peaks.values()):.0%}"]
+        )
+    print(
+        format_table(
+            ["name"] + [f"{p} KiB" for p in names] + ["SRP/worst"],
+            rows,
+            title="Peak MC per planner (paper: SRP at 1-3% of the others)",
+        )
+    )
+    benchmark(lambda: rows[0][0])
+
+
+def test_benchmark_mc_measurement(benchmark):
+    """Cost of one deep-sizeof MC sample on a loaded SRP planner."""
+    warehouse = datasets.w1(scale=BENCH_SCALE)
+    planner = SRPPlanner(warehouse)
+    free = warehouse.free_cells()
+    for k in range(0, 60, 2):
+        planner.plan(Query(free[(31 * k) % len(free)], free[(77 * k + 5) % len(free)], 10 * k))
+    size = benchmark(deep_sizeof, planner.planning_state())
+    assert size > 0

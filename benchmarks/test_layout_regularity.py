@@ -1,0 +1,99 @@
+"""Ablation: how much does layout regularity buy SRP?
+
+The paper's core premise is that warehouse layouts are *regular* —
+vertical 2×l rack clusters aligned with long aisles — and that strips
+exploit exactly that regularity.  This harness quantifies the premise:
+the same floor area with horizontal (l×2) clusters decomposes into far
+more strips, and SRP's per-query advantage narrows accordingly.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    LayoutSpec,
+    Query,
+    SAPPlanner,
+    SRPPlanner,
+    build_strip_graph,
+    generate_layout,
+)
+from repro.analysis import format_table
+
+
+def _spec(orientation):
+    return LayoutSpec(
+        height=82,
+        width=52,
+        cluster_length=8,
+        n_pickers=6,
+        n_robots=6,
+        cluster_orientation=orientation,
+        seed=5,
+    )
+
+
+def _stream(warehouse, n=60, seed=19, spacing=4):
+    rng = random.Random(seed)
+    pool = warehouse.free_cells() + warehouse.rack_cells()
+    out = []
+    for k in range(n):
+        o = pool[rng.randrange(len(pool))]
+        d = pool[rng.randrange(len(pool))]
+        if o != d:
+            out.append(Query(o, d, spacing * k, query_id=k))
+    return out
+
+
+@pytest.fixture(scope="module")
+def regularity_rows():
+    rows = []
+    for orientation in ("vertical", "horizontal"):
+        warehouse = generate_layout(_spec(orientation), name=orientation)
+        graph = build_strip_graph(warehouse)
+        stats = graph.reduction_stats()
+        queries = _stream(warehouse)
+        srp = SRPPlanner(warehouse)
+        sap = SAPPlanner(warehouse)
+        for q in queries:
+            srp.plan(q)
+            sap.plan(q)
+        rows.append(
+            (
+                orientation,
+                stats["strip_vertices"],
+                stats["vertex_ratio"],
+                srp.timers.total / srp.timers.queries * 1000,
+                sap.timers.total / sap.timers.queries * 1000,
+                srp.stats.fallbacks,
+            )
+        )
+    return rows
+
+
+def test_regularity_ablation(regularity_rows, bench_header, benchmark):
+    print()
+    print(bench_header)
+    table = [
+        [
+            orient,
+            strips,
+            f"{ratio:.1%}",
+            f"{srp_ms:.2f}",
+            f"{sap_ms:.2f}",
+            fallbacks,
+        ]
+        for orient, strips, ratio, srp_ms, sap_ms, fallbacks in regularity_rows
+    ]
+    print(
+        format_table(
+            ["clusters", "strips", "V-ratio", "SRP ms/q", "SAP ms/q", "fallbacks"],
+            table,
+            title="Layout-regularity ablation (same floor area)",
+        )
+    )
+    by_orient = {row[0]: row for row in regularity_rows}
+    # Vertical clusters (the paper's premise) aggregate much harder.
+    assert by_orient["vertical"][1] < 0.6 * by_orient["horizontal"][1]
+    benchmark(lambda: by_orient["vertical"][1])

@@ -1,0 +1,79 @@
+"""Figs. 16-21's multi-day dimension: Day1..Day5 volume profile.
+
+The paper plots five real days per warehouse whose task volumes swing
+up to 5x (Table II).  This harness replays the Day1..Day5 volume
+profile (scaled by a constant divisor) on W-3 and reports per-day TC
+for SRP against the strongest-volume sensitivity baseline, SAP.
+Expected shape: TC tracks the day's volume, SRP stays cheapest on every
+day, and the heaviest day (Day 4 in Table II) is where the largest
+absolute gap appears — the regime of the paper's 227x snapshot.
+"""
+
+import pytest
+
+from repro import SAPPlanner, SRPPlanner, datasets, generate_tasks
+from repro.analysis import format_table
+from repro.simulation import run_day
+from repro.warehouse import day_trace_spec
+from benchmarks.conftest import BENCH_SCALE
+
+DATASET = "W-3"
+VOLUME_DIVISOR = 1000.0  # Table II thousands -> tasks per simulated day
+
+
+@pytest.fixture(scope="module")
+def multiday_rows():
+    warehouse = datasets.dataset_by_name(DATASET, scale=min(BENCH_SCALE, 0.5))
+    rows = []
+    for day in range(1, 6):
+        spec = day_trace_spec(DATASET, day, volume_divisor=VOLUME_DIVISOR)
+        tasks = generate_tasks(warehouse, spec)
+        tc = {}
+        for planner_cls in (SRPPlanner, SAPPlanner):
+            planner = planner_cls(warehouse)
+            result = run_day(warehouse, planner, tasks, measure_memory=False)
+            assert result.failed_tasks == 0
+            tc[planner.name] = result.tc_seconds
+        rows.append((day, spec.n_tasks, tc["SRP"], tc["SAP"]))
+    return rows
+
+
+def test_day_profile(multiday_rows, bench_header, benchmark):
+    print()
+    print(bench_header)
+    table = [
+        [f"Day{day}", n, f"{srp:.3f}", f"{sap:.3f}", f"{sap / srp:.2f}x"]
+        for day, n, srp, sap in multiday_rows
+    ]
+    print(
+        format_table(
+            ["day", "tasks", "SRP TC s", "SAP TC s", "SAP/SRP"],
+            table,
+            title=f"{DATASET} Day1..Day5 (Table II volume profile / {VOLUME_DIVISOR:.0f})",
+        )
+    )
+    # Shape: the heavy days dominate the light days for both planners,
+    # and SRP wins on the heaviest day.
+    by_day = {day: (srp, sap) for day, _n, srp, sap in multiday_rows}
+    assert by_day[4][0] > by_day[3][0]  # Day4 >> Day3 volume
+    assert by_day[4][1] > by_day[3][1]
+    assert by_day[4][0] < by_day[4][1]  # SRP cheaper on the heavy day
+    benchmark(lambda: by_day[4][0])
+
+
+def test_benchmark_heavy_day_query(benchmark):
+    warehouse = datasets.dataset_by_name(DATASET, scale=min(BENCH_SCALE, 0.5))
+    planner = SRPPlanner(warehouse)
+    free = warehouse.free_cells()
+    state = {"k": 0}
+
+    def plan_one():
+        k = state["k"]
+        state["k"] += 1
+        return planner.plan(
+            __import__("repro").Query(
+                free[(53 * k) % len(free)], free[(131 * k + 17) % len(free)], 3 * k
+            )
+        )
+
+    benchmark(plan_one)

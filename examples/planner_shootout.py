@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Head-to-head comparison of SRP against all four grid baselines.
+
+A compact version of the paper's evaluation: one scaled day per
+planner on the same task trace, reporting OG / TC / MC side by side
+(the rows of Table III plus the endpoints of Figs. 16-21).
+
+Run:  python examples/planner_shootout.py [scale] [n_tasks]
+"""
+
+import sys
+
+from repro import (
+    ACPPlanner,
+    RPPlanner,
+    SAPPlanner,
+    SRPPlanner,
+    TWPPlanner,
+    TaskTraceSpec,
+    datasets,
+    generate_tasks,
+    run_day,
+)
+from repro.analysis import format_table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    n_tasks = int(sys.argv[2]) if len(sys.argv) > 2 else 120
+
+    warehouse = datasets.w2(scale=scale)
+    tasks = generate_tasks(
+        warehouse, TaskTraceSpec(n_tasks=n_tasks, day_length=2500, seed=23)
+    )
+    print(f"{warehouse.name}: {warehouse.shape}, {warehouse.n_racks} racks, "
+          f"{len(warehouse.robot_homes)} robots, {len(tasks)} tasks\n")
+
+    rows = []
+    srp_tc = None
+    for factory in (SRPPlanner, SAPPlanner, RPPlanner, TWPPlanner, ACPPlanner):
+        planner = factory(warehouse)
+        result = run_day(warehouse, planner, tasks, validate=True)
+        assert not result.conflicts, f"{planner.name} produced conflicts"
+        if planner.name == "SRP":
+            srp_tc = result.tc_seconds
+        speedup = (result.tc_seconds / srp_tc) if srp_tc else float("nan")
+        rows.append(
+            [
+                result.planner_name,
+                result.og,
+                f"{result.tc_seconds * 1000:.0f}",
+                f"{speedup:.1f}x",
+                f"{(result.peak_mc_bytes or 0) / 1024:.0f}",
+                result.completed_tasks,
+                result.failed_tasks,
+            ]
+        )
+    print(
+        format_table(
+            ["planner", "OG (s)", "TC (ms)", "TC vs SRP", "MC peak (KiB)", "done", "failed"],
+            rows,
+            title="one scaled day, identical task trace",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

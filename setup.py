@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on offline machines
+without the `wheel` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

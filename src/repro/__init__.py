@@ -1,0 +1,90 @@
+"""repro — Strip-based collision-aware route planning for warehouses.
+
+A from-scratch reproduction of *"Collision-Aware Route Planning in
+Warehouses Made Efficient: A Strip-based Framework"* (ICDE 2023),
+including the SRP planner, the grid-based baselines it is compared
+against, the warehouse/task substrate, and an online simulation
+environment reproducing the paper's evaluation.
+
+Quickstart::
+
+    from repro import Warehouse, SRPPlanner, Query
+
+    wh = Warehouse.from_ascii('''
+    ........
+    ..##.##.
+    ..##.##.
+    ........
+    ''')
+    planner = SRPPlanner(wh)
+    route = planner.plan(Query(origin=(0, 0), destination=(3, 7)))
+    print(route.grids)
+"""
+
+from repro.exceptions import (
+    ReproError,
+    LayoutError,
+    InvalidQueryError,
+    PlanningFailedError,
+    SimulationError,
+    CollisionError,
+)
+from repro.types import Grid, Query, QueryKind, Route, Task, manhattan
+from repro.planner_base import Planner
+from repro.warehouse import (
+    Warehouse,
+    LayoutSpec,
+    generate_layout,
+    TaskTraceSpec,
+    generate_tasks,
+)
+from repro.warehouse import datasets
+from repro.core import SRPPlanner, build_strip_graph, StripGraph
+from repro.baselines import (
+    SAPPlanner,
+    TWPPlanner,
+    RPPlanner,
+    ACPPlanner,
+    make_baseline,
+)
+from repro.simulation import Simulation, SimulationResult, run_day
+from repro.analysis import find_conflicts, assert_collision_free, deep_sizeof
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "LayoutError",
+    "InvalidQueryError",
+    "PlanningFailedError",
+    "SimulationError",
+    "CollisionError",
+    "Grid",
+    "Query",
+    "QueryKind",
+    "Route",
+    "Task",
+    "manhattan",
+    "Planner",
+    "Warehouse",
+    "LayoutSpec",
+    "generate_layout",
+    "TaskTraceSpec",
+    "generate_tasks",
+    "datasets",
+    "SRPPlanner",
+    "build_strip_graph",
+    "StripGraph",
+    "SAPPlanner",
+    "TWPPlanner",
+    "RPPlanner",
+    "ACPPlanner",
+    "make_baseline",
+    "Simulation",
+    "SimulationResult",
+    "run_day",
+    "find_conflicts",
+    "assert_collision_free",
+    "deep_sizeof",
+    "__version__",
+]

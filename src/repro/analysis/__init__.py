@@ -1,0 +1,56 @@
+"""Analysis utilities: validation oracle, memory metering, reporting.
+
+* :mod:`repro.analysis.validate` — a brute-force grid-level conflict
+  checker used as the ground-truth oracle in tests and simulations;
+* :mod:`repro.analysis.sizeof` — recursive object sizing behind the
+  paper's MC (memory consumption) metric;
+* :mod:`repro.analysis.reporting` — plain-text tables/series matching
+  the rows the paper reports.
+"""
+
+from repro.analysis.validate import (
+    Conflict,
+    find_conflicts,
+    find_conflicts_pairwise,
+    find_illegal_cells,
+    assert_collision_free,
+    assert_routes_legal,
+)
+from repro.analysis.sizeof import deep_sizeof
+from repro.analysis.reporting import format_table, format_series
+from repro.analysis.theory import (
+    THEOREM1_P_STAR,
+    CompetitiveRatioReport,
+    expected_competitive_ratio_bound,
+    measure_competitive_ratios,
+)
+from repro.analysis.render import animate, render_route, render_snapshot
+from repro.analysis.occupancy import (
+    busiest_cells,
+    occupancy_probability,
+    render_heatmap,
+    visit_heatmap,
+)
+
+__all__ = [
+    "Conflict",
+    "find_conflicts",
+    "find_conflicts_pairwise",
+    "find_illegal_cells",
+    "assert_collision_free",
+    "assert_routes_legal",
+    "deep_sizeof",
+    "format_table",
+    "format_series",
+    "THEOREM1_P_STAR",
+    "CompetitiveRatioReport",
+    "expected_competitive_ratio_bound",
+    "measure_competitive_ratios",
+    "animate",
+    "render_route",
+    "render_snapshot",
+    "busiest_cells",
+    "occupancy_probability",
+    "render_heatmap",
+    "visit_heatmap",
+]

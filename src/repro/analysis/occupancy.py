@@ -1,0 +1,91 @@
+"""Empirical occupancy statistics over executed routes.
+
+Theorem 1's competitive-ratio bound is parameterised by ``p``, the
+probability that a grid cell is occupied at a given second.  This
+module measures that quantity (and its spatial structure) from a set
+of routes, closing the loop between the paper's theory and what a
+simulated day actually produced:
+
+* :func:`occupancy_probability` — the empirical ``p`` over the busy
+  time window;
+* :func:`visit_heatmap` — per-cell visit counts (congestion hot spots);
+* :func:`busiest_cells` — the top-k cells by dwell time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.types import Grid, Route
+from repro.warehouse.matrix import Warehouse
+
+
+def _time_window(routes: Sequence[Route]) -> Tuple[int, int]:
+    if not routes:
+        raise ValueError("no routes to analyse")
+    return (
+        min(r.start_time for r in routes),
+        max(r.finish_time for r in routes),
+    )
+
+
+def occupancy_probability(routes: Sequence[Route], warehouse: Warehouse) -> float:
+    """Empirical cell-occupancy probability ``p`` (Theorem 1's parameter).
+
+    Occupied cell-seconds of all routes divided by free-cell-seconds of
+    the window spanned by the traffic.  Idle robots are non-blocking by
+    the simulation's convention and do not count.
+    """
+    t0, t1 = _time_window(routes)
+    span = t1 - t0 + 1
+    occupied = sum(len(r.grids) for r in routes)
+    free_cells = warehouse.n_cells - warehouse.n_racks
+    return occupied / (span * free_cells)
+
+
+def visit_heatmap(routes: Sequence[Route], warehouse: Warehouse) -> np.ndarray:
+    """Per-cell count of robot-seconds across all routes."""
+    heat = np.zeros(warehouse.shape, dtype=np.int64)
+    for route in routes:
+        for _t, (i, j) in route.steps():
+            heat[i, j] += 1
+    return heat
+
+
+def busiest_cells(
+    routes: Sequence[Route], warehouse: Warehouse, top_k: int = 10
+) -> List[Tuple[Grid, int]]:
+    """The ``top_k`` cells by robot-seconds, busiest first."""
+    heat = visit_heatmap(routes, warehouse)
+    flat = heat.ravel()
+    if top_k >= flat.size:
+        order = np.argsort(flat)[::-1]
+    else:
+        top = np.argpartition(flat, -top_k)[-top_k:]
+        order = top[np.argsort(flat[top])[::-1]]
+    width = warehouse.width
+    return [
+        ((int(idx // width), int(idx % width)), int(flat[idx]))
+        for idx in order[:top_k]
+        if flat[idx] > 0
+    ]
+
+
+def render_heatmap(routes: Sequence[Route], warehouse: Warehouse) -> str:
+    """ASCII heatmap: '.' cold, digits 1-9 scaled, '#' racks."""
+    heat = visit_heatmap(routes, warehouse)
+    peak = heat.max() or 1
+    rows = []
+    for i in range(warehouse.height):
+        row = []
+        for j in range(warehouse.width):
+            if warehouse.racks[i, j]:
+                row.append("#")
+            elif heat[i, j] == 0:
+                row.append(".")
+            else:
+                row.append(str(min(9, 1 + (9 * heat[i, j]) // (peak + 1))))
+        rows.append("".join(row))
+    return "\n".join(rows)

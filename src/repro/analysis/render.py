@@ -1,0 +1,60 @@
+"""ASCII rendering of warehouses, routes and traffic snapshots.
+
+Handy for debugging and for the examples: renders the rack matrix with
+route overlays or a time-frozen snapshot of every robot's position.
+Purely presentational — no planner logic lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.types import Route
+from repro.warehouse.matrix import Warehouse
+
+_ROBOT_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def _base_canvas(warehouse: Warehouse) -> List[List[str]]:
+    canvas = [
+        ["#" if warehouse.racks[i, j] else "." for j in range(warehouse.width)]
+        for i in range(warehouse.height)
+    ]
+    for i, j in warehouse.pickers:
+        canvas[i][j] = "P"
+    return canvas
+
+
+def render_route(warehouse: Warehouse, route: Route) -> str:
+    """Overlay one route on the warehouse: ``o`` origin, ``x`` goal, ``*`` path."""
+    canvas = _base_canvas(warehouse)
+    for _t, (i, j) in route.steps():
+        canvas[i][j] = "*"
+    oi, oj = route.origin
+    di, dj = route.destination
+    canvas[oi][oj] = "o"
+    canvas[di][dj] = "x"
+    return "\n".join("".join(row) for row in canvas)
+
+
+def render_snapshot(warehouse: Warehouse, routes: Sequence[Route], t: int) -> str:
+    """Render every active robot's position at time ``t``.
+
+    Robots are drawn with cycling glyphs; only routes whose span covers
+    ``t`` appear (idle robots are non-blocking and hidden, matching the
+    simulation's conventions).
+    """
+    canvas = _base_canvas(warehouse)
+    for idx, route in enumerate(routes):
+        if route.start_time <= t <= route.finish_time:
+            i, j = route.position_at(t)
+            canvas[i][j] = _ROBOT_GLYPHS[idx % len(_ROBOT_GLYPHS)]
+    return "\n".join("".join(row) for row in canvas)
+
+
+def animate(
+    warehouse: Warehouse, routes: Sequence[Route], t0: int, t1: int, step: int = 1
+) -> Iterator[str]:
+    """Yield one :func:`render_snapshot` frame per ``step`` seconds."""
+    for t in range(t0, t1 + 1, step):
+        yield f"t={t}\n" + render_snapshot(warehouse, routes, t)

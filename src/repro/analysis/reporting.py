@@ -1,0 +1,45 @@
+"""Plain-text tables and series for the benchmark harness.
+
+The benchmark files print the same rows/series the paper's tables and
+figures report; these helpers keep that formatting consistent and make
+the benchmark output readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render a simple aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[c]) for row in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, xs: Sequence[Any], ys: Sequence[Any], x_name: str = "x", y_name: str = "y"
+) -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    lines = [f"{label}  ({x_name} -> {y_name})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x):>8} -> {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

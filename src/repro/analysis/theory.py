@@ -1,0 +1,98 @@
+"""Section VII-A: effectiveness theory and its empirical counterpart.
+
+Theorem 1 bounds the expected competitive ratio of one SRP route by
+
+    E[CR] <= 1 + max(1, 3 p^2) / (3 (1 - p))
+
+where ``p`` is the probability that a grid cell is occupied at a given
+second.  At the theorem's stated congestion bound p = 0.577 this
+evaluates to the paper's headline constant 1.788.
+
+:func:`measure_competitive_ratios` complements the bound empirically:
+it replays a query stream through SRP and compares each planned route
+against an optimal collision-aware route computed by space-time A* on
+an identical traffic state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.types import Query
+
+#: the congestion level up to which the numerator of Theorem 1 stays 1
+THEOREM1_P_STAR = 1 / math.sqrt(3)
+
+
+def expected_competitive_ratio_bound(p: float) -> float:
+    """Theorem 1's upper bound on E[CR] at cell-occupancy probability ``p``.
+
+    Raises:
+        ValueError: when ``p`` is outside [0, 1).
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError("occupancy probability must lie in [0, 1)")
+    return 1.0 + max(1.0, 3.0 * p * p) / (3.0 * (1.0 - p))
+
+
+@dataclass
+class CompetitiveRatioReport:
+    """Empirical per-route competitive ratios of an SRP stream."""
+
+    ratios: List[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.ratios) / len(self.ratios)
+
+    @property
+    def worst(self) -> float:
+        return max(self.ratios)
+
+    def fraction_within(self, bound: float) -> float:
+        """Share of routes whose ratio is at most ``bound``."""
+        return sum(1 for r in self.ratios if r <= bound) / len(self.ratios)
+
+
+def measure_competitive_ratios(
+    warehouse, queries: Sequence[Query], seed_planner=None
+) -> CompetitiveRatioReport:
+    """Replay ``queries`` through SRP and rate each route against optimal.
+
+    For every query the optimal comparator is a space-time A* planned
+    against the *same* already-committed SRP traffic, so the ratio
+    isolates SRP's restrictions (strip revisit omission, backtracking
+    restriction, greedy transit — the paper's three sub-optimality
+    sources) rather than traffic ordering effects.
+    """
+    from repro.core.fallback import SegmentStoreChecker
+    from repro.core.planner import SRPPlanner
+    from repro.pathfinding.distance import DistanceMaps
+    from repro.pathfinding.space_time_astar import space_time_astar
+
+    planner = seed_planner or SRPPlanner(warehouse)
+    maps = DistanceMaps(warehouse)
+    ratios: List[float] = []
+    for query in queries:
+        checker = SegmentStoreChecker(planner.graph, planner.stores, planner.crossings)
+        optimal = space_time_astar(
+            warehouse,
+            query.origin,
+            query.destination,
+            query.release_time,
+            checker,
+            maps.get(query.destination),
+        )
+        route = planner.plan(query)
+        if optimal is None or optimal.duration == 0:
+            continue
+        # Compare completion times from the query release so start
+        # delays count against SRP.
+        srp_cost = route.finish_time - query.release_time
+        opt_cost = optimal.finish_time - query.release_time
+        ratios.append(srp_cost / opt_cost)
+    if not ratios:
+        raise ValueError("no comparable queries in the stream")
+    return CompetitiveRatioReport(ratios)

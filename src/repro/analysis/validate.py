@@ -1,0 +1,117 @@
+"""Ground-truth collision validation of grid routes.
+
+This is the test oracle for every planner in the package: it checks
+Definition 3's two forbidden cases directly on grid routes, with no
+strips, segments or reservations involved —
+
+* two routes visiting the same grid at the same time (vertex conflict);
+* two routes passing through each other between two consecutive
+  timestamps (swap conflict).
+
+Routes only occupy grids during their own ``[start_time, finish_time]``
+span (robots "appear" at release and are parked off-route otherwise;
+see DESIGN.md §4 on the idle-robot assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import CollisionError
+from repro.types import Grid, Route
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One detected conflict between two routes."""
+
+    kind: str  # "vertex" or "swap"
+    time: int
+    grid: Grid
+    route_a: int  # indices into the validated route list
+    route_b: int
+
+
+def find_conflicts(
+    routes: Sequence[Route], stop_at_first: bool = False
+) -> List[Conflict]:
+    """Find all vertex and swap conflicts among ``routes``.
+
+    Uses a time-indexed occupancy map, so the cost is linear in the
+    total number of route steps (plus hashing).
+    """
+    conflicts: List[Conflict] = []
+    # (time, grid) -> first route index occupying it
+    occupancy: Dict[Tuple[int, Grid], int] = {}
+    # (time, from_grid, to_grid) -> route index performing that move
+    moves: Dict[Tuple[int, Grid, Grid], int] = {}
+
+    for idx, route in enumerate(routes):
+        steps = list(route.steps())
+        for t, grid in steps:
+            key = (t, grid)
+            other = occupancy.get(key)
+            if other is not None and other != idx:
+                conflicts.append(Conflict("vertex", t, grid, other, idx))
+                if stop_at_first:
+                    return conflicts
+            else:
+                occupancy[key] = idx
+        for (t, a), (_t2, b) in zip(steps, steps[1:]):
+            if a == b:
+                continue
+            reverse = moves.get((t, b, a))
+            if reverse is not None and reverse != idx:
+                conflicts.append(Conflict("swap", t, a, reverse, idx))
+                if stop_at_first:
+                    return conflicts
+            moves[(t, a, b)] = idx
+    return conflicts
+
+
+def find_conflicts_pairwise(a: Route, b: Route) -> List[Conflict]:
+    """Conflicts between exactly two routes (indices 0 and 1)."""
+    return find_conflicts([a, b])
+
+
+def find_illegal_cells(routes: Sequence[Route], warehouse) -> List[Conflict]:
+    """Routes must only traverse rack-free cells (endpoints excepted).
+
+    Definition 1 allows robots on "false" grids only; a route may start
+    or end *under* a rack (pickup/return) but never pass through one.
+    Violations are reported as pseudo-conflicts of kind ``"rack"`` with
+    ``route_b == route_a``.
+    """
+    violations: List[Conflict] = []
+    for idx, route in enumerate(routes):
+        for t, grid in route.steps():
+            if grid in (route.origin, route.destination):
+                continue
+            if warehouse.is_rack(grid):
+                violations.append(Conflict("rack", t, grid, idx, idx))
+    return violations
+
+
+def assert_routes_legal(routes: Sequence[Route], warehouse) -> None:
+    """Raise when any route drives through a rack or exceeds unit speed."""
+    for idx, route in enumerate(routes):
+        if not route.is_unit_speed():
+            raise CollisionError(f"route #{idx} violates unit speed")
+    violations = find_illegal_cells(routes, warehouse)
+    if violations:
+        v = violations[0]
+        raise CollisionError(
+            f"route #{v.route_a} drives through rack {v.grid} at t={v.time}"
+        )
+
+
+def assert_collision_free(routes: Sequence[Route]) -> None:
+    """Raise :class:`CollisionError` when any pair of routes conflicts."""
+    conflicts = find_conflicts(routes, stop_at_first=True)
+    if conflicts:
+        c = conflicts[0]
+        raise CollisionError(
+            f"{c.kind} conflict at t={c.time}, grid={c.grid} between "
+            f"routes #{c.route_a} and #{c.route_b}"
+        )

@@ -1,0 +1,49 @@
+"""Grid-based baseline planners the paper compares SRP against.
+
+All four baselines plan at grid level with the 3-D (space x time)
+search the paper identifies as the bottleneck:
+
+* :mod:`repro.baselines.sap` — **SAP**, simple A*-based planning: one
+  cooperative space-time A* per query against a reservation table;
+* :mod:`repro.baselines.rp` — **RP** [Svancara et al. 2019], plan
+  ignoring collisions, then re-plan the colliding group;
+* :mod:`repro.baselines.twp` — **TWP** [Li et al. 2021], time-windowed
+  planning: conflicts enforced only within a window;
+* :mod:`repro.baselines.acp` — **ACP** [Shi et al. 2022], adaptive
+  cached planning: cached shortest paths plus wait-until-clear.
+
+:mod:`repro.baselines.cbs` implements conflict-based search, used by RP
+for small conflict groups, and :mod:`repro.baselines.reservation` the
+shared grid-level reservation table.
+"""
+
+from repro.baselines.reservation import ReservationTable
+from repro.baselines.sap import SAPPlanner
+from repro.baselines.twp import TWPPlanner
+from repro.baselines.rp import RPPlanner
+from repro.baselines.acp import ACPPlanner
+from repro.baselines.cbs import cbs_solve
+
+__all__ = [
+    "ReservationTable",
+    "SAPPlanner",
+    "TWPPlanner",
+    "RPPlanner",
+    "ACPPlanner",
+    "cbs_solve",
+]
+
+
+def make_baseline(name: str, warehouse):
+    """Factory: build a baseline planner by its paper label."""
+    planners = {
+        "SAP": SAPPlanner,
+        "RP": RPPlanner,
+        "TWP": TWPPlanner,
+        "ACP": ACPPlanner,
+    }
+    try:
+        cls = planners[name]
+    except KeyError:
+        raise ValueError(f"unknown baseline {name!r}; expected one of {sorted(planners)}")
+    return cls(warehouse)

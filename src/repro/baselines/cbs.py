@@ -1,0 +1,189 @@
+"""Conflict-Based Search (Sharon et al. 2015 [2]) for small agent groups.
+
+CBS is the "offline optimal method" the RP baseline re-plans colliding
+groups with.  This implementation supports the standard two-level
+scheme: the high level branches on vertex/edge conflicts, the low level
+plans single-agent space-time A* under constraint sets.
+
+It is intended for the *small* groups RP produces (typically 2-4
+agents); the node budget keeps worst cases bounded, and callers fall
+back to prioritized planning when the budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.pathfinding.distance import DistanceMaps
+from repro.pathfinding.space_time_astar import ConflictChecker, space_time_astar
+from repro.types import Grid, Query, Route
+from repro.warehouse.matrix import Warehouse
+
+# A constraint forbids agent `agent` from being at `cell` at time `t`
+# (vertex) or from moving cell->cell2 over [t, t+1] (edge).
+VertexConstraint = Tuple[Grid, int]
+EdgeConstraint = Tuple[Grid, Grid, int]
+
+
+@dataclass
+class _ConstraintChecker:
+    """Per-agent conflict checker combining CBS constraints and a base checker."""
+
+    vertex: Set[VertexConstraint]
+    edge: Set[EdgeConstraint]
+    base: Optional[ConflictChecker] = None
+
+    def move_blocked(self, a: Grid, b: Grid, t: int) -> bool:
+        if (b, t + 1) in self.vertex:
+            return True
+        if a != b and (a, b, t) in self.edge:
+            return True
+        if self.base is not None and self.base.move_blocked(a, b, t):
+            return True
+        return False
+
+    def cell_blocked(self, cell: Grid, t: int) -> bool:
+        if (cell, t) in self.vertex:
+            return True
+        return self.base is not None and self.base.cell_blocked(cell, t)
+
+
+@dataclass(order=True)
+class _Node:
+    cost: int
+    order: int
+    routes: List[Route] = field(compare=False)
+    constraints: List[Tuple[Set[VertexConstraint], Set[EdgeConstraint]]] = field(
+        compare=False
+    )
+
+
+def _first_conflict(routes: Sequence[Route]):
+    """Return (i, j, kind, payload) for the earliest pairwise conflict."""
+    best = None
+    for i in range(len(routes)):
+        for j in range(i + 1, len(routes)):
+            conflict = _pair_conflict(routes[i], routes[j])
+            if conflict is None:
+                continue
+            t = conflict[0]
+            if best is None or t < best[0]:
+                best = (t, i, j, conflict)
+    if best is None:
+        return None
+    _t, i, j, conflict = best
+    return i, j, conflict
+
+
+def _pair_conflict(a: Route, b: Route):
+    """Earliest vertex/edge conflict between two routes, or None."""
+    lo = max(a.start_time, b.start_time)
+    hi = min(a.finish_time, b.finish_time)
+    if lo > hi:
+        return None
+    for t in range(lo, hi + 1):
+        pa, pb = a.position_at(t), b.position_at(t)
+        if pa == pb:
+            return (t, "vertex", pa)
+        if t < hi:
+            na, nb = a.position_at(t + 1), b.position_at(t + 1)
+            if na == pb and nb == pa:
+                return (t, "edge", (pa, na))
+    return None
+
+
+def cbs_solve(
+    warehouse: Warehouse,
+    queries: Sequence[Query],
+    distance_maps: DistanceMaps,
+    base_checker: Optional[ConflictChecker] = None,
+    max_nodes: int = 200,
+    max_expansions: int = 50_000,
+    horizon_slack: int = 128,
+) -> Optional[List[Route]]:
+    """Solve a small joint planning instance with conflict-based search.
+
+    Args:
+        queries: one origin/destination/release per agent.
+        base_checker: additional immovable traffic (routes *outside* the
+            group) every agent must also respect.
+        max_nodes: high-level constraint-tree node budget.
+
+    Returns:
+        One route per query (same order), mutually conflict-free and
+        compatible with ``base_checker``; None when the budget is
+        exhausted or some agent becomes unroutable.
+    """
+
+    def low_level(idx: int, vertex, edge) -> Optional[Route]:
+        query = queries[idx]
+        checker = _ConstraintChecker(vertex, edge, base_checker)
+        dist_map = distance_maps.get(query.destination)
+        for delay in range(0, 16):
+            route = space_time_astar(
+                warehouse,
+                query.origin,
+                query.destination,
+                query.release_time + delay,
+                checker,
+                dist_map,
+                max_expansions=max_expansions,
+                horizon_slack=horizon_slack,
+            )
+            if route is not None:
+                route.query_id = query.query_id
+                return route
+        return None
+
+    constraints = [(set(), set()) for _ in queries]
+    routes: List[Route] = []
+    for idx in range(len(queries)):
+        route = low_level(idx, *constraints[idx])
+        if route is None:
+            return None
+        routes.append(route)
+
+    order = 0
+    root = _Node(sum(r.duration for r in routes), order, routes, constraints)
+    heap = [root]
+    nodes_expanded = 0
+    while heap:
+        node = heapq.heappop(heap)
+        conflict = _first_conflict(node.routes)
+        if conflict is None:
+            return node.routes
+        nodes_expanded += 1
+        if nodes_expanded > max_nodes:
+            return None
+        i, j, (t, kind, payload) = conflict
+        for agent, other in ((i, j), (j, i)):
+            vertex = set(node.constraints[agent][0])
+            edge = set(node.constraints[agent][1])
+            if kind == "vertex":
+                vertex.add((payload, t))
+            else:
+                a_cell, b_cell = payload
+                if agent == i:
+                    edge.add((a_cell, b_cell, t))
+                else:
+                    edge.add((b_cell, a_cell, t))
+            new_route = low_level(agent, vertex, edge)
+            if new_route is None:
+                continue
+            new_routes = list(node.routes)
+            new_routes[agent] = new_route
+            new_constraints = list(node.constraints)
+            new_constraints[agent] = (vertex, edge)
+            order += 1
+            heapq.heappush(
+                heap,
+                _Node(
+                    sum(r.duration for r in new_routes),
+                    order,
+                    new_routes,
+                    new_constraints,
+                ),
+            )
+    return None

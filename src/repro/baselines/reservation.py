@@ -1,0 +1,110 @@
+"""Grid-level reservation table shared by the baseline planners.
+
+The table records, per committed route, every ``(cell, time)``
+occupancy and every directed move, so vertex and swap conflicts can be
+checked in O(1).  This per-timestep representation is exactly what the
+paper contrasts SRP's few-endpoints segments against in the memory
+comparison (Figs. 19-21): a route of length L costs O(L) table entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.types import Grid, Route
+
+
+class ReservationTable:
+    """Vertex and edge reservations of all committed routes."""
+
+    def __init__(self) -> None:
+        # (cell, t) -> owning route token
+        self._vertices: Dict[Tuple[Grid, int], int] = {}
+        # (from, to, t) -> owning route token, for moves over [t, t+1]
+        self._edges: Dict[Tuple[Grid, Grid, int], int] = {}
+        # token -> registered route, so routes can be released (RP re-planning)
+        self._routes: Dict[int, Route] = {}
+        self._next_token = 0
+
+    # ------------------------------------------------------------------
+    # Conflict checking (ConflictChecker protocol)
+    # ------------------------------------------------------------------
+    def cell_blocked(self, cell: Grid, t: int) -> bool:
+        return (cell, t) in self._vertices
+
+    def move_blocked(self, a: Grid, b: Grid, t: int) -> bool:
+        if (b, t + 1) in self._vertices:
+            return True
+        return a != b and (b, a, t) in self._edges
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, route: Route) -> int:
+        """Reserve a route; returns a token usable with :meth:`release`."""
+        token = self._next_token
+        self._next_token += 1
+        self._routes[token] = route
+        steps = list(route.steps())
+        for t, cell in steps:
+            self._vertices[(cell, t)] = token
+        for (t, a), (_t, b) in zip(steps, steps[1:]):
+            if a != b:
+                self._edges[(a, b, t)] = token
+        return token
+
+    def release(self, token: int) -> Route:
+        """Remove a route's reservations; returns the released route."""
+        route = self._routes.pop(token)
+        steps = list(route.steps())
+        for t, cell in steps:
+            if self._vertices.get((cell, t)) == token:
+                del self._vertices[(cell, t)]
+        for (t, a), (_t, b) in zip(steps, steps[1:]):
+            if a != b and self._edges.get((a, b, t)) == token:
+                del self._edges[(a, b, t)]
+        return route
+
+    def route(self, token: int) -> Route:
+        return self._routes[token]
+
+    def conflicts_with(self, route: Route) -> bool:
+        """True when ``route`` conflicts with any reservation."""
+        return bool(self.routes_conflicting(route))
+
+    def routes_conflicting(self, route: Route) -> Set[int]:
+        """Tokens of registered routes that conflict with ``route``."""
+        tokens: Set[int] = set()
+        steps = list(route.steps())
+        for t, cell in steps:
+            owner = self._vertices.get((cell, t))
+            if owner is not None:
+                tokens.add(owner)
+        for (t, a), (_t, b) in zip(steps, steps[1:]):
+            if a != b:
+                owner = self._edges.get((b, a, t))
+                if owner is not None:
+                    tokens.add(owner)
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def prune(self, before: int) -> int:
+        """Release routes that finished strictly before ``before``."""
+        stale = [tok for tok, r in self._routes.items() if r.finish_time < before]
+        for token in stale:
+            self.release(token)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._vertices.clear()
+        self._edges.clear()
+        self._routes.clear()
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def n_routes(self) -> int:
+        return len(self._routes)

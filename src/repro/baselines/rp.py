@@ -1,0 +1,251 @@
+"""RP — Replanning (after Svancara et al., AAAI 2019 [3]).
+
+The replanning strategy first searches the shortest path for the new
+query *ignoring* collisions; only when the result collides with
+existing routes does it re-plan the colliding routes together.  The
+joint re-plan uses conflict-based search for small groups (the "offline
+optimal method" of the paper's baseline description) and falls back to
+prioritized planning when the group is large or CBS exhausts its node
+budget.
+
+Only routes that have not started executing are movable: a robot that
+is already driving keeps its committed trajectory (its successors may
+already be scheduled), so started routes act as immovable traffic.
+When nothing can be moved — or the joint re-plan fails — the new query
+is planned with plain cooperative space-time A* around all existing
+traffic, which keeps RP complete at the cost of the extra search the
+paper's RP baseline is known for.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Optional
+
+from repro.baselines.cbs import cbs_solve
+from repro.baselines.reservation import ReservationTable
+from repro.exceptions import InvalidQueryError, PlanningFailedError
+from repro.pathfinding.distance import DistanceMaps
+from repro.pathfinding.space_time_astar import space_time_astar
+from repro.planner_base import Planner
+from repro.types import Query, Route
+from repro.warehouse.matrix import Warehouse
+
+
+class RPPlanner(Planner):
+    """Plan ignoring collisions, re-plan colliding groups jointly."""
+
+    name = "RP"
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        cbs_group_limit: int = 4,
+        cbs_node_limit: int = 100,
+        max_expansions: int = 400_000,
+        horizon_slack: int = 256,
+        max_start_delay: int = 64,
+    ) -> None:
+        super().__init__()
+        self.warehouse = warehouse
+        self.table = ReservationTable()
+        self.distance_maps = DistanceMaps(warehouse)
+        self.cbs_group_limit = cbs_group_limit
+        self.cbs_node_limit = cbs_node_limit
+        self.max_expansions = max_expansions
+        self.horizon_slack = horizon_slack
+        self.max_start_delay = max_start_delay
+        #: number of joint re-planning episodes (instrumentation)
+        self.replans = 0
+        #: of which solved by CBS rather than prioritized planning
+        self.cbs_solved = 0
+        #: queries answered by the cooperative A* fallback
+        self.solo_fallbacks = 0
+        # token -> original query, needed to re-plan a route from scratch
+        self._query_of: Dict[int, Query] = {}
+        # query_id -> revised route, drained by take_revisions()
+        self._revisions: Dict[int, Route] = {}
+
+    # ------------------------------------------------------------------
+    def plan(self, query: Query) -> Route:
+        started = _time.perf_counter()
+        try:
+            route = self._plan_inner(query)
+        finally:
+            self.timers.total += _time.perf_counter() - started
+            self.timers.queries += 1
+        return route
+
+    def _plan_inner(self, query: Query) -> Route:
+        if not self.warehouse.in_bounds(query.origin) or not self.warehouse.in_bounds(
+            query.destination
+        ):
+            raise InvalidQueryError(f"query endpoints out of bounds: {query}")
+        # Step 1: shortest path ignoring collisions.
+        free_route = self._shortest_ignoring_collisions(query)
+        if free_route is None:
+            self.timers.failures += 1
+            raise PlanningFailedError(f"RP: destination unreachable for {query}")
+        conflicting = self.table.routes_conflicting(free_route)
+        if not conflicting:
+            token = self.table.register(free_route)
+            self._query_of[token] = query
+            return free_route
+        # Step 2: joint re-plan with the movable colliders.
+        self.replans += 1
+        route = self._replan_group(query, sorted(conflicting), query.release_time)
+        if route is not None:
+            return route
+        # Step 3: route the new query around all committed traffic.
+        self.solo_fallbacks += 1
+        route = self._cooperative_astar(query)
+        if route is None:
+            self.timers.failures += 1
+            raise PlanningFailedError(f"RP could not resolve conflicts for {query}")
+        token = self.table.register(route)
+        self._query_of[token] = query
+        return route
+
+    def _shortest_ignoring_collisions(self, query: Query) -> Optional[Route]:
+        path = self.distance_maps.greedy_path(query.origin, query.destination)
+        if path is None:
+            return None
+        return Route(query.release_time, path, query.query_id)
+
+    def _replan_group(
+        self, query: Query, tokens: List[int], now: int
+    ) -> Optional[Route]:
+        """Jointly re-plan the new query with the movable colliders.
+
+        Movable means not started: ``start_time >= now``.  Returns the
+        new query's route on success; None sends the caller to the
+        cooperative A* fallback (originals are restored untouched).
+        """
+        movable = [t for t in tokens if self.table.route(t).start_time >= now]
+        if not movable:
+            return None
+        group_queries = [query]
+        original: List[tuple] = []
+        for token in movable:
+            route = self.table.release(token)
+            member = self._query_of.pop(token)
+            original.append((member, route))
+            group_queries.append(
+                Query(member.origin, member.destination, now, member.kind, member.query_id)
+            )
+
+        def restore_originals() -> None:
+            for member, route in original:
+                token = self.table.register(route)
+                self._query_of[token] = member
+
+        routes: Optional[List[Route]] = None
+        if len(group_queries) <= self.cbs_group_limit:
+            routes = cbs_solve(
+                self.warehouse,
+                group_queries,
+                self.distance_maps,
+                base_checker=self.table,
+                max_nodes=self.cbs_node_limit,
+            )
+            if routes is not None:
+                self.cbs_solved += 1
+        if routes is None:
+            routes = self._prioritized(group_queries)
+        if routes is None:
+            restore_originals()
+            return None
+        # Register atomically, verifying against the table as we go
+        # (defence in depth; the joint search already avoided it).
+        registered: List[int] = []
+        for route in routes:
+            if self.table.conflicts_with(route):
+                for token in registered:
+                    self.table.release(token)
+                restore_originals()
+                return None
+            registered.append(self.table.register(route))
+        for q, token in zip(group_queries, registered):
+            self._query_of[token] = q
+            if q is not query:
+                self._revisions[q.query_id] = self.table.route(token)
+        return routes[0]
+
+    def _cooperative_astar(self, query: Query) -> Optional[Route]:
+        dist_map = self.distance_maps.get(query.destination)
+        for delay in range(self.max_start_delay + 1):
+            route = space_time_astar(
+                self.warehouse,
+                query.origin,
+                query.destination,
+                query.release_time + delay,
+                self.table,
+                dist_map,
+                max_expansions=self.max_expansions,
+                horizon_slack=self.horizon_slack,
+            )
+            if route is not None:
+                route.query_id = query.query_id
+                return route
+        return None
+
+    def _prioritized(self, queries: List[Query]) -> Optional[List[Route]]:
+        """Plan the group one by one against the table plus earlier members."""
+        registered: List[int] = []
+        routes: List[Route] = []
+        for q in queries:
+            dist_map = self.distance_maps.get(q.destination)
+            route = None
+            for delay in range(self.max_start_delay + 1):
+                route = space_time_astar(
+                    self.warehouse,
+                    q.origin,
+                    q.destination,
+                    q.release_time + delay,
+                    self.table,
+                    dist_map,
+                    max_expansions=self.max_expansions,
+                    horizon_slack=self.horizon_slack,
+                )
+                if route is not None:
+                    break
+            if route is None:
+                for token in registered:
+                    self.table.release(token)
+                return None
+            route.query_id = q.query_id
+            registered.append(self.table.register(route))
+            routes.append(route)
+        # Registration is undone: _replan_group re-registers with queries.
+        for token in registered:
+            self.table.release(token)
+        return routes
+
+    # ------------------------------------------------------------------
+    def take_revisions(self) -> Dict[int, Route]:
+        revisions = self._revisions
+        self._revisions = {}
+        return revisions
+
+    def reset(self) -> None:
+        self.table.clear()
+        self.distance_maps.clear()
+        self._query_of.clear()
+        self._revisions.clear()
+        self.replans = 0
+        self.cbs_solved = 0
+        self.solo_fallbacks = 0
+        self.timers.reset()
+
+    def prune(self, before: int) -> None:
+        stale = [
+            tok
+            for tok in list(self._query_of)
+            if self.table.route(tok).finish_time < before
+        ]
+        for token in stale:
+            self.table.release(token)
+            del self._query_of[token]
+
+    def planning_state(self) -> object:
+        return self.table

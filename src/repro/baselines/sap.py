@@ -1,0 +1,97 @@
+"""SAP — Simple A*-based Planning (the paper's first baseline).
+
+Plans each query with a full space-time A* over the 3-D search space
+(2-D grid + time), one query at a time, against the reservation table
+of every previously planned route — classic cooperative A*.  The newly
+planned route is then reserved so later queries avoid it.
+
+Being the *simple* baseline, SAP uses the plain Manhattan heuristic by
+default, which misjudges detours around rack clusters and expands many
+more states — the behaviour behind the paper's "usually SAP is the
+slowest" observation.  Pass ``use_true_distance=True`` for the
+idealised variant with cached BFS distance maps (the heuristic the
+other baselines employ).
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.baselines.reservation import ReservationTable
+from repro.exceptions import InvalidQueryError, PlanningFailedError
+from repro.pathfinding.distance import DistanceMaps
+from repro.pathfinding.space_time_astar import space_time_astar
+from repro.planner_base import Planner
+from repro.types import Query, Route
+from repro.warehouse.matrix import Warehouse
+
+
+class SAPPlanner(Planner):
+    """Cooperative space-time A*, one query at a time."""
+
+    name = "SAP"
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        max_expansions: int = 400_000,
+        horizon_slack: int = 256,
+        max_start_delay: int = 64,
+        use_true_distance: bool = False,
+    ) -> None:
+        super().__init__()
+        self.warehouse = warehouse
+        self.table = ReservationTable()
+        self.use_true_distance = use_true_distance
+        self.distance_maps = DistanceMaps(warehouse) if use_true_distance else None
+        self.max_expansions = max_expansions
+        self.horizon_slack = horizon_slack
+        self.max_start_delay = max_start_delay
+
+    def plan(self, query: Query) -> Route:
+        started = _time.perf_counter()
+        try:
+            route = self._plan_inner(query)
+        finally:
+            self.timers.total += _time.perf_counter() - started
+            self.timers.queries += 1
+        return route
+
+    def _plan_inner(self, query: Query) -> Route:
+        if not self.warehouse.in_bounds(query.origin) or not self.warehouse.in_bounds(
+            query.destination
+        ):
+            raise InvalidQueryError(f"query endpoints out of bounds: {query}")
+        dist_map = (
+            self.distance_maps.get(query.destination)
+            if self.distance_maps is not None
+            else None
+        )
+        for delay in range(self.max_start_delay + 1):
+            route = space_time_astar(
+                self.warehouse,
+                query.origin,
+                query.destination,
+                query.release_time + delay,
+                self.table,
+                dist_map,
+                max_expansions=self.max_expansions,
+                horizon_slack=self.horizon_slack,
+            )
+            if route is not None:
+                self.table.register(route)
+                return route
+        self.timers.failures += 1
+        raise PlanningFailedError(f"SAP could not plan {query}")
+
+    def reset(self) -> None:
+        self.table.clear()
+        if self.distance_maps is not None:
+            self.distance_maps.clear()
+        self.timers.reset()
+
+    def prune(self, before: int) -> None:
+        self.table.prune(before)
+
+    def planning_state(self) -> object:
+        return self.table

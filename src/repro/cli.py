@@ -1,0 +1,184 @@
+"""Command-line interface: inspect warehouses, plan routes, run days.
+
+Usage (also available as ``python -m repro.cli``)::
+
+    repro-warehouse info --dataset W-1
+    repro-warehouse plan --dataset W-1 --origin 0,0 --dest 200,90
+    repro-warehouse simulate --dataset W-2 --scale 0.3 --tasks 80 \
+        --planner SRP --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro import (
+    Query,
+    SRPPlanner,
+    TaskTraceSpec,
+    build_strip_graph,
+    datasets,
+    generate_tasks,
+    make_baseline,
+    run_day,
+)
+from repro.analysis import format_table
+from repro.warehouse import load_warehouse
+
+PLANNER_NAMES = ("SRP", "SAP", "RP", "TWP", "ACP")
+
+
+def _make_planner(name: str, warehouse, store: str = "slope", exact: bool = False):
+    if name == "SRP":
+        return SRPPlanner(warehouse, store=store, intra_exact=exact)
+    return make_baseline(name, warehouse)
+
+
+def _load_warehouse(args):
+    if args.layout:
+        return load_warehouse(args.layout)
+    return datasets.dataset_by_name(args.dataset, scale=args.scale)
+
+
+def _parse_cell(text: str):
+    try:
+        i, j = text.split(",")
+        return (int(i), int(j))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected 'row,col', got {text!r}")
+
+
+def cmd_info(args) -> int:
+    warehouse = _load_warehouse(args)
+    graph = build_strip_graph(warehouse)
+    stats = graph.reduction_stats()
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["name", warehouse.name or "(custom)"],
+                ["size (H x W)", f"{warehouse.height} x {warehouse.width}"],
+                ["rack cells", warehouse.n_racks],
+                ["pickers", len(warehouse.pickers)],
+                ["robot homes", len(warehouse.robot_homes)],
+                ["grid vertices", stats["grid_vertices"]],
+                ["grid edges", stats["grid_edges"]],
+                ["strip vertices", stats["strip_vertices"]],
+                ["strip edges", stats["strip_edges"]],
+                ["vertex reduction", f"{stats['vertex_ratio']:.1%}"],
+                ["edge reduction", f"{stats['edge_ratio']:.1%}"],
+            ],
+            title="warehouse summary",
+        )
+    )
+    return 0
+
+
+def cmd_plan(args) -> int:
+    warehouse = _load_warehouse(args)
+    planner = _make_planner(args.planner, warehouse, args.store, args.exact)
+    query = Query(args.origin, args.dest, args.time)
+    route = planner.plan(query)
+    print(
+        f"{args.planner} route {args.origin} -> {args.dest}: "
+        f"{route.duration} steps, departs t={route.start_time}, "
+        f"arrives t={route.finish_time}"
+    )
+    if args.verbose:
+        print(" ".join(f"{i},{j}" for i, j in route.grids))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    warehouse = _load_warehouse(args)
+    tasks = generate_tasks(
+        warehouse,
+        TaskTraceSpec(n_tasks=args.tasks, day_length=args.day, seed=args.seed),
+    )
+    rows = []
+    for name in args.planner.split(","):
+        name = name.strip().upper()
+        planner = _make_planner(name, warehouse, args.store, args.exact)
+        result = run_day(warehouse, planner, tasks, validate=args.validate)
+        if result.conflicts:
+            print(f"error: {name} produced {len(result.conflicts)} conflicts",
+                  file=sys.stderr)
+            return 1
+        rows.append(
+            [
+                name,
+                result.og,
+                f"{result.tc_seconds * 1000:.1f}",
+                f"{(result.peak_mc_bytes or 0) / 1024:.0f}",
+                result.completed_tasks,
+                result.failed_tasks,
+            ]
+        )
+    print(
+        format_table(
+            ["planner", "OG (s)", "TC (ms)", "MC peak (KiB)", "done", "failed"],
+            rows,
+            title=f"{warehouse.name}: {args.tasks} tasks over {args.day}s",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-warehouse",
+        description="Strip-based collision-aware warehouse route planning (SRP).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_world_args(p):
+        p.add_argument("--dataset", default="W-1", choices=("W-1", "W-2", "W-3"),
+                       help="Table II replica to use (default W-1)")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="linear scale factor of the replica (default 1.0)")
+        p.add_argument("--layout", default=None,
+                       help="JSON warehouse file (overrides --dataset)")
+
+    p_info = sub.add_parser("info", help="print warehouse and strip-graph stats")
+    add_world_args(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_plan = sub.add_parser("plan", help="plan one route")
+    add_world_args(p_plan)
+    p_plan.add_argument("--origin", type=_parse_cell, required=True)
+    p_plan.add_argument("--dest", type=_parse_cell, required=True)
+    p_plan.add_argument("--time", type=int, default=0, help="release time")
+    p_plan.add_argument("--planner", default="SRP", choices=PLANNER_NAMES)
+    p_plan.add_argument("--store", default="slope", choices=("slope", "naive", "bucket"),
+                        help="SRP segment-store backend")
+    p_plan.add_argument("--exact", action="store_true",
+                        help="use the exact intra-strip search (SRP only)")
+    p_plan.add_argument("--verbose", action="store_true", help="print every grid")
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_sim = sub.add_parser("simulate", help="run a simulated day")
+    add_world_args(p_sim)
+    p_sim.add_argument("--tasks", type=int, default=100)
+    p_sim.add_argument("--day", type=int, default=1500, help="release span (s)")
+    p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.add_argument("--planner", default="SRP",
+                       help="comma-separated planner names (default SRP)")
+    p_sim.add_argument("--store", default="slope", choices=("slope", "naive", "bucket"),
+                       help="SRP segment-store backend")
+    p_sim.add_argument("--exact", action="store_true",
+                       help="use the exact intra-strip search (SRP only)")
+    p_sim.add_argument("--validate", action="store_true",
+                       help="verify collision-freedom of the whole day")
+    p_sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""Conversion between strip/segment plans and grid-level routes.
+
+Fig. 22(a) of the paper reports "conversion between strip- and
+grid-based representation" as one of the three components of SRP's
+planning time; this module is that component, instrumented separately
+by :class:`repro.core.planner.SRPPlanner`.
+
+Two directions are provided:
+
+* :func:`plan_to_route` — materialise a :class:`RoutePlan` (chain of
+  per-strip segment legs) into the grid-per-second :class:`Route` that
+  the simulator executes;
+* :func:`route_to_strip_artifacts` — decompose an arbitrary grid route
+  (produced by the A* fallback) back into per-strip segments, entry
+  points and crossing events, so fallback routes live in the same
+  bookkeeping as strip-level routes and later queries plan around them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.inter_strip import CrossingKey, RoutePlan
+from repro.core.segments import Segment
+from repro.core.strips import StripGraph
+from repro.exceptions import PlanningFailedError
+from repro.types import Grid, Route
+
+
+def plan_to_route(graph: StripGraph, plan: RoutePlan) -> Route:
+    """Materialise a strip-level plan into one grid per timestep.
+
+    Waiting gaps before crossings (e.g. a robot pausing under its rack
+    before sliding into the aisle) are filled with repeated grids so the
+    resulting route satisfies the unit-speed contract of Definition 2.
+    """
+    grids: List[Grid] = [plan.origin]
+    t = plan.start_time
+
+    def advance_to(target_t: int, grid: Grid) -> None:
+        nonlocal t
+        while t < target_t:
+            grids.append(grid)
+            t += 1
+
+    for leg in plan.legs:
+        strip = graph.strips[leg.strip]
+        if leg.entry is not None:
+            # Wait at the previous cell until the crossing second ...
+            advance_to(leg.entry.time - 1, grids[-1])
+            # ... then step across the boundary.
+            grids.append(leg.entry.to_cell)
+            t += 1
+        for seg in leg.segments:
+            if seg.t0 != t or strip.grid_at(seg.p0) != grids[-1]:
+                raise PlanningFailedError(
+                    f"discontinuous plan: segment {seg} does not start at "
+                    f"time {t} grid {grids[-1]}"
+                )
+            step = seg.slope
+            pos = seg.p0
+            for _ in range(seg.duration):
+                pos += step
+                grids.append(strip.grid_at(pos) if step else grids[-1])
+                t += 1
+    if t != plan.arrival_time or grids[-1] != plan.destination:
+        raise PlanningFailedError(
+            f"plan materialised to time {t}, grid {grids[-1]}; expected "
+            f"time {plan.arrival_time}, grid {plan.destination}"
+        )
+    return Route(plan.start_time, grids)
+
+
+def route_to_strip_artifacts(
+    graph: StripGraph, route: Route
+) -> Tuple[List[Tuple[int, Segment]], List[CrossingKey]]:
+    """Decompose a grid route into per-strip segments plus crossing events.
+
+    Returns ``(segments, crossings)`` where ``segments`` are
+    ``(strip_index, segment)`` pairs ready for the per-strip stores —
+    maximal move/wait runs inside each strip plus a point segment at
+    every strip entry — and ``crossings`` are the boundary crossing keys
+    mirroring what the strip-level planner commits for its own routes.
+    """
+    segments: List[Tuple[int, Segment]] = []
+    crossings: List[CrossingKey] = []
+    steps = list(route.steps())
+    if len(steps) < 2:
+        return segments, crossings
+
+    cur_strip, cur_pos = graph.locate(steps[0][1])
+    # The origin's standing instant must be covered even when the route
+    # leaves its first strip immediately (footnote-1 point case).
+    segments.append((cur_strip, Segment(steps[0][0], cur_pos, steps[0][0], cur_pos)))
+    run_start_t, run_start_p = steps[0][0], cur_pos
+    prev_t, prev_p, prev_grid = run_start_t, run_start_p, steps[0][1]
+    run_slope: int | None = None  # slope of the open run, None when empty
+
+    def flush(end_t: int, end_p: int) -> None:
+        if end_t > run_start_t:
+            segments.append((cur_strip, Segment(run_start_t, run_start_p, end_t, end_p)))
+
+    for t, grid in steps[1:]:
+        strip_idx, pos = graph.locate(grid)
+        if strip_idx != cur_strip:
+            # Close the run in the old strip, mark the entry point and
+            # record the boundary crossing event.
+            flush(prev_t, prev_p)
+            segments.append((strip_idx, Segment(t, pos, t, pos)))
+            crossings.append((prev_grid, grid, t))
+            cur_strip = strip_idx
+            run_start_t, run_start_p = t, pos
+            run_slope = None
+        else:
+            step = pos - prev_p
+            if run_slope is not None and step != run_slope:
+                flush(prev_t, prev_p)
+                run_start_t, run_start_p = prev_t, prev_p
+            run_slope = step
+        prev_t, prev_p, prev_grid = t, pos, grid
+    flush(prev_t, prev_p)
+    return segments, crossings

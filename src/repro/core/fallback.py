@@ -1,0 +1,80 @@
+"""Grid-level A* fallback of the strip-based planner (Section VI, Remarks).
+
+SRP's restrictions (no backward intra-strip moves, greedy transit,
+single strip visit) occasionally leave no feasible route — the paper
+measures roughly 1 in 10^5 queries.  In that case SRP "calls the A*
+algorithm": a full space-time search at grid level, checked directly
+against the per-strip segment stores and the crossing-event set so the
+fallback route respects all previously committed traffic, and committed
+back *as segments* so later strip-level queries plan around it.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional, Sequence
+
+from repro.core.inter_strip import CrossingKey
+from repro.core.segments import Segment
+from repro.core.store_base import SegmentStore
+from repro.core.strips import StripGraph
+from repro.pathfinding.distance import DistanceMaps
+from repro.pathfinding.space_time_astar import space_time_astar
+from repro.types import Grid, Query, Route
+
+
+class SegmentStoreChecker:
+    """Conflict checker that consults the per-strip segment stores.
+
+    Within a strip a unit action maps to a one-second segment and uses
+    the store's combined vertex/swap test.  A strip crossing is checked
+    as the target-cell point occupancy plus the reverse crossing event,
+    mirroring exactly what the strip-level planner commits, so the
+    fallback stays mutually consistent with strip-level routes.
+    """
+
+    def __init__(
+        self,
+        graph: StripGraph,
+        stores: Sequence[SegmentStore],
+        crossings: AbstractSet[CrossingKey],
+    ):
+        self._graph = graph
+        self._stores = stores
+        self._crossings = crossings
+
+    def move_blocked(self, a: Grid, b: Grid, t: int) -> bool:
+        sa, pa = self._graph.locate(a)
+        sb, pb = self._graph.locate(b)
+        if sa == sb:
+            return self._stores[sa].move_blocked(t, pa, pb)
+        if self._stores[sb].occupied(pb, t + 1):
+            return True
+        return (b, a, t + 1) in self._crossings
+
+    def cell_blocked(self, cell: Grid, t: int) -> bool:
+        strip, pos = self._graph.locate(cell)
+        return self._stores[strip].occupied(pos, t)
+
+
+def fallback_plan(
+    graph: StripGraph,
+    stores: Sequence[SegmentStore],
+    crossings: AbstractSet[CrossingKey],
+    distance_maps: DistanceMaps,
+    query: Query,
+    max_expansions: int = 200_000,
+    horizon_slack: int = 256,
+) -> Optional[Route]:
+    """Plan one query with space-time A* against the segment stores."""
+    dist_map = distance_maps.get(query.destination)
+    checker = SegmentStoreChecker(graph, stores, crossings)
+    return space_time_astar(
+        graph.warehouse,
+        query.origin,
+        query.destination,
+        query.release_time,
+        checker,
+        dist_map,
+        max_expansions=max_expansions,
+        horizon_slack=horizon_slack,
+    )

@@ -1,0 +1,586 @@
+"""End-to-end route search over the strip graph (Section VI, Algorithm 4).
+
+The inter-strip level runs a time-dependent Dijkstra over aisle strips.
+Whenever it relaxes an edge it calls the intra-strip planner to learn
+how long crossing the current strip actually takes given the committed
+traffic — the paper's "edge weight calculated by intra-strip route
+planning".  Transit between strips follows the greedy rule of Fig. 10:
+cross at the adjacent grid pair nearest to the robot's current position.
+
+Rack strips are never traversed; they participate only as route
+endpoints (a robot slides sideways from the neighbouring aisle under
+the rack).
+
+**Boundary semantics.**  Strips partition the grid, so the per-strip
+segment stores cannot see conflicts that happen *on* a strip boundary.
+Crossing into a strip therefore produces two artefacts:
+
+* a point segment at the arrival cell and second, making the arrival
+  visible to vertex-conflict checks inside the target strip; and
+* a *crossing event* ``(from_cell, to_cell, t)`` in a planner-global
+  set, which detects the boundary swap ``(g -> g')`` against
+  ``(g' -> g)`` exactly (two robots exchanging cells across a strip
+  border), with no over-reservation.
+
+All planning during the search is read-only; only the winning chain of
+legs is committed by the caller (:mod:`repro.core.planner`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.intra_strip import IntraPlan, plan_within_strip
+from repro.core.intra_strip_exact import plan_within_strip_exact
+from repro.core.segments import Segment, make_wait
+from repro.core.store_base import SegmentStore
+from repro.core.strips import Direction, StripGraph, TransitRange
+from repro.types import Grid, Query, manhattan
+
+#: a committed boundary crossing: the robot is at from_cell at time-1
+#: and at to_cell at time.
+CrossingKey = Tuple[Grid, Grid, int]
+
+_LAT = Direction.LATITUDINAL
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Tuning knobs of the strip-level search.
+
+    ``detour_factor`` and ``max_detour`` bound how far past the
+    free-flow distance the search keeps looking: popping a key beyond
+    ``release + detour_factor * distance + max_detour`` aborts the
+    (hopeless) search instead of sweeping the whole strip graph, and
+    the planner falls back to grid A*.  Keys are admissible completion
+    lower bounds, so only routes worse than the cutoff are discarded.
+    """
+
+    max_expansions: int = 600
+    max_wait: int = 64
+    use_heuristic: bool = True
+    detour_factor: float = 2.0
+    max_detour: int = 64
+    #: use the exact time-expanded intra-strip search instead of the
+    #: paper's greedy one (quality ablation; see intra_strip_exact)
+    intra_exact: bool = False
+    #: with intra_exact, also allow backward moves inside strips —
+    #: lifting the paper's Fig. 13 restriction entirely
+    intra_backward: bool = False
+
+
+@dataclass
+class SearchStats:
+    """Counters filled during one plan_route call."""
+
+    intra_time: float = 0.0
+    intra_calls: int = 0
+    intra_expansions: int = 0
+    strips_popped: int = 0
+    edges_relaxed: int = 0
+
+
+@dataclass(frozen=True)
+class CrossingEntry:
+    """A committed step across a strip boundary.
+
+    Attributes:
+        time: arrival second in the new strip.
+        from_cell: boundary cell left at ``time - 1``.
+        to_cell: boundary cell occupied at ``time``.
+        point: the point segment ``(time, pos)`` in the new strip's
+            local coordinates, committed to that strip's store.
+    """
+
+    time: int
+    from_cell: Grid
+    to_cell: Grid
+    point: Segment
+
+    @property
+    def key(self) -> CrossingKey:
+        return (self.from_cell, self.to_cell, self.time)
+
+    @property
+    def reverse_key(self) -> CrossingKey:
+        return (self.to_cell, self.from_cell, self.time)
+
+
+@dataclass
+class Leg:
+    """Movement inside one strip of the final plan.
+
+    Attributes:
+        strip: strip index.
+        entry: how the robot crossed into this strip (None for the strip
+            the route starts in).
+        segments: motion/wait segments within the strip, local coords.
+    """
+
+    strip: int
+    entry: Optional[CrossingEntry]
+    segments: List[Segment]
+
+
+@dataclass
+class RoutePlan:
+    """A complete collision-free plan as a chain of strip legs."""
+
+    start_time: int
+    origin: Grid
+    destination: Grid
+    legs: List[Leg]
+    arrival_time: int
+
+
+@dataclass
+class _Label:
+    arrival: int
+    pos: int
+    pred: int
+    leg_segments: List[Segment]
+    entry: Optional[CrossingEntry]
+    settled: bool = False
+
+
+def _entry_clear_time(obstacle: Segment, pos: int, t_from: int) -> int:
+    """Earliest arrival >= ``t_from`` at ``pos`` clearing ``obstacle``.
+
+    Pure geometry against the single known blocking segment: a waiting
+    obstacle at the cell clears when it ends; a moving obstacle clears
+    one second after it passes the cell.
+    """
+    if obstacle.slope == 0:
+        return max(t_from, obstacle.t1 + 1)
+    # A unit-slope obstacle passes `pos` at exactly one integer second.
+    t_pass = (pos - obstacle.intercept) * obstacle.slope
+    return max(t_from, t_pass + 1)
+
+
+def _nearest_transit(
+    ranges: Sequence[TransitRange], pos: int
+) -> Optional[Tuple[int, int]]:
+    """Greedy transit choice (Fig. 10): the adjacent pair nearest ``pos``."""
+    best: Optional[Tuple[int, int]] = None
+    best_dist = None
+    for r in ranges:
+        tp = r.clamp(pos)
+        dist = abs(tp - pos)
+        if best_dist is None or dist < best_dist:
+            best = (tp, tp + r.offset)
+            best_dist = dist
+    return best
+
+
+def _transit_toward(
+    ranges: Sequence[TransitRange], from_pos: int, target_pos: int
+) -> Optional[Tuple[int, int]]:
+    """Transit pair whose landing position is nearest ``target_pos``.
+
+    Used for edges into the *destination* strip: entering a long,
+    congested strip right at the goal column avoids traversing it
+    against opposing traffic (an extension over the paper's purely
+    source-greedy transit; see DESIGN.md §6).
+    """
+    best: Optional[Tuple[int, int]] = None
+    best_key = None
+    for r in ranges:
+        tp = r.clamp(target_pos - r.offset)
+        vp = tp + r.offset
+        key = (abs(vp - target_pos), abs(tp - from_pos))
+        if best_key is None or key < best_key:
+            best = (tp, vp)
+            best_key = key
+    return best
+
+
+class _Search:
+    """One invocation of Algorithm 4 for a single query."""
+
+    def __init__(
+        self,
+        graph: StripGraph,
+        stores: Sequence[SegmentStore],
+        crossings: AbstractSet[CrossingKey],
+        config: SearchConfig,
+        stats: SearchStats,
+    ) -> None:
+        self.graph = graph
+        self.stores = stores
+        self.crossings = crossings
+        self.config = config
+        self.stats = stats
+
+    # ------------------------------------------------------------------
+    # Timed wrappers around the intra-strip level
+    # ------------------------------------------------------------------
+    def _intra(self, strip: int, t: int, origin: int, dest: int) -> Optional[IntraPlan]:
+        started = _time.perf_counter()
+        if self.config.intra_exact:
+            plan = plan_within_strip_exact(
+                self.stores[strip],
+                t,
+                origin,
+                dest,
+                strip_length=self.graph.strips[strip].length,
+                allow_backward=self.config.intra_backward,
+                max_expansions=self.config.max_expansions,
+                max_wait=self.config.max_wait,
+            )
+        else:
+            plan = plan_within_strip(
+                self.stores[strip],
+                t,
+                origin,
+                dest,
+                max_expansions=self.config.max_expansions,
+                max_wait=self.config.max_wait,
+            )
+        self.stats.intra_time += _time.perf_counter() - started
+        self.stats.intra_calls += 1
+        if plan is not None:
+            self.stats.intra_expansions += plan.expansions
+        return plan
+
+    def _plan_crossing(
+        self,
+        from_strip: int,
+        to_strip: int,
+        t: int,
+        from_pos: int,
+        to_pos: int,
+    ) -> Optional[Tuple[Optional[Segment], CrossingEntry, int]]:
+        """Find the earliest crossing from (t, from_pos) into ``to_strip``.
+
+        The robot may wait at ``from_pos`` first.  Returns the wait
+        segment (or None), the crossing entry, and the arrival time at
+        ``to_pos``; None when no wait length within the cap works.
+        """
+        started = _time.perf_counter()
+        try:
+            from_store = self.stores[from_strip]
+            to_store = self.stores[to_strip]
+            from_cell = self.graph.strips[from_strip].grid_at(from_pos)
+            to_cell = self.graph.strips[to_strip].grid_at(to_pos)
+            if (
+                len(to_store) == 0
+                and (to_cell, from_cell, t + 1) not in self.crossings
+            ):
+                # Fast path: nothing in the target strip and no opposing
+                # crossing — step over immediately, no waiting needed.
+                entry = CrossingEntry(
+                    t + 1, from_cell, to_cell, Segment(t + 1, to_pos, t + 1, to_pos)
+                )
+                return None, entry, t + 1
+            if len(from_store) == 0:
+                wait_blocked = None
+            else:
+                wait_probe = make_wait(t, from_pos, self.config.max_wait)
+                wait_blocked = from_store.earliest_block(wait_probe)
+            if wait_blocked is not None and wait_blocked <= t:
+                return None  # cannot even stand at the transit cell
+            latest_leave = (
+                t + self.config.max_wait if wait_blocked is None else wait_blocked - 1
+            )
+            leave = t
+            while leave <= latest_leave:
+                arrival = leave + 1
+                point = Segment(arrival, to_pos, arrival, to_pos)
+                hit = to_store.earliest_conflict(point)
+                if hit is not None:
+                    # Jump the departure past the blocking segment instead
+                    # of probing one second at a time.
+                    leave = max(leave + 1, _entry_clear_time(hit[1], to_pos, arrival) - 1)
+                    continue
+                if (to_cell, from_cell, arrival) in self.crossings:
+                    leave += 1  # exact boundary swap with a committed route
+                    continue
+                wait = make_wait(t, from_pos, leave - t) if leave > t else None
+                entry = CrossingEntry(arrival, from_cell, to_cell, point)
+                return wait, entry, arrival
+            return None
+        finally:
+            self.stats.intra_time += _time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # The search proper
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> Optional[RoutePlan]:
+        graph = self.graph
+        ori, dst, t0 = query.origin, query.destination, query.release_time
+        if ori == dst:
+            return RoutePlan(t0, ori, dst, [], t0)
+
+        labels: Dict[int, _Label] = {}
+        # Entries: (key, seq, kind, payload); kind 0 settles a strip
+        # label, kind 1 lazily evaluates one edge (u, v, tp, vp).  Edge
+        # keys are admissible lower bounds (free-flow transit + hop), so
+        # expensive intra-strip planning only runs for edges that are
+        # actually competitive — lazy edge evaluation.
+        heap: List = []
+        seq = 0
+
+        di, dj = dst
+        use_h = self.config.use_heuristic
+        strips = graph.strips
+
+        def heuristic(strip: int, pos: int) -> int:
+            if not use_h:
+                return 0
+            s = strips[strip]
+            ai, aj = s.alpha
+            if s.direction is _LAT:
+                return abs(ai - di) + abs(aj + pos - dj)
+            return abs(ai + pos - di) + abs(aj - dj)
+
+        def push(strip: int, label: _Label) -> None:
+            nonlocal seq
+            existing = labels.get(strip)
+            if existing is not None and (
+                existing.settled or existing.arrival <= label.arrival
+            ):
+                return
+            labels[strip] = label
+            seq += 1
+            # Tie-break equal keys toward larger arrival: depth-first
+            # across f-plateaus, like the grid A*'s -t tie-break; without
+            # it the search sweeps the whole equal-cost band of strips.
+            heapq.heappush(
+                heap,
+                (
+                    label.arrival + heuristic(strip, label.pos),
+                    -label.arrival,
+                    seq,
+                    0,
+                    strip,
+                ),
+            )
+
+        # -- origin ------------------------------------------------------
+        ori_strip_idx, ori_pos = graph.locate(ori)
+        ori_strip = graph.strips[ori_strip_idx]
+        if ori_strip.is_aisle:
+            push(ori_strip_idx, _Label(t0, ori_pos, -1, [], None))
+        else:
+            # Rack origin: slide into each adjacent aisle cell.
+            labels[ori_strip_idx] = _Label(t0, ori_pos, -1, [], None)
+            for cell in graph.warehouse.neighbors(ori):
+                v, vp = graph.locate(cell)
+                crossing = self._plan_crossing(ori_strip_idx, v, t0, ori_pos, vp)
+                if crossing is None:
+                    continue
+                _wait, entry, arrival = crossing
+                push(v, _Label(arrival, vp, ori_strip_idx, [], entry))
+
+        # -- destination bookkeeping --------------------------------------
+        dst_strip_idx, dst_pos = graph.locate(dst)
+        dst_is_rack = not graph.strips[dst_strip_idx].is_aisle
+        # aisle strip index -> [transit positions adjacent to the rack dst]
+        rack_targets: Dict[int, List[int]] = {}
+        if dst_is_rack:
+            for cell in graph.warehouse.neighbors(dst):
+                v, vp = graph.locate(cell)
+                rack_targets.setdefault(v, []).append(vp)
+            if not rack_targets:
+                return None  # walled-in rack
+
+        is_target = (
+            (lambda s: s in rack_targets)
+            if dst_is_rack
+            else (lambda s: s == dst_strip_idx)
+        )
+        best: Optional[RoutePlan] = None
+
+        def completion_tail(v: int, arrival: int, pos: int):
+            """Final movement within target strip ``v`` from (arrival, pos).
+
+            Returns ``(segments_in_v, rack_leg_or_None, completion_time)``
+            or None when the destination cannot be reached from this
+            entry.  For rack destinations all adjacent transit cells of
+            ``v`` are tried and the earliest completion wins.
+            """
+            if not dst_is_rack:
+                plan = self._intra(v, arrival, pos, dst_pos)
+                if plan is None:
+                    return None
+                return list(plan.segments), None, plan.arrival_time
+            tail = None
+            for transit_pos in rack_targets.get(v, ()):
+                plan = self._intra(v, arrival, pos, transit_pos)
+                if plan is None:
+                    continue
+                crossing = self._plan_crossing(
+                    v, dst_strip_idx, plan.arrival_time, transit_pos, dst_pos
+                )
+                if crossing is None:
+                    continue
+                wait, entry, completion = crossing
+                if tail is not None and completion >= tail[2]:
+                    continue
+                segments = list(plan.segments)
+                if wait is not None:
+                    segments.append(wait)
+                tail = segments, Leg(dst_strip_idx, entry, []), completion
+            return tail
+
+        def record_completion(base_legs: List[Leg], tail) -> None:
+            nonlocal best
+            segments, rack_leg, completion = tail
+            if best is not None and completion >= best.arrival_time:
+                return
+            legs = list(base_legs)
+            last = legs.pop()
+            legs.append(Leg(last.strip, last.entry, segments))
+            if rack_leg is not None:
+                legs.append(rack_leg)
+            best = RoutePlan(t0, ori, dst, legs, completion)
+
+        def settle(u: int) -> None:
+            """Pop handler for a strip label: complete and queue edge stubs."""
+            nonlocal seq
+            label = labels[u]
+            if label.settled:
+                return
+            label.settled = True
+            self.stats.strips_popped += 1
+
+            if is_target(u):
+                # Complete from this strip's own (single) label; additional
+                # entries into target strips are tried per incoming edge.
+                tail = completion_tail(u, label.arrival, label.pos)
+                if tail is not None:
+                    base = self._chain_legs(labels, u)
+                    base.append(Leg(u, label.entry, []))
+                    record_completion(base, tail)
+
+            for v, ranges in graph.neighbors(u):
+                if not graph.strips[v].is_aisle:
+                    continue  # rack strips are endpoints only
+                target_v = is_target(v)
+                existing = labels.get(v)
+                if existing is not None and existing.settled and not target_v:
+                    continue
+                transits = []
+                nearest = _nearest_transit(ranges, label.pos)
+                if nearest is not None:
+                    transits.append(nearest)
+                if target_v:
+                    # Also try entering the final strip right at the goal
+                    # column: traversing a long congested strip against
+                    # opposing traffic is the main failure mode of the
+                    # source-greedy transit.
+                    goal_pos = (
+                        min(rack_targets[v], key=lambda p: abs(p - label.pos))
+                        if dst_is_rack
+                        else dst_pos
+                    )
+                    aligned = _transit_toward(ranges, label.pos, goal_pos)
+                    if aligned is not None and aligned not in transits:
+                        transits.append(aligned)
+                for tp, vp in transits:
+                    # Admissible lower bound: free-flow run to the transit
+                    # cell plus the boundary hop.
+                    bound = label.arrival + abs(label.pos - tp) + 1
+                    if (
+                        existing is not None
+                        and existing.arrival <= bound
+                        and not target_v
+                    ):
+                        continue  # dominated before evaluation
+                    seq += 1
+                    heapq.heappush(
+                        heap,
+                        (
+                            bound + heuristic(v, vp),
+                            -bound,
+                            seq,
+                            1,
+                            (u, v, tp, vp, bound),
+                        ),
+                    )
+
+        def evaluate_edge(u: int, v: int, tp: int, vp: int, bound: int) -> None:
+            """Pop handler for an edge stub: run the real intra/crossing."""
+            label = labels[u]
+            target_v = is_target(v)
+            existing = labels.get(v)
+            if existing is not None and not target_v:
+                # Dominated or already settled: skip the expensive eval.
+                if existing.settled or existing.arrival <= bound:
+                    return
+            self.stats.edges_relaxed += 1
+            plan = self._intra(u, label.arrival, label.pos, tp)
+            if plan is None:
+                return
+            crossing = self._plan_crossing(u, v, plan.arrival_time, tp, vp)
+            if crossing is None:
+                return
+            wait, entry, arrival_v = crossing
+            if best is not None and arrival_v >= best.arrival_time:
+                return
+            leg_segments = list(plan.segments)
+            if wait is not None:
+                leg_segments.append(wait)
+            if target_v:
+                # The strip-revisit restriction gives each strip one
+                # label, so a blocked final leg from the labelled entry
+                # would doom the query; trying completion from *every*
+                # entry edge sidesteps that without multi-labelling.
+                tail = completion_tail(v, arrival_v, vp)
+                if tail is not None:
+                    base = self._chain_legs(labels, u)
+                    base.append(Leg(u, label.entry, leg_segments))
+                    base.append(Leg(v, entry, []))
+                    record_completion(base, tail)
+            if existing is not None and existing.arrival <= arrival_v:
+                return
+            push(v, _Label(arrival_v, vp, u, leg_segments, entry))
+
+        # -- main loop ------------------------------------------------------
+        key_limit = int(
+            t0 + self.config.detour_factor * manhattan(ori, dst) + self.config.max_detour
+        )
+        while heap:
+            key, _neg_arrival, _seq, kind, payload = heapq.heappop(heap)
+            if best is not None and key >= best.arrival_time:
+                break
+            if key > key_limit:
+                break  # nothing within the detour budget remains
+            if kind == 0:
+                settle(payload)
+            else:
+                evaluate_edge(*payload)
+
+        return best
+
+    def _chain_legs(self, labels: Dict[int, _Label], last_strip: int) -> List[Leg]:
+        """Rebuild the legs preceding ``last_strip`` by walking pred links."""
+        chain: List[int] = []
+        cur = last_strip
+        while cur != -1:
+            chain.append(cur)
+            cur = labels[cur].pred
+        chain.reverse()
+        legs: List[Leg] = []
+        for here, nxt in zip(chain, chain[1:]):
+            legs.append(Leg(here, labels[here].entry, labels[nxt].leg_segments))
+        return legs
+
+
+def plan_route(
+    graph: StripGraph,
+    stores: Sequence[SegmentStore],
+    crossings: AbstractSet[CrossingKey],
+    query: Query,
+    config: SearchConfig,
+    stats: Optional[SearchStats] = None,
+) -> Optional[RoutePlan]:
+    """Run Algorithm 4 for one query; read-only against the stores.
+
+    Returns the winning :class:`RoutePlan` or None when the restricted
+    search fails (the caller then falls back to grid-level A*).
+    """
+    return _Search(graph, stores, crossings, config, stats or SearchStats()).run(query)

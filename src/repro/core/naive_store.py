@@ -1,0 +1,74 @@
+"""Ordered-set collision detection (Section V-B).
+
+Segments are kept in a list ordered by start time (the paper suggests a
+red-black tree; a Python list with :mod:`bisect` gives the same
+O(log n) lookup and is faster in practice for the sizes involved).
+
+``earliest_conflict`` binary-searches for the prefix of segments whose
+start time does not exceed the query's finish time, filters the prefix
+by time-span overlap, and judges the survivors one by one with the
+geometry of Eq. (2)/(3) — the O(2 log n + n) procedure of the paper's
+Section V-B remarks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional
+
+from repro.core.segments import Segment
+from repro.core.store_base import ConflictHit, SegmentStore
+from repro.geometry.collision import conflict_between_segments
+
+
+class NaiveSegmentStore(SegmentStore):
+    """Section V-B's baseline store: one time-ordered list per strip."""
+
+    __slots__ = ("queries", "judged", "_segments", "_max_duration")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._segments: List[Segment] = []
+        self._max_duration = 0
+
+    def insert(self, segment: Segment) -> None:
+        bisect.insort(self._segments, segment, key=lambda s: s.t0)
+        if segment.duration > self._max_duration:
+            self._max_duration = segment.duration
+
+    def earliest_conflict(self, segment: Segment) -> Optional[ConflictHit]:
+        self.queries += 1
+        # Every potential collider overlaps our span, so it starts no
+        # later than our finish and no earlier than our start minus the
+        # longest stored duration: a O(log n) window on the sorted list.
+        lo = bisect.bisect_left(
+            self._segments, segment.t0 - self._max_duration, key=lambda s: s.t0
+        )
+        end = bisect.bisect_right(self._segments, segment.t1, key=lambda s: s.t0)
+        best: Optional[ConflictHit] = None
+        for idx in range(lo, end):
+            other = self._segments[idx]
+            if other.t1 < segment.t0:
+                continue  # span ended before ours begins
+            self.judged += 1
+            conflict = conflict_between_segments(segment, other)
+            if conflict is not None and (best is None or conflict.blocked_time < best[0]):
+                best = (conflict.blocked_time, other)
+                if best[0] <= segment.t0:
+                    break  # cannot get earlier than our own start
+        return best
+
+    def iter_segments(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def prune(self, before: int) -> int:
+        kept = [s for s in self._segments if s.t1 >= before]
+        dropped = len(self._segments) - len(kept)
+        self._segments = kept
+        return dropped
+
+    def clear(self) -> None:
+        self._segments.clear()
+
+    def __len__(self) -> int:
+        return len(self._segments)

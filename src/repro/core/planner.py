@@ -1,0 +1,287 @@
+"""The end-to-end Strip-based Route Planner (the paper's SRP).
+
+:class:`SRPPlanner` wires the pieces together exactly as Fig. 2
+describes: strip graph construction once at start-up, then per query an
+inter-strip Dijkstra whose edge weights come from intra-strip
+segment-based planning, a conversion of the winning segment plan to a
+grid route, and commitment of the plan's segments into the per-strip
+stores so subsequent queries are collision-aware of it.
+
+Instrumentation matches Fig. 22(a)'s time breakdown: ``inter_time``,
+``intra_time`` and ``conversion_time`` are accumulated separately.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.conversion import plan_to_route, route_to_strip_artifacts
+from repro.core.crossings import CrossingLedger
+from repro.core.fallback import fallback_plan
+from repro.core.inter_strip import RoutePlan, SearchConfig, SearchStats, plan_route
+from repro.core.naive_store import NaiveSegmentStore
+from repro.core.segments import Segment
+from repro.core.slope_index import SlopeIndexedStore
+from repro.core.store_base import SegmentStore, StripStoreMap
+from repro.core.time_bucket_store import TimeBucketStore
+from repro.core.strips import StripGraph, build_strip_graph
+from repro.exceptions import InvalidQueryError, PlanningFailedError
+from repro.pathfinding.distance import DistanceMaps
+from repro.planner_base import Planner
+from repro.types import Query, Route
+from repro.warehouse.matrix import Warehouse
+
+
+@dataclass
+class SRPStats:
+    """Per-planner counters; times in seconds (Fig. 22 breakdown)."""
+
+    inter_time: float = 0.0
+    intra_time: float = 0.0
+    conversion_time: float = 0.0
+    queries: int = 0
+    fallbacks: int = 0
+    start_delays: int = 0
+    intra_calls: int = 0
+    intra_expansions: int = 0
+    strips_popped: int = 0
+    edges_relaxed: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return self.inter_time + self.intra_time + self.conversion_time
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class SRPPlanner(Planner):
+    """Strip-based collision-aware route planner (the paper's contribution).
+
+    Args:
+        warehouse: the warehouse to plan in.
+        use_slope_index: True selects the Algorithm 3 slope-based index
+            (Section V-D); False selects the naive ordered-set store of
+            Section V-B.  This switch drives the Fig. 22(b) ablation.
+        use_heuristic: add an admissible Manhattan heuristic to the
+            inter-strip search (an engineering extension over the
+            paper's plain Dijkstra; effectiveness is unaffected).
+        intra_exact: replace the greedy Algorithm 2 search with the
+            exact time-expanded intra-strip search (slower, slightly
+            better routes; the Fig. 13 restriction ablation).
+        intra_backward: with intra_exact, also allow backward moves
+            inside strips, lifting the Fig. 13 restriction entirely.
+        store: segment store backend — "slope" (Algorithm 3, default),
+            "naive" (Section V-B) or "bucket" (time-bucketed index, an
+            extension beyond the paper).  Overrides use_slope_index.
+        max_wait: cap on consecutive waiting seconds tried at one cell.
+        max_expansions: per-intra-strip-search collision-query budget.
+        max_start_delay: how many release-time delays to try when the
+            origin cell is occupied at release before giving up.
+    """
+
+    name = "SRP"
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        use_slope_index: bool = True,
+        use_heuristic: bool = True,
+        max_wait: int = 64,
+        max_expansions: int = 2000,
+        max_start_delay: int = 32,
+        fallback_expansions: int = 200_000,
+        intra_exact: bool = False,
+        intra_backward: bool = False,
+        store: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        self.warehouse = warehouse
+        self.graph: StripGraph = build_strip_graph(warehouse)
+        if store is None:
+            store = "slope" if use_slope_index else "naive"
+        factories = {
+            "slope": SlopeIndexedStore,
+            "naive": NaiveSegmentStore,
+            "bucket": TimeBucketStore,
+        }
+        if store not in factories:
+            raise ValueError(f"unknown store {store!r}; expected one of {sorted(factories)}")
+        self.store_kind = store
+        self.use_slope_index = store == "slope"
+        self._store_factory = factories[store]
+        # Lazy map: strips without traffic share one empty store, so the
+        # planner's resident state scales with live routes, not with
+        # warehouse size (this is the MC story of Figs. 19-21).
+        self.stores = StripStoreMap(self.graph.n_vertices, self._store_factory)
+        self.config = SearchConfig(
+            max_expansions=max_expansions,
+            max_wait=max_wait,
+            use_heuristic=use_heuristic,
+            intra_exact=intra_exact,
+            intra_backward=intra_backward,
+        )
+        self.max_start_delay = max_start_delay
+        self.fallback_expansions = fallback_expansions
+        #: committed boundary crossings (from_cell, to_cell, arrival_time)
+        self.crossings = CrossingLedger(warehouse.height, warehouse.width)
+        self.distance_maps = DistanceMaps(warehouse)
+        self.stats = SRPStats()
+
+    # ------------------------------------------------------------------
+    # Planner interface
+    # ------------------------------------------------------------------
+    def plan(self, query: Query) -> Route:
+        """Plan one query and commit its occupancy for future queries."""
+        self._check_query(query)
+        started = _time.perf_counter()
+        try:
+            route = self._plan_inner(query)
+        finally:
+            self.timers.total += _time.perf_counter() - started
+            self.timers.queries += 1
+        return route
+
+    def _plan_inner(self, query: Query) -> Route:
+        self.stats.queries += 1
+        origin_strip, origin_pos = self.graph.locate(query.origin)
+        store = self.stores[origin_strip]
+        attempts = 0
+        for delay in range(self.max_start_delay + 1):
+            # Delay departure past seconds when the origin cell itself is
+            # claimed by earlier traffic (e.g. a robot crossing it).
+            if store.occupied(origin_pos, query.release_time + delay):
+                continue
+            attempt = Query(
+                query.origin,
+                query.destination,
+                query.release_time + delay,
+                query.kind,
+                query.query_id,
+            )
+            # The strip search is cheap and retried at every free second;
+            # the expensive A* fallback is rationed to every fourth
+            # attempt (transient congestion near the start often clears
+            # within a couple of seconds).
+            allow_fallback = attempts % 4 == 0 or delay == self.max_start_delay
+            attempts += 1
+            route = self._plan_once(attempt, allow_fallback)
+            if route is not None:
+                if delay:
+                    self.stats.start_delays += 1
+                return route
+        self.timers.failures += 1
+        raise PlanningFailedError(
+            f"no collision-free route from {query.origin} to "
+            f"{query.destination} at t={query.release_time}"
+        )
+
+    def _plan_once(self, query: Query, allow_fallback: bool = True) -> Optional[Route]:
+        search_started = _time.perf_counter()
+        stats = SearchStats()
+        plan = plan_route(
+            self.graph, self.stores, self.crossings, query, self.config, stats
+        )
+        elapsed = _time.perf_counter() - search_started
+        self.stats.intra_time += stats.intra_time
+        self.stats.inter_time += max(0.0, elapsed - stats.intra_time)
+        self.stats.intra_calls += stats.intra_calls
+        self.stats.intra_expansions += stats.intra_expansions
+        self.stats.strips_popped += stats.strips_popped
+        self.stats.edges_relaxed += stats.edges_relaxed
+
+        if plan is not None:
+            conv_started = _time.perf_counter()
+            route = plan_to_route(self.graph, plan)
+            self._commit_plan(plan, route)
+            self.stats.conversion_time += _time.perf_counter() - conv_started
+            return route
+        if not allow_fallback:
+            return None
+        return self._plan_fallback(query)
+
+    def _plan_fallback(self, query: Query) -> Optional[Route]:
+        """Section VI remarks: rare grid-level A* against the stores."""
+        started = _time.perf_counter()
+        route = fallback_plan(
+            self.graph,
+            self.stores,
+            self.crossings,
+            self.distance_maps,
+            query,
+            max_expansions=self.fallback_expansions,
+        )
+        if route is not None:
+            self.stats.fallbacks += 1
+            segments, crossings = route_to_strip_artifacts(self.graph, route)
+            for strip_idx, segment in segments:
+                self.stores.materialize(strip_idx).insert(segment)
+            self.crossings.update(crossings)
+            self._commit_origin_presence(route)
+        self.stats.inter_time += _time.perf_counter() - started
+        return route
+
+    def reset(self) -> None:
+        self.stores.clear()
+        self.crossings.clear()
+        self.distance_maps.clear()
+        self.stats.reset()
+        self.timers.reset()
+
+    def prune(self, before: int) -> None:
+        """Drop bookkeeping of routes that finished before ``before``."""
+        self.stores.prune(before)
+        self.crossings.prune(before)
+
+    def planning_state(self) -> object:
+        """MC counts the traffic-scaling state: stores + crossing events."""
+        return (self.stores, self.crossings)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_query(self, query: Query) -> None:
+        for label, cell in (("origin", query.origin), ("destination", query.destination)):
+            if not self.warehouse.in_bounds(cell):
+                raise InvalidQueryError(f"{label} {cell} is out of bounds")
+
+    def _commit_plan(self, plan: RoutePlan, route: Route) -> None:
+        for leg in plan.legs:
+            store = self.stores.materialize(leg.strip)
+            if leg.entry is not None:
+                store.insert(leg.entry.point)
+                self.crossings.add_key(leg.entry.key)
+            for segment in leg.segments:
+                store.insert(segment)
+        self._commit_origin_presence(route)
+
+    def _commit_origin_presence(self, route: Route) -> None:
+        """Reserve the origin cell for the route's initial standing span.
+
+        A route that leaves its origin cell immediately produces no leg
+        segment there (the paper's footnote-1 "single point" case), and
+        a rack-origin route waits under its rack outside any leg; both
+        occupancies must still be visible to later queries.
+        """
+        origin = route.grids[0]
+        depart = 0
+        while depart + 1 < len(route.grids) and route.grids[depart + 1] == origin:
+            depart += 1
+        strip_idx, pos = self.graph.locate(origin)
+        self.stores.materialize(strip_idx).insert(
+            Segment(route.start_time, pos, route.start_time + depart, pos)
+        )
+
+    @property
+    def n_segments(self) -> int:
+        """Total committed segments across all strips (memory proxy)."""
+        return self.stores.total_segments()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        index = "slope-index" if self.use_slope_index else "naive"
+        return (
+            f"SRPPlanner(warehouse={self.warehouse.name!r}, store={index}, "
+            f"strips={self.graph.n_vertices})"
+        )

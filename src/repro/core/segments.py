@@ -1,0 +1,122 @@
+"""Segment representation of routes within strips (Section V-A).
+
+A :class:`Segment` is the paper's Definition 6 tuple ``<s, f>`` in the
+(time, position) plane.  Because robots move at unit speed along a
+strip, slopes are restricted to +1 (forward), -1 (backward) and 0
+(waiting), which is what makes collision detection cheap (Remarks in
+Section V-A).
+
+The module also exposes the paper's Eq. (4) coordinate rotation.  The
+planner itself keys same-slope segments by their integer line intercept
+``p0 - slope * t0``, which equals the rotated coordinate ``s'[0]``
+scaled by sqrt(2) — identical bucketing with exact arithmetic.
+
+Segments sit on the hottest path of the planner (every collision check
+touches several), so the class is slotted and precomputes its slope and
+intercept at construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.geometry.collision import RawSegment
+
+
+class Segment:
+    """A route fragment within one strip.
+
+    Attributes:
+        t0, p0: start time and start position (the paper's ``s``).
+        t1, p1: finish time and finish position (the paper's ``f``).
+        slope: +1 forward, -1 backward, 0 waiting or a degenerate point.
+        intercept: integer line intercept ``p0 - slope * t0`` — the
+            exact analogue of Eq. (4)'s rotated first coordinate.
+    """
+
+    __slots__ = ("t0", "p0", "t1", "p1", "slope", "intercept")
+
+    def __init__(self, t0: int, p0: int, t1: int, p1: int) -> None:
+        if t1 < t0:
+            raise ValueError(f"segment runs backwards in time: {(t0, p0, t1, p1)}")
+        if p1 != p0 and abs(p1 - p0) != t1 - t0:
+            raise ValueError(f"segment is not unit speed or waiting: {(t0, p0, t1, p1)}")
+        self.t0 = t0
+        self.p0 = p0
+        self.t1 = t1
+        self.p1 = p1
+        if p1 == p0:
+            self.slope = 0
+        else:
+            self.slope = 1 if p1 > p0 else -1
+        self.intercept = p0 - self.slope * t0
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def raw(self) -> RawSegment:
+        """The flattened tuple used by the geometry layer."""
+        return (self.t0, self.p0, self.t1, self.p1)
+
+    @property
+    def duration(self) -> int:
+        return self.t1 - self.t0
+
+    @property
+    def is_point(self) -> bool:
+        return self.t0 == self.t1
+
+    @property
+    def is_wait(self) -> bool:
+        return self.p0 == self.p1 and self.t1 > self.t0
+
+    def position_at(self, t: int) -> int:
+        """Position at integer time ``t`` (must lie within the span)."""
+        if not self.t0 <= t <= self.t1:
+            raise ValueError(f"time {t} outside segment span [{self.t0}, {self.t1}]")
+        return self.p0 + self.slope * (t - self.t0)
+
+    def rotated(self) -> Tuple[float, float]:
+        """Eq. (4): rotate the start point by -pi/4 (slope +1) or +pi/4 (slope -1).
+
+        Provided for fidelity with the paper and exercised in tests; the
+        index buckets by :attr:`intercept`, which equals ``sqrt(2)``
+        times the rotated first coordinate (up to sign convention).
+        """
+        theta = -math.pi / 4 if self.slope >= 0 else math.pi / 4
+        cos_t, sin_t = math.cos(theta), math.sin(theta)
+        x, y = self.t0, self.p0
+        return (cos_t * x - sin_t * y, sin_t * x + cos_t * y)
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Segment):
+            return NotImplemented
+        return (
+            self.t0 == other.t0
+            and self.p0 == other.p0
+            and self.t1 == other.t1
+            and self.p1 == other.p1
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.t0, self.p0, self.t1, self.p1))
+
+    def __repr__(self) -> str:
+        return f"Segment(t0={self.t0}, p0={self.p0}, t1={self.t1}, p1={self.p1})"
+
+
+def make_move(t: int, p_from: int, p_to: int) -> Segment:
+    """Segment for a unit-speed move from ``p_from`` to ``p_to`` starting at ``t``."""
+    return Segment(t, p_from, t + abs(p_to - p_from), p_to)
+
+
+def make_wait(t: int, p: int, duration: int) -> Segment:
+    """Segment for waiting ``duration`` seconds at position ``p`` from time ``t``."""
+    if duration < 0:
+        raise ValueError("wait duration must be non-negative")
+    return Segment(t, p, t + duration, p)

@@ -1,0 +1,177 @@
+"""Common interface of per-strip segment stores.
+
+A *segment store* holds the committed segments of one strip and answers
+the question Algorithm 2 needs: given a candidate segment, what is the
+earliest time at which it becomes blocked by an existing segment — and
+by *which* segment.  Knowing the blocking segment lets the intra-strip
+search jump its waiting time directly past the obstacle instead of
+probing second by second.
+
+Two implementations exist:
+
+* :class:`repro.core.naive_store.NaiveSegmentStore` — Section V-B's
+  ordered set with linear judgement;
+* :class:`repro.core.slope_index.SlopeIndexedStore` — Section V-D's
+  slope-based index (Algorithm 3).
+
+Both also answer point-occupancy queries, which the grid-level A*
+fallback uses to stay consistent with previously committed routes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional, Tuple
+
+from repro.core.segments import Segment
+
+#: (blocked_time, blocking_segment)
+ConflictHit = Tuple[int, Segment]
+
+
+class SegmentStore(ABC):
+    """Committed segments of one strip plus collision queries."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        #: number of earliest_conflict queries served (instrumentation)
+        self.queries = 0
+        #: number of pairwise judgements performed (instrumentation)
+        self.judged = 0
+
+    @abstractmethod
+    def insert(self, segment: Segment) -> None:
+        """Commit a segment.
+
+        Zero-duration *point* segments are legal: they represent the
+        paper's footnote-1 case of a route touching a strip for a single
+        second (e.g. departing its origin cell immediately).
+        """
+
+    @abstractmethod
+    def earliest_conflict(self, segment: Segment) -> Optional[ConflictHit]:
+        """Earliest blocked time of ``segment`` and the segment causing it.
+
+        ``None`` means the whole candidate segment is collision-free.
+        """
+
+    @abstractmethod
+    def iter_segments(self) -> Iterator[Segment]:
+        """Iterate over all stored segments (order unspecified)."""
+
+    @abstractmethod
+    def prune(self, before: int) -> int:
+        """Drop segments finishing strictly before ``before``; return count."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Remove every stored segment."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored segments."""
+
+    def earliest_block(self, segment: Segment) -> Optional[int]:
+        """First integer time at which ``segment`` conflicts, or None."""
+        hit = self.earliest_conflict(segment)
+        return None if hit is None else hit[0]
+
+    def occupied(self, pos: int, t: int) -> bool:
+        """True when some stored segment occupies ``pos`` at time ``t``."""
+        return self.earliest_conflict(Segment(t, pos, t, pos)) is not None
+
+    def move_blocked(self, t: int, p_from: int, p_to: int) -> bool:
+        """True when the unit move ``p_from -> p_to`` over ``[t, t+1]`` conflicts.
+
+        Catches the target-cell vertex conflict and the swap conflict in
+        one query; used by the A* fallback.
+        """
+        return self.earliest_conflict(Segment(t, p_from, t + 1, p_to)) is not None
+
+
+class _EmptyStore(SegmentStore):
+    """Immutable empty store shared by all strips without traffic."""
+
+    __slots__ = ("queries", "judged")
+
+    def insert(self, segment: Segment) -> None:  # pragma: no cover - guarded
+        raise TypeError("the shared empty store is read-only")
+
+    def earliest_conflict(self, segment: Segment):
+        return None
+
+    def iter_segments(self):
+        return iter(())
+
+    def prune(self, before: int) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def occupied(self, pos: int, t: int) -> bool:
+        return False
+
+    def move_blocked(self, t: int, p_from: int, p_to: int) -> bool:
+        return False
+
+
+EMPTY_STORE = _EmptyStore()
+
+
+class StripStoreMap:
+    """Lazy per-strip store collection.
+
+    Most strips never see traffic (rack strips, remote aisles), so real
+    stores are only materialised on first insert; reads against an
+    untouched strip hit a shared immutable empty store.  This keeps the
+    planner's resident state — the paper's MC metric — proportional to
+    live traffic instead of warehouse size.
+    """
+
+    def __init__(self, n_strips: int, factory) -> None:
+        self._n = n_strips
+        self._factory = factory
+        self._stores = {}
+
+    def __getitem__(self, idx: int) -> SegmentStore:
+        return self._stores.get(idx, EMPTY_STORE)
+
+    def materialize(self, idx: int) -> SegmentStore:
+        """The real (writable) store of a strip, created on demand."""
+        store = self._stores.get(idx)
+        if store is None:
+            if not 0 <= idx < self._n:
+                raise IndexError(f"strip index {idx} out of range")
+            store = self._stores[idx] = self._factory()
+        return store
+
+    def active_items(self):
+        """(strip_index, store) pairs that hold at least one segment."""
+        return self._stores.items()
+
+    def prune(self, before: int) -> int:
+        dropped = 0
+        for idx in list(self._stores):
+            store = self._stores[idx]
+            dropped += store.prune(before)
+            if len(store) == 0:
+                del self._stores[idx]
+        return dropped
+
+    def clear(self) -> None:
+        self._stores.clear()
+
+    def total_segments(self) -> int:
+        return sum(len(s) for s in self._stores.values())
+
+    def __iter__(self):
+        """Iterate over the materialised (traffic-bearing) stores."""
+        return iter(self._stores.values())
+
+    def __len__(self) -> int:
+        return self._n

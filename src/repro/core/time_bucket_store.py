@@ -1,0 +1,109 @@
+"""Time-bucketed segment store — an extension beyond the paper.
+
+The paper's two stores answer "which committed segments overlap this
+time span?" with a binary search over start-time-sorted lists, paying
+O(n) on insert (sorted-list shifts) and scanning a duration-padded
+window on query.  This store hashes segments into fixed-width *time
+buckets* instead:
+
+* insert is O(span / bucket) appends, no sorting;
+* a query touches exactly the buckets its span covers, so candidate
+  retrieval is proportional to what is actually live in that window.
+
+Within each bucket, same-slope conflicts still use the intercept trick
+of Algorithm 3 (two parallel segments conflict only on the same line),
+so the store is a drop-in third backend for the Fig. 22 ablation:
+``SRPPlanner(store="bucket")``.
+
+Segments longer than the bucket width span several buckets and are
+deduplicated per query by identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.core.segments import Segment
+from repro.core.store_base import ConflictHit, SegmentStore
+from repro.geometry.collision import conflict_between_segments
+
+
+class TimeBucketStore(SegmentStore):
+    """Segments hashed into fixed-width time buckets."""
+
+    __slots__ = ("queries", "judged", "_bucket_width", "_buckets", "_size")
+
+    def __init__(self, bucket_width: int = 16) -> None:
+        super().__init__()
+        if bucket_width < 1:
+            raise ValueError("bucket width must be positive")
+        self._bucket_width = bucket_width
+        # bucket index -> segments whose span intersects the bucket
+        self._buckets: Dict[int, List[Segment]] = {}
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def _bucket_range(self, t0: int, t1: int) -> range:
+        return range(t0 // self._bucket_width, t1 // self._bucket_width + 1)
+
+    def insert(self, segment: Segment) -> None:
+        for b in self._bucket_range(segment.t0, segment.t1):
+            self._buckets.setdefault(b, []).append(segment)
+        self._size += 1
+
+    def earliest_conflict(self, segment: Segment) -> Optional[ConflictHit]:
+        self.queries += 1
+        best: Optional[ConflictHit] = None
+        seen: Set[int] = set()
+        for b in self._bucket_range(segment.t0, segment.t1):
+            for other in self._buckets.get(b, ()):
+                oid = id(other)
+                if oid in seen:
+                    continue
+                seen.add(oid)
+                if other.t1 < segment.t0 or other.t0 > segment.t1:
+                    continue
+                if other.slope == segment.slope and other.intercept != segment.intercept:
+                    continue  # parallel, different lines: cannot conflict
+                self.judged += 1
+                conflict = conflict_between_segments(segment, other)
+                if conflict is not None and (
+                    best is None or conflict.blocked_time < best[0]
+                ):
+                    best = (conflict.blocked_time, other)
+                    if best[0] <= segment.t0:
+                        return best
+        return best
+
+    # ------------------------------------------------------------------
+    def iter_segments(self) -> Iterator[Segment]:
+        seen: Set[int] = set()
+        for bucket in self._buckets.values():
+            for segment in bucket:
+                if id(segment) not in seen:
+                    seen.add(id(segment))
+                    yield segment
+
+    def prune(self, before: int) -> int:
+        dropped_ids: Set[int] = set()
+        for b in list(self._buckets):
+            bucket = self._buckets[b]
+            kept = []
+            for segment in bucket:
+                if segment.t1 >= before:
+                    kept.append(segment)
+                else:
+                    dropped_ids.add(id(segment))
+            if kept:
+                self._buckets[b] = kept
+            else:
+                del self._buckets[b]
+        self._size -= len(dropped_ids)
+        return len(dropped_ids)
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size

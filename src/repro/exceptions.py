@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class LayoutError(ReproError):
+    """A warehouse layout is malformed or violates generator constraints."""
+
+
+class InvalidQueryError(ReproError):
+    """A route planning query references unusable cells.
+
+    Raised when the origin or destination lies outside the warehouse,
+    or when an endpoint is unreachable (e.g. a rack cell with no adjacent
+    aisle cell).
+    """
+
+
+class PlanningFailedError(ReproError):
+    """No collision-free route could be found for a query.
+
+    The strip-based planner raises this only after its grid-level A*
+    fallback has also failed, which indicates a genuinely infeasible
+    instance (e.g. destination permanently blocked).
+    """
+
+
+class SimulationError(ReproError):
+    """The warehouse simulation reached an inconsistent state."""
+
+
+class CollisionError(SimulationError):
+    """Executed routes were found to collide (validator failure)."""

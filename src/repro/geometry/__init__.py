@@ -1,0 +1,42 @@
+"""Computational-geometry primitives used by the strip-based planner.
+
+The paper converts route collisions inside a strip into intersections
+between 2-D segments in the (time, position) plane (Section V-B).  This
+subpackage provides:
+
+* :mod:`repro.geometry.primitives` — cross products, orientation tests
+  and the paper's Eq. (2) proper-intersection predicate;
+* :mod:`repro.geometry.collision` — integer-time conflict semantics
+  specialised to the slopes ``{+1, -1, 0}`` that unit-speed routes can
+  produce, including the Eq. (3) collision-time formula.
+"""
+
+from repro.geometry.primitives import (
+    cross,
+    orientation,
+    on_segment,
+    segments_properly_intersect,
+    segments_intersect,
+)
+from repro.geometry.collision import (
+    ConflictKind,
+    SegmentConflict,
+    conflict_between,
+    conflict_between_segments,
+    earliest_block_time,
+    collision_time,
+)
+
+__all__ = [
+    "cross",
+    "orientation",
+    "on_segment",
+    "segments_properly_intersect",
+    "segments_intersect",
+    "ConflictKind",
+    "SegmentConflict",
+    "conflict_between",
+    "conflict_between_segments",
+    "earliest_block_time",
+    "collision_time",
+]

@@ -1,0 +1,71 @@
+"""Low-level exact geometry on integer 2-D points.
+
+All coordinates handled here are integers (timestamps and grid
+numbers), so every predicate below is exact — there is no floating
+point anywhere in the collision pipeline.
+
+The functions implement the classical cross-product machinery the paper
+cites from CLRS [10] and uses in its Eq. (2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+Point = Tuple[int, int]
+
+
+def cross(o: Point, a: Point, b: Point) -> int:
+    """Return the z-component of the cross product ``(a - o) x (b - o)``.
+
+    Positive when ``o -> a -> b`` turns counter-clockwise, negative when
+    it turns clockwise, zero when the three points are collinear.
+    """
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def orientation(o: Point, a: Point, b: Point) -> int:
+    """Return the sign of :func:`cross` as -1, 0 or +1."""
+    c = cross(o, a, b)
+    if c > 0:
+        return 1
+    if c < 0:
+        return -1
+    return 0
+
+
+def on_segment(p: Point, a: Point, b: Point) -> bool:
+    """Return True if point ``p`` lies on the closed segment ``a``–``b``."""
+    if cross(a, b, p) != 0:
+        return False
+    return (
+        min(a[0], b[0]) <= p[0] <= max(a[0], b[0])
+        and min(a[1], b[1]) <= p[1] <= max(a[1], b[1])
+    )
+
+
+def segments_properly_intersect(a1: Point, a2: Point, b1: Point, b2: Point) -> bool:
+    """Eq. (2) of the paper: strict (proper) segment intersection.
+
+    True iff the open interiors of segments ``a1 a2`` and ``b1 b2``
+    cross — each segment strictly separates the other's endpoints.
+    Touching endpoints and collinear overlaps return False; the
+    collision layer handles those cases explicitly.
+    """
+    d1 = cross(b1, b2, a1)
+    d2 = cross(b1, b2, a2)
+    d3 = cross(a1, a2, b1)
+    d4 = cross(a1, a2, b2)
+    return ((d1 > 0) != (d2 > 0)) and (d3 > 0) != (d4 > 0) and d1 != 0 and d2 != 0 and d3 != 0 and d4 != 0
+
+
+def segments_intersect(a1: Point, a2: Point, b1: Point, b2: Point) -> bool:
+    """General closed-segment intersection (proper, touching or overlap)."""
+    if segments_properly_intersect(a1, a2, b1, b2):
+        return True
+    return (
+        on_segment(b1, a1, a2)
+        or on_segment(b2, a1, a2)
+        or on_segment(a1, b1, b2)
+        or on_segment(a2, b1, b2)
+    )

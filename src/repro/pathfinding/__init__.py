@@ -1,0 +1,25 @@
+"""Grid-level path finding shared by the baselines and SRP's fallback.
+
+* :mod:`repro.pathfinding.distance` — BFS shortest-distance maps used
+  as admissible A* heuristics (and as the cached paths of the ACP
+  baseline);
+* :mod:`repro.pathfinding.space_time_astar` — the classic space-time
+  A* search in (cell, time) space with a pluggable conflict checker;
+  this is the 3-D search whose cost the paper identifies as the
+  efficiency bottleneck of grid-based planners.
+"""
+
+from repro.pathfinding.distance import DistanceMaps, bfs_distance_map
+from repro.pathfinding.space_time_astar import (
+    ConflictChecker,
+    NullConflictChecker,
+    space_time_astar,
+)
+
+__all__ = [
+    "DistanceMaps",
+    "bfs_distance_map",
+    "ConflictChecker",
+    "NullConflictChecker",
+    "space_time_astar",
+]

@@ -1,0 +1,139 @@
+"""BFS shortest-distance maps on the warehouse grid.
+
+A distance map holds, for one target cell, the length of the shortest
+rack-avoiding path from every cell to that target.  Rack cells other
+than the target are impassable; the target itself may be a rack cell
+(robots slide under the rack as their final step).
+
+Planners cache one map per destination (:class:`DistanceMaps`), which
+doubles as the "cached shortest path" machinery of the ACP baseline:
+greedily descending the distance map reproduces a cached shortest path
+without storing explicit paths per origin-destination pair.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidQueryError
+from repro.types import Grid
+from repro.warehouse.matrix import Warehouse
+
+UNREACHABLE = -1
+
+
+def bfs_distance_map(warehouse: Warehouse, target: Grid) -> np.ndarray:
+    """Distances from every cell to ``target`` (-1 when unreachable)."""
+    if not warehouse.in_bounds(target):
+        raise InvalidQueryError(f"target {target} is out of bounds")
+    h, w = warehouse.shape
+    dist = np.full((h, w), UNREACHABLE, dtype=np.int32)
+    dist[target] = 0
+    queue = deque([target])
+    racks = warehouse.racks
+    while queue:
+        i, j = queue.popleft()
+        d = dist[i, j] + 1
+        for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+            if 0 <= ni < h and 0 <= nj < w and not racks[ni, nj] and dist[ni, nj] < 0:
+                dist[ni, nj] = d
+                queue.append((ni, nj))
+    _extend_to_rack_cells(dist, racks)
+    return dist
+
+
+def _extend_to_rack_cells(dist: np.ndarray, racks: np.ndarray) -> None:
+    """Give rack cells one-hop distances through their free neighbours.
+
+    Routes may *start* under a rack (a robot parked below it), so the
+    heuristic must be finite there: the robot's first move exits to an
+    adjacent free cell.  Rack cells remain impassable mid-route.
+    """
+    neighbor_min = np.full(dist.shape, np.iinfo(np.int32).max, dtype=np.int64)
+    for shift in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        shifted = np.full(dist.shape, np.iinfo(np.int32).max, dtype=np.int64)
+        src = np.where(dist >= 0, dist.astype(np.int64), np.iinfo(np.int32).max)
+        if shift == (1, 0):
+            shifted[1:, :] = src[:-1, :]
+        elif shift == (-1, 0):
+            shifted[:-1, :] = src[1:, :]
+        elif shift == (0, 1):
+            shifted[:, 1:] = src[:, :-1]
+        else:
+            shifted[:, :-1] = src[:, 1:]
+        neighbor_min = np.minimum(neighbor_min, shifted)
+    fill = racks & (dist < 0) & (neighbor_min < np.iinfo(np.int32).max)
+    dist[fill] = (neighbor_min[fill] + 1).astype(np.int32)
+
+
+class DistanceMaps:
+    """A per-destination LRU cache of BFS distance maps.
+
+    ``max_entries`` bounds resident memory: one map costs H*W int32
+    cells, and warehouses have thousands of distinct rack destinations.
+    """
+
+    def __init__(self, warehouse: Warehouse, max_entries: int = 512) -> None:
+        self._warehouse = warehouse
+        self._maps: Dict[Grid, np.ndarray] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, target: Grid) -> np.ndarray:
+        cached = self._maps.get(target)
+        if cached is not None:
+            self.hits += 1
+            # Refresh LRU position (dicts preserve insertion order).
+            del self._maps[target]
+            self._maps[target] = cached
+            return cached
+        self.misses += 1
+        computed = bfs_distance_map(self._warehouse, target)
+        if len(self._maps) >= self._max_entries:
+            self._maps.pop(next(iter(self._maps)))
+        self._maps[target] = computed
+        return computed
+
+    def distance(self, origin: Grid, target: Grid) -> int:
+        """Shortest rack-avoiding distance, -1 when unreachable."""
+        return int(self.get(target)[origin])
+
+    def greedy_path(self, origin: Grid, target: Grid) -> Optional[List[Grid]]:
+        """A shortest path obtained by descending the distance map.
+
+        Returns None when the target is unreachable.  Deterministic:
+        neighbours are tried in (up, down, left, right) order.
+        """
+        dist = self.get(target)
+        if dist[origin] < 0:
+            return None
+        path = [origin]
+        cur = origin
+        while cur != target:
+            i, j = cur
+            d = dist[i, j]
+            for nxt in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+                # Rack cells carry one-hop heuristic values (see
+                # _extend_to_rack_cells) but are not traversable; only
+                # the target rack may be stepped onto.
+                if not self._warehouse.in_bounds(nxt):
+                    continue
+                if self._warehouse.is_rack(nxt) and nxt != target:
+                    continue
+                if dist[nxt] == d - 1:
+                    cur = nxt
+                    path.append(cur)
+                    break
+            else:  # pragma: no cover - dist maps are always descendable
+                return None
+        return path
+
+    def clear(self) -> None:
+        self._maps.clear()
+
+    def __len__(self) -> int:
+        return len(self._maps)

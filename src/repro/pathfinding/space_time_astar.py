@@ -1,0 +1,145 @@
+"""Space-time A* in the 3-D (row, col, time) search space.
+
+This is the grid-level search the paper attributes the efficiency
+bottleneck to (Section I): states are ``(cell, time)`` pairs, actions
+are the four unit moves plus waiting, and a pluggable conflict checker
+decides which actions existing traffic forbids.
+
+The same engine powers:
+
+* the SAP baseline (checker = reservation table over committed routes);
+* the TWP baseline (conflicts enforced only within a time window);
+* re-planning inside the RP baseline;
+* SRP's rare fallback (checker = per-strip segment stores).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.pathfinding.distance import UNREACHABLE
+from repro.types import Grid, Route
+from repro.warehouse.matrix import Warehouse
+
+
+class ConflictChecker(Protocol):
+    """Decides whether a unit action conflicts with existing traffic."""
+
+    def move_blocked(self, a: Grid, b: Grid, t: int) -> bool:
+        """True when moving (or waiting, ``a == b``) over ``[t, t+1]`` conflicts."""
+
+    def cell_blocked(self, cell: Grid, t: int) -> bool:
+        """True when standing at ``cell`` at the instant ``t`` conflicts."""
+
+
+class NullConflictChecker:
+    """A checker that never blocks; yields plain shortest paths."""
+
+    def move_blocked(self, a: Grid, b: Grid, t: int) -> bool:
+        return False
+
+    def cell_blocked(self, cell: Grid, t: int) -> bool:
+        return False
+
+
+def space_time_astar(
+    warehouse: Warehouse,
+    origin: Grid,
+    destination: Grid,
+    start_time: int,
+    checker: ConflictChecker,
+    dist_map: Optional[np.ndarray],
+    max_expansions: int = 200_000,
+    window: Optional[int] = None,
+    horizon_slack: int = 256,
+) -> Optional[Route]:
+    """Plan one collision-aware route with A* over (cell, time) states.
+
+    Args:
+        dist_map: BFS distances to ``destination`` (the admissible
+            true-distance heuristic; also prunes unreachable cells).
+            ``None`` selects the plain Manhattan heuristic — the "simple
+            A*" configuration of the paper's SAP baseline, which expands
+            far more states around rack clusters.
+        window: when given, conflicts are only enforced for actions
+            starting before ``start_time + window`` — the TWP baseline's
+            time-window relaxation.  ``None`` enforces them everywhere.
+        horizon_slack: extra timesteps beyond the shortest distance a
+            route may spend waiting/detouring before the search gives up.
+
+    Returns:
+        The planned :class:`Route`, or None on failure (unreachable
+        destination, expansion budget exhausted, or horizon exceeded).
+    """
+    if dist_map is None:
+        base = abs(origin[0] - destination[0]) + abs(origin[1] - destination[1])
+    else:
+        base = int(dist_map[origin])
+    if base == UNREACHABLE:
+        return None
+    if (window is None or window > 0) and checker.cell_blocked(origin, start_time):
+        return None  # the start cell is occupied at the start instant
+    deadline = start_time + base + horizon_slack
+
+    # Heap entries: (f, -t, counter, t, cell); preferring larger t among
+    # equal f breaks ties toward routes that wait less at the end.
+    counter = 0
+    open_heap = [(start_time + base, -start_time, counter, start_time, origin)]
+    parents: dict = {(origin, start_time): None}
+    closed: set = set()
+    expansions = 0
+    racks = warehouse.racks
+    h, w = warehouse.shape
+
+    while open_heap:
+        f, _neg_t, _c, t, cell = heapq.heappop(open_heap)
+        state = (cell, t)
+        if state in closed:
+            continue
+        closed.add(state)
+        if cell == destination:
+            return _reconstruct(parents, state)
+        expansions += 1
+        if expansions > max_expansions or t >= deadline:
+            return None
+        enforce = window is None or t < start_time + window
+        i, j = cell
+        for nxt in ((i, j), (i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+            ni, nj = nxt
+            if not (0 <= ni < h and 0 <= nj < w):
+                continue
+            # Rack cells block movement, except entering the destination
+            # rack or waiting under the rack the route started from.
+            if racks[ni, nj] and nxt != destination and nxt != cell:
+                continue
+            if dist_map is None:
+                hval = abs(ni - destination[0]) + abs(nj - destination[1])
+            else:
+                hval = int(dist_map[ni, nj])
+                if hval == UNREACHABLE and nxt != destination:
+                    continue
+            nstate = (nxt, t + 1)
+            if nstate in closed or nstate in parents:
+                continue
+            if enforce and checker.move_blocked(cell, nxt, t):
+                continue
+            parents[nstate] = state
+            counter += 1
+            heapq.heappush(
+                open_heap, (t + 1 + max(hval, 0), -(t + 1), counter, t + 1, nxt)
+            )
+    return None
+
+
+def _reconstruct(parents: dict, goal_state) -> Route:
+    cells = []
+    state = goal_state
+    while state is not None:
+        cells.append(state[0])
+        state = parents[state]
+    cells.reverse()
+    goal_time = goal_state[1]
+    return Route(goal_time - (len(cells) - 1), cells)

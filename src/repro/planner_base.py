@@ -1,0 +1,105 @@
+"""The common planner interface shared by SRP and all baselines.
+
+Every planner answers online CARP queries one at a time: ``plan`` must
+return a route that is collision-free against every route the planner
+returned before (since the last ``reset``).  The simulator and the
+benchmark harness only talk to this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from repro.types import Query, Route
+
+
+@dataclass
+class PlannerTimers:
+    """Wall-clock accounting shared by every planner.
+
+    ``total`` is the paper's TC metric for this planner: cumulative
+    planning time over all queries, in seconds.
+    """
+
+    total: float = 0.0
+    queries: int = 0
+    failures: int = 0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.queries = 0
+        self.failures = 0
+
+
+class Planner(ABC):
+    """An online collision-aware route planner."""
+
+    #: short label used in tables and plots ("SRP", "SAP", ...)
+    name: str = "planner"
+
+    def __init__(self) -> None:
+        self.timers = PlannerTimers()
+
+    @abstractmethod
+    def plan(self, query: Query) -> Route:
+        """Plan one query; raises PlanningFailedError when infeasible."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all committed routes and cached state."""
+
+    def prune(self, before: int) -> None:
+        """Drop bookkeeping for traffic finishing before ``before``.
+
+        Contract: callers must guarantee every future query's
+        ``release_time`` is at least ``before`` (true in the online
+        setting, where queries arrive in time order).  Planners that
+        keep per-timestep state override this to bound their memory over
+        a long simulated day.
+        """
+
+    def plan_batch(self, queries, order: str = "fifo") -> dict:
+        """Plan a batch of simultaneous queries with a priority ordering.
+
+        Online CARP occasionally releases many queries at one timestamp
+        (Definition 3's per-timestamp sets Q_t); prioritised sequential
+        planning is the standard treatment, and the ordering is the
+        knob.  Orders: ``"fifo"`` (release, then id), ``"shortest_first"``
+        (small lower bound first — short hops rarely block long hauls),
+        ``"longest_first"``.
+
+        Returns ``{query_id: route}`` including any revisions of earlier
+        routes triggered along the way.
+        """
+        keys = {
+            "fifo": lambda q: (q.release_time, q.query_id),
+            "shortest_first": lambda q: (q.release_time, q.lower_bound(), q.query_id),
+            "longest_first": lambda q: (q.release_time, -q.lower_bound(), q.query_id),
+        }
+        try:
+            key = keys[order]
+        except KeyError:
+            raise ValueError(f"unknown batch order {order!r}; expected one of {sorted(keys)}")
+        routes: dict = {}
+        for query in sorted(queries, key=key):
+            routes[query.query_id] = self.plan(query)
+            routes.update(self.take_revisions())
+        return routes
+
+    def take_revisions(self) -> dict:
+        """Routes revised since the last call, keyed by ``query_id``.
+
+        Planners based on re-planning (RP) may replace routes they
+        returned earlier; callers that track routes (simulator, harness,
+        validator) must apply these revisions after every ``plan`` call.
+        Default: no revisions ever.
+        """
+        return {}
+
+    def planning_state(self) -> object:
+        """The object graph whose deep size is the MC metric.
+
+        Defaults to the planner itself; planners may narrow this to the
+        data structures that actually scale with traffic.
+        """
+        return self

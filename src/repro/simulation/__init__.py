@@ -1,0 +1,37 @@
+"""Online warehouse simulation — the paper's test environment.
+
+Section VIII-A: *"The test environment simulates the emergence of
+delivery tasks, and then sends the task information to the route
+planning algorithm.  After receiving the results calculated by a route
+planning algorithm, the environment assigns those planned routes to
+robots for execution.  The system will record all our metrics for
+comparison."*
+
+* :mod:`repro.simulation.robots` — robot fleet state and dispatching;
+* :mod:`repro.simulation.metrics` — OG / TC / MC recording with
+  progress snapshots (the x-axis of Figs. 16-21);
+* :mod:`repro.simulation.engine` — the discrete-event loop driving
+  tasks through their pickup / transmission / return stages.
+"""
+
+from repro.simulation.metrics import ProgressSnapshot, SimulationMetrics
+from repro.simulation.robots import Robot, RobotFleet
+from repro.simulation.dispatch import (
+    Dispatcher,
+    HungarianDispatcher,
+    NearestIdleDispatcher,
+)
+from repro.simulation.engine import Simulation, SimulationResult, run_day
+
+__all__ = [
+    "ProgressSnapshot",
+    "SimulationMetrics",
+    "Robot",
+    "RobotFleet",
+    "Dispatcher",
+    "HungarianDispatcher",
+    "NearestIdleDispatcher",
+    "Simulation",
+    "SimulationResult",
+    "run_day",
+]

@@ -1,0 +1,84 @@
+"""Task-to-robot dispatching strategies.
+
+The CARP paper takes task assignment as given (its reference [6] covers
+adaptive task planning); the simulator needs *some* policy to turn the
+task stream into robot work.  Two are provided:
+
+* :class:`NearestIdleDispatcher` — FIFO over tasks, each matched to the
+  idle robot closest to its rack (the common greedy baseline);
+* :class:`HungarianDispatcher` — jointly optimal assignment of the
+  waiting tasks to idle robots minimising total approach distance, via
+  ``scipy.optimize.linear_sum_assignment``.
+
+Both return (task, robot) pairs; the engine plans and executes them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.simulation.robots import Robot, RobotFleet
+from repro.types import Task, manhattan
+
+
+class Dispatcher(Protocol):
+    """Chooses which waiting tasks start now, and on which robots."""
+
+    def assign(
+        self, waiting: Sequence[Task], fleet: RobotFleet, now: int
+    ) -> List[Tuple[Task, Robot]]:
+        """Return (task, robot) pairs to start; leftovers keep waiting.
+
+        Every returned robot must be idle at ``now`` and distinct.
+        """
+
+
+class NearestIdleDispatcher:
+    """FIFO tasks, nearest idle robot each — the greedy default."""
+
+    def assign(
+        self, waiting: Sequence[Task], fleet: RobotFleet, now: int
+    ) -> List[Tuple[Task, Robot]]:
+        assignments: List[Tuple[Task, Robot]] = []
+        taken = set()
+        for task in waiting:
+            best = None
+            best_key = None
+            for robot in fleet.robots:
+                if robot.robot_id in taken or not robot.is_idle(now):
+                    continue
+                key = (manhattan(robot.cell, task.rack), robot.robot_id)
+                if best_key is None or key < best_key:
+                    best, best_key = robot, key
+            if best is None:
+                break  # no idle robots left; later tasks cannot do better
+            taken.add(best.robot_id)
+            assignments.append((task, best))
+        return assignments
+
+
+class HungarianDispatcher:
+    """Minimise the summed robot-to-rack approach distance jointly.
+
+    When there are more waiting tasks than idle robots, the earliest
+    ``len(robots)`` tasks by release time are considered (assigning a
+    later task while an earlier one starves would violate the FIFO
+    fairness the task stream expects).
+    """
+
+    def assign(
+        self, waiting: Sequence[Task], fleet: RobotFleet, now: int
+    ) -> List[Tuple[Task, Robot]]:
+        idle = fleet.idle_robots(now)
+        if not idle or not waiting:
+            return []
+        batch = list(waiting)[: len(idle)]
+        cost = np.empty((len(batch), len(idle)), dtype=np.int64)
+        for i, task in enumerate(batch):
+            for j, robot in enumerate(idle):
+                cost[i, j] = manhattan(robot.cell, task.rack)
+        rows, cols = linear_sum_assignment(cost)
+        return [(batch[i], idle[j]) for i, j in zip(rows, cols)]

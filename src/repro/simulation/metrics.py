@@ -1,0 +1,72 @@
+"""Metric recording: the paper's OG, TC and MC over task progress.
+
+*OG* (optimization goal) is the makespan of Eq. (1).  *TC* is the
+cumulative wall-clock planning time of the algorithm.  *MC* is the deep
+size of the planner's traffic-scaling data structures.  The figures of
+the paper plot TC and MC against *progress*, "the ratio between the
+finished tasks and all tasks of the day"; snapshots here are taken at
+fixed progress increments (2% in the paper's snapshot comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.sizeof import deep_sizeof
+from repro.planner_base import Planner
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """One sampled point of the Figs. 16-21 curves."""
+
+    progress: float  # finished / total tasks, in [0, 1]
+    sim_time: int  # warehouse clock when the snapshot was taken
+    tc_seconds: float  # cumulative planning wall time so far
+    mc_bytes: Optional[int]  # deep size of planner state (None = not sampled)
+
+
+@dataclass
+class SimulationMetrics:
+    """Collects snapshots and end-of-day aggregates during a run.
+
+    ``memory_every`` throttles the (expensive) deep-sizeof MC samples to
+    a coarser progress grid than the cheap TC samples.
+    """
+
+    total_tasks: int
+    snapshot_every: float = 0.02
+    measure_memory: bool = True
+    memory_every: float = 0.1
+    snapshots: List[ProgressSnapshot] = field(default_factory=list)
+    _next_snapshot: float = 0.0
+    _next_memory: float = 0.0
+
+    def maybe_snapshot(self, finished: int, now: int, planner: Planner) -> None:
+        """Record a snapshot when progress crossed the next threshold."""
+        progress = finished / self.total_tasks
+        if progress + 1e-12 < self._next_snapshot:
+            return
+        mc = None
+        if self.measure_memory and progress + 1e-12 >= self._next_memory:
+            mc = deep_sizeof(planner.planning_state())
+            while self._next_memory <= progress + 1e-12:
+                self._next_memory += self.memory_every
+        self.snapshots.append(
+            ProgressSnapshot(progress, now, planner.timers.total, mc)
+        )
+        while self._next_snapshot <= progress + 1e-12:
+            self._next_snapshot += self.snapshot_every
+
+    def tc_series(self):
+        """(progress, cumulative TC seconds) pairs for Figs. 16-18."""
+        return [(s.progress, s.tc_seconds) for s in self.snapshots]
+
+    def mc_series(self):
+        """(progress, MC bytes) pairs for Figs. 19-21."""
+        return [(s.progress, s.mc_bytes) for s in self.snapshots if s.mc_bytes is not None]
+
+    def peak_mc(self) -> Optional[int]:
+        values = [s.mc_bytes for s in self.snapshots if s.mc_bytes is not None]
+        return max(values) if values else None

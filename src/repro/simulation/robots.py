@@ -1,0 +1,61 @@
+"""Robot fleet state and idle-robot dispatching.
+
+Robots are free-moving agents that execute planned routes.  Idle robots
+park at their last destination (under a rack after a return stage) and
+are treated as non-blocking, following the standard "disappear at
+target" convention of online MAPF evaluation (Stern et al. 2019); see
+DESIGN.md §3 for the discussion of this assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import SimulationError
+from repro.types import Grid, manhattan
+
+
+@dataclass
+class Robot:
+    """One robot: identifier, current cell, busy horizon."""
+
+    robot_id: int
+    cell: Grid
+    busy_until: int = -1
+    tasks_served: int = 0
+
+    def is_idle(self, now: int) -> bool:
+        return self.busy_until <= now
+
+
+class RobotFleet:
+    """The warehouse's robots plus nearest-idle dispatching."""
+
+    def __init__(self, home_cells: List[Grid]) -> None:
+        if not home_cells:
+            raise SimulationError("a fleet needs at least one robot")
+        self.robots = [Robot(i, cell) for i, cell in enumerate(home_cells)]
+
+    def __len__(self) -> int:
+        return len(self.robots)
+
+    def idle_robots(self, now: int) -> List[Robot]:
+        return [r for r in self.robots if r.is_idle(now)]
+
+    def nearest_idle(self, cell: Grid, now: int) -> Optional[Robot]:
+        """The idle robot closest (Manhattan) to ``cell``, ties by id."""
+        best: Optional[Robot] = None
+        best_key = None
+        for robot in self.robots:
+            if not robot.is_idle(now):
+                continue
+            key = (manhattan(robot.cell, cell), robot.robot_id)
+            if best_key is None or key < best_key:
+                best, best_key = robot, key
+        return best
+
+    def utilization(self, now: int) -> float:
+        """Fraction of robots currently busy."""
+        busy = sum(1 for r in self.robots if not r.is_idle(now))
+        return busy / len(self.robots)

@@ -1,0 +1,190 @@
+"""Query/route trace recording and replay.
+
+A *trace* is the full transcript of an online planning session: every
+query in arrival order plus the route the planner answered with.
+Traces serve three workflows:
+
+* **reproducibility** — persist a day's planning to JSONL and rerun it
+  bit-for-bit later (`save_trace` / `load_trace` / `replay_trace`);
+* **cross-planner comparison** — replay one trace through another
+  planner and diff durations per query (`replay_trace` returns both);
+* **debugging** — shrink a failing day to the offending prefix.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.planner_base import Planner
+from repro.types import Query, QueryKind, Route
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceEntry:
+    """One planned query and its answer."""
+
+    query: Query
+    route: Route
+
+
+@dataclass
+class PlannerTrace:
+    """An ordered transcript of an online planning session."""
+
+    planner_name: str
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def queries(self) -> List[Query]:
+        return [e.query for e in self.entries]
+
+    @property
+    def total_duration(self) -> int:
+        return sum(e.route.duration for e in self.entries)
+
+    @property
+    def makespan(self) -> int:
+        return max(e.route.finish_time for e in self.entries) if self.entries else 0
+
+
+class TraceRecorder(Planner):
+    """Planner wrapper that transcribes every successful plan call.
+
+    Drop-in: behaves exactly like the wrapped planner (including
+    revisions and pruning) while accumulating a :class:`PlannerTrace`.
+    """
+
+    def __init__(self, inner: Planner) -> None:
+        super().__init__()
+        self.inner = inner
+        self.name = inner.name
+        self.trace = PlannerTrace(planner_name=inner.name)
+
+    def plan(self, query: Query) -> Route:
+        route = self.inner.plan(query)
+        self.trace.entries.append(TraceEntry(query, route))
+        return route
+
+    def take_revisions(self) -> Dict[int, Route]:
+        revisions = self.inner.take_revisions()
+        if revisions:
+            by_id = {e.query.query_id: e for e in self.trace.entries}
+            for query_id, route in revisions.items():
+                entry = by_id.get(query_id)
+                if entry is not None:
+                    entry.route = route
+        return revisions
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.trace = PlannerTrace(planner_name=self.inner.name)
+
+    def prune(self, before: int) -> None:
+        self.inner.prune(before)
+
+    def planning_state(self) -> object:
+        return self.inner.planning_state()
+
+    @property
+    def timers(self):
+        return self.inner.timers
+
+    @timers.setter
+    def timers(self, value) -> None:  # Planner.__init__ assigns a dummy
+        pass
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a trace through another planner."""
+
+    original: PlannerTrace
+    replayed: PlannerTrace
+    #: per-query duration difference: replayed - original
+    duration_deltas: List[int]
+
+    @property
+    def total_delta(self) -> int:
+        return sum(self.duration_deltas)
+
+    @property
+    def n_faster(self) -> int:
+        return sum(1 for d in self.duration_deltas if d < 0)
+
+    @property
+    def n_slower(self) -> int:
+        return sum(1 for d in self.duration_deltas if d > 0)
+
+
+def replay_trace(trace: PlannerTrace, planner: Planner) -> ReplayReport:
+    """Feed a trace's queries to ``planner`` in order and diff durations."""
+    replayed = PlannerTrace(planner_name=planner.name)
+    deltas: List[int] = []
+    for entry in trace.entries:
+        route = planner.plan(entry.query)
+        replayed.entries.append(TraceEntry(entry.query, route))
+        deltas.append(route.duration - entry.route.duration)
+    return ReplayReport(trace, replayed, deltas)
+
+
+# ----------------------------------------------------------------------
+# Serialisation
+# ----------------------------------------------------------------------
+def save_trace(trace: PlannerTrace, path: PathLike) -> None:
+    """Write a trace as JSONL: one header line, one line per entry."""
+    with open(path, "w", encoding="utf-8") as f:
+        header = {
+            "format_version": _FORMAT_VERSION,
+            "planner": trace.planner_name,
+            "entries": len(trace.entries),
+        }
+        f.write(json.dumps(header) + "\n")
+        for entry in trace.entries:
+            q, r = entry.query, entry.route
+            record = {
+                "origin": list(q.origin),
+                "destination": list(q.destination),
+                "release_time": q.release_time,
+                "kind": q.kind.value,
+                "query_id": q.query_id,
+                "start_time": r.start_time,
+                "grids": [list(g) for g in r.grids],
+            }
+            f.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: PathLike) -> PlannerTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path, "r", encoding="utf-8") as f:
+        header = json.loads(f.readline())
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version: {header.get('format_version')!r}"
+            )
+        trace = PlannerTrace(planner_name=header.get("planner", ""))
+        for line in f:
+            record = json.loads(line)
+            query = Query(
+                tuple(record["origin"]),
+                tuple(record["destination"]),
+                record["release_time"],
+                QueryKind(record["kind"]),
+                record["query_id"],
+            )
+            route = Route(
+                record["start_time"],
+                [tuple(g) for g in record["grids"]],
+                record["query_id"],
+            )
+            trace.entries.append(TraceEntry(query, route))
+    return trace

@@ -1,0 +1,153 @@
+"""Shared value types for the CARP problem.
+
+The module defines the vocabulary used across the whole package:
+
+* a *grid* is an ``(row, col)`` integer pair (``Grid``);
+* a *query* is one origin-destination planning request (:class:`Query`);
+* a *route* is the planner's answer: a start time plus one grid per
+  timestep (:class:`Route`), following Definition 2 of the paper.
+
+Robots move at unit speed (one grid per second) and may wait by
+repeating a grid, so ``route.grids[i]`` is occupied at absolute time
+``route.start_time + i``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+Grid = Tuple[int, int]
+"""A warehouse cell as a ``(row, col)`` pair, zero-indexed."""
+
+
+def manhattan(a: Grid, b: Grid) -> int:
+    """Return the Manhattan distance between two grids."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+class QueryKind(enum.Enum):
+    """Why a route is requested; one delivery task issues all three."""
+
+    PICKUP = "pickup"
+    TRANSMISSION = "transmission"
+    RETURN = "return"
+    GENERIC = "generic"
+
+
+@dataclass(frozen=True)
+class Query:
+    """One origin-destination route planning request.
+
+    Attributes:
+        origin: grid the robot starts from.
+        destination: grid the robot must reach.
+        release_time: timestamp at which the request emerges (and the
+            earliest time the robot may start moving).
+        kind: which stage of a delivery task this request serves.
+        query_id: optional stable identifier for bookkeeping.
+    """
+
+    origin: Grid
+    destination: Grid
+    release_time: int = 0
+    kind: QueryKind = QueryKind.GENERIC
+    query_id: int = -1
+
+    def lower_bound(self) -> int:
+        """Return the collision-free lower bound on route duration."""
+        return manhattan(self.origin, self.destination)
+
+
+@dataclass
+class Route:
+    """A planned route: ``grids[i]`` is occupied at ``start_time + i``.
+
+    This is the grid-level representation shared by every planner, and
+    the representation on which ground-truth collision checks operate.
+    """
+
+    start_time: int
+    grids: list  # list[Grid]
+    query_id: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.grids:
+            raise ValueError("a route must visit at least one grid")
+
+    @property
+    def finish_time(self) -> int:
+        """Absolute time at which the final grid is reached."""
+        return self.start_time + len(self.grids) - 1
+
+    @property
+    def duration(self) -> int:
+        """Number of timesteps spent moving or waiting."""
+        return len(self.grids) - 1
+
+    @property
+    def origin(self) -> Grid:
+        return self.grids[0]
+
+    @property
+    def destination(self) -> Grid:
+        return self.grids[-1]
+
+    def position_at(self, t: int) -> Grid:
+        """Return the grid occupied at absolute time ``t``.
+
+        Before ``start_time`` the robot is parked at the origin; after
+        ``finish_time`` it is parked at the destination.  This mirrors
+        how the simulator treats routes during execution.
+        """
+        if t <= self.start_time:
+            return self.grids[0]
+        if t >= self.finish_time:
+            return self.grids[-1]
+        return self.grids[t - self.start_time]
+
+    def steps(self) -> Iterator[Tuple[int, Grid]]:
+        """Yield ``(time, grid)`` pairs for every visited timestep."""
+        for i, g in enumerate(self.grids):
+            yield self.start_time + i, g
+
+    def is_unit_speed(self) -> bool:
+        """Check that consecutive grids are identical or 4-adjacent."""
+        for a, b in zip(self.grids, self.grids[1:]):
+            if manhattan(a, b) > 1:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Task:
+    """A delivery task: bring ``rack`` to ``picker`` and return it.
+
+    Executing a task issues three queries (pickup, transmission,
+    return), following Section VIII-A of the paper.
+    """
+
+    release_time: int
+    rack: Grid
+    picker: Grid
+    task_id: int = -1
+
+
+def concatenate_routes(first: Route, second: Route) -> Route:
+    """Join two routes where ``second`` begins where ``first`` ends.
+
+    Any gap between ``first.finish_time`` and ``second.start_time`` is
+    filled with waiting steps at the junction grid.
+
+    Raises:
+        ValueError: if the routes do not meet at a common grid or the
+            second route starts before the first one finishes.
+    """
+    if second.start_time < first.finish_time:
+        raise ValueError("second route starts before the first finishes")
+    if first.destination != second.origin:
+        raise ValueError("routes do not share a junction grid")
+    gap = second.start_time - first.finish_time
+    grids = list(first.grids) + [first.destination] * gap + list(second.grids[1:])
+    return Route(first.start_time, grids, query_id=first.query_id)

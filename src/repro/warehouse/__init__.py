@@ -1,0 +1,61 @@
+"""Warehouse substrate: matrices, layouts, datasets and task traces.
+
+The paper evaluates on three proprietary Geek+ warehouses (Table II).
+This subpackage rebuilds that substrate:
+
+* :mod:`repro.warehouse.matrix` — the warehouse matrix of Definition 1
+  plus metadata (pickers, robot home cells);
+* :mod:`repro.warehouse.layout` — a parametric generator for the
+  regular rack-cluster/aisle layouts the paper exploits (2 x l rack
+  clusters, latitudinal aisles, picker stations);
+* :mod:`repro.warehouse.datasets` — replicas of W-1, W-2 and W-3
+  matching Table II's dimensions and approximate rack/picker counts;
+* :mod:`repro.warehouse.tasks` — synthetic delivery-task traces with
+  the diurnal arrival pattern the paper's memory figures reveal;
+* :mod:`repro.warehouse.io` — JSON (de)serialisation of all the above.
+"""
+
+from repro.warehouse.matrix import Warehouse
+from repro.warehouse.layout import LayoutSpec, generate_layout
+from repro.warehouse.datasets import (
+    w1,
+    w2,
+    w3,
+    dataset_by_name,
+    DATASET_SUMMARY,
+)
+from repro.warehouse.tasks import (
+    TaskTraceSpec,
+    day_trace_spec,
+    generate_tasks,
+    queries_for_task,
+)
+from repro.warehouse.io import (
+    warehouse_to_dict,
+    warehouse_from_dict,
+    save_warehouse,
+    load_warehouse,
+    save_tasks,
+    load_tasks,
+)
+
+__all__ = [
+    "Warehouse",
+    "LayoutSpec",
+    "generate_layout",
+    "w1",
+    "w2",
+    "w3",
+    "dataset_by_name",
+    "DATASET_SUMMARY",
+    "TaskTraceSpec",
+    "day_trace_spec",
+    "generate_tasks",
+    "queries_for_task",
+    "warehouse_to_dict",
+    "warehouse_from_dict",
+    "save_warehouse",
+    "load_warehouse",
+    "save_tasks",
+    "load_tasks",
+]

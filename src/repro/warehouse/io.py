@@ -1,0 +1,102 @@
+"""JSON (de)serialisation of warehouses and task traces.
+
+The format is intentionally simple and diff-friendly: the rack matrix
+is stored as ASCII rows, metadata as plain lists.  Round-tripping is
+exact and covered by tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+from repro.exceptions import LayoutError
+from repro.types import Task
+from repro.warehouse.matrix import Warehouse
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def warehouse_to_dict(warehouse: Warehouse) -> Dict[str, Any]:
+    """Serialise a warehouse to a JSON-ready dictionary."""
+    rows = [
+        "".join("#" if warehouse.racks[i, j] else "." for j in range(warehouse.width))
+        for i in range(warehouse.height)
+    ]
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": warehouse.name,
+        "racks": rows,
+        "pickers": [list(p) for p in warehouse.pickers],
+        "robot_homes": [list(h) for h in warehouse.robot_homes],
+    }
+
+
+def warehouse_from_dict(data: Dict[str, Any]) -> Warehouse:
+    """Rebuild a warehouse from :func:`warehouse_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise LayoutError(f"unsupported warehouse format version: {version!r}")
+    rows = data["racks"]
+    if not rows:
+        raise LayoutError("serialised warehouse has no rows")
+    racks = np.array([[ch == "#" for ch in row] for row in rows], dtype=bool)
+    return Warehouse(
+        racks,
+        pickers=[tuple(p) for p in data.get("pickers", [])],
+        robot_homes=[tuple(h) for h in data.get("robot_homes", [])],
+        name=data.get("name", ""),
+    )
+
+
+def save_warehouse(warehouse: Warehouse, path: PathLike) -> None:
+    """Write a warehouse to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(warehouse_to_dict(warehouse), f, indent=1)
+
+
+def load_warehouse(path: PathLike) -> Warehouse:
+    """Read a warehouse previously written by :func:`save_warehouse`."""
+    with open(path, "r", encoding="utf-8") as f:
+        return warehouse_from_dict(json.load(f))
+
+
+def save_tasks(tasks: List[Task], path: PathLike) -> None:
+    """Write a task trace to ``path`` as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "tasks": [
+            {
+                "release_time": t.release_time,
+                "rack": list(t.rack),
+                "picker": list(t.picker),
+                "task_id": t.task_id,
+            }
+            for t in tasks
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=1)
+
+
+def load_tasks(path: PathLike) -> List[Task]:
+    """Read a task trace previously written by :func:`save_tasks`."""
+    with open(path, "r", encoding="utf-8") as f:
+        payload = json.load(f)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise LayoutError(f"unsupported task trace format version: {version!r}")
+    return [
+        Task(
+            release_time=item["release_time"],
+            rack=tuple(item["rack"]),
+            picker=tuple(item["picker"]),
+            task_id=item.get("task_id", -1),
+        )
+        for item in payload["tasks"]
+    ]

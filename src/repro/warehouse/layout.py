@@ -1,0 +1,204 @@
+"""Parametric generator for regular Geek+-style warehouse layouts.
+
+The paper's efficiency argument rests on warehouses being *regular*:
+rack clusters of identical ``2 x l`` footprint separated by straight
+aisles, with latitudinal aisles spanning the full width (Fig. 15 and
+the remarks under Algorithm 1).  This generator produces exactly that
+family of layouts:
+
+* a top margin and inter-cluster-row aisles that span entire rows
+  (these become the latitudinal aisle strips of Algorithm 1);
+* vertical aisles of configurable width between cluster columns;
+* a bottom station zone whose outer row hosts the picker stations;
+* robot home cells scattered deterministically over free cells.
+
+A ``fill_ratio`` below 1 leaves a deterministic pseudo-random subset of
+cluster slots empty, which lets dataset replicas match the rack counts
+of Table II (real warehouses keep staging/buffer zones rack-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import LayoutError
+from repro.types import Grid
+from repro.warehouse.matrix import Warehouse
+
+
+@dataclass(frozen=True)
+class LayoutSpec:
+    """Parameters of a regular warehouse layout.
+
+    Attributes:
+        height: total rows H of the warehouse.
+        width: total columns W of the warehouse.
+        cluster_length: the ``l`` in the paper's ``2 x l`` rack clusters
+            (rows per cluster).
+        h_aisle_width: rows of full-width aisle between cluster rows.
+        v_aisle_width: columns of aisle between cluster columns.
+        top_margin: full-width aisle rows at the top.
+        station_rows: full-width aisle rows at the bottom (picker zone).
+        side_margin: aisle columns at the left and right edges.
+        n_pickers: picker stations to place along the bottom (and, when
+            they do not fit, the top) boundary row.
+        n_robots: robot home cells to scatter over free cells.
+        fill_ratio: probability that a cluster slot actually holds a
+            rack cluster (1.0 = fully dense).
+        cluster_orientation: ``"vertical"`` (the paper's 2-wide, l-tall
+            clusters) or ``"horizontal"`` (l-wide, 2-tall).  Horizontal
+            clusters break the long-column regularity Algorithm 1
+            exploits and serve as a robustness/ablation layout.
+        seed: RNG seed for cluster thinning and robot placement.
+    """
+
+    height: int
+    width: int
+    cluster_length: int = 8
+    h_aisle_width: int = 2
+    v_aisle_width: int = 1
+    top_margin: int = 2
+    station_rows: int = 3
+    side_margin: int = 2
+    n_pickers: int = 8
+    n_robots: int = 8
+    fill_ratio: float = 1.0
+    cluster_orientation: str = "vertical"
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.height < self.top_margin + self.station_rows + self.cluster_length:
+            raise LayoutError("warehouse too short for one cluster row")
+        if self.width < 2 * self.side_margin + 2:
+            raise LayoutError("warehouse too narrow for one cluster column")
+        if self.cluster_length < 1:
+            raise LayoutError("cluster_length must be >= 1")
+        if not 0.0 <= self.fill_ratio <= 1.0:
+            raise LayoutError("fill_ratio must lie in [0, 1]")
+        if min(self.h_aisle_width, self.v_aisle_width) < 1:
+            raise LayoutError("aisle widths must be >= 1")
+        if self.cluster_orientation not in ("vertical", "horizontal"):
+            raise LayoutError(
+                f"unknown cluster orientation {self.cluster_orientation!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def cluster_height(self) -> int:
+        """Rows one cluster occupies (l for vertical, 2 for horizontal)."""
+        return self.cluster_length if self.cluster_orientation == "vertical" else 2
+
+    @property
+    def cluster_width(self) -> int:
+        """Columns one cluster occupies (2 for vertical, l for horizontal)."""
+        return 2 if self.cluster_orientation == "vertical" else self.cluster_length
+
+    def cluster_row_starts(self) -> List[int]:
+        """Top row index of every cluster row band that fits."""
+        starts = []
+        row = self.top_margin
+        limit = self.height - self.station_rows
+        while row + self.cluster_height <= limit:
+            starts.append(row)
+            row += self.cluster_height + self.h_aisle_width
+        return starts
+
+    def cluster_col_starts(self) -> List[int]:
+        """Left column index of every cluster column that fits."""
+        starts = []
+        col = self.side_margin
+        limit = self.width - self.side_margin
+        while col + self.cluster_width <= limit:
+            starts.append(col)
+            col += self.cluster_width + self.v_aisle_width
+        return starts
+
+    def max_racks(self) -> int:
+        """Rack cells if every cluster slot were filled."""
+        return (
+            len(self.cluster_row_starts())
+            * len(self.cluster_col_starts())
+            * self.cluster_height
+            * self.cluster_width
+        )
+
+
+def generate_layout(spec: LayoutSpec, name: str = "") -> Warehouse:
+    """Build a :class:`Warehouse` from a :class:`LayoutSpec`.
+
+    The generated matrix keeps every inter-cluster-row aisle spanning the
+    full width so Algorithm 1 aggregates them into single latitudinal
+    strips, which is the structural property SRP exploits.
+    """
+    racks = np.zeros((spec.height, spec.width), dtype=bool)
+    rng = np.random.default_rng(spec.seed)
+
+    row_starts = spec.cluster_row_starts()
+    col_starts = spec.cluster_col_starts()
+    if not row_starts or not col_starts:
+        raise LayoutError("layout spec leaves no room for any rack cluster")
+
+    slots = [(r0, c0) for r0 in row_starts for c0 in col_starts]
+    n_filled = round(spec.fill_ratio * len(slots))
+    if n_filled < len(slots):
+        chosen = rng.choice(len(slots), size=n_filled, replace=False)
+        filled = [slots[int(i)] for i in chosen]
+    else:
+        filled = slots
+    for r0, c0 in filled:
+        racks[r0 : r0 + spec.cluster_height, c0 : c0 + spec.cluster_width] = True
+
+    pickers = _place_pickers(spec)
+    homes = _place_robot_homes(spec, racks, pickers, rng)
+    return Warehouse(racks, pickers=pickers, robot_homes=homes, name=name)
+
+
+def _place_pickers(spec: LayoutSpec) -> List[Grid]:
+    """Spread picker stations along the bottom row, overflowing to the top.
+
+    Stations sit on the outermost full-aisle rows so that robots can
+    queue in the station zone without blocking the rack field.
+    """
+    pickers: List[Grid] = []
+    taken = set()
+    bottom = spec.height - 1
+    top = 0
+    usable = list(range(1, spec.width - 1))
+    per_row = len(usable) // 2 + 1  # every other column at most
+    for idx in range(spec.n_pickers):
+        row = bottom if idx < per_row else top
+        rank = idx if idx < per_row else idx - per_row
+        col = usable[(2 * rank) % len(usable)]
+        # Probe forward past already-taken columns (wrap within the row).
+        for probe in range(len(usable)):
+            cell = (row, usable[(2 * rank + probe) % len(usable)])
+            if cell not in taken:
+                taken.add(cell)
+                pickers.append(cell)
+                break
+    return pickers
+
+
+def _place_robot_homes(
+    spec: LayoutSpec,
+    racks: np.ndarray,
+    pickers: List[Grid],
+    rng: np.random.Generator,
+) -> List[Grid]:
+    """Scatter robot home cells over free, non-picker cells."""
+    free_rows, free_cols = np.nonzero(~racks)
+    taken = set(pickers)
+    candidates = [
+        (int(i), int(j))
+        for i, j in zip(free_rows, free_cols)
+        if (int(i), int(j)) not in taken
+    ]
+    if spec.n_robots > len(candidates):
+        raise LayoutError("not enough free cells for the requested robots")
+    picks = rng.choice(len(candidates), size=spec.n_robots, replace=False)
+    return [candidates[k] for k in sorted(int(p) for p in picks)]

@@ -1,0 +1,184 @@
+"""The warehouse matrix (Definition 1) and its metadata.
+
+A warehouse is a boolean matrix ``M`` where ``M[i, j]`` is True when a
+rack occupies grid ``(i, j)``.  Robots move along rack-free grids at
+unit speed.  On top of the raw matrix we track the picker stations and
+robot home cells needed by the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import LayoutError
+from repro.types import Grid
+
+
+class Warehouse:
+    """A grid warehouse: rack matrix plus pickers and robot homes.
+
+    Attributes:
+        racks: boolean ``(H, W)`` array; True marks a rack cell.
+        pickers: picker station cells (always rack-free).
+        robot_homes: initial robot cells (always rack-free).
+        name: dataset label, e.g. ``"W-1"``.
+    """
+
+    def __init__(
+        self,
+        racks: np.ndarray,
+        pickers: Sequence[Grid] = (),
+        robot_homes: Sequence[Grid] = (),
+        name: str = "",
+    ) -> None:
+        racks = np.asarray(racks, dtype=bool)
+        if racks.ndim != 2 or racks.size == 0:
+            raise LayoutError("rack matrix must be a non-empty 2-D array")
+        self.racks = racks
+        self.pickers: List[Grid] = [tuple(p) for p in pickers]
+        self.robot_homes: List[Grid] = [tuple(h) for h in robot_homes]
+        self.name = name
+        for label, cells in (("picker", self.pickers), ("robot home", self.robot_homes)):
+            for cell in cells:
+                if not self.in_bounds(cell):
+                    raise LayoutError(f"{label} cell {cell} is out of bounds")
+                if self.is_rack(cell):
+                    raise LayoutError(f"{label} cell {cell} sits on a rack")
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Number of rows (the paper's H)."""
+        return int(self.racks.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Number of columns (the paper's W)."""
+        return int(self.racks.shape[1])
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.height, self.width)
+
+    @property
+    def n_cells(self) -> int:
+        """Total grid count H * W (the paper's grid-based vertex count)."""
+        return self.height * self.width
+
+    @property
+    def n_racks(self) -> int:
+        return int(self.racks.sum())
+
+    def in_bounds(self, grid: Grid) -> bool:
+        i, j = grid
+        return 0 <= i < self.height and 0 <= j < self.width
+
+    def is_rack(self, grid: Grid) -> bool:
+        return bool(self.racks[grid[0], grid[1]])
+
+    def is_free(self, grid: Grid) -> bool:
+        """True when ``grid`` is inside the warehouse and rack-free."""
+        return self.in_bounds(grid) and not self.is_rack(grid)
+
+    def neighbors(self, grid: Grid) -> Iterator[Grid]:
+        """Yield the rack-free 4-neighbours of ``grid``."""
+        i, j = grid
+        for cell in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+            if self.is_free(cell):
+                yield cell
+
+    def all_neighbors(self, grid: Grid) -> Iterator[Grid]:
+        """Yield every in-bounds 4-neighbour, racks included."""
+        i, j = grid
+        for cell in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+            if self.in_bounds(cell):
+                yield cell
+
+    def rack_cells(self) -> List[Grid]:
+        """Return every rack cell as a list of grids (row-major order)."""
+        rows, cols = np.nonzero(self.racks)
+        return [(int(i), int(j)) for i, j in zip(rows, cols)]
+
+    def free_cells(self) -> List[Grid]:
+        rows, cols = np.nonzero(~self.racks)
+        return [(int(i), int(j)) for i, j in zip(rows, cols)]
+
+    # ------------------------------------------------------------------
+    # Derived graph statistics (Table II, "grid-based" columns)
+    # ------------------------------------------------------------------
+    def grid_vertex_count(self) -> int:
+        """Grid-graph vertex count as reported in Table II (all grids)."""
+        return self.n_cells
+
+    def grid_edge_count(self) -> int:
+        """Grid-graph edge count as reported in Table II (~2 per grid)."""
+        return 2 * self.n_cells
+
+    # ------------------------------------------------------------------
+    # ASCII round-trip (handy for tests and docs)
+    # ------------------------------------------------------------------
+    RACK_CHAR = "#"
+    FREE_CHAR = "."
+    PICKER_CHAR = "P"
+    HOME_CHAR = "R"
+
+    @classmethod
+    def from_ascii(cls, art: str, name: str = "") -> "Warehouse":
+        """Build a warehouse from ASCII art.
+
+        ``#`` marks a rack, ``.`` a free cell, ``P`` a picker station and
+        ``R`` a robot home.  Leading/trailing blank lines are ignored and
+        all rows must have equal width.
+        """
+        lines = [line for line in (row.rstrip() for row in art.splitlines()) if line]
+        if not lines:
+            raise LayoutError("empty ASCII layout")
+        width = max(len(line) for line in lines)
+        lines = [line.ljust(width, cls.FREE_CHAR) for line in lines]
+        racks = np.zeros((len(lines), width), dtype=bool)
+        pickers: List[Grid] = []
+        homes: List[Grid] = []
+        for i, line in enumerate(lines):
+            for j, ch in enumerate(line):
+                if ch == cls.RACK_CHAR:
+                    racks[i, j] = True
+                elif ch == cls.PICKER_CHAR:
+                    pickers.append((i, j))
+                elif ch == cls.HOME_CHAR:
+                    homes.append((i, j))
+                elif ch != cls.FREE_CHAR:
+                    raise LayoutError(f"unknown layout character {ch!r} at {(i, j)}")
+        return cls(racks, pickers=pickers, robot_homes=homes, name=name)
+
+    def to_ascii(self) -> str:
+        """Render the warehouse back to the ASCII format of ``from_ascii``."""
+        chars = [
+            [self.RACK_CHAR if self.racks[i, j] else self.FREE_CHAR for j in range(self.width)]
+            for i in range(self.height)
+        ]
+        for i, j in self.pickers:
+            chars[i][j] = self.PICKER_CHAR
+        for i, j in self.robot_homes:
+            if chars[i][j] == self.FREE_CHAR:
+                chars[i][j] = self.HOME_CHAR
+        return "\n".join("".join(row) for row in chars)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Warehouse(name={self.name!r}, shape={self.shape}, "
+            f"racks={self.n_racks}, pickers={len(self.pickers)}, "
+            f"robots={len(self.robot_homes)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Warehouse):
+            return NotImplemented
+        return (
+            np.array_equal(self.racks, other.racks)
+            and self.pickers == other.pickers
+            and self.robot_homes == other.robot_homes
+        )

@@ -1,0 +1,102 @@
+"""Shared fixtures and brute-force oracles for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro import LayoutSpec, Warehouse, generate_layout
+
+RawSegment = Tuple[int, int, int, int]
+
+
+# ----------------------------------------------------------------------
+# Brute-force oracles
+# ----------------------------------------------------------------------
+def positions_of(seg: RawSegment) -> dict:
+    """Map integer time -> position for a raw (t0, p0, t1, p1) segment."""
+    t0, p0, t1, p1 = seg
+    if t1 == t0:
+        return {t0: p0}
+    step = (p1 - p0) // (t1 - t0)
+    return {t: p0 + step * (t - t0) for t in range(t0, t1 + 1)}
+
+
+def brute_force_conflict(a: RawSegment, b: RawSegment) -> Optional[int]:
+    """Earliest blocked time of ``a`` against ``b`` by direct simulation.
+
+    Mirrors the semantics of :func:`repro.geometry.collision.conflict_between`:
+    vertex conflicts block at the collision second, swaps at the second
+    after the exchange.
+    """
+    pa, pb = positions_of(a), positions_of(b)
+    times = sorted(set(pa) & set(pb))
+    blocked = None
+    for t in times:
+        if pa[t] == pb[t]:
+            blocked = t
+            break
+        if t + 1 in pa and t + 1 in pb and pa[t + 1] == pb[t] and pb[t + 1] == pa[t]:
+            blocked = t + 1
+            break
+    return blocked
+
+
+# ----------------------------------------------------------------------
+# Warehouse fixtures
+# ----------------------------------------------------------------------
+TINY_ART = """
+........
+..##.##.
+..##.##.
+..##.##.
+........
+..##.##.
+..##.##.
+........
+"""
+
+
+@pytest.fixture
+def tiny_warehouse() -> Warehouse:
+    """An 8x8 two-cluster-row warehouse for fast unit tests."""
+    return Warehouse.from_ascii(TINY_ART, name="tiny")
+
+
+@pytest.fixture
+def small_warehouse() -> Warehouse:
+    """A generated 28x20 warehouse with pickers and robots."""
+    spec = LayoutSpec(
+        height=28,
+        width=20,
+        cluster_length=4,
+        n_pickers=4,
+        n_robots=6,
+        seed=2,
+    )
+    return generate_layout(spec, name="small")
+
+
+@pytest.fixture
+def mid_warehouse() -> Warehouse:
+    """A generated 40x30 warehouse for integration tests."""
+    spec = LayoutSpec(
+        height=40,
+        width=30,
+        cluster_length=5,
+        n_pickers=6,
+        n_robots=10,
+        seed=3,
+    )
+    return generate_layout(spec, name="mid")
+
+
+def random_cells(warehouse: Warehouse, n: int, seed: int, include_racks: bool = True):
+    """Deterministic random endpoint cells for stress tests."""
+    rng = random.Random(seed)
+    pool = warehouse.free_cells()
+    if include_racks:
+        pool = pool + warehouse.rack_cells()
+    return [pool[rng.randrange(len(pool))] for _ in range(n)]

@@ -1,0 +1,140 @@
+"""Tests for the four grid baselines (SAP, TWP, RP, ACP)."""
+
+import pytest
+
+from repro import Query
+from repro.analysis import find_conflicts
+from repro.baselines import ACPPlanner, RPPlanner, SAPPlanner, TWPPlanner, make_baseline
+from repro.exceptions import InvalidQueryError, PlanningFailedError
+from repro.types import manhattan
+from tests.conftest import random_cells
+
+ALL_BASELINES = [SAPPlanner, TWPPlanner, RPPlanner, ACPPlanner]
+
+
+def plan_stream(planner, warehouse, n, seed, spread=9):
+    """Plan n/2 queries with increasing releases; return routes dict."""
+    cells = random_cells(warehouse, n, seed=seed)
+    routes = {}
+    release = 0
+    for k in range(0, n, 2):
+        release += k % spread
+        q = Query(cells[k], cells[k + 1], release, query_id=k)
+        routes[k] = planner.plan(q)
+        routes.update(planner.take_revisions())
+    return routes
+
+
+@pytest.mark.parametrize("planner_cls", ALL_BASELINES)
+class TestCommonBehaviour:
+    def test_unblocked_is_shortest(self, planner_cls, mid_warehouse):
+        planner = planner_cls(mid_warehouse)
+        route = planner.plan(Query((0, 0), (39, 29)))
+        assert route.duration == manhattan((0, 0), (39, 29))
+
+    def test_stream_collision_free(self, planner_cls, mid_warehouse):
+        planner = planner_cls(mid_warehouse)
+        routes = plan_stream(planner, mid_warehouse, 80, seed=19)
+        assert find_conflicts(list(routes.values())) == []
+
+    def test_burst_collision_free(self, planner_cls, mid_warehouse):
+        planner = planner_cls(mid_warehouse)
+        cells = random_cells(mid_warehouse, 30, seed=20, include_racks=False)
+        routes = {}
+        for k in range(0, 30, 2):
+            routes[k] = planner.plan(Query(cells[k], cells[k + 1], 0, query_id=k))
+            routes.update(planner.take_revisions())
+        assert find_conflicts(list(routes.values())) == []
+
+    def test_out_of_bounds_rejected(self, planner_cls, mid_warehouse):
+        planner = planner_cls(mid_warehouse)
+        with pytest.raises(InvalidQueryError):
+            planner.plan(Query((0, 0), (99, 99)))
+
+    def test_reset(self, planner_cls, mid_warehouse):
+        planner = planner_cls(mid_warehouse)
+        planner.plan(Query((0, 0), (10, 10)))
+        planner.reset()
+        assert planner.timers.queries == 0
+        assert len(planner.table) == 0
+
+    def test_prune_keeps_future_consistency(self, planner_cls, mid_warehouse):
+        planner = planner_cls(mid_warehouse)
+        routes = {}
+        cells = random_cells(mid_warehouse, 40, seed=21)
+        for k in range(0, 40, 2):
+            release = 20 * k
+            routes[k] = planner.plan(Query(cells[k], cells[k + 1], release, query_id=k))
+            routes.update(planner.take_revisions())
+            planner.prune(release)
+        assert find_conflicts(list(routes.values())) == []
+
+    def test_timers_accumulate(self, planner_cls, mid_warehouse):
+        planner = planner_cls(mid_warehouse)
+        planner.plan(Query((0, 0), (5, 5)))
+        planner.plan(Query((5, 5), (0, 0), 30))
+        assert planner.timers.queries == 2
+        assert planner.timers.total > 0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["SAP", "RP", "TWP", "ACP"])
+    def test_known_names(self, name, tiny_warehouse):
+        assert make_baseline(name, tiny_warehouse).name == name
+
+    def test_unknown_rejected(self, tiny_warehouse):
+        with pytest.raises(ValueError):
+            make_baseline("FOO", tiny_warehouse)
+
+
+class TestTWPSpecifics:
+    def test_small_window_still_collision_free(self, mid_warehouse):
+        planner = TWPPlanner(mid_warehouse, window=6)
+        routes = plan_stream(planner, mid_warehouse, 60, seed=23)
+        assert find_conflicts(list(routes.values())) == []
+
+    def test_window_zero_resolves_everything_in_repair(self, mid_warehouse):
+        planner = TWPPlanner(mid_warehouse, window=1)
+        routes = plan_stream(planner, mid_warehouse, 30, seed=24)
+        assert find_conflicts(list(routes.values())) == []
+
+
+class TestRPSpecifics:
+    def test_replans_counted(self, mid_warehouse):
+        planner = RPPlanner(mid_warehouse)
+        plan_stream(planner, mid_warehouse, 80, seed=25, spread=4)
+        assert planner.replans >= 1
+
+    def test_revisions_drained(self, mid_warehouse):
+        planner = RPPlanner(mid_warehouse)
+        plan_stream(planner, mid_warehouse, 60, seed=26, spread=4)
+        assert planner.take_revisions() == {}
+
+    def test_started_routes_immovable(self, mid_warehouse):
+        planner = RPPlanner(mid_warehouse)
+        first = planner.plan(Query((0, 0), (39, 29), 0, query_id=1))
+        # Force a conflicting query after the first robot departed.
+        planner.plan(Query((39, 29), (0, 0), 5, query_id=2))
+        revisions = planner.take_revisions()
+        assert 1 not in revisions  # the started route was not rewritten
+
+
+class TestACPSpecifics:
+    def test_cache_answers_dominate_light_traffic(self, mid_warehouse):
+        planner = ACPPlanner(mid_warehouse)
+        plan_stream(planner, mid_warehouse, 60, seed=27, spread=30)
+        assert planner.cache_answers > planner.search_answers
+
+    def test_cached_path_deterministic(self, mid_warehouse):
+        planner = ACPPlanner(mid_warehouse)
+        a = planner.plan(Query((0, 0), (20, 15), 0))
+        planner.reset()
+        b = planner.plan(Query((0, 0), (20, 15), 0))
+        assert a.grids == b.grids
+
+    def test_search_fallback_used_under_contention(self, mid_warehouse):
+        planner = ACPPlanner(mid_warehouse, max_cached_delay=0)
+        cells = random_cells(mid_warehouse, 40, seed=28, include_racks=False)
+        for k in range(0, 40, 2):
+            planner.plan(Query(cells[k], cells[k + 1], 0, query_id=k))
+        assert planner.search_answers >= 1

@@ -1,0 +1,98 @@
+"""Tests for the conflict-based search substrate."""
+
+import pytest
+
+from repro import Query, Warehouse
+from repro.analysis import find_conflicts
+from repro.baselines.cbs import _pair_conflict, cbs_solve
+from repro.baselines.reservation import ReservationTable
+from repro.pathfinding.distance import DistanceMaps
+from repro.types import Route
+
+
+@pytest.fixture
+def open_grid():
+    return Warehouse.from_ascii("\n".join(["." * 6] * 4))
+
+
+class TestPairConflict:
+    def test_vertex(self):
+        a = Route(0, [(0, 0), (0, 1), (0, 2)])
+        b = Route(0, [(0, 2), (0, 1), (0, 0)])
+        t, kind, payload = _pair_conflict(a, b)
+        assert kind == "vertex" and t == 1 and payload == (0, 1)
+
+    def test_edge(self):
+        a = Route(0, [(0, 0), (0, 1)])
+        b = Route(0, [(0, 1), (0, 0)])
+        t, kind, payload = _pair_conflict(a, b)
+        assert kind == "edge" and t == 0
+
+    def test_none(self):
+        a = Route(0, [(0, 0), (0, 1)])
+        b = Route(0, [(2, 0), (2, 1)])
+        assert _pair_conflict(a, b) is None
+
+    def test_disjoint_spans_do_not_conflict(self):
+        # Definition 3 counts occupancy only within a route's own span
+        # (idle robots are non-blocking); CBS matches the validator.
+        a = Route(0, [(0, 0), (0, 1)])
+        b = Route(3, [(0, 1), (0, 2)])
+        assert _pair_conflict(a, b) is None
+
+
+class TestCBSSolve:
+    def test_crossing_pair(self, open_grid):
+        maps = DistanceMaps(open_grid)
+        queries = [
+            Query((0, 0), (3, 0), 0, query_id=1),
+            Query((3, 0), (0, 0), 0, query_id=2),
+        ]
+        routes = cbs_solve(open_grid, queries, maps)
+        assert routes is not None
+        assert find_conflicts(routes) == []
+        assert routes[0].query_id == 1 and routes[1].query_id == 2
+
+    def test_three_way_intersection(self, open_grid):
+        maps = DistanceMaps(open_grid)
+        queries = [
+            Query((0, 2), (3, 2), 0),
+            Query((1, 0), (1, 5), 0),
+            Query((3, 3), (0, 3), 0),
+        ]
+        routes = cbs_solve(open_grid, queries, maps)
+        assert routes is not None
+        assert find_conflicts(routes) == []
+
+    def test_respects_base_traffic(self, open_grid):
+        maps = DistanceMaps(open_grid)
+        table = ReservationTable()
+        table.register(Route(0, [(1, 2)] * 10))  # an immovable squatter
+        routes = cbs_solve(
+            open_grid, [Query((1, 0), (1, 5), 0)], maps, base_checker=table
+        )
+        assert routes is not None
+        for t, cell in routes[0].steps():
+            assert not (cell == (1, 2) and t <= 9)
+
+    def test_node_budget_gives_up(self, open_grid):
+        maps = DistanceMaps(open_grid)
+        queries = [
+            Query((0, 0), (3, 5), 0),
+            Query((3, 5), (0, 0), 0),
+            Query((0, 5), (3, 0), 0),
+            Query((3, 0), (0, 5), 0),
+        ]
+        assert cbs_solve(open_grid, queries, maps, max_nodes=0) is None
+
+    def test_solution_cost_reasonable(self, open_grid):
+        """CBS must not be worse than naive sequential delays."""
+        maps = DistanceMaps(open_grid)
+        queries = [
+            Query((0, 0), (0, 5), 0),
+            Query((0, 5), (0, 0), 0),
+        ]
+        routes = cbs_solve(open_grid, queries, maps)
+        assert routes is not None
+        total = sum(r.duration for r in routes)
+        assert total <= 16  # 5 + 5 plus a small detour allowance

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_cell, build_parser, main
+
+
+class TestParsing:
+    def test_parse_cell(self):
+        assert _parse_cell("3,7") == (3, 7)
+
+    def test_parse_cell_bad(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_cell("3;7")
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--dataset", "W-1", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "strip vertices" in out
+        assert "W-1@0.2" in out
+
+    def test_info_from_layout_file(self, capsys, tmp_path, small_warehouse):
+        from repro.warehouse import save_warehouse
+
+        path = tmp_path / "wh.json"
+        save_warehouse(small_warehouse, path)
+        assert main(["info", "--layout", str(path)]) == 0
+        assert "28 x 20" in capsys.readouterr().out
+
+    def test_plan(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--dataset",
+                "W-1",
+                "--scale",
+                "0.2",
+                "--origin",
+                "0,0",
+                "--dest",
+                "10,10",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "20 steps" in out
+        assert "0,0" in out
+
+    def test_simulate_multi_planner(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--dataset",
+                "W-1",
+                "--scale",
+                "0.2",
+                "--tasks",
+                "8",
+                "--day",
+                "200",
+                "--planner",
+                "SRP,ACP",
+                "--validate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SRP" in out and "ACP" in out
+        assert "OG (s)" in out
+
+
+class TestPlannerVariantFlags:
+    def test_plan_with_bucket_store(self, capsys):
+        code = main(
+            [
+                "plan", "--dataset", "W-1", "--scale", "0.2",
+                "--origin", "0,0", "--dest", "8,8",
+                "--store", "bucket",
+            ]
+        )
+        assert code == 0
+        assert "16 steps" in capsys.readouterr().out
+
+    def test_simulate_exact_intra(self, capsys):
+        code = main(
+            [
+                "simulate", "--dataset", "W-1", "--scale", "0.2",
+                "--tasks", "5", "--day", "120", "--exact", "--validate",
+            ]
+        )
+        assert code == 0
+        assert "SRP" in capsys.readouterr().out

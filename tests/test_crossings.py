@@ -1,0 +1,59 @@
+"""Tests for the packed crossing ledger."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.crossings import CrossingLedger
+
+cell = st.tuples(st.integers(0, 19), st.integers(0, 19))
+
+
+class TestLedgerBasics:
+    def test_add_and_contains(self):
+        ledger = CrossingLedger(20, 20)
+        ledger.add((1, 2), (1, 3), 10)
+        assert ledger.contains((1, 2), (1, 3), 10)
+        assert ((1, 2), (1, 3), 10) in ledger
+        assert not ledger.contains((1, 3), (1, 2), 10)  # direction matters
+        assert not ledger.contains((1, 2), (1, 3), 11)  # time matters
+
+    def test_add_key_and_update(self):
+        ledger = CrossingLedger(20, 20)
+        ledger.add_key(((0, 0), (0, 1), 5))
+        ledger.update([((2, 2), (3, 2), 7), ((4, 4), (4, 5), 9)])
+        assert len(ledger) == 3
+        assert ((2, 2), (3, 2), 7) in ledger
+
+    def test_prune(self):
+        ledger = CrossingLedger(20, 20)
+        ledger.add((0, 0), (0, 1), 5)
+        ledger.add((0, 0), (0, 1), 50)
+        assert ledger.prune(10) == 1
+        assert len(ledger) == 1
+        assert ((0, 0), (0, 1), 50) in ledger
+
+    def test_clear_and_bool(self):
+        ledger = CrossingLedger(20, 20)
+        assert not ledger
+        ledger.add((0, 0), (1, 0), 1)
+        assert ledger
+        ledger.clear()
+        assert not ledger and len(ledger) == 0
+
+
+class TestPackingIsInjective:
+    @settings(max_examples=300)
+    @given(cell, cell, st.integers(0, 100_000), cell, cell, st.integers(0, 100_000))
+    def test_no_key_collisions(self, f1, t1, time1, f2, t2, time2):
+        ledger = CrossingLedger(20, 20)
+        ledger.add(f1, t1, time1)
+        expected = (f1, t1, time1) == (f2, t2, time2)
+        assert ledger.contains(f2, t2, time2) == expected
+
+    @settings(max_examples=200)
+    @given(st.lists(st.tuples(cell, cell, st.integers(0, 1000)), max_size=30))
+    def test_len_matches_distinct_keys(self, events):
+        ledger = CrossingLedger(20, 20)
+        for f, t, time in events:
+            ledger.add(f, t, time)
+        assert len(ledger) == len(set(events))

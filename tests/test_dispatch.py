@@ -1,0 +1,92 @@
+"""Tests for the task dispatching strategies."""
+
+import pytest
+
+from repro import SRPPlanner, TaskTraceSpec, generate_tasks, run_day
+from repro.simulation import HungarianDispatcher, NearestIdleDispatcher, RobotFleet
+from repro.types import Task
+
+
+def make_tasks(*racks):
+    return [Task(0, rack, (0, 0), task_id=i) for i, rack in enumerate(racks)]
+
+
+class TestNearestIdleDispatcher:
+    def test_fifo_with_nearest(self):
+        fleet = RobotFleet([(0, 0), (10, 10)])
+        tasks = make_tasks((9, 9), (1, 1))
+        pairs = NearestIdleDispatcher().assign(tasks, fleet, now=0)
+        # First task takes the nearest robot even if a later task would
+        # have liked it more.
+        assert pairs[0][0].task_id == 0 and pairs[0][1].cell == (10, 10)
+        assert pairs[1][0].task_id == 1 and pairs[1][1].cell == (0, 0)
+
+    def test_respects_busy(self):
+        fleet = RobotFleet([(0, 0), (10, 10)])
+        fleet.robots[1].busy_until = 100
+        pairs = NearestIdleDispatcher().assign(make_tasks((9, 9)), fleet, now=0)
+        assert len(pairs) == 1 and pairs[0][1].robot_id == 0
+
+    def test_stops_when_no_idle(self):
+        fleet = RobotFleet([(0, 0)])
+        pairs = NearestIdleDispatcher().assign(make_tasks((1, 1), (2, 2)), fleet, 0)
+        assert len(pairs) == 1
+
+
+class TestHungarianDispatcher:
+    def test_globally_optimal(self):
+        fleet = RobotFleet([(0, 0), (10, 10)])
+        tasks = make_tasks((9, 9), (1, 1))
+        pairs = HungarianDispatcher().assign(tasks, fleet, now=0)
+        by_task = {t.task_id: r.cell for t, r in pairs}
+        # Joint optimum crosses the greedy choice: task 0 -> far robot.
+        assert by_task[0] == (10, 10)
+        assert by_task[1] == (0, 0)
+
+    def test_total_cost_never_worse_than_greedy(self):
+        from repro.types import manhattan
+
+        fleet_cells = [(0, 0), (3, 7), (12, 2)]
+        tasks = make_tasks((2, 6), (11, 1), (1, 1))
+        greedy = NearestIdleDispatcher().assign(tasks, RobotFleet(fleet_cells), 0)
+        optimal = HungarianDispatcher().assign(tasks, RobotFleet(fleet_cells), 0)
+        cost = lambda pairs: sum(manhattan(r.cell, t.rack) for t, r in pairs)
+        assert cost(optimal) <= cost(greedy)
+
+    def test_empty_inputs(self):
+        fleet = RobotFleet([(0, 0)])
+        assert HungarianDispatcher().assign([], fleet, 0) == []
+        fleet.robots[0].busy_until = 10
+        assert HungarianDispatcher().assign(make_tasks((1, 1)), fleet, 0) == []
+
+    def test_fifo_batching(self):
+        fleet = RobotFleet([(0, 0)])
+        tasks = make_tasks((5, 5), (0, 1))
+        pairs = HungarianDispatcher().assign(tasks, fleet, 0)
+        # Only the earliest task is considered for the single robot.
+        assert len(pairs) == 1 and pairs[0][0].task_id == 0
+
+
+class TestEndToEnd:
+    def test_day_with_hungarian(self, small_warehouse):
+        tasks = generate_tasks(small_warehouse, TaskTraceSpec(n_tasks=12, day_length=300, seed=9))
+        result = run_day(
+            small_warehouse,
+            SRPPlanner(small_warehouse),
+            tasks,
+            validate=True,
+            dispatcher=HungarianDispatcher(),
+        )
+        assert result.completed_tasks == 12
+        assert result.conflicts == []
+
+    def test_dispatchers_equivalent_completion(self, small_warehouse):
+        tasks = generate_tasks(small_warehouse, TaskTraceSpec(n_tasks=10, day_length=200, seed=10))
+        for dispatcher in (NearestIdleDispatcher(), HungarianDispatcher()):
+            result = run_day(
+                small_warehouse,
+                SRPPlanner(small_warehouse),
+                tasks,
+                dispatcher=dispatcher,
+            )
+            assert result.completed_tasks == 10

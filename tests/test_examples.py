@@ -1,0 +1,55 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "collision-free" in result.stdout
+
+    def test_custom_layout(self):
+        result = run_example("custom_layout.py")
+        assert result.returncode == 0, result.stderr
+        assert "strip inventory" in result.stdout
+        assert "round-tripped" in result.stdout
+
+    def test_warehouse_day_small(self):
+        result = run_example("warehouse_day.py", "0.2", "25")
+        assert result.returncode == 0, result.stderr
+        assert "OG (makespan)" in result.stdout
+        assert "SRP" in result.stdout and "SAP" in result.stdout
+
+    def test_planner_shootout_small(self):
+        result = run_example("planner_shootout.py", "0.2", "20")
+        assert result.returncode == 0, result.stderr
+        for name in ("SRP", "SAP", "RP", "TWP", "ACP"):
+            assert name in result.stdout
+
+    def test_congestion_study(self):
+        result = run_example("congestion_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "mean CR" in result.stdout
+        assert "traffic snapshot" in result.stdout
+
+    def test_ablation_tour(self):
+        result = run_example("ablation_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "ablation axes" in result.stdout
+        assert "exact + backward" in result.stdout

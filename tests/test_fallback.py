@@ -1,0 +1,81 @@
+"""Tests for the segment-store conflict checker and the A* fallback."""
+
+import pytest
+
+from repro import Query, Warehouse, build_strip_graph
+from repro.core.fallback import SegmentStoreChecker, fallback_plan
+from repro.core.segments import Segment, make_move, make_wait
+from repro.core.slope_index import SlopeIndexedStore
+from repro.pathfinding.distance import DistanceMaps
+
+
+@pytest.fixture
+def world(tiny_warehouse):
+    graph = build_strip_graph(tiny_warehouse)
+    stores = [SlopeIndexedStore() for _ in graph.strips]
+    crossings = set()
+    return tiny_warehouse, graph, stores, crossings
+
+
+class TestSegmentStoreChecker:
+    def test_within_strip_vertex(self, world):
+        wh, graph, stores, crossings = world
+        idx, pos = graph.locate((0, 3))
+        stores[idx].insert(make_wait(0, pos, 5))
+        checker = SegmentStoreChecker(graph, stores, crossings)
+        assert checker.cell_blocked((0, 3), 2)
+        assert not checker.cell_blocked((0, 3), 9)
+        assert checker.move_blocked((0, 2), (0, 3), 1)
+
+    def test_within_strip_swap(self, world):
+        wh, graph, stores, crossings = world
+        idx, pos = graph.locate((0, 3))
+        # Committed robot moves 3 -> 2 along row 0 over [4, 5].
+        stores[idx].insert(Segment(4, pos, 5, pos - 1))
+        checker = SegmentStoreChecker(graph, stores, crossings)
+        assert checker.move_blocked((0, 2), (0, 3), 4)
+
+    def test_cross_strip_entry_occupancy(self, world):
+        wh, graph, stores, crossings = world
+        idx, pos = graph.locate((1, 1))  # a longitudinal aisle cell
+        stores[idx].insert(make_wait(3, pos, 2))
+        checker = SegmentStoreChecker(graph, stores, crossings)
+        # Moving from row 0 into (1,1) arriving t=4 hits the wait.
+        assert checker.move_blocked((0, 1), (1, 1), 3)
+        assert not checker.move_blocked((0, 1), (1, 1), 6)
+
+    def test_cross_strip_swap_via_crossing_events(self, world):
+        wh, graph, stores, crossings = world
+        crossings.add((((1, 1)), ((0, 1)), 5))  # someone crosses up at t=5
+        checker = SegmentStoreChecker(graph, stores, crossings)
+        assert checker.move_blocked((0, 1), (1, 1), 4)  # we'd cross down
+        assert not checker.move_blocked((0, 1), (1, 1), 5)
+
+
+class TestFallbackPlan:
+    def test_plans_around_committed_traffic(self, world):
+        wh, graph, stores, crossings = world
+        idx, pos = graph.locate((0, 4))
+        stores[idx].insert(make_wait(0, pos, 30))  # squatter mid-row
+        maps = DistanceMaps(wh)
+        route = fallback_plan(
+            graph, stores, crossings, maps, Query((0, 0), (0, 7), 0)
+        )
+        assert route is not None
+        for t, cell in route.steps():
+            assert not (cell == (0, 4) and t <= 30)
+
+    def test_rack_endpoints_supported(self, world):
+        wh, graph, stores, crossings = world
+        maps = DistanceMaps(wh)
+        route = fallback_plan(graph, stores, crossings, maps, Query((1, 2), (2, 5), 0))
+        assert route is not None
+        assert route.origin == (1, 2) and route.destination == (2, 5)
+
+    def test_respects_budget(self, world):
+        wh, graph, stores, crossings = world
+        maps = DistanceMaps(wh)
+        route = fallback_plan(
+            graph, stores, crossings, maps, Query((0, 0), (7, 7), 0), max_expansions=2
+        )
+        assert route is None

@@ -1,0 +1,182 @@
+"""Tests for the integer-time segment conflict semantics (Eqs. 2-3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.segments import Segment
+from repro.geometry.collision import (
+    ConflictKind,
+    collision_time,
+    conflict_between,
+    conflict_between_segments,
+    earliest_block_time,
+    segment_intercept,
+    segment_slope,
+    validate_segment,
+)
+from tests.conftest import brute_force_conflict
+
+
+# ----------------------------------------------------------------------
+# Raw-segment helpers
+# ----------------------------------------------------------------------
+def seg(t0, p0, t1, p1):
+    return (t0, p0, t1, p1)
+
+
+@st.composite
+def raw_segments(draw, max_t=30, max_p=20, max_len=12):
+    t0 = draw(st.integers(0, max_t))
+    p0 = draw(st.integers(0, max_p))
+    slope = draw(st.sampled_from([-1, 0, 1]))
+    length = draw(st.integers(0, max_len))
+    p1 = p0 + slope * length if slope else p0
+    return (t0, p0, t0 + length, p1)
+
+
+class TestSlopeAndIntercept:
+    def test_forward(self):
+        assert segment_slope(seg(0, 0, 5, 5)) == 1
+
+    def test_backward(self):
+        assert segment_slope(seg(0, 5, 5, 0)) == -1
+
+    def test_wait(self):
+        assert segment_slope(seg(0, 3, 4, 3)) == 0
+
+    def test_point(self):
+        assert segment_slope(seg(2, 3, 2, 3)) == 0
+
+    def test_intercept_forward(self):
+        # p = t + b with b = p0 - t0
+        assert segment_intercept(seg(3, 5, 7, 9)) == 2
+
+    def test_intercept_backward(self):
+        # p = -t + c with c = p0 + t0
+        assert segment_intercept(seg(3, 5, 7, 1)) == 8
+
+    def test_validate_rejects_backwards_time(self):
+        with pytest.raises(ValueError):
+            validate_segment(seg(5, 0, 3, 2))
+
+    def test_validate_rejects_superspeed(self):
+        with pytest.raises(ValueError):
+            validate_segment(seg(0, 0, 2, 5))
+
+
+class TestVertexConflicts:
+    def test_crossing_at_integer_time(self):
+        # +1 from (0,0), -1 from (0,4): meet at t=2, p=2.
+        c = conflict_between(seg(0, 0, 4, 4), seg(0, 4, 4, 0))
+        assert c is not None and c.kind is ConflictKind.VERTEX
+        assert c.blocked_time == 2
+
+    def test_moving_hits_waiting(self):
+        # +1 from (0,0) reaches p=3 at t=3 where a robot waits.
+        c = conflict_between(seg(0, 0, 5, 5), seg(1, 3, 6, 3))
+        assert c is not None and c.kind is ConflictKind.VERTEX
+        assert c.blocked_time == 3
+
+    def test_touching_endpoints_conflict(self):
+        # Both robots occupy p=4 at t=4 even though it is an endpoint.
+        c = conflict_between(seg(0, 0, 4, 4), seg(4, 4, 8, 8))
+        assert c is not None and c.blocked_time == 4
+
+    def test_miss_by_one_second(self):
+        # Same cell, one second apart: no conflict.
+        assert conflict_between(seg(0, 0, 4, 4), seg(5, 4, 8, 7)) is None
+
+
+class TestSwapConflicts:
+    def test_adjacent_swap(self):
+        # (2 -> 3) while (3 -> 2) between t=0 and t=1.
+        c = conflict_between(seg(0, 2, 1, 3), seg(0, 3, 1, 2))
+        assert c is not None and c.kind is ConflictKind.SWAP
+        assert c.blocked_time == 1
+
+    def test_longer_segments_swap(self):
+        c = conflict_between(seg(0, 0, 5, 5), seg(0, 5, 5, 0))
+        # Crossing at t=2.5: swap between t=2 and t=3.
+        assert c is not None and c.kind is ConflictKind.SWAP
+        assert c.blocked_time == 3
+
+    def test_half_crossing_outside_span_is_safe(self):
+        # The crossing would happen at t=2.5, but one segment ends at t=2.
+        assert conflict_between(seg(0, 0, 2, 2), seg(0, 5, 5, 0)) is None
+
+    def test_eq3_collision_time_matches(self):
+        a, b = seg(0, 0, 5, 5), seg(0, 5, 5, 0)
+        # Eq. (3) returns the floor of the crossing time (the second
+        # before the exchange).
+        assert collision_time(a, b) == 2
+
+
+class TestOverlapConflicts:
+    def test_same_line_overlap(self):
+        c = conflict_between(seg(0, 0, 5, 5), seg(2, 2, 6, 6))
+        assert c is not None and c.kind is ConflictKind.OVERLAP
+        assert c.blocked_time == 2
+
+    def test_same_line_touching_single_second(self):
+        c = conflict_between(seg(0, 0, 3, 3), seg(3, 3, 6, 6))
+        assert c is not None and c.kind is ConflictKind.VERTEX
+        assert c.blocked_time == 3
+
+    def test_parallel_different_lines(self):
+        assert conflict_between(seg(0, 0, 5, 5), seg(0, 2, 5, 7)) is None
+
+    def test_two_waits_same_cell(self):
+        c = conflict_between(seg(0, 3, 4, 3), seg(2, 3, 8, 3))
+        assert c is not None and c.blocked_time == 2
+
+    def test_two_waits_different_cells(self):
+        assert conflict_between(seg(0, 3, 4, 3), seg(0, 4, 8, 4)) is None
+
+
+class TestDisjointSpans:
+    def test_no_time_overlap(self):
+        assert conflict_between(seg(0, 0, 2, 2), seg(5, 0, 7, 2)) is None
+
+    def test_point_vs_segment(self):
+        assert conflict_between(seg(3, 3, 3, 3), seg(0, 0, 6, 6)) is not None
+        assert conflict_between(seg(3, 4, 3, 4), seg(0, 0, 6, 6)) is None
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=400)
+    @given(raw_segments(), raw_segments())
+    def test_blocked_time_matches_simulation(self, a, b):
+        expected = brute_force_conflict(a, b)
+        got = conflict_between(a, b)
+        assert (got.blocked_time if got else None) == expected
+
+    @settings(max_examples=400)
+    @given(raw_segments(), raw_segments())
+    def test_symmetry_of_existence(self, a, b):
+        assert (conflict_between(a, b) is None) == (conflict_between(b, a) is None)
+
+    @settings(max_examples=400)
+    @given(raw_segments(), raw_segments())
+    def test_fast_path_equivalent(self, a, b):
+        sa = Segment(*a)
+        sb = Segment(*b)
+        slow = conflict_between(a, b)
+        fast = conflict_between_segments(sa, sb)
+        assert (slow is None) == (fast is None)
+        if slow is not None:
+            assert slow.blocked_time == fast.blocked_time
+            assert slow.kind == fast.kind
+
+
+class TestEarliestBlockTime:
+    def test_picks_minimum(self):
+        target = seg(0, 0, 9, 9)
+        others = [seg(0, 8, 8, 0), seg(2, 4, 6, 4), seg(7, 9, 9, 7)]
+        # Conflicts at: crossing t=4, wait-hit at t=4, crossing t=8.
+        assert earliest_block_time(target, others) == 4
+
+    def test_none_when_clear(self):
+        assert earliest_block_time(seg(0, 0, 3, 3), [seg(0, 10, 5, 10)]) is None
+
+    def test_empty_iterable(self):
+        assert earliest_block_time(seg(0, 0, 3, 3), []) is None

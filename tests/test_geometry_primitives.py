@@ -1,0 +1,105 @@
+"""Unit and property tests for the exact geometry primitives."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    cross,
+    on_segment,
+    orientation,
+    segments_intersect,
+    segments_properly_intersect,
+)
+
+coord = st.integers(min_value=-50, max_value=50)
+point = st.tuples(coord, coord)
+
+
+class TestCross:
+    def test_counter_clockwise_positive(self):
+        assert cross((0, 0), (1, 0), (0, 1)) > 0
+
+    def test_clockwise_negative(self):
+        assert cross((0, 0), (0, 1), (1, 0)) < 0
+
+    def test_collinear_zero(self):
+        assert cross((0, 0), (1, 1), (3, 3)) == 0
+
+    @given(point, point, point)
+    def test_antisymmetric(self, o, a, b):
+        assert cross(o, a, b) == -cross(o, b, a)
+
+    @given(point, point)
+    def test_degenerate_is_zero(self, o, a):
+        assert cross(o, a, a) == 0
+
+
+class TestOrientation:
+    @given(point, point, point)
+    def test_sign_of_cross(self, o, a, b):
+        c = cross(o, a, b)
+        expected = (c > 0) - (c < 0)
+        assert orientation(o, a, b) == expected
+
+
+class TestOnSegment:
+    def test_midpoint(self):
+        assert on_segment((1, 1), (0, 0), (2, 2))
+
+    def test_endpoint(self):
+        assert on_segment((0, 0), (0, 0), (2, 2))
+
+    def test_collinear_but_outside(self):
+        assert not on_segment((3, 3), (0, 0), (2, 2))
+
+    def test_off_line(self):
+        assert not on_segment((1, 2), (0, 0), (2, 2))
+
+    @given(point, point)
+    def test_endpoints_always_on(self, a, b):
+        assert on_segment(a, a, b)
+        assert on_segment(b, a, b)
+
+
+class TestProperIntersection:
+    def test_crossing(self):
+        assert segments_properly_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_touching_endpoint_not_proper(self):
+        assert not segments_properly_intersect((0, 0), (2, 2), (2, 2), (4, 0))
+
+    def test_parallel(self):
+        assert not segments_properly_intersect((0, 0), (2, 2), (0, 1), (2, 3))
+
+    def test_collinear_overlap_not_proper(self):
+        assert not segments_properly_intersect((0, 0), (4, 4), (1, 1), (3, 3))
+
+    @given(point, point, point, point)
+    def test_symmetric(self, a1, a2, b1, b2):
+        assert segments_properly_intersect(a1, a2, b1, b2) == segments_properly_intersect(
+            b1, b2, a1, a2
+        )
+
+    @given(point, point, point, point)
+    def test_proper_implies_intersect(self, a1, a2, b1, b2):
+        if segments_properly_intersect(a1, a2, b1, b2):
+            assert segments_intersect(a1, a2, b1, b2)
+
+
+class TestClosedIntersection:
+    def test_touching_endpoints(self):
+        assert segments_intersect((0, 0), (2, 2), (2, 2), (4, 0))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect((0, 0), (4, 4), (1, 1), (3, 3))
+
+    def test_disjoint_parallel(self):
+        assert not segments_intersect((0, 0), (2, 0), (0, 1), (2, 1))
+
+    def test_disjoint_collinear(self):
+        assert not segments_intersect((0, 0), (1, 1), (3, 3), (5, 5))
+
+    def test_point_on_segment(self):
+        assert segments_intersect((1, 1), (1, 1), (0, 0), (2, 2))
+
+    def test_point_off_segment(self):
+        assert not segments_intersect((1, 2), (1, 2), (0, 0), (2, 2))

@@ -1,0 +1,55 @@
+"""Repository hygiene: docstrings, exports, and API stability."""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            module.__name__
+            for module in iter_modules()
+            if not (module.__doc__ or "").strip()
+        ]
+        assert undocumented == []
+
+    def test_every_public_class_documented(self):
+        missing = []
+        for module in iter_modules():
+            for name in dir(module):
+                if name.startswith("_"):
+                    continue
+                obj = getattr(module, name)
+                if isinstance(obj, type) and obj.__module__ == module.__name__:
+                    if not (obj.__doc__ or "").strip():
+                        missing.append(f"{module.__name__}.{name}")
+        assert missing == []
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_names_resolve(self):
+        for module in iter_modules():
+            for name in getattr(module, "__all__", ()):
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_planners_expose_names(self):
+        from repro import ACPPlanner, RPPlanner, SAPPlanner, SRPPlanner, TWPPlanner
+
+        names = {cls.name for cls in (SRPPlanner, SAPPlanner, RPPlanner, TWPPlanner, ACPPlanner)}
+        assert names == {"SRP", "SAP", "RP", "TWP", "ACP"}
+
+    def test_version(self):
+        major = int(repro.__version__.split(".")[0])
+        assert major >= 1

@@ -1,0 +1,126 @@
+"""Cross-module integration and property tests.
+
+These exercise the whole stack the way the evaluation harness does:
+random warehouses, online query streams, every planner — and assert the
+global invariants (collision-freedom, route validity, effectiveness
+sanity) that the paper's experiments rely on.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    ACPPlanner,
+    LayoutSpec,
+    Query,
+    RPPlanner,
+    SAPPlanner,
+    SRPPlanner,
+    TWPPlanner,
+    TaskTraceSpec,
+    generate_layout,
+    generate_tasks,
+    run_day,
+)
+from repro.analysis import find_conflicts
+from repro.types import manhattan
+
+ALL_PLANNERS = [SRPPlanner, SAPPlanner, TWPPlanner, RPPlanner, ACPPlanner]
+
+
+def online_stream(warehouse, n_queries, seed, window):
+    rng = random.Random(seed)
+    pool = warehouse.free_cells() + warehouse.rack_cells()
+    releases = sorted(rng.randrange(0, window) for _ in range(n_queries))
+    queries = []
+    for k, release in enumerate(releases):
+        o = pool[rng.randrange(len(pool))]
+        d = pool[rng.randrange(len(pool))]
+        queries.append(Query(o, d, release, query_id=k))
+    return queries
+
+
+@pytest.mark.parametrize("planner_cls", ALL_PLANNERS)
+def test_online_stream_collision_free_and_sane(mid_warehouse, planner_cls):
+    planner = planner_cls(mid_warehouse)
+    queries = online_stream(mid_warehouse, 50, seed=77, window=600)
+    routes = {}
+    for q in queries:
+        route = planner.plan(q)
+        assert route.origin == q.origin
+        assert route.destination == q.destination
+        assert route.start_time >= q.release_time
+        assert route.is_unit_speed()
+        routes[q.query_id] = route
+        routes.update(planner.take_revisions())
+    assert find_conflicts(list(routes.values())) == []
+
+
+def test_srp_effectiveness_close_to_sap(mid_warehouse):
+    """Sec. VII-A: SRP's routes are near-optimal; compare total durations."""
+    queries = online_stream(mid_warehouse, 60, seed=78, window=900)
+    totals = {}
+    for planner_cls in (SRPPlanner, SAPPlanner):
+        planner = planner_cls(mid_warehouse)
+        totals[planner.name] = sum(planner.plan(q).duration for q in queries)
+    # The theory bounds a single route at 1.788x; whole streams in
+    # light-to-moderate traffic stay well under that.
+    assert totals["SRP"] <= 1.3 * totals["SAP"]
+
+
+def test_all_planners_same_day_same_trace(small_warehouse):
+    tasks = generate_tasks(small_warehouse, TaskTraceSpec(n_tasks=10, day_length=300, seed=55))
+    makespans = {}
+    for planner_cls in ALL_PLANNERS:
+        result = run_day(small_warehouse, planner_cls(small_warehouse), tasks, validate=True)
+        assert result.conflicts == []
+        assert result.failed_tasks == 0
+        makespans[result.planner_name] = result.makespan
+    best, worst = min(makespans.values()), max(makespans.values())
+    # Reasonable effectiveness for everyone (Table III spirit).
+    assert worst <= 1.25 * best
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    h=st.integers(20, 34),
+    w=st.integers(14, 26),
+    l=st.integers(2, 5),
+)
+def test_srp_collision_free_on_random_worlds(seed, h, w, l):
+    """Property: on any generated layout, an online SRP stream of
+    queries never produces a pairwise route conflict."""
+    spec = LayoutSpec(
+        height=h, width=w, cluster_length=l, n_pickers=2, n_robots=2, seed=seed % 100
+    )
+    warehouse = generate_layout(spec)
+    planner = SRPPlanner(warehouse)
+    queries = online_stream(warehouse, 24, seed=seed, window=200)
+    routes = []
+    for q in queries:
+        routes.append(planner.plan(q))
+    assert find_conflicts(routes) == []
+
+
+def test_srp_duration_lower_bound(mid_warehouse):
+    planner = SRPPlanner(mid_warehouse)
+    queries = online_stream(mid_warehouse, 40, seed=79, window=500)
+    for q in queries:
+        route = planner.plan(q)
+        assert route.duration >= manhattan(q.origin, q.destination)
+
+
+def test_day_simulation_snapshot_monotonicity(small_warehouse):
+    tasks = generate_tasks(small_warehouse, TaskTraceSpec(n_tasks=16, day_length=400, seed=66))
+    result = run_day(small_warehouse, SRPPlanner(small_warehouse), tasks, snapshot_every=0.1)
+    times = [s.sim_time for s in result.snapshots]
+    assert times == sorted(times)
+    mcs = [s.mc_bytes for s in result.snapshots]
+    assert all(m is not None and m > 0 for m in mcs)

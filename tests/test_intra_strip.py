@@ -1,0 +1,174 @@
+"""Tests for the intra-strip planner (Algorithm 2) and its wait jumps."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.intra_strip import next_clear_departure, plan_within_strip
+from repro.core.naive_store import NaiveSegmentStore
+from repro.core.segments import Segment, make_move, make_wait
+from repro.core.slope_index import SlopeIndexedStore
+from repro.geometry.collision import conflict_between, conflict_between_segments
+
+STORES = [NaiveSegmentStore, SlopeIndexedStore]
+
+
+def assert_plan_valid(plan, store, start_time, origin, destination):
+    """A plan must be contiguous, monotone, collision-free, and arrive."""
+    t, p = start_time, origin
+    direction = 0 if destination == origin else (1 if destination > origin else -1)
+    for seg in plan.segments:
+        assert seg.t0 == t and seg.p0 == p, "segments must chain"
+        assert seg.slope in (0, direction), "no backward moves"
+        for other in store.iter_segments():
+            assert conflict_between(seg.raw, other.raw) is None
+        t, p = seg.t1, seg.p1
+    assert p == destination
+    assert t == plan.arrival_time
+
+
+@pytest.mark.parametrize("store_cls", STORES)
+class TestEmptyStrip:
+    def test_direct_move(self, store_cls):
+        plan = plan_within_strip(store_cls(), 5, 2, 9)
+        assert plan is not None
+        assert plan.segments == [Segment(5, 2, 12, 9)]
+        assert plan.duration == 7
+        assert plan.expansions == 0  # fast path
+
+    def test_origin_is_destination(self, store_cls):
+        plan = plan_within_strip(store_cls(), 5, 4, 4)
+        assert plan is not None
+        assert plan.segments == [] and plan.arrival_time == 5
+
+    def test_backward_direction(self, store_cls):
+        plan = plan_within_strip(store_cls(), 0, 9, 3)
+        assert plan is not None and plan.duration == 6
+
+
+@pytest.mark.parametrize("store_cls", STORES)
+class TestCollisionAvoidance:
+    def test_waits_for_crossing_robot(self, store_cls):
+        store = store_cls()
+        # Opposing robot covers 6 -> 3 over [2, 5], then leaves the strip.
+        store.insert(make_move(2, 6, 3))
+        plan = plan_within_strip(store, 0, 0, 9)
+        assert plan is not None
+        assert_plan_valid(plan, store, 0, 0, 9)
+        assert plan.duration > 9  # had to wait somewhere
+
+    def test_head_on_opposing_traffic_is_infeasible(self, store_cls):
+        # An opposing robot sweeping the whole strip cannot be dodged
+        # without backward moves: the restricted search must give up
+        # (the end-to-end planner then reroutes or falls back to A*).
+        store = store_cls()
+        store.insert(make_move(0, 9, 0))
+        assert plan_within_strip(store, 0, 0, 9) is None
+
+    def test_follows_same_direction_traffic(self, store_cls):
+        store = store_cls()
+        store.insert(make_move(0, 1, 8))  # ahead of us, same direction
+        plan = plan_within_strip(store, 0, 0, 7)
+        assert plan is not None
+        assert_plan_valid(plan, store, 0, 0, 7)
+        # Following one cell behind needs no extra time.
+        assert plan.duration == 7
+
+    def test_waits_out_a_parked_robot(self, store_cls):
+        store = store_cls()
+        store.insert(make_wait(0, 5, 10))  # parked at p=5 until t=10
+        plan = plan_within_strip(store, 0, 0, 9)
+        assert plan is not None
+        assert_plan_valid(plan, store, 0, 0, 9)
+        # Must reach p=5 no earlier than t=11.
+        arrival_at_5 = next(
+            seg.t0 + (5 - seg.p0) for seg in plan.segments if seg.slope == 1 and seg.p0 <= 5 <= seg.p1
+        )
+        assert arrival_at_5 >= 11
+
+    def test_standing_start_blocked(self, store_cls):
+        store = store_cls()
+        store.insert(make_move(0, 3, 0))  # passes p=0 at t=3
+        # Start waiting at p=0 from t=3: immediate vertex conflict.
+        plan = plan_within_strip(store, 3, 0, 5)
+        assert plan is None
+
+    def test_wait_probe_respects_traffic_through_stop_cell(self, store_cls):
+        store = store_cls()
+        # Robot A parks at p=6 over [0, 30]: we must stop before it.
+        store.insert(make_wait(0, 6, 30))
+        # Robot B sweeps through p=5 at t=8: waiting at p=5 must dodge it.
+        store.insert(make_move(3, 10, 0))
+        plan = plan_within_strip(store, 0, 0, 9, max_wait=64)
+        if plan is not None:
+            assert_plan_valid(plan, store, 0, 0, 9)
+
+    def test_budget_exhaustion_returns_none(self, store_cls):
+        store = store_cls()
+        for k in range(30):
+            store.insert(make_wait(2 * k, 5, 1))
+        plan = plan_within_strip(store, 0, 0, 9, max_expansions=1)
+        assert plan is None
+
+    def test_impossible_when_destination_blocked_forever(self, store_cls):
+        store = store_cls()
+        store.insert(make_wait(0, 9, 500))  # squatter on the destination
+        plan = plan_within_strip(store, 0, 0, 9, max_wait=16)
+        assert plan is None
+
+
+@pytest.mark.parametrize("store_cls", STORES)
+class TestPlanShape:
+    def test_no_backward_segments(self, store_cls):
+        store = store_cls()
+        store.insert(make_move(0, 9, 0))
+        store.insert(make_wait(4, 4, 6))
+        plan = plan_within_strip(store, 0, 0, 9)
+        if plan is not None:
+            for seg in plan.segments:
+                assert seg.slope >= 0
+
+    def test_greedy_prefers_latest_stop(self, store_cls):
+        store = store_cls()
+        store.insert(make_wait(0, 5, 6))  # wall at p=5 until t=6
+        plan = plan_within_strip(store, 0, 0, 9)
+        assert plan is not None
+        assert_plan_valid(plan, store, 0, 0, 9)
+        # Greedy runs to p=4 (right before the wall) and waits there.
+        wait = next(s for s in plan.segments if s.is_wait)
+        assert wait.p0 == 4
+
+
+class TestNextClearDeparture:
+    @settings(max_examples=500, deadline=None)
+    @given(
+        st.integers(0, 25),  # p
+        st.integers(0, 25),  # dest
+        st.integers(0, 40),  # t_from
+        st.integers(0, 40),  # obstacle t0
+        st.integers(0, 25),  # obstacle p0
+        st.sampled_from([-1, 0, 1]),
+        st.integers(0, 15),
+    )
+    def test_matches_linear_scan(self, p, dest, t_from, ot, op, oslope, olen):
+        if p == dest:
+            return
+        oq = op + oslope * olen
+        if not 0 <= oq <= 40:
+            return
+        obstacle = Segment(ot, op, ot + olen, oq)
+        got = next_clear_departure(obstacle, p, dest, t_from)
+        expected = next(
+            t
+            for t in range(t_from, t_from + 400)
+            if conflict_between_segments(make_move(t, p, dest), obstacle) is None
+        )
+        assert got == expected
+
+    def test_clear_immediately(self):
+        obstacle = make_wait(50, 5, 3)
+        assert next_clear_departure(obstacle, 0, 9, 0) == 0
+
+    def test_jumps_past_parked_robot(self):
+        obstacle = make_wait(0, 5, 20)  # occupies p=5 during [0, 20]
+        # Departing from p=0 we reach p=5 after 5 steps: need t' >= 16.
+        assert next_clear_departure(obstacle, 0, 9, 1) == 16

@@ -1,0 +1,193 @@
+"""Tests for the exact time-expanded intra-strip search."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.intra_strip import plan_within_strip
+from repro.core.intra_strip_exact import plan_within_strip_exact
+from repro.core.naive_store import NaiveSegmentStore
+from repro.core.segments import Segment, make_move, make_wait
+from repro.core.slope_index import SlopeIndexedStore
+from repro.geometry.collision import conflict_between_segments
+
+
+def fresh_store(*segments):
+    store = SlopeIndexedStore()
+    for s in segments:
+        store.insert(s)
+    return store
+
+
+class TestBasics:
+    def test_empty_strip_direct(self):
+        plan = plan_within_strip_exact(fresh_store(), 3, 1, 8, strip_length=10)
+        assert plan is not None
+        assert plan.arrival_time == 10
+        assert plan.segments == [Segment(3, 1, 10, 8)]
+
+    def test_origin_is_destination(self):
+        plan = plan_within_strip_exact(fresh_store(), 5, 4, 4, strip_length=10)
+        assert plan is not None and plan.arrival_time == 5
+
+    def test_blocked_start(self):
+        store = fresh_store(make_wait(0, 2, 10))
+        assert plan_within_strip_exact(store, 3, 2, 8, strip_length=10) is None
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            plan_within_strip_exact(fresh_store(), 0, 0, 12, strip_length=10)
+
+    def test_waits_out_obstacle(self):
+        store = fresh_store(make_wait(0, 5, 8))
+        plan = plan_within_strip_exact(store, 0, 0, 9, strip_length=10)
+        assert plan is not None
+        for seg in plan.segments:
+            for other in store.iter_segments():
+                assert conflict_between_segments(seg, other) is None
+        assert plan.arrival_time > 9
+
+
+class TestBackwardMoves:
+    def test_backward_rescues_head_on(self):
+        """A head-on robot is fatal for monotone search but survivable
+        when backing up into a niche is allowed... in a 1-D strip there
+        is no niche, so both must fail; backward moves help only when
+        the opposing robot leaves the strip early."""
+        store = fresh_store(make_move(2, 9, 4))  # sweeps 9 -> 4 then leaves
+        monotone = plan_within_strip_exact(
+            store, 0, 0, 9, strip_length=10, allow_backward=False
+        )
+        backward = plan_within_strip_exact(
+            store, 0, 0, 9, strip_length=10, allow_backward=True
+        )
+        # Backward freedom can only improve (or match) the arrival.
+        if monotone is not None:
+            assert backward is not None
+            assert backward.arrival_time <= monotone.arrival_time
+
+    def test_backward_retreat(self):
+        # We start in the path of a sweeping robot and must retreat.
+        store = fresh_store(make_move(0, 9, 2))
+        forward = plan_within_strip_exact(
+            store, 0, 4, 8, strip_length=10, allow_backward=False
+        )
+        backward = plan_within_strip_exact(
+            store, 0, 4, 8, strip_length=10, allow_backward=True
+        )
+        assert forward is None  # cannot outrun it monotonically
+        assert backward is not None  # retreat to 0-1, let it pass, go
+
+
+class TestOptimality:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 9), st.integers(0, 9)),
+            max_size=5,
+        ),
+        st.integers(0, 6),
+        st.integers(0, 9),
+        st.integers(0, 9),
+    )
+    def test_never_worse_than_greedy(self, moves, start, origin, destination):
+        """The exact search dominates the greedy one whenever both plan."""
+        store = NaiveSegmentStore()
+        for t0, p0, p1 in moves:
+            store.insert(make_move(t0, p0, p1))
+        greedy = plan_within_strip(store, start, origin, destination, max_wait=40)
+        exact = plan_within_strip_exact(
+            store, start, origin, destination, strip_length=10, max_wait=40
+        )
+        if greedy is not None:
+            assert exact is not None
+            assert exact.arrival_time <= greedy.arrival_time
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 9), st.integers(0, 9)),
+            max_size=5,
+        ),
+        st.integers(0, 6),
+        st.integers(0, 9),
+        st.integers(0, 9),
+    )
+    def test_plans_are_valid(self, moves, start, origin, destination):
+        store = NaiveSegmentStore()
+        for t0, p0, p1 in moves:
+            store.insert(make_move(t0, p0, p1))
+        plan = plan_within_strip_exact(
+            store, start, origin, destination, strip_length=10, max_wait=40
+        )
+        if plan is None:
+            return
+        t, p = start, origin
+        for seg in plan.segments:
+            assert (seg.t0, seg.p0) == (t, p)
+            for other in store.iter_segments():
+                assert conflict_between_segments(seg, other) is None
+            t, p = seg.t1, seg.p1
+        assert p == destination and t == plan.arrival_time
+
+
+class TestPlannerIntegration:
+    def test_exact_mode_collision_free(self, mid_warehouse):
+        from repro import Query, SRPPlanner
+        from repro.analysis import find_conflicts
+        from tests.conftest import random_cells
+
+        planner = SRPPlanner(mid_warehouse, intra_exact=True)
+        cells = random_cells(mid_warehouse, 40, seed=71)
+        routes = [
+            planner.plan(Query(cells[k], cells[k + 1], 10 * k, query_id=k))
+            for k in range(0, 40, 2)
+        ]
+        assert find_conflicts(routes) == []
+
+    def test_exact_mode_never_longer_in_light_traffic(self, mid_warehouse):
+        from repro import Query, SRPPlanner
+        from tests.conftest import random_cells
+
+        cells = random_cells(mid_warehouse, 30, seed=72, include_racks=False)
+        queries = [
+            Query(cells[k], cells[k + 1], 60 * k, query_id=k) for k in range(0, 30, 2)
+        ]
+        greedy_total = sum(
+            SRPPlanner(mid_warehouse).plan(q).duration for q in queries
+        )
+        exact_planner = SRPPlanner(mid_warehouse, intra_exact=True)
+        exact_total = sum(exact_planner.plan(q).duration for q in queries)
+        assert exact_total <= greedy_total + 2
+
+
+class TestBackwardPlannerIntegration:
+    def test_backward_mode_collision_free(self, mid_warehouse):
+        from repro import Query, SRPPlanner
+        from repro.analysis import find_conflicts
+        from tests.conftest import random_cells
+
+        planner = SRPPlanner(mid_warehouse, intra_exact=True, intra_backward=True)
+        cells = random_cells(mid_warehouse, 30, seed=73)
+        routes = [
+            planner.plan(Query(cells[k], cells[k + 1], 8 * k, query_id=k))
+            for k in range(0, 30, 2)
+        ]
+        assert find_conflicts(routes) == []
+
+    def test_backward_reduces_fallbacks_in_corridor(self):
+        """The Fig. 13 lift lets SRP survive the chase scenario without
+        calling grid A*."""
+        from repro import Query, SRPPlanner, Warehouse
+        from repro.analysis import assert_collision_free
+
+        wh = Warehouse.from_ascii("...\n...\n...")
+        greedy = SRPPlanner(wh)
+        a1 = greedy.plan(Query((0, 2), (2, 2), 0))
+        b1 = greedy.plan(Query((2, 2), (0, 2), 0))
+        assert_collision_free([a1, b1])
+
+        lifted = SRPPlanner(wh, intra_exact=True, intra_backward=True)
+        a2 = lifted.plan(Query((0, 2), (2, 2), 0))
+        b2 = lifted.plan(Query((2, 2), (0, 2), 0))
+        assert_collision_free([a2, b2])
+        assert lifted.stats.fallbacks <= greedy.stats.fallbacks

@@ -1,0 +1,65 @@
+"""Round-trip tests for warehouse / task trace (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro import TaskTraceSpec, generate_tasks
+from repro.exceptions import LayoutError
+from repro.warehouse.io import (
+    load_tasks,
+    load_warehouse,
+    save_tasks,
+    save_warehouse,
+    warehouse_from_dict,
+    warehouse_to_dict,
+)
+
+
+class TestWarehouseIO:
+    def test_dict_round_trip(self, small_warehouse):
+        data = warehouse_to_dict(small_warehouse)
+        assert warehouse_from_dict(data) == small_warehouse
+
+    def test_file_round_trip(self, small_warehouse, tmp_path):
+        path = tmp_path / "wh.json"
+        save_warehouse(small_warehouse, path)
+        loaded = load_warehouse(path)
+        assert loaded == small_warehouse
+        assert loaded.name == small_warehouse.name
+
+    def test_json_is_plain(self, tiny_warehouse, tmp_path):
+        path = tmp_path / "wh.json"
+        save_warehouse(tiny_warehouse, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert all(set(row) <= {"#", "."} for row in payload["racks"])
+
+    def test_bad_version_rejected(self, tiny_warehouse):
+        data = warehouse_to_dict(tiny_warehouse)
+        data["format_version"] = 99
+        with pytest.raises(LayoutError):
+            warehouse_from_dict(data)
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(LayoutError):
+            warehouse_from_dict({"format_version": 1, "racks": []})
+
+
+class TestTaskIO:
+    def test_round_trip(self, small_warehouse, tmp_path):
+        tasks = generate_tasks(small_warehouse, TaskTraceSpec(n_tasks=25, seed=6))
+        path = tmp_path / "tasks.json"
+        save_tasks(tasks, path)
+        assert load_tasks(path) == tasks
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "tasks.json"
+        path.write_text(json.dumps({"format_version": 2, "tasks": []}))
+        with pytest.raises(LayoutError):
+            load_tasks(path)
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        path = tmp_path / "tasks.json"
+        save_tasks([], path)
+        assert load_tasks(path) == []

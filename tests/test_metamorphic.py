@@ -1,0 +1,121 @@
+"""Metamorphic properties of the planning stack.
+
+Relations that must hold under input transformations:
+
+* **time-shift equivariance** — shifting every committed segment and the
+  query release by Δ shifts conflicts, plans and routes by exactly Δ;
+* **planning determinism** — identical planner + identical stream gives
+  identical routes;
+* **store insertion-order invariance** — a store's answers depend on
+  its contents, not the insertion order.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Query, SRPPlanner
+from repro.core.intra_strip import plan_within_strip
+from repro.core.naive_store import NaiveSegmentStore
+from repro.core.segments import Segment
+from repro.core.slope_index import SlopeIndexedStore
+from repro.geometry.collision import conflict_between
+from tests.conftest import random_cells
+
+
+@st.composite
+def raw_segments(draw, max_t=25, max_p=12, max_len=8):
+    t0 = draw(st.integers(0, max_t))
+    p0 = draw(st.integers(0, max_p))
+    slope = draw(st.sampled_from([-1, 0, 1]))
+    length = draw(st.integers(0, max_len))
+    return (t0, p0, t0 + length, p0 + slope * length if slope else p0)
+
+
+def shift(seg, delta):
+    t0, p0, t1, p1 = seg
+    return (t0 + delta, p0, t1 + delta, p1)
+
+
+class TestTimeShiftEquivariance:
+    @settings(max_examples=300)
+    @given(raw_segments(), raw_segments(), st.integers(0, 50))
+    def test_conflicts_shift(self, a, b, delta):
+        base = conflict_between(a, b)
+        moved = conflict_between(shift(a, delta), shift(b, delta))
+        assert (base is None) == (moved is None)
+        if base is not None:
+            assert moved.blocked_time == base.blocked_time + delta
+            assert moved.kind == base.kind
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(raw_segments(), max_size=8),
+        st.integers(0, 6),
+        st.integers(0, 12),
+        st.integers(0, 12),
+        st.integers(1, 40),
+    )
+    def test_intra_plans_shift(self, committed, start, origin, dest, delta):
+        def build(offset):
+            store = NaiveSegmentStore()
+            for raw in committed:
+                store.insert(Segment(*shift(raw, offset)))
+            return plan_within_strip(store, start + offset, origin, dest, max_wait=30)
+
+        base = build(0)
+        moved = build(delta)
+        assert (base is None) == (moved is None)
+        if base is not None:
+            assert moved.arrival_time == base.arrival_time + delta
+            assert [s.raw for s in moved.segments] == [
+                shift(s.raw, delta) for s in base.segments
+            ]
+
+    def test_srp_routes_shift(self, mid_warehouse):
+        cells = random_cells(mid_warehouse, 20, seed=57)
+        delta = 137
+        base_planner = SRPPlanner(mid_warehouse)
+        moved_planner = SRPPlanner(mid_warehouse)
+        for k in range(0, 20, 2):
+            q0 = Query(cells[k], cells[k + 1], 11 * k, query_id=k)
+            q1 = Query(cells[k], cells[k + 1], 11 * k + delta, query_id=k)
+            r0 = base_planner.plan(q0)
+            r1 = moved_planner.plan(q1)
+            assert r1.start_time == r0.start_time + delta
+            assert r1.grids == r0.grids
+
+
+class TestDeterminism:
+    def test_identical_streams_identical_routes(self, mid_warehouse):
+        cells = random_cells(mid_warehouse, 30, seed=58)
+        queries = [
+            Query(cells[k], cells[k + 1], 6 * k, query_id=k) for k in range(0, 30, 2)
+        ]
+        runs = []
+        for _ in range(2):
+            planner = SRPPlanner(mid_warehouse)
+            runs.append([planner.plan(q).grids for q in queries])
+        assert runs[0] == runs[1]
+
+
+class TestInsertionOrderInvariance:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(raw_segments(), max_size=10, unique=True),
+        raw_segments(),
+        st.randoms(use_true_random=False),
+    )
+    def test_store_answers_independent_of_order(self, committed, query, rnd):
+        probe = Segment(*query)
+        in_order = SlopeIndexedStore()
+        for raw in committed:
+            in_order.insert(Segment(*raw))
+        shuffled = list(committed)
+        rnd.shuffle(shuffled)
+        reordered = SlopeIndexedStore()
+        for raw in shuffled:
+            reordered.insert(Segment(*raw))
+        a = in_order.earliest_conflict(probe)
+        b = reordered.earliest_conflict(probe)
+        assert (a[0] if a else None) == (b[0] if b else None)

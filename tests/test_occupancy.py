@@ -1,0 +1,74 @@
+"""Tests for the empirical occupancy statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    busiest_cells,
+    occupancy_probability,
+    render_heatmap,
+    visit_heatmap,
+)
+from repro.types import Route
+
+
+class TestOccupancyProbability:
+    def test_single_parked_robot(self, tiny_warehouse):
+        # One robot on one cell for the whole window: p = 1 / free cells.
+        route = Route(0, [(0, 0)] * 10)
+        p = occupancy_probability([route], tiny_warehouse)
+        free = tiny_warehouse.n_cells - tiny_warehouse.n_racks
+        assert p == pytest.approx(1 / free)
+
+    def test_scales_with_traffic(self, tiny_warehouse):
+        one = [Route(0, [(0, 0)] * 10)]
+        two = one + [Route(0, [(0, 1)] * 10)]
+        assert occupancy_probability(two, tiny_warehouse) == pytest.approx(
+            2 * occupancy_probability(one, tiny_warehouse)
+        )
+
+    def test_empty_rejected(self, tiny_warehouse):
+        with pytest.raises(ValueError):
+            occupancy_probability([], tiny_warehouse)
+
+    def test_day_simulation_p_is_low(self, small_warehouse):
+        """Realistic traffic sits far below Theorem 1's p* = 0.577."""
+        from repro import SRPPlanner, TaskTraceSpec, generate_tasks
+        from repro.tracing import TraceRecorder
+        from repro.simulation import run_day
+
+        tasks = generate_tasks(small_warehouse, TaskTraceSpec(n_tasks=10, day_length=200, seed=2))
+        recorder = TraceRecorder(SRPPlanner(small_warehouse))
+        run_day(small_warehouse, recorder, tasks)
+        routes = [e.route for e in recorder.trace.entries]
+        assert occupancy_probability(routes, small_warehouse) < 0.2
+
+
+class TestHeatmap:
+    def test_counts(self, tiny_warehouse):
+        route = Route(0, [(0, 0), (0, 1), (0, 1)])
+        heat = visit_heatmap([route], tiny_warehouse)
+        assert heat[0, 0] == 1
+        assert heat[0, 1] == 2
+        assert heat.sum() == 3
+
+    def test_busiest_cells_ordering(self, tiny_warehouse):
+        routes = [
+            Route(0, [(0, 0)] * 5),
+            Route(0, [(0, 1)] * 3),
+            Route(10, [(0, 0)] * 2),
+        ]
+        top = busiest_cells(routes, tiny_warehouse, top_k=2)
+        assert top[0] == ((0, 0), 7)
+        assert top[1] == ((0, 1), 3)
+
+    def test_busiest_skips_cold_cells(self, tiny_warehouse):
+        top = busiest_cells([Route(0, [(0, 0)])], tiny_warehouse, top_k=5)
+        assert top == [((0, 0), 1)]
+
+    def test_render(self, tiny_warehouse):
+        art = render_heatmap([Route(0, [(0, 0)] * 9)], tiny_warehouse)
+        lines = art.splitlines()
+        assert lines[0][0] in "123456789"
+        assert lines[1][2] == "#"
+        assert lines[0][5] == "."

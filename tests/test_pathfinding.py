@@ -1,0 +1,151 @@
+"""Tests for BFS distance maps and space-time A*."""
+
+import numpy as np
+import pytest
+
+from repro import Query, Warehouse
+from repro.exceptions import InvalidQueryError
+from repro.pathfinding.distance import UNREACHABLE, DistanceMaps, bfs_distance_map
+from repro.pathfinding.space_time_astar import NullConflictChecker, space_time_astar
+from repro.baselines.reservation import ReservationTable
+from repro.types import Route
+
+
+class TestDistanceMaps:
+    def test_open_grid_is_manhattan(self):
+        wh = Warehouse.from_ascii("....\n....\n....")
+        dist = bfs_distance_map(wh, (0, 0))
+        for i in range(3):
+            for j in range(4):
+                assert dist[i, j] == i + j
+
+    def test_racks_force_detours(self, tiny_warehouse):
+        dist = bfs_distance_map(tiny_warehouse, (0, 0))
+        # (4,3) sits below the first cluster: straight-line distance is 7
+        # and the aisle at column 4 keeps it reachable at that cost.
+        assert dist[4, 3] == 7
+
+    def test_rack_cells_get_one_hop_extension(self, tiny_warehouse):
+        dist = bfs_distance_map(tiny_warehouse, (0, 0))
+        # Rack cell (1,2): its free neighbour (1,1)... the nearest free
+        # neighbour determines the value.
+        free_neighbors = [
+            dist[c] for c in tiny_warehouse.neighbors((1, 2))
+        ]
+        assert dist[1, 2] == min(free_neighbors) + 1
+
+    def test_rack_target_reachable(self, tiny_warehouse):
+        dist = bfs_distance_map(tiny_warehouse, (2, 2))
+        assert dist[2, 2] == 0
+        assert dist[2, 1] == 1  # the aisle cell west of the rack
+
+    def test_walled_off_unreachable(self):
+        wh = Warehouse.from_ascii("..#..\n..#..")
+        dist = bfs_distance_map(wh, (0, 0))
+        assert dist[0, 4] == UNREACHABLE
+
+    def test_out_of_bounds_target(self, tiny_warehouse):
+        with pytest.raises(InvalidQueryError):
+            bfs_distance_map(tiny_warehouse, (99, 0))
+
+    def test_cache_hits(self, tiny_warehouse):
+        maps = DistanceMaps(tiny_warehouse)
+        maps.get((0, 0))
+        maps.get((0, 0))
+        assert maps.hits == 1 and maps.misses == 1
+
+    def test_lru_eviction(self, tiny_warehouse):
+        maps = DistanceMaps(tiny_warehouse, max_entries=2)
+        maps.get((0, 0))
+        maps.get((0, 1))
+        maps.get((0, 2))  # evicts (0, 0)
+        assert len(maps) == 2
+        maps.get((0, 0))
+        assert maps.misses == 4
+
+    def test_greedy_path_is_shortest(self, tiny_warehouse):
+        maps = DistanceMaps(tiny_warehouse)
+        path = maps.greedy_path((0, 0), (7, 7))
+        assert path is not None
+        assert len(path) - 1 == maps.distance((0, 0), (7, 7))
+        assert path[0] == (0, 0) and path[-1] == (7, 7)
+
+    def test_greedy_path_unreachable(self):
+        wh = Warehouse.from_ascii("..#..\n..#..")
+        maps = DistanceMaps(wh)
+        assert maps.greedy_path((0, 0), (0, 4)) is None
+
+
+class TestSpaceTimeAStar:
+    def _plan(self, wh, o, d, t=0, checker=None, **kw):
+        checker = checker or NullConflictChecker()
+        dist = bfs_distance_map(wh, d)
+        return space_time_astar(wh, o, d, t, checker, dist, **kw)
+
+    def test_unblocked_is_shortest(self, tiny_warehouse):
+        route = self._plan(tiny_warehouse, (0, 0), (7, 7))
+        assert route is not None
+        assert route.duration == 14
+
+    def test_start_time_respected(self, tiny_warehouse):
+        route = self._plan(tiny_warehouse, (0, 0), (0, 5), t=42)
+        assert route.start_time == 42 and route.finish_time == 47
+
+    def test_routes_around_reservation(self):
+        wh = Warehouse.from_ascii(".....\n.....\n.....")
+        table = ReservationTable()
+        # A robot parked on the straight-line path.
+        table.register(Route(0, [(1, 2)] * 12))
+        route = self._plan(wh, (1, 0), (1, 4), checker=table)
+        assert route is not None
+        assert all(route.position_at(t) != (1, 2) or t > 11 for t in range(12))
+
+    def test_swap_blocked(self):
+        wh = Warehouse.from_ascii(".....")
+        table = ReservationTable()
+        # Opposing robot moves (0,2) -> (0,1) over [1, 2].
+        table.register(Route(1, [(0, 2), (0, 1)]))
+        route = self._plan(wh, (0, 0), (0, 3), checker=table)
+        assert route is not None
+        # The direct 3-step march would swap with it; a detour in time
+        # is required.
+        assert route.duration > 3
+        assert not (route.position_at(1) == (0, 1) and route.position_at(2) == (0, 2))
+
+    def test_two_cell_exchange_is_infeasible(self):
+        # In a 2-cell corridor an exchange is impossible: the planner
+        # must report failure rather than produce a swap.
+        wh = Warehouse.from_ascii("..")
+        table = ReservationTable()
+        table.register(Route(0, [(0, 1), (0, 0)]))
+        assert self._plan(wh, (0, 0), (0, 1), checker=table) is None
+
+    def test_blocked_start_returns_none(self):
+        wh = Warehouse.from_ascii("...")
+        table = ReservationTable()
+        table.register(Route(0, [(0, 0)] * 3))
+        assert self._plan(wh, (0, 0), (0, 2), checker=table) is None
+
+    def test_unreachable_returns_none(self):
+        wh = Warehouse.from_ascii("..#..")
+        assert self._plan(wh, (0, 0), (0, 4)) is None
+
+    def test_expansion_budget(self, mid_warehouse):
+        route = self._plan(mid_warehouse, (0, 0), (39, 29), max_expansions=3)
+        assert route is None
+
+    def test_window_relaxes_conflicts(self):
+        wh = Warehouse.from_ascii("......")
+        table = ReservationTable()
+        table.register(Route(4, [(0, 4)] * 10))  # blocks cell late
+        # With a 2-second window the conflict at t>=4 is invisible.
+        route = self._plan(wh, (0, 0), (0, 5), checker=table, window=2)
+        assert route is not None and route.duration == 5
+
+    def test_rack_origin_can_wait_in_place(self, tiny_warehouse):
+        # Waiting under the origin rack is allowed.
+        table = ReservationTable()
+        table.register(Route(1, [(1, 1), (1, 1), (0, 1), (0, 0)]))
+        route = self._plan(tiny_warehouse, (1, 2), (0, 0), t=0, checker=table)
+        assert route is not None
+        assert route.origin == (1, 2)

@@ -1,0 +1,90 @@
+"""Tests for the shared planner interface defaults."""
+
+import pytest
+
+from repro.planner_base import Planner, PlannerTimers
+from repro.types import Query, Route
+
+
+class _MinimalPlanner(Planner):
+    name = "minimal"
+
+    def plan(self, query: Query) -> Route:
+        return Route(query.release_time, [query.origin])
+
+    def reset(self) -> None:
+        self.timers.reset()
+
+
+class TestPlannerDefaults:
+    def test_timers_start_clean(self):
+        p = _MinimalPlanner()
+        assert p.timers.total == 0.0
+        assert p.timers.queries == 0
+        assert p.timers.failures == 0
+
+    def test_take_revisions_default_empty(self):
+        assert _MinimalPlanner().take_revisions() == {}
+
+    def test_prune_default_noop(self):
+        p = _MinimalPlanner()
+        p.prune(100)  # must not raise
+
+    def test_planning_state_defaults_to_self(self):
+        p = _MinimalPlanner()
+        assert p.planning_state() is p
+
+
+class TestPlannerTimers:
+    def test_reset(self):
+        t = PlannerTimers(total=1.5, queries=3, failures=1)
+        t.reset()
+        assert (t.total, t.queries, t.failures) == (0.0, 0, 0)
+
+
+class TestPlanBatch:
+    def _queries(self, warehouse, n=16, seed=44):
+        from tests.conftest import random_cells
+        from repro.types import Query
+
+        cells = random_cells(warehouse, 2 * n, seed=seed, include_racks=False)
+        return [
+            Query(cells[2 * k], cells[2 * k + 1], 0, query_id=k) for k in range(n)
+        ]
+
+    @pytest.mark.parametrize("order", ["fifo", "shortest_first", "longest_first"])
+    def test_orders_collision_free(self, order, mid_warehouse):
+        from repro import SRPPlanner
+        from repro.analysis import find_conflicts
+
+        planner = SRPPlanner(mid_warehouse)
+        routes = planner.plan_batch(self._queries(mid_warehouse), order=order)
+        assert len(routes) == 16
+        assert find_conflicts(list(routes.values())) == []
+
+    def test_unknown_order_rejected(self, mid_warehouse):
+        from repro import SRPPlanner
+
+        with pytest.raises(ValueError):
+            SRPPlanner(mid_warehouse).plan_batch([], order="random")
+
+    def test_release_dominates_ordering(self, mid_warehouse):
+        """Later releases never plan before earlier ones."""
+        from repro import SRPPlanner
+        from repro.types import Query
+
+        planner = SRPPlanner(mid_warehouse)
+        seen = []
+        original_plan = planner.plan
+
+        def spy(query):
+            seen.append(query.release_time)
+            return original_plan(query)
+
+        planner.plan = spy
+        queries = [
+            Query((0, 0), (0, 5), 10, query_id=1),
+            Query((5, 0), (10, 0), 0, query_id=2),
+        ]
+        planner.plan_batch(queries, order="longest_first")
+        assert seen == sorted(seen)

@@ -1,0 +1,52 @@
+"""Tests for the ASCII rendering helpers."""
+
+from repro.analysis.render import animate, render_route, render_snapshot
+from repro.types import Route
+
+
+class TestRenderRoute:
+    def test_overlay_markers(self, tiny_warehouse):
+        route = Route(0, [(0, 0), (0, 1), (0, 2)])
+        art = render_route(tiny_warehouse, route)
+        lines = art.splitlines()
+        assert lines[0][0] == "o"
+        assert lines[0][1] == "*"
+        assert lines[0][2] == "x"
+        assert len(lines) == tiny_warehouse.height
+        assert all(len(line) == tiny_warehouse.width for line in lines)
+
+    def test_racks_preserved(self, tiny_warehouse):
+        route = Route(0, [(0, 0), (0, 1)])
+        art = render_route(tiny_warehouse, route)
+        assert art.splitlines()[1][2] == "#"
+
+
+class TestRenderSnapshot:
+    def test_active_robots_drawn(self, tiny_warehouse):
+        a = Route(0, [(0, 0), (0, 1), (0, 2)])
+        b = Route(0, [(4, 0), (4, 1)])
+        art = render_snapshot(tiny_warehouse, [a, b], 1)
+        lines = art.splitlines()
+        assert lines[0][1] == "0"
+        assert lines[4][1] == "1"
+
+    def test_inactive_routes_hidden(self, tiny_warehouse):
+        a = Route(5, [(0, 0), (0, 1)])
+        art = render_snapshot(tiny_warehouse, [a], 2)
+        assert art.splitlines()[0][0] == "."
+
+    def test_picker_marker(self):
+        from repro import Warehouse
+
+        wh = Warehouse.from_ascii("P..\n...")
+        art = render_snapshot(wh, [], 0)
+        assert art.splitlines()[0][0] == "P"
+
+
+class TestAnimate:
+    def test_frame_count_and_headers(self, tiny_warehouse):
+        a = Route(0, [(0, 0), (0, 1), (0, 2)])
+        frames = list(animate(tiny_warehouse, [a], 0, 2))
+        assert len(frames) == 3
+        assert frames[0].startswith("t=0")
+        assert frames[2].startswith("t=2")

@@ -1,0 +1,77 @@
+"""Tests for the grid-level reservation table."""
+
+from repro.baselines.reservation import ReservationTable
+from repro.types import Route
+
+
+def make_table_with(route):
+    table = ReservationTable()
+    token = table.register(route)
+    return table, token
+
+
+class TestReservations:
+    def test_vertex_blocking(self):
+        table, _ = make_table_with(Route(0, [(0, 0), (0, 1), (0, 2)]))
+        assert table.cell_blocked((0, 1), 1)
+        assert not table.cell_blocked((0, 1), 0)
+
+    def test_move_blocking_vertex(self):
+        table, _ = make_table_with(Route(0, [(0, 0), (0, 1)]))
+        # Entering (0,1) at t=1 conflicts.
+        assert table.move_blocked((1, 1), (0, 1), 0)
+
+    def test_move_blocking_swap(self):
+        table, _ = make_table_with(Route(0, [(0, 0), (0, 1)]))
+        assert table.move_blocked((0, 1), (0, 0), 0)
+
+    def test_waits_reserved(self):
+        table, _ = make_table_with(Route(5, [(2, 2), (2, 2), (2, 3)]))
+        assert table.cell_blocked((2, 2), 5)
+        assert table.cell_blocked((2, 2), 6)
+        assert not table.cell_blocked((2, 2), 8)
+
+    def test_release_restores(self):
+        route = Route(0, [(0, 0), (0, 1), (1, 1)])
+        table, token = make_table_with(route)
+        released = table.release(token)
+        assert released == route
+        assert len(table) == 0
+        assert not table.cell_blocked((0, 1), 1)
+
+    def test_routes_conflicting_vertex(self):
+        table, token = make_table_with(Route(0, [(0, 0), (0, 1), (0, 2)]))
+        other = Route(0, [(1, 1), (0, 1)])
+        assert table.routes_conflicting(other) == {token}
+
+    def test_routes_conflicting_swap(self):
+        table, token = make_table_with(Route(0, [(0, 0), (0, 1)]))
+        other = Route(0, [(0, 1), (0, 0)])
+        assert table.routes_conflicting(other) == {token}
+
+    def test_routes_conflicting_none(self):
+        table, _ = make_table_with(Route(0, [(0, 0), (0, 1)]))
+        other = Route(5, [(0, 0), (0, 1)])
+        assert table.routes_conflicting(other) == set()
+
+    def test_conflicts_with_start_occupied(self):
+        table, _ = make_table_with(Route(0, [(3, 3)] * 4))
+        assert table.conflicts_with(Route(2, [(3, 3), (3, 4)]))
+
+    def test_prune_releases_finished(self):
+        table = ReservationTable()
+        table.register(Route(0, [(0, 0), (0, 1)]))  # finishes at 1
+        keep = table.register(Route(0, [(1, 0)] * 10))  # finishes at 9
+        assert table.prune(5) == 1
+        assert table.n_routes == 1
+        assert table.route(keep).finish_time == 9
+
+    def test_clear(self):
+        table, _ = make_table_with(Route(0, [(0, 0), (0, 1)]))
+        table.clear()
+        assert len(table) == 0 and table.n_routes == 0
+
+    def test_len_counts_vertices(self):
+        table, _ = make_table_with(Route(0, [(0, 0), (0, 1), (0, 1)]))
+        # (0,0)@0, (0,1)@1, (0,1)@2 -> 3 vertex reservations.
+        assert len(table) == 3

@@ -1,0 +1,190 @@
+"""Hand-crafted MAPF scenario battery.
+
+Classic multi-agent path finding stress shapes — corridors,
+intersections, bottlenecks, loops — each checked against every planner
+for collision-freedom and basic effectiveness.  These are the shapes
+where naive planners deadlock or collide; keeping them green guards the
+subtle boundary/swap semantics.
+"""
+
+import pytest
+
+from repro import (
+    ACPPlanner,
+    Query,
+    RPPlanner,
+    SAPPlanner,
+    SRPPlanner,
+    TWPPlanner,
+    Warehouse,
+)
+from repro.analysis import find_conflicts
+
+ALL_PLANNERS = [SRPPlanner, SAPPlanner, TWPPlanner, RPPlanner, ACPPlanner]
+
+CORRIDOR = Warehouse.from_ascii(
+    """
+.......
+.#####.
+.......
+"""
+)
+
+INTERSECTION = Warehouse.from_ascii(
+    """
+..#.#..
+..#.#..
+.......
+..#.#..
+..#.#..
+"""
+)
+
+BOTTLENECK = Warehouse.from_ascii(
+    """
+.......
+###.###
+.......
+"""
+)
+
+LOOP = Warehouse.from_ascii(
+    """
+.....
+.###.
+.###.
+.....
+"""
+)
+
+
+def plan_all(planner, queries):
+    routes = {}
+    for q in queries:
+        routes[q.query_id] = planner.plan(q)
+        routes.update(planner.take_revisions())
+    return list(routes.values())
+
+
+@pytest.mark.parametrize("planner_cls", ALL_PLANNERS)
+class TestCorridor:
+    def test_same_direction_convoy(self, planner_cls):
+        queries = [
+            Query((0, 0), (0, 6), 0, query_id=1),
+            Query((0, 1), (2, 6), 0, query_id=2),
+            Query((2, 0), (2, 6), 1, query_id=3),
+        ]
+        routes = plan_all(planner_cls(CORRIDOR), queries)
+        assert find_conflicts(routes) == []
+
+    def test_opposing_via_two_lanes(self, planner_cls):
+        queries = [
+            Query((0, 0), (0, 6), 0, query_id=1),
+            Query((2, 6), (2, 0), 0, query_id=2),
+        ]
+        routes = plan_all(planner_cls(CORRIDOR), queries)
+        assert find_conflicts(routes) == []
+        # Two free lanes: neither robot should need a big detour.
+        assert all(r.duration <= 10 for r in routes)
+
+
+@pytest.mark.parametrize("planner_cls", ALL_PLANNERS)
+class TestIntersection:
+    def test_cross_traffic(self, planner_cls):
+        queries = [
+            Query((2, 0), (2, 6), 0, query_id=1),  # west -> east
+            Query((0, 3), (4, 3), 0, query_id=2),  # north -> south
+            Query((4, 3), (0, 3), 4, query_id=3),  # south -> north, later
+        ]
+        routes = plan_all(planner_cls(INTERSECTION), queries)
+        assert find_conflicts(routes) == []
+
+    def test_four_way_burst(self, planner_cls):
+        queries = [
+            Query((2, 0), (2, 6), 0, query_id=1),
+            Query((2, 6), (2, 0), 0, query_id=2),
+            Query((0, 3), (4, 3), 0, query_id=3),
+        ]
+        routes = plan_all(planner_cls(INTERSECTION), queries)
+        assert find_conflicts(routes) == []
+
+
+@pytest.mark.parametrize("planner_cls", ALL_PLANNERS)
+class TestBottleneck:
+    def test_single_gap_shared(self, planner_cls):
+        # Both robots must funnel through the one-cell gap at (1, 3).
+        queries = [
+            Query((0, 0), (2, 6), 0, query_id=1),
+            Query((0, 6), (2, 0), 2, query_id=2),
+        ]
+        routes = plan_all(planner_cls(BOTTLENECK), queries)
+        assert find_conflicts(routes) == []
+        for route in routes:
+            assert (1, 3) in route.grids  # the only way through
+
+    def test_queueing_at_gap(self, planner_cls):
+        queries = [
+            Query((0, k), (2, k), k % 2, query_id=k) for k in range(3)
+        ]
+        routes = plan_all(planner_cls(BOTTLENECK), queries)
+        assert find_conflicts(routes) == []
+
+
+@pytest.mark.parametrize("planner_cls", ALL_PLANNERS)
+class TestLoop:
+    def test_ring_exchange(self, planner_cls):
+        # Robots on opposite corners of a ring swap places; the ring
+        # always offers a conflict-free rotation.
+        queries = [
+            Query((0, 0), (3, 4), 0, query_id=1),
+            Query((3, 4), (0, 0), 0, query_id=2),
+        ]
+        routes = plan_all(planner_cls(LOOP), queries)
+        assert find_conflicts(routes) == []
+
+    def test_three_rotating(self, planner_cls):
+        queries = [
+            Query((0, 0), (0, 4), 0, query_id=1),
+            Query((0, 4), (3, 4), 0, query_id=2),
+            Query((3, 4), (0, 0), 0, query_id=3),
+        ]
+        routes = plan_all(planner_cls(LOOP), queries)
+        assert find_conflicts(routes) == []
+
+
+class TestSRPSpecificShapes:
+    def test_long_aisle_convoy(self):
+        """Twenty robots entering one aisle in sequence stay ordered."""
+        wh = Warehouse.from_ascii("." * 30 + "\n" + "." * 30)
+        planner = SRPPlanner(wh)
+        routes = [
+            planner.plan(Query((0, 0), (0, 29), 2 * k, query_id=k))
+            for k in range(10)
+        ]
+        assert find_conflicts(routes) == []
+        # Unit headway traffic: everyone still drives straight through.
+        assert all(r.duration <= 31 for r in routes)
+
+    def test_perpendicular_weave(self):
+        """Routes weaving between latitudinal and longitudinal strips."""
+        wh = Warehouse.from_ascii(
+            """
+........
+.##.##..
+.##.##..
+........
+.##.##..
+.##.##..
+........
+"""
+        )
+        planner = SRPPlanner(wh)
+        queries = [
+            Query((0, 0), (6, 7), 0, query_id=1),
+            Query((6, 0), (0, 7), 0, query_id=2),
+            Query((0, 7), (6, 0), 1, query_id=3),
+            Query((6, 7), (0, 0), 1, query_id=4),
+            Query((3, 0), (3, 7), 2, query_id=5),
+        ]
+        routes = [planner.plan(q) for q in queries]
+        assert find_conflicts(routes) == []

@@ -1,0 +1,122 @@
+"""Tests for the Segment value type and Eq. (4) rotation equivalence."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.segments import Segment, make_move, make_wait
+
+
+@st.composite
+def segments(draw, max_t=40, max_p=30, max_len=15):
+    t0 = draw(st.integers(0, max_t))
+    p0 = draw(st.integers(0, max_p))
+    slope = draw(st.sampled_from([-1, 0, 1]))
+    length = draw(st.integers(0, max_len))
+    return Segment(t0, p0, t0 + length, p0 + slope * length if slope else p0)
+
+
+class TestConstruction:
+    def test_forward(self):
+        s = Segment(2, 3, 6, 7)
+        assert s.slope == 1 and s.duration == 4 and not s.is_wait
+
+    def test_backward(self):
+        s = Segment(0, 7, 3, 4)
+        assert s.slope == -1
+
+    def test_wait(self):
+        s = Segment(1, 5, 4, 5)
+        assert s.slope == 0 and s.is_wait and not s.is_point
+
+    def test_point(self):
+        s = Segment(1, 5, 1, 5)
+        assert s.is_point and not s.is_wait and s.duration == 0
+
+    def test_rejects_backwards_time(self):
+        with pytest.raises(ValueError):
+            Segment(5, 0, 3, 2)
+
+    def test_rejects_non_unit_speed(self):
+        with pytest.raises(ValueError):
+            Segment(0, 0, 2, 6)
+
+    def test_raw_round_trip(self):
+        s = Segment(1, 2, 5, 6)
+        assert s.raw == (1, 2, 5, 6)
+        assert Segment(*s.raw) == s
+
+    def test_equality_and_hash(self):
+        assert Segment(0, 1, 2, 3) == Segment(0, 1, 2, 3)
+        assert Segment(0, 1, 2, 3) != Segment(0, 1, 2, 1)
+        assert len({Segment(0, 1, 2, 3), Segment(0, 1, 2, 3)}) == 1
+
+
+class TestPositionAt:
+    def test_interior(self):
+        assert Segment(0, 2, 4, 6).position_at(3) == 5
+
+    def test_backward_interior(self):
+        assert Segment(0, 6, 4, 2).position_at(1) == 5
+
+    def test_wait(self):
+        assert Segment(0, 3, 5, 3).position_at(4) == 3
+
+    def test_outside_raises(self):
+        with pytest.raises(ValueError):
+            Segment(0, 0, 4, 4).position_at(5)
+
+    @given(segments(), st.data())
+    def test_endpoints(self, s, data):
+        assert s.position_at(s.t0) == s.p0
+        assert s.position_at(s.t1) == s.p1
+
+
+class TestInterceptRotationEquivalence:
+    """The integer intercept must equal sqrt(2) x Eq. (4)'s rotated coordinate."""
+
+    @given(segments())
+    def test_intercept_matches_rotation(self, s):
+        if s.slope == 0:
+            return
+        rx, ry = s.rotated()
+        if s.slope == 1:
+            # theta = -pi/4 rotates the line p = t + b onto a horizontal
+            # line whose second coordinate is b / sqrt(2).
+            assert math.isclose(ry * math.sqrt(2), s.intercept, abs_tol=1e-9)
+        else:
+            # theta = +pi/4: the rotated second coordinate carries p0+t0.
+            assert math.isclose(ry * math.sqrt(2), s.intercept, abs_tol=1e-9)
+
+    @given(segments())
+    def test_sub_segment_keeps_intercept(self, s):
+        # Segments sliding along their own line keep the intercept
+        # (degenerate one-point tails lose the slope, hence >= 2).
+        if s.duration >= 2:
+            sub = Segment(s.t0 + 1, s.position_at(s.t0 + 1), s.t1, s.p1)
+            assert sub.slope == s.slope
+            assert sub.intercept == s.intercept
+
+
+class TestFactories:
+    def test_make_move_forward(self):
+        s = make_move(3, 1, 6)
+        assert s == Segment(3, 1, 8, 6)
+
+    def test_make_move_backward(self):
+        s = make_move(3, 6, 1)
+        assert s == Segment(3, 6, 8, 1)
+
+    def test_make_move_in_place(self):
+        assert make_move(3, 4, 4).is_point
+
+    def test_make_wait(self):
+        assert make_wait(2, 5, 3) == Segment(2, 5, 5, 5)
+
+    def test_make_wait_zero(self):
+        assert make_wait(2, 5, 0).is_point
+
+    def test_make_wait_negative_raises(self):
+        with pytest.raises(ValueError):
+            make_wait(2, 5, -1)

@@ -1,0 +1,191 @@
+"""Tests for both segment stores: naive (V-B) and slope-indexed (V-D).
+
+The central property: on any committed segment set, both stores must
+return exactly the same earliest-conflict answer as a brute-force scan,
+because the slope index is a pure acceleration of the naive store.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.naive_store import NaiveSegmentStore
+from repro.core.segments import Segment, make_move, make_wait
+from repro.core.slope_index import SlopeIndexedStore
+from repro.geometry.collision import conflict_between
+
+STORES = [NaiveSegmentStore, SlopeIndexedStore]
+
+
+@st.composite
+def segment_strategy(draw, max_t=25, max_p=15, max_len=8):
+    t0 = draw(st.integers(0, max_t))
+    p0 = draw(st.integers(0, max_p))
+    slope = draw(st.sampled_from([-1, 0, 1]))
+    length = draw(st.integers(0, max_len))
+    return Segment(t0, p0, t0 + length, p0 + slope * length if slope else p0)
+
+
+def brute_earliest(query: Segment, committed):
+    best = None
+    best_seg = None
+    for other in committed:
+        c = conflict_between(query.raw, other.raw)
+        if c is not None and (best is None or c.blocked_time < best):
+            best, best_seg = c.blocked_time, other
+    return best
+
+
+@pytest.mark.parametrize("store_cls", STORES)
+class TestStoreBasics:
+    def test_empty_store_is_clear(self, store_cls):
+        store = store_cls()
+        assert len(store) == 0
+        assert store.earliest_conflict(Segment(0, 0, 5, 5)) is None
+        assert not store.occupied(3, 3)
+
+    def test_insert_and_len(self, store_cls):
+        store = store_cls()
+        store.insert(Segment(0, 0, 4, 4))
+        store.insert(Segment(2, 7, 6, 7))
+        assert len(store) == 2
+        assert sorted(s.t0 for s in store.iter_segments()) == [0, 2]
+
+    def test_point_segments_accepted(self, store_cls):
+        store = store_cls()
+        store.insert(Segment(3, 3, 3, 3))
+        assert len(store) == 1
+        assert store.occupied(3, 3)
+        assert not store.occupied(3, 4)
+        assert not store.occupied(2, 3)
+
+    def test_detects_vertex_conflict(self, store_cls):
+        store = store_cls()
+        store.insert(Segment(0, 4, 6, 4))  # waits at p=4
+        hit = store.earliest_conflict(make_move(0, 0, 8))
+        assert hit is not None
+        blocked, obstacle = hit
+        assert blocked == 4
+        assert obstacle == Segment(0, 4, 6, 4)
+
+    def test_detects_swap_conflict(self, store_cls):
+        store = store_cls()
+        store.insert(make_move(0, 5, 0))  # opposing traffic
+        hit = store.earliest_conflict(make_move(0, 0, 5))
+        assert hit is not None and hit[0] == 3  # crossing at 2.5
+
+    def test_same_slope_needs_same_line(self, store_cls):
+        store = store_cls()
+        store.insert(make_move(0, 1, 6))  # slope +1, intercept 1
+        # Parallel on a different line: never conflicts.
+        assert store.earliest_conflict(make_move(0, 0, 5)) is None
+        # Same line (intercept 1), overlapping span: conflicts.
+        assert store.earliest_conflict(make_move(2, 3, 8)) is not None
+
+    def test_occupied_queries(self, store_cls):
+        store = store_cls()
+        store.insert(make_move(2, 1, 5))  # at p=3 when t=4
+        assert store.occupied(3, 4)
+        assert not store.occupied(3, 5)
+        assert not store.occupied(4, 4)
+        assert store.occupied(5, 6)  # endpoint
+
+    def test_move_blocked(self, store_cls):
+        store = store_cls()
+        store.insert(make_move(0, 3, 2))  # 3 -> 2 over [0, 1]
+        assert store.move_blocked(0, 2, 3)  # swap
+        assert store.move_blocked(0, 1, 2)  # vertex at t=1, p=2
+        assert not store.move_blocked(2, 1, 2)
+
+    def test_prune_drops_finished(self, store_cls):
+        store = store_cls()
+        store.insert(Segment(0, 0, 3, 3))
+        store.insert(Segment(5, 0, 9, 4))
+        assert store.prune(4) == 1
+        assert len(store) == 1
+        assert next(iter(store.iter_segments())).t0 == 5
+
+    def test_prune_keeps_active(self, store_cls):
+        store = store_cls()
+        store.insert(Segment(0, 0, 10, 10))
+        assert store.prune(5) == 0
+        assert len(store) == 1
+
+    def test_clear(self, store_cls):
+        store = store_cls()
+        store.insert(Segment(0, 0, 3, 3))
+        store.clear()
+        assert len(store) == 0
+        assert store.earliest_conflict(Segment(0, 0, 3, 3)) is None
+
+    def test_instrumentation_counters(self, store_cls):
+        store = store_cls()
+        store.insert(Segment(0, 0, 5, 5))
+        before = store.queries
+        store.earliest_conflict(Segment(0, 5, 5, 0))
+        assert store.queries == before + 1
+
+
+@pytest.mark.parametrize("store_cls", STORES)
+class TestAgainstBruteForce:
+    @settings(max_examples=250, deadline=None)
+    @given(st.lists(segment_strategy(), max_size=14), segment_strategy())
+    def test_earliest_conflict_time_matches(self, store_cls, committed, query):
+        store = store_cls()
+        for s in committed:
+            store.insert(s)
+        expected = brute_earliest(query, committed)
+        hit = store.earliest_conflict(query)
+        assert (hit[0] if hit else None) == expected
+
+    @settings(max_examples=250, deadline=None)
+    @given(st.lists(segment_strategy(), max_size=12), st.integers(0, 15), st.integers(0, 30))
+    def test_occupied_matches_positions(self, store_cls, committed, pos, t):
+        store = store_cls()
+        for s in committed:
+            store.insert(s)
+        expected = any(
+            s.t0 <= t <= s.t1 and s.position_at(t) == pos for s in committed
+        )
+        assert store.occupied(pos, t) == expected
+
+
+class TestStoreEquivalence:
+    """Naive and indexed stores answer identically on the same content."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(segment_strategy(), max_size=16), segment_strategy())
+    def test_same_blocked_time(self, committed, query):
+        naive, indexed = NaiveSegmentStore(), SlopeIndexedStore()
+        for s in committed:
+            naive.insert(s)
+            indexed.insert(s)
+        a = naive.earliest_conflict(query)
+        b = indexed.earliest_conflict(query)
+        assert (a[0] if a else None) == (b[0] if b else None)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(segment_strategy(), max_size=16), st.integers(0, 30))
+    def test_same_prune_counts(self, committed, before):
+        naive, indexed = NaiveSegmentStore(), SlopeIndexedStore()
+        for s in committed:
+            naive.insert(s)
+            indexed.insert(s)
+        assert naive.prune(before) == indexed.prune(before)
+        assert len(naive) == len(indexed)
+
+
+class TestSlopeIndexStructure:
+    def test_buckets_by_intercept(self):
+        store = SlopeIndexedStore()
+        store.insert(make_move(0, 0, 5))  # slope +1, intercept 0
+        store.insert(make_move(2, 2, 7))  # slope +1, intercept 0 (same line)
+        store.insert(make_move(0, 1, 6))  # slope +1, intercept 1
+        assert len(store._by_intercept[1]) == 2
+        assert len(store._by_intercept[1][0]) == 2
+
+    def test_cross_slope_judged_linearly(self):
+        store = SlopeIndexedStore()
+        store.insert(make_move(0, 9, 0))
+        before = store.judged
+        store.earliest_conflict(make_move(0, 0, 9))
+        assert store.judged == before + 1

@@ -1,0 +1,162 @@
+"""Tests for strip aggregation and the strip graph (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import numpy as np
+
+from repro import LayoutSpec, Warehouse, build_strip_graph, generate_layout
+from repro.core.strips import Direction, StripKind, TransitRange
+
+
+class TestStripDecomposition:
+    def test_full_rows_become_latitudinal_aisles(self, tiny_warehouse):
+        graph = build_strip_graph(tiny_warehouse)
+        lat = [s for s in graph.strips if s.direction is Direction.LATITUDINAL]
+        # Rows 0, 4, 7 of the tiny warehouse are fully free.
+        assert sorted(s.alpha[0] for s in lat) == [0, 4, 7]
+        assert all(s.kind is StripKind.AISLE for s in lat)
+        assert all(s.length == tiny_warehouse.width for s in lat)
+
+    def test_rack_columns_become_rack_strips(self, tiny_warehouse):
+        graph = build_strip_graph(tiny_warehouse)
+        racks = [s for s in graph.strips if s.kind is StripKind.RACK]
+        assert all(s.direction is Direction.LONGITUDINAL for s in racks)
+        # 2 cluster rows x 2 clusters x 2 columns = 8 rack strips.
+        assert len(racks) == 8
+
+    def test_partition_covers_every_cell(self, small_warehouse):
+        graph = build_strip_graph(small_warehouse)
+        seen = np.zeros(small_warehouse.shape, dtype=int)
+        for strip in graph.strips:
+            for pos in range(strip.length):
+                i, j = strip.grid_at(pos)
+                seen[i, j] += 1
+        assert (seen == 1).all()
+
+    def test_strips_are_uniform_value(self, small_warehouse):
+        graph = build_strip_graph(small_warehouse)
+        for strip in graph.strips:
+            values = {
+                small_warehouse.is_rack(strip.grid_at(pos))
+                for pos in range(strip.length)
+            }
+            assert len(values) == 1
+            assert (strip.kind is StripKind.RACK) == values.pop()
+
+    def test_longitudinal_runs_maximal(self, small_warehouse):
+        """No two vertically adjacent strips in one column share a value."""
+        graph = build_strip_graph(small_warehouse)
+        for strip in graph.strips:
+            if strip.direction is not Direction.LONGITUDINAL:
+                continue
+            above = (strip.alpha[0] - 1, strip.alpha[1])
+            if small_warehouse.in_bounds(above):
+                other = graph.strip_of(above)
+                if other.direction is Direction.LONGITUDINAL:
+                    assert (other.kind is StripKind.RACK) != (strip.kind is StripKind.RACK)
+
+
+class TestStripCoordinates:
+    def test_locate_round_trip(self, small_warehouse):
+        graph = build_strip_graph(small_warehouse)
+        for cell in [(0, 0), (5, 3), (27, 19), (10, 10)]:
+            idx, pos = graph.locate(cell)
+            assert graph.strips[idx].grid_at(pos) == cell
+
+    def test_local_and_grid_at_inverse(self, tiny_warehouse):
+        graph = build_strip_graph(tiny_warehouse)
+        for strip in graph.strips:
+            for pos in range(strip.length):
+                assert strip.local(strip.grid_at(pos)) == pos
+
+    def test_grid_at_out_of_range(self, tiny_warehouse):
+        graph = build_strip_graph(tiny_warehouse)
+        with pytest.raises(IndexError):
+            graph.strips[0].grid_at(-1)
+        with pytest.raises(IndexError):
+            graph.strips[0].grid_at(graph.strips[0].length)
+
+    def test_contains(self, tiny_warehouse):
+        graph = build_strip_graph(tiny_warehouse)
+        strip = graph.strip_of((0, 3))
+        assert strip.contains((0, 3))
+        assert not strip.contains((1, 3))
+
+
+class TestStripEdges:
+    def test_no_rack_rack_edges(self, small_warehouse):
+        graph = build_strip_graph(small_warehouse)
+        for u, adj in enumerate(graph.adjacency):
+            for v in adj:
+                assert graph.strips[u].is_aisle or graph.strips[v].is_aisle
+
+    def test_edges_symmetric(self, small_warehouse):
+        graph = build_strip_graph(small_warehouse)
+        for u, adj in enumerate(graph.adjacency):
+            for v in adj:
+                assert u in graph.adjacency[v]
+
+    def test_transit_ranges_map_to_adjacent_cells(self, small_warehouse):
+        graph = build_strip_graph(small_warehouse)
+        for u, adj in enumerate(graph.adjacency):
+            for v, ranges in adj.items():
+                for r in ranges:
+                    for pos in (r.lo, r.hi):
+                        a = graph.strips[u].grid_at(pos)
+                        b = graph.strips[v].grid_at(pos + r.offset)
+                        assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_side_by_side_range(self):
+        wh = Warehouse.from_ascii("....\n....")
+        graph = build_strip_graph(wh)
+        assert graph.n_vertices == 2
+        ranges = graph.adjacency[0][1]
+        assert ranges == [TransitRange(0, 3, 0)]
+
+    def test_perpendicular_single_transit(self):
+        wh = Warehouse.from_ascii("....\n.#.#\n.#.#")
+        graph = build_strip_graph(wh)
+        row = graph.strip_of((0, 0))
+        col = graph.strip_of((1, 0))
+        ranges = graph.adjacency[row.index][col.index]
+        assert len(ranges) == 1
+        assert ranges[0].lo == ranges[0].hi == 0
+
+    def test_clamp(self):
+        r = TransitRange(2, 6, 1)
+        assert r.clamp(0) == 2
+        assert r.clamp(4) == 4
+        assert r.clamp(9) == 6
+
+
+class TestReductionStats:
+    def test_counts_consistent(self, mid_warehouse):
+        graph = build_strip_graph(mid_warehouse)
+        stats = graph.reduction_stats()
+        assert stats["strip_vertices"] == graph.n_vertices == len(graph.strips)
+        assert stats["grid_vertices"] == mid_warehouse.n_cells
+        assert 0 < stats["vertex_ratio"] < 1
+        assert 0 < stats["edge_ratio"] < 1
+
+    def test_regular_layout_reduces_hard(self):
+        spec = LayoutSpec(height=60, width=40, cluster_length=8, n_pickers=4, n_robots=4)
+        graph = build_strip_graph(generate_layout(spec))
+        # The paper reports ~16%; regular layouts land well under 1/3.
+        assert graph.reduction_stats()["vertex_ratio"] < 0.33
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(2, 5),
+        st.integers(20, 40),
+        st.integers(14, 24),
+        st.floats(0.3, 1.0),
+    )
+    def test_partition_property_on_random_layouts(self, l, h, w, fill):
+        spec = LayoutSpec(
+            height=h, width=w, cluster_length=l, n_pickers=2, n_robots=2, fill_ratio=fill
+        )
+        wh = generate_layout(spec)
+        graph = build_strip_graph(wh)
+        total = sum(s.length for s in graph.strips)
+        assert total == wh.n_cells

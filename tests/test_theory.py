@@ -1,0 +1,59 @@
+"""Tests for the Section VII-A effectiveness theory module."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    THEOREM1_P_STAR,
+    expected_competitive_ratio_bound,
+    measure_competitive_ratios,
+)
+from repro.types import Query
+from tests.conftest import random_cells
+
+
+class TestTheorem1Bound:
+    def test_paper_headline_value(self):
+        # E[CR] <= 1 + 1/(3 (1 - 0.577)) ~ 1.788 (the paper's constant).
+        assert expected_competitive_ratio_bound(THEOREM1_P_STAR) == pytest.approx(
+            1.788, abs=2e-3
+        )
+
+    def test_no_congestion_is_optimal_plus_third(self):
+        assert expected_competitive_ratio_bound(0.0) == pytest.approx(4 / 3)
+
+    def test_monotone_in_p(self):
+        values = [expected_competitive_ratio_bound(p / 10) for p in range(10)]
+        assert values == sorted(values)
+
+    def test_numerator_switches_at_p_star(self):
+        eps = 1e-6
+        below = expected_competitive_ratio_bound(THEOREM1_P_STAR - eps)
+        above = expected_competitive_ratio_bound(THEOREM1_P_STAR + 1e-3)
+        assert above > below
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            expected_competitive_ratio_bound(1.0)
+        with pytest.raises(ValueError):
+            expected_competitive_ratio_bound(-0.1)
+
+
+class TestEmpiricalRatios:
+    def test_ratios_bounded_and_sane(self, mid_warehouse):
+        cells = random_cells(mid_warehouse, 40, seed=51, include_racks=False)
+        queries = [
+            Query(cells[k], cells[k + 1], 30 * k, query_id=k)
+            for k in range(0, 40, 2)
+            if cells[k] != cells[k + 1]
+        ]
+        report = measure_competitive_ratios(mid_warehouse, queries)
+        assert all(r >= 0.99 for r in report.ratios)
+        assert report.mean < 1.3
+        assert report.worst < expected_competitive_ratio_bound(0.5) + 1.0
+        assert 0.0 <= report.fraction_within(1.788) <= 1.0
+
+    def test_empty_stream_rejected(self, mid_warehouse):
+        with pytest.raises(ValueError):
+            measure_competitive_ratios(mid_warehouse, [])

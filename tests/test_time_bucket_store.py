@@ -1,0 +1,116 @@
+"""Tests for the time-bucketed segment store extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.naive_store import NaiveSegmentStore
+from repro.core.segments import Segment, make_move, make_wait
+from repro.core.time_bucket_store import TimeBucketStore
+
+
+@st.composite
+def segment_strategy(draw, max_t=40, max_p=15, max_len=20):
+    t0 = draw(st.integers(0, max_t))
+    p0 = draw(st.integers(0, max_p))
+    slope = draw(st.sampled_from([-1, 0, 1]))
+    length = draw(st.integers(0, max_len))
+    return Segment(t0, p0, t0 + length, p0 + slope * length if slope else p0)
+
+
+class TestBasics:
+    def test_bucket_width_validated(self):
+        with pytest.raises(ValueError):
+            TimeBucketStore(bucket_width=0)
+
+    def test_long_segments_span_buckets(self):
+        store = TimeBucketStore(bucket_width=4)
+        store.insert(make_move(0, 0, 12))  # spans buckets 0..3
+        assert len(store) == 1
+        # Query landing only in a late bucket still sees it.
+        hit = store.earliest_conflict(make_wait(10, 10, 1))
+        assert hit is not None and hit[0] == 10
+
+    def test_iter_deduplicates(self):
+        store = TimeBucketStore(bucket_width=2)
+        seg = make_move(0, 0, 9)
+        store.insert(seg)
+        assert list(store.iter_segments()) == [seg]
+
+    def test_prune(self):
+        store = TimeBucketStore(bucket_width=4)
+        store.insert(make_move(0, 0, 3))
+        store.insert(make_move(20, 0, 3))
+        assert store.prune(10) == 1
+        assert len(store) == 1
+
+    def test_clear(self):
+        store = TimeBucketStore()
+        store.insert(make_move(0, 0, 3))
+        store.clear()
+        assert len(store) == 0
+        assert store.earliest_conflict(make_move(0, 0, 3)) is None
+
+
+class TestEquivalence:
+    @settings(max_examples=250, deadline=None)
+    @given(
+        st.lists(segment_strategy(), max_size=15),
+        segment_strategy(),
+        st.sampled_from([1, 4, 16]),
+    )
+    def test_matches_naive_store(self, committed, query, width):
+        naive = NaiveSegmentStore()
+        bucket = TimeBucketStore(bucket_width=width)
+        for s in committed:
+            naive.insert(s)
+            bucket.insert(s)
+        a = naive.earliest_conflict(query)
+        b = bucket.earliest_conflict(query)
+        assert (a[0] if a else None) == (b[0] if b else None)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(segment_strategy(), max_size=15), st.integers(0, 50))
+    def test_prune_counts_match(self, committed, before):
+        naive = NaiveSegmentStore()
+        bucket = TimeBucketStore(bucket_width=8)
+        for s in committed:
+            naive.insert(s)
+            bucket.insert(s)
+        assert naive.prune(before) == bucket.prune(before)
+        assert len(naive) == len(bucket)
+
+
+class TestPlannerIntegration:
+    def test_bucket_backend_collision_free(self, mid_warehouse):
+        from repro import Query, SRPPlanner
+        from repro.analysis import find_conflicts
+        from tests.conftest import random_cells
+
+        planner = SRPPlanner(mid_warehouse, store="bucket")
+        assert planner.store_kind == "bucket"
+        cells = random_cells(mid_warehouse, 60, seed=91)
+        routes = [
+            planner.plan(Query(cells[k], cells[k + 1], 7 * k, query_id=k))
+            for k in range(0, 60, 2)
+        ]
+        assert find_conflicts(routes) == []
+
+    def test_unknown_store_rejected(self, tiny_warehouse):
+        from repro import SRPPlanner
+
+        with pytest.raises(ValueError):
+            SRPPlanner(tiny_warehouse, store="btree")
+
+    def test_backends_agree_on_totals(self, mid_warehouse):
+        from repro import Query, SRPPlanner
+        from tests.conftest import random_cells
+
+        cells = random_cells(mid_warehouse, 40, seed=92)
+        totals = {}
+        for store in ("slope", "naive", "bucket"):
+            planner = SRPPlanner(mid_warehouse, store=store)
+            totals[store] = sum(
+                planner.plan(Query(cells[k], cells[k + 1], 9 * k, query_id=k)).duration
+                for k in range(0, 40, 2)
+            )
+        assert totals["slope"] == totals["naive"] == totals["bucket"]

@@ -1,0 +1,102 @@
+"""Tests for trace recording, serialisation and replay."""
+
+import pytest
+
+from repro import Query, SAPPlanner, SRPPlanner, TaskTraceSpec, generate_tasks, run_day
+from repro.tracing import (
+    PlannerTrace,
+    TraceRecorder,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+from tests.conftest import random_cells
+
+
+@pytest.fixture
+def recorded(small_warehouse):
+    recorder = TraceRecorder(SRPPlanner(small_warehouse))
+    cells = random_cells(small_warehouse, 20, seed=33, include_racks=False)
+    for k in range(0, 20, 2):
+        recorder.plan(Query(cells[k], cells[k + 1], 15 * k, query_id=k))
+    return recorder
+
+
+class TestRecorder:
+    def test_entries_match_plans(self, recorded):
+        assert len(recorded.trace) == 10
+        for entry in recorded.trace.entries:
+            assert entry.route.origin == entry.query.origin
+            assert entry.route.destination == entry.query.destination
+
+    def test_behaves_like_inner(self, small_warehouse):
+        recorder = TraceRecorder(SRPPlanner(small_warehouse))
+        route = recorder.plan(Query((0, 0), (5, 5), 0, query_id=1))
+        assert route.duration == 10
+        assert recorder.timers.queries == 1
+        recorder.prune(100)
+        recorder.reset()
+        assert len(recorder.trace) == 0
+
+    def test_works_in_simulation(self, small_warehouse):
+        tasks = generate_tasks(small_warehouse, TaskTraceSpec(n_tasks=8, day_length=200, seed=3))
+        recorder = TraceRecorder(SRPPlanner(small_warehouse))
+        result = run_day(small_warehouse, recorder, tasks, validate=True)
+        assert result.conflicts == []
+        assert len(recorder.trace) == 24  # three stages per task
+
+    def test_revisions_update_trace(self, small_warehouse):
+        from repro import RPPlanner
+
+        recorder = TraceRecorder(RPPlanner(small_warehouse))
+        cells = random_cells(small_warehouse, 30, seed=35, include_racks=False)
+        for k in range(0, 30, 2):
+            recorder.plan(Query(cells[k], cells[k + 1], k // 4, query_id=k))
+            recorder.take_revisions()
+        # All traced routes reflect the latest revision state: the trace
+        # itself must be collision-free.
+        from repro.analysis import find_conflicts
+
+        assert find_conflicts([e.route for e in recorded_routes(recorder)]) == []
+
+
+def recorded_routes(recorder):
+    return recorder.trace.entries
+
+
+class TestSerialisation:
+    def test_round_trip(self, recorded, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(recorded.trace, path)
+        loaded = load_trace(path)
+        assert loaded.planner_name == recorded.trace.planner_name
+        assert len(loaded) == len(recorded.trace)
+        for a, b in zip(loaded.entries, recorded.trace.entries):
+            assert a.query == b.query
+            assert a.route.grids == b.route.grids
+            assert a.route.start_time == b.route.start_time
+
+    def test_version_guard(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"format_version": 9}\n')
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_aggregates(self, recorded):
+        trace = recorded.trace
+        assert trace.total_duration > 0
+        assert trace.makespan >= max(q.release_time for q in trace.queries)
+        assert PlannerTrace("x").makespan == 0
+
+
+class TestReplay:
+    def test_identical_planner_identical_routes(self, small_warehouse, recorded):
+        report = replay_trace(recorded.trace, SRPPlanner(small_warehouse))
+        assert report.total_delta == 0
+        assert report.n_faster == 0 and report.n_slower == 0
+
+    def test_cross_planner_comparison(self, small_warehouse, recorded):
+        report = replay_trace(recorded.trace, SAPPlanner(small_warehouse))
+        assert len(report.duration_deltas) == len(recorded.trace)
+        # SAP is optimal per query here; it never loses to SRP.
+        assert all(d <= 0 for d in report.duration_deltas)

@@ -1,0 +1,116 @@
+"""Tests for the shared value types (Route, Query, Task)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.types import (
+    Query,
+    QueryKind,
+    Route,
+    Task,
+    concatenate_routes,
+    manhattan,
+)
+
+
+class TestManhattan:
+    def test_basic(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+
+    def test_symmetric(self):
+        assert manhattan((2, 9), (5, 1)) == manhattan((5, 1), (2, 9))
+
+    def test_zero(self):
+        assert manhattan((4, 4), (4, 4)) == 0
+
+
+class TestQuery:
+    def test_lower_bound(self):
+        assert Query((0, 0), (2, 3)).lower_bound() == 5
+
+    def test_defaults(self):
+        q = Query((0, 0), (1, 1))
+        assert q.release_time == 0
+        assert q.kind is QueryKind.GENERIC
+        assert q.query_id == -1
+
+    def test_frozen(self):
+        q = Query((0, 0), (1, 1))
+        with pytest.raises(AttributeError):
+            q.release_time = 5  # type: ignore[misc]
+
+
+class TestRoute:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Route(0, [])
+
+    def test_times(self):
+        r = Route(10, [(0, 0), (0, 1), (0, 1), (1, 1)])
+        assert r.finish_time == 13
+        assert r.duration == 3
+        assert r.origin == (0, 0)
+        assert r.destination == (1, 1)
+
+    def test_single_grid(self):
+        r = Route(5, [(2, 2)])
+        assert r.finish_time == 5 and r.duration == 0
+
+    def test_position_at_inside(self):
+        r = Route(10, [(0, 0), (0, 1), (1, 1)])
+        assert r.position_at(11) == (0, 1)
+
+    def test_position_at_clamps(self):
+        r = Route(10, [(0, 0), (0, 1), (1, 1)])
+        assert r.position_at(0) == (0, 0)
+        assert r.position_at(99) == (1, 1)
+
+    def test_steps(self):
+        r = Route(3, [(0, 0), (0, 1)])
+        assert list(r.steps()) == [(3, (0, 0)), (4, (0, 1))]
+
+    def test_unit_speed_check(self):
+        assert Route(0, [(0, 0), (0, 1), (0, 1)]).is_unit_speed()
+        assert not Route(0, [(0, 0), (2, 2)]).is_unit_speed()
+
+    @given(st.integers(0, 100), st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=10))
+    def test_steps_count_matches_duration(self, start, grids):
+        r = Route(start, grids)
+        steps = list(r.steps())
+        assert len(steps) == len(grids)
+        assert steps[0][0] == start
+        assert steps[-1][0] == r.finish_time
+
+
+class TestConcatenateRoutes:
+    def test_back_to_back(self):
+        a = Route(0, [(0, 0), (0, 1)])
+        b = Route(1, [(0, 1), (0, 2)])
+        joined = concatenate_routes(a, b)
+        assert joined.grids == [(0, 0), (0, 1), (0, 2)]
+        assert joined.finish_time == 2
+
+    def test_gap_filled_with_waits(self):
+        a = Route(0, [(0, 0), (0, 1)])
+        b = Route(4, [(0, 1), (0, 2)])
+        joined = concatenate_routes(a, b)
+        assert joined.grids == [(0, 0), (0, 1), (0, 1), (0, 1), (0, 1), (0, 2)]
+        assert joined.finish_time == 5
+
+    def test_mismatched_junction_rejected(self):
+        a = Route(0, [(0, 0), (0, 1)])
+        b = Route(1, [(5, 5), (5, 6)])
+        with pytest.raises(ValueError):
+            concatenate_routes(a, b)
+
+    def test_time_travel_rejected(self):
+        a = Route(0, [(0, 0), (0, 1)])
+        b = Route(0, [(0, 1), (0, 2)])
+        with pytest.raises(ValueError):
+            concatenate_routes(a, b)
+
+
+class TestTask:
+    def test_fields(self):
+        t = Task(5, (1, 1), (9, 9), task_id=3)
+        assert t.release_time == 5 and t.rack == (1, 1) and t.picker == (9, 9)

@@ -1,0 +1,326 @@
+"""Tests for the warehouse matrix, layout generator, datasets and traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import LayoutSpec, TaskTraceSpec, Warehouse, generate_layout, generate_tasks
+from repro.exceptions import LayoutError
+from repro.warehouse.datasets import DATASET_SUMMARY, dataset_by_name, w1, w2, w3
+from repro.warehouse.tasks import queries_for_task
+from repro.types import QueryKind
+
+
+class TestWarehouseMatrix:
+    def test_from_ascii_round_trip(self, tiny_warehouse):
+        again = Warehouse.from_ascii(tiny_warehouse.to_ascii())
+        assert again == tiny_warehouse
+
+    def test_dimensions(self, tiny_warehouse):
+        assert tiny_warehouse.shape == (8, 8)
+        assert tiny_warehouse.n_cells == 64
+        assert tiny_warehouse.n_racks == 20
+
+    def test_is_rack_and_free(self, tiny_warehouse):
+        assert tiny_warehouse.is_rack((1, 2))
+        assert tiny_warehouse.is_free((0, 0))
+        assert not tiny_warehouse.is_free((-1, 0))
+
+    def test_neighbors_skip_racks(self, tiny_warehouse):
+        # (1,1) has rack neighbour (1,2).
+        assert (1, 2) not in list(tiny_warehouse.neighbors((1, 1)))
+        assert (0, 1) in list(tiny_warehouse.neighbors((1, 1)))
+
+    def test_all_neighbors_include_racks(self, tiny_warehouse):
+        assert (1, 2) in list(tiny_warehouse.all_neighbors((1, 1)))
+
+    def test_corner_neighbors(self, tiny_warehouse):
+        assert set(tiny_warehouse.neighbors((0, 0))) == {(0, 1), (1, 0)}
+
+    def test_cell_lists_partition(self, tiny_warehouse):
+        free = set(tiny_warehouse.free_cells())
+        racks = set(tiny_warehouse.rack_cells())
+        assert not free & racks
+        assert len(free) + len(racks) == tiny_warehouse.n_cells
+
+    def test_grid_graph_counts(self, tiny_warehouse):
+        assert tiny_warehouse.grid_vertex_count() == 64
+        assert tiny_warehouse.grid_edge_count() == 128
+
+    def test_picker_on_rack_rejected(self):
+        with pytest.raises(LayoutError):
+            Warehouse(np.ones((3, 3), dtype=bool), pickers=[(0, 0)])
+
+    def test_out_of_bounds_home_rejected(self):
+        with pytest.raises(LayoutError):
+            Warehouse(np.zeros((3, 3), dtype=bool), robot_homes=[(5, 5)])
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(LayoutError):
+            Warehouse(np.zeros((0, 3), dtype=bool))
+
+    def test_unknown_ascii_char_rejected(self):
+        with pytest.raises(LayoutError):
+            Warehouse.from_ascii("..X..")
+
+    def test_ascii_markers(self):
+        wh = Warehouse.from_ascii("P.R\n...")
+        assert wh.pickers == [(0, 0)]
+        assert wh.robot_homes == [(0, 2)]
+
+
+class TestLayoutGenerator:
+    def test_respects_dimensions(self, small_warehouse):
+        assert small_warehouse.shape == (28, 20)
+
+    def test_cluster_shape(self):
+        spec = LayoutSpec(height=30, width=20, cluster_length=4, n_pickers=2, n_robots=2)
+        wh = generate_layout(spec)
+        racks = wh.racks
+        # Every rack run along a column is exactly cluster_length tall.
+        for j in range(wh.width):
+            runs = []
+            run = 0
+            for i in range(wh.height):
+                if racks[i, j]:
+                    run += 1
+                elif run:
+                    runs.append(run)
+                    run = 0
+            if run:
+                runs.append(run)
+            assert all(r == 4 for r in runs)
+
+    def test_full_width_aisles_exist(self, small_warehouse):
+        free_rows = ~small_warehouse.racks.any(axis=1)
+        assert free_rows.sum() >= 4  # margins plus inter-cluster aisles
+
+    def test_counts(self, small_warehouse):
+        assert len(small_warehouse.pickers) == 4
+        assert len(small_warehouse.robot_homes) == 6
+
+    def test_fill_ratio_exact(self):
+        spec = LayoutSpec(
+            height=40, width=30, cluster_length=4, n_pickers=2, n_robots=2, fill_ratio=0.5
+        )
+        wh = generate_layout(spec)
+        slots = len(spec.cluster_row_starts()) * len(spec.cluster_col_starts())
+        expected = round(0.5 * slots) * 2 * spec.cluster_length
+        assert wh.n_racks == expected
+
+    def test_deterministic(self):
+        spec = LayoutSpec(height=30, width=20, cluster_length=4, n_pickers=3, n_robots=3, fill_ratio=0.7)
+        assert generate_layout(spec) == generate_layout(spec)
+
+    def test_seed_changes_thinning(self):
+        base = dict(height=30, width=20, cluster_length=4, n_pickers=3, n_robots=3, fill_ratio=0.5)
+        a = generate_layout(LayoutSpec(seed=1, **base))
+        b = generate_layout(LayoutSpec(seed=2, **base))
+        assert not np.array_equal(a.racks, b.racks)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(LayoutError):
+            LayoutSpec(height=5, width=20, cluster_length=4)
+
+    def test_bad_fill_rejected(self):
+        with pytest.raises(LayoutError):
+            LayoutSpec(height=30, width=20, fill_ratio=1.5)
+
+    def test_too_many_robots_rejected(self):
+        with pytest.raises(LayoutError):
+            generate_layout(
+                LayoutSpec(height=30, width=20, cluster_length=4, n_pickers=2, n_robots=100_000)
+            )
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", ["W-1", "W-2", "W-3"])
+    def test_table2_exact_counts(self, name):
+        info = DATASET_SUMMARY[name]
+        wh = dataset_by_name(name)
+        assert wh.shape == (info.height, info.width)
+        assert wh.n_racks == info.n_racks
+        assert len(wh.pickers) == info.n_pickers
+        assert len(wh.robot_homes) == info.n_robots
+
+    def test_scaling_shrinks(self):
+        full, half = w1(), w1(scale=0.5)
+        assert half.height < full.height
+        assert half.n_racks < full.n_racks
+        assert len(half.robot_homes) < len(full.robot_homes)
+
+    def test_factories_distinct(self):
+        assert w1().shape != w2().shape != w3().shape
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(LayoutError):
+            dataset_by_name("W-9")
+
+    def test_names(self):
+        assert w1(scale=0.5).name == "W-1@0.5"
+        assert w2().name == "W-2"
+
+
+class TestTaskTraces:
+    def test_deterministic(self, small_warehouse):
+        spec = TaskTraceSpec(n_tasks=20, day_length=500, seed=9)
+        assert generate_tasks(small_warehouse, spec) == generate_tasks(small_warehouse, spec)
+
+    def test_sorted_releases_in_range(self, small_warehouse):
+        tasks = generate_tasks(small_warehouse, TaskTraceSpec(n_tasks=50, day_length=300, seed=1))
+        releases = [t.release_time for t in tasks]
+        assert releases == sorted(releases)
+        assert all(0 <= r < 300 for r in releases)
+
+    def test_endpoints_valid(self, small_warehouse):
+        tasks = generate_tasks(small_warehouse, TaskTraceSpec(n_tasks=30, day_length=300, seed=4))
+        for t in tasks:
+            assert small_warehouse.is_rack(t.rack)
+            assert t.picker in small_warehouse.pickers
+
+    def test_diurnal_has_morning_peak(self, small_warehouse):
+        tasks = generate_tasks(
+            small_warehouse, TaskTraceSpec(n_tasks=2000, day_length=1000, seed=3)
+        )
+        early = sum(1 for t in tasks if 150 <= t.release_time < 350)
+        late = sum(1 for t in tasks if 750 <= t.release_time < 950)
+        assert early > 2 * late  # the morning flood dominates the evening
+
+    def test_uniform_pattern_flat(self, small_warehouse):
+        tasks = generate_tasks(
+            small_warehouse,
+            TaskTraceSpec(n_tasks=2000, day_length=1000, pattern="uniform", seed=3),
+        )
+        first_half = sum(1 for t in tasks if t.release_time < 500)
+        assert 800 < first_half < 1200
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(LayoutError):
+            TaskTraceSpec(n_tasks=0)
+        with pytest.raises(LayoutError):
+            TaskTraceSpec(n_tasks=5, pattern="bursty")
+
+    def test_no_pickers_rejected(self, tiny_warehouse):
+        with pytest.raises(LayoutError):
+            generate_tasks(tiny_warehouse, TaskTraceSpec(n_tasks=5))
+
+    def test_queries_for_task(self):
+        from repro.types import Task
+
+        task = Task(10, (2, 2), (7, 0), task_id=1)
+        queries = queries_for_task(task, (0, 0), 15)
+        assert [q.kind for q in queries] == [
+            QueryKind.PICKUP,
+            QueryKind.TRANSMISSION,
+            QueryKind.RETURN,
+        ]
+        assert queries[0].origin == (0, 0) and queries[0].destination == (2, 2)
+        assert queries[1].origin == (2, 2) and queries[1].destination == (7, 0)
+        assert queries[2].origin == (7, 0) and queries[2].destination == (2, 2)
+        assert all(q.release_time == 15 for q in queries)
+
+
+class TestRackSkew:
+    def test_skewed_concentrates_demand(self, small_warehouse):
+        from collections import Counter
+
+        uniform = generate_tasks(
+            small_warehouse, TaskTraceSpec(n_tasks=600, day_length=900, seed=8)
+        )
+        skewed = generate_tasks(
+            small_warehouse,
+            TaskTraceSpec(n_tasks=600, day_length=900, rack_skew=1.2, seed=8),
+        )
+        top_uniform = Counter(t.rack for t in uniform).most_common(1)[0][1]
+        top_skewed = Counter(t.rack for t in skewed).most_common(1)[0][1]
+        assert top_skewed > 2 * top_uniform
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(LayoutError):
+            TaskTraceSpec(n_tasks=5, rack_skew=-0.5)
+
+    def test_skewed_trace_still_valid(self, small_warehouse):
+        tasks = generate_tasks(
+            small_warehouse, TaskTraceSpec(n_tasks=50, rack_skew=2.0, seed=4)
+        )
+        assert all(small_warehouse.is_rack(t.rack) for t in tasks)
+
+
+class TestDayTraceSpec:
+    def test_volumes_follow_table2_profile(self):
+        from repro.warehouse import day_trace_spec
+        from repro.warehouse.datasets import DATASET_SUMMARY
+
+        info = DATASET_SUMMARY["W-3"]
+        volumes = [day_trace_spec("W-3", d).n_tasks for d in range(1, 6)]
+        published = info.tasks_per_day
+        # Relative ordering of days preserved exactly.
+        assert sorted(range(5), key=lambda i: volumes[i]) == sorted(
+            range(5), key=lambda i: published[i]
+        )
+        # Day 4 is ~5x Day 3 in the paper; allow rounding slack.
+        assert volumes[3] > 4 * volumes[2]
+
+    def test_deterministic_seeds(self):
+        from repro.warehouse import day_trace_spec
+
+        a = day_trace_spec("W-1", 2)
+        b = day_trace_spec("W-1", 2)
+        assert a == b
+        assert day_trace_spec("W-2", 2).seed != a.seed
+
+    def test_bad_inputs(self):
+        from repro.warehouse import day_trace_spec
+
+        with pytest.raises(LayoutError):
+            day_trace_spec("W-9", 1)
+        with pytest.raises(LayoutError):
+            day_trace_spec("W-1", 6)
+
+
+class TestClusterOrientation:
+    def _spec(self, orientation):
+        return LayoutSpec(
+            height=60, width=40, cluster_length=8, n_pickers=4, n_robots=4,
+            cluster_orientation=orientation,
+        )
+
+    def test_horizontal_clusters_shape(self):
+        wh = generate_layout(self._spec("horizontal"))
+        racks = wh.racks
+        # Every rack run along a column is exactly 2 tall now.
+        for j in range(wh.width):
+            run = 0
+            for i in range(wh.height):
+                if racks[i, j]:
+                    run += 1
+                elif run:
+                    assert run == 2
+                    run = 0
+            if run:
+                assert run == 2
+
+    def test_vertical_reduces_strips_better(self):
+        """The paper's layout assumption quantified: vertical 2xl
+        clusters aggregate into far fewer strips than horizontal ones."""
+        from repro import build_strip_graph
+
+        vert = build_strip_graph(generate_layout(self._spec("vertical")))
+        horiz = build_strip_graph(generate_layout(self._spec("horizontal")))
+        assert vert.n_vertices < 0.5 * horiz.n_vertices
+
+    def test_unknown_orientation_rejected(self):
+        with pytest.raises(LayoutError):
+            LayoutSpec(height=60, width=40, cluster_orientation="diagonal")
+
+    def test_planning_still_works_on_horizontal(self):
+        from repro import Query, SRPPlanner
+        from repro.analysis import find_conflicts
+
+        wh = generate_layout(self._spec("horizontal"))
+        planner = SRPPlanner(wh)
+        routes = [
+            planner.plan(Query((0, 0), (59, 39), 0, query_id=1)),
+            planner.plan(Query((59, 0), (0, 39), 0, query_id=2)),
+        ]
+        assert find_conflicts(routes) == []
