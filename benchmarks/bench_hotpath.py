@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Reproducible hot-path benchmark: the Fig. 16-style online query stream.
+
+Times a deterministic stream of CARP queries planned online (each route
+commits its traffic before the next query arrives, exactly like the
+paper's evaluation) on the standard Table II layouts, once with the
+versioned edge-weight cache enabled and once without, and verifies that
+both configurations produce **bit-for-bit identical routes**.  Appends
+a machine-readable record to ``BENCH_hotpath.json`` at the repo root so
+the repo accumulates a perf trajectory across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full run
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick    # CI smoke
+
+The script also runs unchanged against older checkouts of this repo
+(``PYTHONPATH=<old>/src python benchmarks/bench_hotpath.py --no-append``):
+planner kwargs unknown to the old code are dropped, which is how
+before/after speedups versus the seed are measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import List, Optional, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+try:  # keep an explicitly PYTHONPATH-ed checkout (e.g. the seed) in charge
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro import Query, SRPPlanner, datasets  # noqa: E402
+from repro.exceptions import PlanningFailedError  # noqa: E402
+
+from benchmarks.conftest import append_bench_record, current_commit  # noqa: E402
+
+
+def make_queries(warehouse, n: int, day_length: int, seed: int) -> List[Query]:
+    """A deterministic Fig. 16-style stream of ``n`` online queries.
+
+    Mimics warehouse traffic shape: a minority of *hot* cells (pickers,
+    popular racks) appear in many queries while the rest of the floor is
+    visited uniformly, and release times spread across the day.
+    """
+    rng = random.Random(seed)
+    free = warehouse.free_cells()
+    hot = rng.sample(free, max(4, len(free) // 50))
+    queries = []
+    release = 0
+    for k in range(n):
+        release += rng.randint(0, max(1, 2 * day_length // max(1, n)))
+        pool_o = hot if rng.random() < 0.5 else free
+        pool_d = hot if rng.random() < 0.5 else free
+        origin = rng.choice(pool_o)
+        destination = rng.choice(pool_d)
+        if origin == destination:
+            destination = rng.choice(free)
+        queries.append(Query(origin, destination, release, query_id=k))
+    return queries
+
+
+def make_planner(warehouse, use_cache: bool) -> SRPPlanner:
+    """Build an SRP planner, tolerating older code without ``cache``."""
+    try:
+        return SRPPlanner(warehouse, cache=use_cache)
+    except TypeError:  # pre-cache checkout (e.g. the seed)
+        return SRPPlanner(warehouse)
+
+
+def run_stream(
+    warehouse, queries: List[Query], use_cache: bool, prune_every: int = 512
+) -> Tuple[List[Optional[Tuple[int, tuple]]], float, float, SRPPlanner]:
+    """Plan the stream online.
+
+    Returns ``(route fingerprints, wall seconds, cpu seconds, planner)``.
+    CPU seconds (:func:`time.process_time`) are reported alongside wall
+    time because frequency throttling on busy machines skews wall-clock
+    comparisons by tens of percent while CPU time stays stable.
+    """
+    planner = make_planner(warehouse, use_cache)
+    fingerprints: List[Optional[Tuple[int, tuple]]] = []
+    last_prune = 0
+    started = time.perf_counter()
+    cpu_started = time.process_time()
+    for query in queries:
+        if prune_every > 0 and query.release_time - last_prune >= prune_every:
+            planner.prune(query.release_time)
+            last_prune = query.release_time
+        try:
+            route = planner.plan(query)
+        except PlanningFailedError:
+            fingerprints.append(None)
+            continue
+        fingerprints.append((route.start_time, tuple(route.grids)))
+    cpu_elapsed = time.process_time() - cpu_started
+    elapsed = time.perf_counter() - started
+    return fingerprints, elapsed, cpu_elapsed, planner
+
+
+def bench_layout(
+    layout: str,
+    scale: float,
+    n_queries: int,
+    day_length: int,
+    seed: int,
+    repeats: int = 3,
+):
+    warehouse = datasets.dataset_by_name(layout, scale=scale)
+    queries = make_queries(warehouse, n_queries, day_length, seed)
+
+    # Interleave the two configurations and keep the best time of each
+    # (timeit-style): CPU frequency drift on busy machines easily skews
+    # a single back-to-back pair by tens of percent.
+    secs_off = secs_on = cpu_off = cpu_on = None
+    routes_off = routes_on = None
+    planner = None
+    for _ in range(max(1, repeats)):
+        routes_off, elapsed, cpu, _ = run_stream(warehouse, queries, use_cache=False)
+        if secs_off is None or elapsed < secs_off:
+            secs_off = elapsed
+        if cpu_off is None or cpu < cpu_off:
+            cpu_off = cpu
+        routes_on, elapsed, cpu, planner = run_stream(warehouse, queries, use_cache=True)
+        if secs_on is None or elapsed < secs_on:
+            secs_on = elapsed
+        if cpu_on is None or cpu < cpu_on:
+            cpu_on = cpu
+
+    identical = routes_off == routes_on
+    stats = planner.stats
+    hit_rate = getattr(stats, "cache_hit_rate", 0.0)
+    record = {
+        "commit": current_commit(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "layout": layout,
+        "scale": scale,
+        "n_queries": len(queries),
+        "day_length": day_length,
+        "seed": seed,
+        "repeats": max(1, repeats),
+        "failed_queries": sum(r is None for r in routes_on),
+        "qps_cached": len(queries) / secs_on,
+        "qps_uncached": len(queries) / secs_off,
+        "qps_cached_cpu": len(queries) / cpu_on if cpu_on else 0.0,
+        "qps_uncached_cpu": len(queries) / cpu_off if cpu_off else 0.0,
+        "speedup_cache": secs_off / secs_on if secs_on else 0.0,
+        "cache_hit_rate": hit_rate,
+        "cache_hits": getattr(stats, "cache_hits", 0),
+        "cache_negative_hits": getattr(stats, "cache_negative_hits", 0),
+        "cache_misses": getattr(stats, "cache_misses", 0),
+        "fallbacks": stats.fallbacks,
+        "routes_identical": identical,
+    }
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--layouts", default="W-1", help="comma-separated, e.g. W-1,W-2")
+    parser.add_argument("--scale", type=float, default=0.4, help="layout scale factor")
+    parser.add_argument("--queries", type=int, default=500, help="stream length")
+    parser.add_argument("--day", type=int, default=800, help="release-time span (s)")
+    parser.add_argument("--seed", type=int, default=97)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: tiny stream, no trajectory append",
+    )
+    parser.add_argument(
+        "--no-append",
+        action="store_true",
+        help="do not append to BENCH_hotpath.json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.scale = min(args.scale, 0.25)
+        args.queries = min(args.queries, 60)
+        args.repeats = 1
+        args.no_append = True
+
+    ok = True
+    for layout in args.layouts.split(","):
+        layout = layout.strip()
+        record = bench_layout(
+            layout, args.scale, args.queries, args.day, args.seed, args.repeats
+        )
+        print(json.dumps(record, indent=2, sort_keys=True))
+        if not record["routes_identical"]:
+            print(f"ERROR: {layout}: cached routes differ from uncached ones", file=sys.stderr)
+            ok = False
+        if not args.no_append:
+            path = append_bench_record(record)
+            print(f"appended record to {path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

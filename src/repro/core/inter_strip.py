@@ -35,16 +35,15 @@ from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.intra_strip import IntraPlan, plan_within_strip
 from repro.core.intra_strip_exact import plan_within_strip_exact
+from repro.core.plan_cache import MISSING, PlanCache, decode_plan, encode_plan
 from repro.core.segments import Segment, make_wait
 from repro.core.store_base import SegmentStore
-from repro.core.strips import Direction, StripGraph, TransitRange
+from repro.core.strips import StripGraph
 from repro.types import Grid, Query, manhattan
 
 #: a committed boundary crossing: the robot is at from_cell at time-1
 #: and at to_cell at time.
 CrossingKey = Tuple[Grid, Grid, int]
-
-_LAT = Direction.LATITUDINAL
 
 
 @dataclass(frozen=True)
@@ -81,6 +80,9 @@ class SearchStats:
     intra_expansions: int = 0
     strips_popped: int = 0
     edges_relaxed: int = 0
+    cache_hits: int = 0
+    cache_negative_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -161,22 +163,27 @@ def _entry_clear_time(obstacle: Segment, pos: int, t_from: int) -> int:
 
 
 def _nearest_transit(
-    ranges: Sequence[TransitRange], pos: int
+    ranges: Sequence[Tuple[int, int, int]], pos: int
 ) -> Optional[Tuple[int, int]]:
-    """Greedy transit choice (Fig. 10): the adjacent pair nearest ``pos``."""
+    """Greedy transit choice (Fig. 10): the adjacent pair nearest ``pos``.
+
+    ``ranges`` are the plain ``(lo, hi, offset)`` tuples of
+    :meth:`repro.core.strips.StripGraph.neighbor_transits` — this runs
+    once per (settled strip, neighbor) pair, hence the flat ints.
+    """
     best: Optional[Tuple[int, int]] = None
     best_dist = None
-    for r in ranges:
-        tp = r.clamp(pos)
-        dist = abs(tp - pos)
+    for lo, hi, offset in ranges:
+        tp = lo if pos < lo else (hi if pos > hi else pos)
+        dist = pos - tp if tp < pos else tp - pos
         if best_dist is None or dist < best_dist:
-            best = (tp, tp + r.offset)
+            best = (tp, tp + offset)
             best_dist = dist
     return best
 
 
 def _transit_toward(
-    ranges: Sequence[TransitRange], from_pos: int, target_pos: int
+    ranges: Sequence[Tuple[int, int, int]], from_pos: int, target_pos: int
 ) -> Optional[Tuple[int, int]]:
     """Transit pair whose landing position is nearest ``target_pos``.
 
@@ -187,9 +194,10 @@ def _transit_toward(
     """
     best: Optional[Tuple[int, int]] = None
     best_key = None
-    for r in ranges:
-        tp = r.clamp(target_pos - r.offset)
-        vp = tp + r.offset
+    for lo, hi, offset in ranges:
+        want = target_pos - offset
+        tp = lo if want < lo else (hi if want > hi else want)
+        vp = tp + offset
         key = (abs(vp - target_pos), abs(tp - from_pos))
         if best_key is None or key < best_key:
             best = (tp, vp)
@@ -207,21 +215,49 @@ class _Search:
         crossings: AbstractSet[CrossingKey],
         config: SearchConfig,
         stats: SearchStats,
+        cache: Optional[PlanCache] = None,
     ) -> None:
         self.graph = graph
         self.stores = stores
         self.crossings = crossings
         self.config = config
         self.stats = stats
+        self.cache = cache
+        self._exact = config.intra_exact
+        # Raw view of the cache's entry dict: the probe below runs once
+        # per edge relaxation, so even one extra method call shows up.
+        self._cache_entries = cache.raw_entries() if cache is not None else None
 
     # ------------------------------------------------------------------
     # Timed wrappers around the intra-strip level
     # ------------------------------------------------------------------
     def _intra(self, strip: int, t: int, origin: int, dest: int) -> Optional[IntraPlan]:
         started = _time.perf_counter()
-        if self.config.intra_exact:
+        key = None
+        store = self.stores[strip]
+        entries = self._cache_entries
+        if entries is not None and (len(store) != 0 or self._exact):
+            # Planning through an empty strip is already O(1) (a single
+            # free-flow segment), so the cache only engages where there
+            # is traffic.  The store version changes exactly when the
+            # strip's committed traffic changes, so a hit is never
+            # stale; see repro.core.plan_cache.
+            key = (strip, origin, dest, t, store.version)
+            cached = entries.get(key, MISSING)
+            if cached is not MISSING:
+                if cached is None:
+                    self.stats.cache_negative_hits += 1
+                    plan = None
+                else:
+                    self.stats.cache_hits += 1
+                    plan = decode_plan(cached)
+                self.stats.intra_time += _time.perf_counter() - started
+                self.stats.intra_calls += 1
+                return plan
+            self.stats.cache_misses += 1
+        if self._exact:
             plan = plan_within_strip_exact(
-                self.stores[strip],
+                store,
                 t,
                 origin,
                 dest,
@@ -232,13 +268,15 @@ class _Search:
             )
         else:
             plan = plan_within_strip(
-                self.stores[strip],
+                store,
                 t,
                 origin,
                 dest,
                 max_expansions=self.config.max_expansions,
                 max_wait=self.config.max_wait,
             )
+        if key is not None:
+            self.cache.put(key, None if plan is None else encode_plan(plan))
         self.stats.intra_time += _time.perf_counter() - started
         self.stats.intra_calls += 1
         if plan is not None:
@@ -263,8 +301,13 @@ class _Search:
         try:
             from_store = self.stores[from_strip]
             to_store = self.stores[to_strip]
-            from_cell = self.graph.strips[from_strip].grid_at(from_pos)
-            to_cell = self.graph.strips[to_strip].grid_at(to_pos)
+            # Inline grid_at: positions here come from transit ranges,
+            # always in bounds, so skip its range check and enum compare.
+            anchors = self.graph.anchors
+            ai, aj, lat = anchors[from_strip]
+            from_cell = (ai, aj + from_pos) if lat else (ai + from_pos, aj)
+            ai, aj, lat = anchors[to_strip]
+            to_cell = (ai, aj + to_pos) if lat else (ai + to_pos, aj)
             if (
                 len(to_store) == 0
                 and (to_cell, from_cell, t + 1) not in self.crossings
@@ -325,14 +368,13 @@ class _Search:
 
         di, dj = dst
         use_h = self.config.use_heuristic
-        strips = graph.strips
+        anchors = graph.anchors
 
         def heuristic(strip: int, pos: int) -> int:
             if not use_h:
                 return 0
-            s = strips[strip]
-            ai, aj = s.alpha
-            if s.direction is _LAT:
+            ai, aj, lat = anchors[strip]
+            if lat:
                 return abs(ai - di) + abs(aj + pos - dj)
             return abs(ai + pos - di) + abs(aj - dj)
 
@@ -387,11 +429,7 @@ class _Search:
             if not rack_targets:
                 return None  # walled-in rack
 
-        is_target = (
-            (lambda s: s in rack_targets)
-            if dst_is_rack
-            else (lambda s: s == dst_strip_idx)
-        )
+        target_strips = frozenset(rack_targets) if dst_is_rack else frozenset((dst_strip_idx,))
         best: Optional[RoutePlan] = None
 
         def completion_tail(v: int, arrival: int, pos: int):
@@ -438,6 +476,12 @@ class _Search:
                 legs.append(rack_leg)
             best = RoutePlan(t0, ori, dst, legs, completion)
 
+        # Local binds for settle's inner loop — it touches every
+        # (settled strip, neighbor) pair, far more often than anything
+        # else at the strip level.
+        aisle_adjacency = graph._aisle_adjacency
+        heappush = heapq.heappush
+
         def settle(u: int) -> None:
             """Pop handler for a strip label: complete and queue edge stubs."""
             nonlocal seq
@@ -446,66 +490,89 @@ class _Search:
                 return
             label.settled = True
             self.stats.strips_popped += 1
+            arrival = label.arrival
+            pos = label.pos
 
-            if is_target(u):
+            if u in target_strips:
                 # Complete from this strip's own (single) label; additional
                 # entries into target strips are tried per incoming edge.
-                tail = completion_tail(u, label.arrival, label.pos)
+                tail = completion_tail(u, arrival, pos)
                 if tail is not None:
                     base = self._chain_legs(labels, u)
                     base.append(Leg(u, label.entry, []))
                     record_completion(base, tail)
 
-            for v, ranges in graph.neighbors(u):
-                if not graph.strips[v].is_aisle:
-                    continue  # rack strips are endpoints only
-                target_v = is_target(v)
+            for v, ranges in aisle_adjacency[u]:
                 existing = labels.get(v)
-                if existing is not None and existing.settled and not target_v:
-                    continue
-                transits = []
-                nearest = _nearest_transit(ranges, label.pos)
-                if nearest is not None:
-                    transits.append(nearest)
-                if target_v:
-                    # Also try entering the final strip right at the goal
-                    # column: traversing a long congested strip against
-                    # opposing traffic is the main failure mode of the
-                    # source-greedy transit.
-                    goal_pos = (
-                        min(rack_targets[v], key=lambda p: abs(p - label.pos))
-                        if dst_is_rack
-                        else dst_pos
-                    )
-                    aligned = _transit_toward(ranges, label.pos, goal_pos)
-                    if aligned is not None and aligned not in transits:
-                        transits.append(aligned)
-                for tp, vp in transits:
+                if v not in target_strips:
+                    # Common case: one greedy transit (Fig. 10), fully
+                    # inlined — no list, no helper call for the
+                    # overwhelmingly common single-range edge.
+                    if existing is not None and existing.settled:
+                        continue
+                    if len(ranges) == 1:
+                        lo, hi, offset = ranges[0]
+                        tp = lo if pos < lo else (hi if pos > hi else pos)
+                        vp = tp + offset
+                    else:
+                        tp, vp = _nearest_transit(ranges, pos)
                     # Admissible lower bound: free-flow run to the transit
                     # cell plus the boundary hop.
-                    bound = label.arrival + abs(label.pos - tp) + 1
-                    if (
-                        existing is not None
-                        and existing.arrival <= bound
-                        and not target_v
-                    ):
+                    bound = arrival + (pos - tp if tp < pos else tp - pos) + 1
+                    if existing is not None and existing.arrival <= bound:
                         continue  # dominated before evaluation
+                    if use_h:
+                        ai, aj, lat = anchors[v]
+                        if lat:
+                            h = abs(ai - di) + abs(aj + vp - dj)
+                        else:
+                            h = abs(ai + vp - di) + abs(aj - dj)
+                        key = bound + h
+                    else:
+                        key = bound
+                    # Stubs the pop loop could only ever discard (beyond
+                    # the detour budget or the incumbent route) are
+                    # dropped here instead of bloating the heap.
+                    if key > key_limit:
+                        continue
+                    if best is not None and key >= best.arrival_time:
+                        continue
                     seq += 1
-                    heapq.heappush(
+                    heappush(heap, (key, -bound, seq, 1, (u, v, tp, vp, bound)))
+                    continue
+                # Target strip: additionally try entering right at the
+                # goal column — traversing a long congested strip against
+                # opposing traffic is the main failure mode of the
+                # source-greedy transit.
+                transits = [_nearest_transit(ranges, pos)]
+                goal_pos = (
+                    min(rack_targets[v], key=lambda p: abs(p - pos))
+                    if dst_is_rack
+                    else dst_pos
+                )
+                aligned = _transit_toward(ranges, pos, goal_pos)
+                if aligned is not None and aligned not in transits:
+                    transits.append(aligned)
+                for tp, vp in transits:
+                    bound = arrival + (pos - tp if tp < pos else tp - pos) + 1
+                    seq += 1
+                    if use_h:
+                        ai, aj, lat = anchors[v]
+                        if lat:
+                            h = abs(ai - di) + abs(aj + vp - dj)
+                        else:
+                            h = abs(ai + vp - di) + abs(aj - dj)
+                    else:
+                        h = 0
+                    heappush(
                         heap,
-                        (
-                            bound + heuristic(v, vp),
-                            -bound,
-                            seq,
-                            1,
-                            (u, v, tp, vp, bound),
-                        ),
+                        (bound + h, -bound, seq, 1, (u, v, tp, vp, bound)),
                     )
 
         def evaluate_edge(u: int, v: int, tp: int, vp: int, bound: int) -> None:
             """Pop handler for an edge stub: run the real intra/crossing."""
             label = labels[u]
-            target_v = is_target(v)
+            target_v = v in target_strips
             existing = labels.get(v)
             if existing is not None and not target_v:
                 # Dominated or already settled: skip the expensive eval.
@@ -577,10 +644,17 @@ def plan_route(
     query: Query,
     config: SearchConfig,
     stats: Optional[SearchStats] = None,
+    cache: Optional[PlanCache] = None,
 ) -> Optional[RoutePlan]:
     """Run Algorithm 4 for one query; read-only against the stores.
+
+    ``cache`` optionally memoises intra-strip edge-weight calls across
+    (and within) queries; see :mod:`repro.core.plan_cache`.  Results are
+    identical with and without it.
 
     Returns the winning :class:`RoutePlan` or None when the restricted
     search fails (the caller then falls back to grid-level A*).
     """
-    return _Search(graph, stores, crossings, config, stats or SearchStats()).run(query)
+    return _Search(
+        graph, stores, crossings, config, stats or SearchStats(), cache
+    ).run(query)

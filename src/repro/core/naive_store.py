@@ -9,6 +9,11 @@ start time does not exceed the query's finish time, filters the prefix
 by time-span overlap, and judges the survivors one by one with the
 geometry of Eq. (2)/(3) — the O(2 log n + n) procedure of the paper's
 Section V-B remarks.
+
+A parallel plain-int list of start times backs every binary search, so
+``bisect`` runs entirely in C instead of calling a Python ``key``
+lambda O(log n) times per probe — this store sits on the hot loop of
+every intra-strip search.
 """
 
 from __future__ import annotations
@@ -24,27 +29,30 @@ from repro.geometry.collision import conflict_between_segments
 class NaiveSegmentStore(SegmentStore):
     """Section V-B's baseline store: one time-ordered list per strip."""
 
-    __slots__ = ("queries", "judged", "_segments", "_max_duration")
+    __slots__ = ("queries", "judged", "version", "_segments", "_starts", "_max_duration")
 
     def __init__(self) -> None:
         super().__init__()
         self._segments: List[Segment] = []
+        #: start times parallel to _segments (plain ints for C-speed bisect)
+        self._starts: List[int] = []
         self._max_duration = 0
 
     def insert(self, segment: Segment) -> None:
-        bisect.insort(self._segments, segment, key=lambda s: s.t0)
+        idx = bisect.bisect_right(self._starts, segment.t0)
+        self._starts.insert(idx, segment.t0)
+        self._segments.insert(idx, segment)
         if segment.duration > self._max_duration:
             self._max_duration = segment.duration
+        self._bump_version()
 
     def earliest_conflict(self, segment: Segment) -> Optional[ConflictHit]:
         self.queries += 1
         # Every potential collider overlaps our span, so it starts no
         # later than our finish and no earlier than our start minus the
         # longest stored duration: a O(log n) window on the sorted list.
-        lo = bisect.bisect_left(
-            self._segments, segment.t0 - self._max_duration, key=lambda s: s.t0
-        )
-        end = bisect.bisect_right(self._segments, segment.t1, key=lambda s: s.t0)
+        lo = bisect.bisect_left(self._starts, segment.t0 - self._max_duration)
+        end = bisect.bisect_right(self._starts, segment.t1)
         best: Optional[ConflictHit] = None
         for idx in range(lo, end):
             other = self._segments[idx]
@@ -64,11 +72,21 @@ class NaiveSegmentStore(SegmentStore):
     def prune(self, before: int) -> int:
         kept = [s for s in self._segments if s.t1 >= before]
         dropped = len(self._segments) - len(kept)
-        self._segments = kept
+        if dropped:
+            self._segments = kept
+            self._starts = [s.t0 for s in kept]
+            # Recompute from the survivors so the candidate window does
+            # not stay inflated by long-gone long segments.
+            self._max_duration = max((s.duration for s in kept), default=0)
+            self._bump_version()
         return dropped
 
     def clear(self) -> None:
-        self._segments.clear()
+        if self._segments:
+            self._segments.clear()
+            self._starts.clear()
+            self._max_duration = 0
+            self._bump_version()
 
     def __len__(self) -> int:
         return len(self._segments)

@@ -1,0 +1,157 @@
+"""Versioned memoisation of intra-strip planning results.
+
+The inter-strip Dijkstra (Algorithm 4) treats the intra-strip planner
+(Algorithm 2) as its edge-weight oracle, so the same
+``plan_within_strip(store, t, origin, destination)`` call is issued
+again and again — within one query (completion tails are retried per
+incoming edge), across the release-delay retry loop, and across
+queries whose routes do not touch the same strips.  Each call re-walks
+the strip's committed traffic from scratch even when nothing changed.
+
+:class:`PlanCache` memoises those calls keyed by
+
+``(strip, origin, destination, start_time, store_version)``
+
+where ``store_version`` is the :class:`~repro.core.store_base.SegmentStore`
+content version.  A store's version changes exactly when its contents
+change (and versions are drawn from a process-global monotone counter,
+so no two content states — even of different store incarnations for the
+same strip — ever share one).  A cached entry is therefore *never*
+stale: no explicit invalidation hooks, no TTLs, and cached-on planning
+is bit-for-bit identical to cached-off planning.
+
+Failed searches (``None`` results) are cached too — the negative cache.
+A failed intra-strip search is the most expensive kind (it burns the
+whole expansion budget), and the planner's release-delay retry loop
+tends to repeat it verbatim.
+
+The cache is LRU-bounded.  Eviction only costs recomputation, never
+correctness.
+
+Plans are stored *encoded* as flat tuples of ints
+(:func:`encode_plan` / :func:`decode_plan`) rather than as live
+:class:`~repro.core.intra_strip.IntraPlan` object graphs.  CPython
+untracks tuples that contain only atomic values, so encoded entries
+drop out of cyclic-GC scans entirely — retaining tens of thousands of
+plan objects otherwise makes every full collection measurably slower,
+which silently taxes *all* phases of the planner.  Decoding also hands
+every hit a fresh plan, so cached results can never alias committed
+ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Tuple
+
+from repro.core.intra_strip import IntraPlan
+from repro.core.segments import Segment
+
+#: sentinel distinguishing "not cached" from a cached negative result
+MISSING = object()
+
+#: (strip, origin, destination, start_time, store_version)
+CacheKey = Tuple[int, int, int, int, int]
+
+#: (start_time, arrival_time, expansions, then 4 ints per segment)
+EncodedPlan = Tuple[int, ...]
+
+
+def encode_plan(plan: IntraPlan) -> EncodedPlan:
+    """Flatten a plan into a GC-untrackable tuple of ints."""
+    parts = [plan.start_time, plan.arrival_time, plan.expansions]
+    for s in plan.segments:
+        parts.append(s.t0)
+        parts.append(s.p0)
+        parts.append(s.t1)
+        parts.append(s.p1)
+    return tuple(parts)
+
+
+def decode_plan(flat: EncodedPlan) -> IntraPlan:
+    """Rebuild a fresh :class:`IntraPlan` from its encoded form."""
+    return IntraPlan(
+        [
+            Segment(flat[i], flat[i + 1], flat[i + 2], flat[i + 3])
+            for i in range(3, len(flat), 4)
+        ],
+        flat[0],
+        flat[1],
+        flat[2],
+    )
+
+
+class PlanCache:
+    """LRU memo of intra-strip plans, keyed by store content version.
+
+    Values are :func:`encode_plan` tuples or ``None`` (a memoised
+    *failed* search); the structure itself is value-agnostic.
+
+    One cache belongs to one planner: the key deliberately omits the
+    search budgets (``max_expansions``, ``max_wait``) and the
+    ``intra_exact`` flag because they are fixed per planner instance.
+    """
+
+    __slots__ = ("maxsize", "evictions", "_entries")
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self.evictions = 0
+        # A plain dict, not OrderedDict: insertion order *is* the LRU
+        # order (refresh = delete + reinsert), and plain-dict get/set is
+        # what the planner's miss path pays on every uncachable call.
+        self._entries: Dict[Hashable, Any] = {}
+
+    def get(self, key: Hashable) -> Any:
+        """The cached value for ``key``, or :data:`MISSING`.
+
+        A hit refreshes the entry's LRU position.  ``None`` is a valid
+        cached value (negative cache), hence the sentinel.
+        """
+        entries = self._entries
+        value = entries.get(key, MISSING)
+        if value is not MISSING:
+            del entries[key]
+            entries[key] = value
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Memoise ``value`` (which may be ``None``) under ``key``.
+
+        New keys land at the most-recent end of the order; re-putting an
+        existing key also refreshes its position.
+        """
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        entries[key] = value
+        if len(entries) > self.maxsize:
+            del entries[next(iter(entries))]
+            self.evictions += 1
+
+    def raw_entries(self) -> Dict[Hashable, Any]:
+        """The live entry dict, for inlined hot-path probes.
+
+        ``entries.get(key, MISSING)`` is the cheapest possible probe but
+        skips the LRU refresh that :meth:`get` performs — callers using
+        this view accept insertion-order eviction in exchange.  Do not
+        mutate the dict directly; use :meth:`put`.
+        """
+        return self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PlanCache(size={len(self._entries)}/{self.maxsize}, "
+            f"evictions={self.evictions})"
+        )

@@ -22,6 +22,7 @@ from repro.core.crossings import CrossingLedger
 from repro.core.fallback import fallback_plan
 from repro.core.inter_strip import RoutePlan, SearchConfig, SearchStats, plan_route
 from repro.core.naive_store import NaiveSegmentStore
+from repro.core.plan_cache import PlanCache
 from repro.core.segments import Segment
 from repro.core.slope_index import SlopeIndexedStore
 from repro.core.store_base import SegmentStore, StripStoreMap
@@ -48,10 +49,23 @@ class SRPStats:
     intra_expansions: int = 0
     strips_popped: int = 0
     edges_relaxed: int = 0
+    #: intra-strip calls answered from the plan cache (positive results)
+    cache_hits: int = 0
+    #: intra-strip calls answered from the negative cache (memoised failures)
+    cache_negative_hits: int = 0
+    #: intra-strip calls that had to run the real search
+    cache_misses: int = 0
 
     @property
     def total_time(self) -> float:
         return self.inter_time + self.intra_time + self.conversion_time
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of intra-strip calls served from the plan cache."""
+        served = self.cache_hits + self.cache_negative_hits
+        total = served + self.cache_misses
+        return served / total if total else 0.0
 
     def reset(self) -> None:
         self.__init__()
@@ -76,6 +90,16 @@ class SRPPlanner(Planner):
         store: segment store backend — "slope" (Algorithm 3, default),
             "naive" (Section V-B) or "bucket" (time-bucketed index, an
             extension beyond the paper).  Overrides use_slope_index.
+        cache: memoise intra-strip edge-weight calls keyed by store
+            content version (see :mod:`repro.core.plan_cache`).  Routes
+            are bit-for-bit identical with the cache on or off; the
+            flag exists for ablation and the Fig. 22-style breakdown
+            (``stats.cache_hits`` / ``cache_misses``).
+        cache_size: LRU bound on memoised intra-strip plans.  Reuse is
+            temporally local (completion-tail retries within a search,
+            the release-delay retry loop), so a small cache captures
+            almost all hits; large bounds measurably tax allocator and
+            GC locality for no extra hits on steady query streams.
         max_wait: cap on consecutive waiting seconds tried at one cell.
         max_expansions: per-intra-strip-search collision-query budget.
         max_start_delay: how many release-time delays to try when the
@@ -96,6 +120,8 @@ class SRPPlanner(Planner):
         intra_exact: bool = False,
         intra_backward: bool = False,
         store: Optional[str] = None,
+        cache: bool = True,
+        cache_size: int = 256,
     ) -> None:
         super().__init__()
         self.warehouse = warehouse
@@ -125,6 +151,8 @@ class SRPPlanner(Planner):
         )
         self.max_start_delay = max_start_delay
         self.fallback_expansions = fallback_expansions
+        #: versioned memo of intra-strip edge weights (None = disabled)
+        self.plan_cache: Optional[PlanCache] = PlanCache(cache_size) if cache else None
         #: committed boundary crossings (from_cell, to_cell, arrival_time)
         self.crossings = CrossingLedger(warehouse.height, warehouse.width)
         self.distance_maps = DistanceMaps(warehouse)
@@ -182,7 +210,13 @@ class SRPPlanner(Planner):
         search_started = _time.perf_counter()
         stats = SearchStats()
         plan = plan_route(
-            self.graph, self.stores, self.crossings, query, self.config, stats
+            self.graph,
+            self.stores,
+            self.crossings,
+            query,
+            self.config,
+            stats,
+            self.plan_cache,
         )
         elapsed = _time.perf_counter() - search_started
         self.stats.intra_time += stats.intra_time
@@ -191,6 +225,9 @@ class SRPPlanner(Planner):
         self.stats.intra_expansions += stats.intra_expansions
         self.stats.strips_popped += stats.strips_popped
         self.stats.edges_relaxed += stats.edges_relaxed
+        self.stats.cache_hits += stats.cache_hits
+        self.stats.cache_negative_hits += stats.cache_negative_hits
+        self.stats.cache_misses += stats.cache_misses
 
         if plan is not None:
             conv_started = _time.perf_counter()
@@ -227,6 +264,10 @@ class SRPPlanner(Planner):
         self.stores.clear()
         self.crossings.clear()
         self.distance_maps.clear()
+        # Not strictly required for correctness (store versions are
+        # never reused), but drops the memory.
+        if self.plan_cache is not None:
+            self.plan_cache.clear()
         self.stats.reset()
         self.timers.reset()
 
@@ -281,7 +322,8 @@ class SRPPlanner(Planner):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         index = "slope-index" if self.use_slope_index else "naive"
+        cached = "on" if self.plan_cache is not None else "off"
         return (
             f"SRPPlanner(warehouse={self.warehouse.name!r}, store={index}, "
-            f"strips={self.graph.n_vertices})"
+            f"strips={self.graph.n_vertices}, cache={cached})"
         )

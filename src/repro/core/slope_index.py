@@ -18,12 +18,17 @@ For a query of slope ``k`` the store therefore:
 The rotation's side benefit noted in the paper — rotated keys are
 almost unique so buckets stay tiny — holds here too: each trajectory
 line is typically used by very few concurrent robots.
+
+Every segment list carries a parallel plain-int list of start times, so
+the binary searches run entirely in C (``bisect`` on an int list)
+instead of evaluating a Python ``key`` lambda O(log n) times per probe.
+These probes are the single hottest operation of the whole planner.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.segments import Segment
 from repro.core.store_base import ConflictHit, SegmentStore
@@ -35,30 +40,65 @@ _SLOPES = (0, 1, -1)
 class SlopeIndexedStore(SegmentStore):
     """Algorithm 3: per-slope start-time lists plus intercept maps."""
 
-    __slots__ = ("queries", "judged", "_by_start", "_by_intercept", "_size", "_max_duration")
+    __slots__ = (
+        "queries",
+        "judged",
+        "version",
+        "_by_start",
+        "_start_keys",
+        "_by_intercept",
+        "_intercept_keys",
+        "_size",
+        "_max_durations",
+    )
 
     def __init__(self) -> None:
         super().__init__()
-        # The paper's S_k: all k-slope segments ordered by start time.
+        # The paper's S_k: all k-slope segments ordered by start time,
+        # with the parallel int key array used for binary search.
         self._by_start: Dict[int, List[Segment]] = {k: [] for k in _SLOPES}
-        # The paper's M_k: intercept -> segments ordered by start time.
+        self._start_keys: Dict[int, List[int]] = {k: [] for k in _SLOPES}
+        # The paper's M_k: intercept -> segments ordered by start time
+        # (again with a parallel start-time key array per bucket).
         self._by_intercept: Dict[int, Dict[int, List[Segment]]] = {
             k: {} for k in _SLOPES
         }
+        self._intercept_keys: Dict[int, Dict[int, List[int]]] = {
+            k: {} for k in _SLOPES
+        }
         self._size = 0
-        self._max_duration = 0
+        # Longest duration per slope class: the candidate windows below
+        # only need to reach back far enough for segments of the list
+        # being scanned, and long waits (slope 0) would otherwise
+        # stretch every cross-slope window too.
+        self._max_durations: Dict[int, int] = {k: 0 for k in _SLOPES}
+
+    def __len__(self) -> int:
+        return self._size
 
     # ------------------------------------------------------------------
     # Algorithm 3, "Insertion"
     # ------------------------------------------------------------------
     def insert(self, segment: Segment) -> None:
         k = segment.slope
-        bisect.insort(self._by_start[k], segment, key=lambda s: s.t0)
-        bucket = self._by_intercept[k].setdefault(segment.intercept, [])
-        bisect.insort(bucket, segment, key=lambda s: s.t0)
+        t0 = segment.t0
+        keys = self._start_keys[k]
+        idx = bisect.bisect_right(keys, t0)
+        keys.insert(idx, t0)
+        self._by_start[k].insert(idx, segment)
+        bucket_keys = self._intercept_keys[k].get(segment.intercept)
+        if bucket_keys is None:
+            bucket_keys = self._intercept_keys[k][segment.intercept] = []
+            bucket = self._by_intercept[k][segment.intercept] = []
+        else:
+            bucket = self._by_intercept[k][segment.intercept]
+        idx = bisect.bisect_right(bucket_keys, t0)
+        bucket_keys.insert(idx, t0)
+        bucket.insert(idx, segment)
         self._size += 1
-        if segment.duration > self._max_duration:
-            self._max_duration = segment.duration
+        if segment.duration > self._max_durations[k]:
+            self._max_durations[k] = segment.duration
+        self._bump_version()
 
     # ------------------------------------------------------------------
     # Algorithm 3, "Collision Judgement"
@@ -83,10 +123,9 @@ class SlopeIndexedStore(SegmentStore):
         bucket = self._by_intercept[segment.slope].get(segment.intercept)
         if not bucket:
             return None
-        lo = bisect.bisect_left(
-            bucket, segment.t0 - self._max_duration, key=lambda s: s.t0
-        )
-        end = bisect.bisect_right(bucket, segment.t1, key=lambda s: s.t0)
+        keys = self._intercept_keys[segment.slope][segment.intercept]
+        lo = bisect.bisect_left(keys, segment.t0 - self._max_durations[segment.slope])
+        end = bisect.bisect_right(keys, segment.t1)
         for idx in range(lo, end):
             other = bucket[idx]
             if other.t1 < segment.t0:
@@ -101,10 +140,9 @@ class SlopeIndexedStore(SegmentStore):
     def _cross_slope_conflict(self, segment: Segment, k: int) -> Optional[ConflictHit]:
         """Judge the time-overlapping segments of a different slope class."""
         candidates = self._by_start[k]
-        lo = bisect.bisect_left(
-            candidates, segment.t0 - self._max_duration, key=lambda s: s.t0
-        )
-        end = bisect.bisect_right(candidates, segment.t1, key=lambda s: s.t0)
+        keys = self._start_keys[k]
+        lo = bisect.bisect_left(keys, segment.t0 - self._max_durations[k])
+        end = bisect.bisect_right(keys, segment.t1)
         found: Optional[ConflictHit] = None
         for idx in range(lo, end):
             other = candidates[idx]
@@ -128,10 +166,9 @@ class SlopeIndexedStore(SegmentStore):
             bucket = self._by_intercept[k].get(pos - k * t)
             if not bucket:
                 continue
-            lo = bisect.bisect_left(
-                bucket, t - self._max_duration, key=lambda s: s.t0
-            )
-            end = bisect.bisect_right(bucket, t, key=lambda s: s.t0)
+            keys = self._intercept_keys[k][pos - k * t]
+            lo = bisect.bisect_left(keys, t - self._max_durations[k])
+            end = bisect.bisect_right(keys, t)
             for idx in range(lo, end):
                 if bucket[idx].t1 >= t:
                     return True
@@ -146,25 +183,42 @@ class SlopeIndexedStore(SegmentStore):
 
     def prune(self, before: int) -> int:
         dropped = 0
+        max_durations = {k: 0 for k in _SLOPES}
         for k in _SLOPES:
             kept = [s for s in self._by_start[k] if s.t1 >= before]
             dropped += len(self._by_start[k]) - len(kept)
             self._by_start[k] = kept
+            self._start_keys[k] = [s.t0 for s in kept]
+            for s in kept:
+                if s.duration > max_durations[k]:
+                    max_durations[k] = s.duration
             buckets = self._by_intercept[k]
+            bucket_keys = self._intercept_keys[k]
             for key in list(buckets):
                 alive = [s for s in buckets[key] if s.t1 >= before]
                 if alive:
-                    buckets[key] = alive
+                    if len(alive) != len(buckets[key]):
+                        buckets[key] = alive
+                        bucket_keys[key] = [s.t0 for s in alive]
                 else:
                     del buckets[key]
+                    del bucket_keys[key]
         self._size -= dropped
+        if dropped:
+            # Recompute from the survivors so the candidate windows stay
+            # tight after long multiday runs instead of remembering the
+            # longest segment ever stored.
+            self._max_durations = max_durations
+            self._bump_version()
         return dropped
 
     def clear(self) -> None:
+        if self._size:
+            self._bump_version()
         for k in _SLOPES:
             self._by_start[k].clear()
+            self._start_keys[k].clear()
             self._by_intercept[k].clear()
+            self._intercept_keys[k].clear()
         self._size = 0
-
-    def __len__(self) -> int:
-        return self._size
+        self._max_durations = {k: 0 for k in _SLOPES}

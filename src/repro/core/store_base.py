@@ -20,6 +20,7 @@ fallback uses to stay consistent with previously committed routes.
 
 from __future__ import annotations
 
+import itertools
 from abc import ABC, abstractmethod
 from typing import Iterator, Optional, Tuple
 
@@ -27,6 +28,15 @@ from repro.core.segments import Segment
 
 #: (blocked_time, blocking_segment)
 ConflictHit = Tuple[int, Segment]
+
+#: Process-wide monotone source of store versions.  Every content
+#: mutation of any store takes a fresh value, so two distinct content
+#: states never share a version — even across store *instances*.  That
+#: last property is what lets :class:`StripStoreMap.prune` drop an
+#: emptied store and later materialise a fresh one for the same strip
+#: without any risk of a stale :mod:`repro.core.plan_cache` entry keyed
+#: on the old incarnation being served against the new one.
+_VERSION_COUNTER = itertools.count(1)
 
 
 class SegmentStore(ABC):
@@ -39,6 +49,14 @@ class SegmentStore(ABC):
         self.queries = 0
         #: number of pairwise judgements performed (instrumentation)
         self.judged = 0
+        #: content version: changes exactly when the stored segment set
+        #: changes (insert, effective prune, effective clear).  Cache
+        #: keys derived from it are therefore never stale.
+        self.version = next(_VERSION_COUNTER)
+
+    def _bump_version(self) -> None:
+        """Take a fresh globally-unique version after a content change."""
+        self.version = next(_VERSION_COUNTER)
 
     @abstractmethod
     def insert(self, segment: Segment) -> None:
@@ -93,7 +111,17 @@ class SegmentStore(ABC):
 class _EmptyStore(SegmentStore):
     """Immutable empty store shared by all strips without traffic."""
 
-    __slots__ = ("queries", "judged")
+    __slots__ = ("queries", "judged", "version")
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.judged = 0
+        # Version 0 is reserved for "no traffic at all".  Every strip
+        # without a materialised store shares it, which is sound: a
+        # planning result against an empty store depends only on the
+        # query, so such cache entries stay valid whenever the strip is
+        # (or becomes, after pruning) empty again.
+        self.version = 0
 
     def insert(self, segment: Segment) -> None:  # pragma: no cover - guarded
         raise TypeError("the shared empty store is read-only")
@@ -141,6 +169,10 @@ class StripStoreMap:
     def __getitem__(self, idx: int) -> SegmentStore:
         return self._stores.get(idx, EMPTY_STORE)
 
+    def version_of(self, idx: int) -> int:
+        """Content version of a strip's store (0 for untouched strips)."""
+        return self._stores.get(idx, EMPTY_STORE).version
+
     def materialize(self, idx: int) -> SegmentStore:
         """The real (writable) store of a strip, created on demand."""
         store = self._stores.get(idx)
@@ -155,6 +187,12 @@ class StripStoreMap:
         return self._stores.items()
 
     def prune(self, before: int) -> int:
+        # Dropping an emptied store reverts the strip to EMPTY_STORE
+        # (version 0), whose cache entries describe a traffic-free strip
+        # and are therefore valid again.  A later materialize() builds a
+        # brand-new store whose versions come from the global counter,
+        # so cache entries keyed on the dropped incarnation can never be
+        # resurrected.
         dropped = 0
         for idx in list(self._stores):
             store = self._stores[idx]

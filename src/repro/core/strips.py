@@ -115,6 +115,28 @@ class StripGraph:
         # adjacency[u] -> {v: [TransitRange, ...]}
         self.adjacency: List[Dict[int, List[TransitRange]]] = [dict() for _ in strips]
         self._build_edges()
+        # Flattened views of the graph for the planner's hot loop: the
+        # inter-strip search touches every neighbor of every settled
+        # strip, so dataclass/enum attribute chains there are measurable.
+        # Same iteration order as neighbors() (dict insertion order).
+        self._fast_adjacency: List[List[Tuple[int, Tuple[Tuple[int, int, int], ...]]]] = [
+            [(v, tuple((r.lo, r.hi, r.offset) for r in ranges)) for v, ranges in adj.items()]
+            for adj in self.adjacency
+        ]
+        #: per-strip (alpha_row, alpha_col, is_latitudinal) for O(1) heuristics
+        self.anchors: List[Tuple[int, int, bool]] = [
+            (s.alpha[0], s.alpha[1], s.direction is Direction.LATITUDINAL)
+            for s in strips
+        ]
+        #: per-strip aisle flag (plain bools, no enum comparison)
+        self.aisle_flags: List[bool] = [s.is_aisle for s in strips]
+        # Aisle-only mirror of the fast adjacency: the search traverses
+        # aisle strips exclusively (racks are endpoints), so its settle
+        # loop should not even see rack neighbors.
+        self._aisle_adjacency: List[List[Tuple[int, Tuple[Tuple[int, int, int], ...]]]] = [
+            [(v, ranges) for v, ranges in row if self.aisle_flags[v]]
+            for row in self._fast_adjacency
+        ]
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -136,6 +158,16 @@ class StripGraph:
     def neighbors(self, strip_index: int) -> Iterator[Tuple[int, List[TransitRange]]]:
         """Yield ``(neighbor_index, transit_ranges)`` pairs."""
         yield from self.adjacency[strip_index].items()
+
+    def neighbor_transits(
+        self, strip_index: int
+    ) -> List[Tuple[int, Tuple[Tuple[int, int, int], ...]]]:
+        """Materialised ``(neighbor, ((lo, hi, offset), ...))`` pairs.
+
+        The plain-int-tuple mirror of :meth:`neighbors`, used by the
+        inter-strip search's hot loop.
+        """
+        return self._fast_adjacency[strip_index]
 
     # ------------------------------------------------------------------
     # Table II statistics

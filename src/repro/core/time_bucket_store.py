@@ -31,7 +31,7 @@ from repro.geometry.collision import conflict_between_segments
 class TimeBucketStore(SegmentStore):
     """Segments hashed into fixed-width time buckets."""
 
-    __slots__ = ("queries", "judged", "_bucket_width", "_buckets", "_size")
+    __slots__ = ("queries", "judged", "version", "_bucket_width", "_buckets", "_size")
 
     def __init__(self, bucket_width: int = 16) -> None:
         super().__init__()
@@ -50,6 +50,7 @@ class TimeBucketStore(SegmentStore):
         for b in self._bucket_range(segment.t0, segment.t1):
             self._buckets.setdefault(b, []).append(segment)
         self._size += 1
+        self._bump_version()
 
     def earliest_conflict(self, segment: Segment) -> Optional[ConflictHit]:
         self.queries += 1
@@ -99,9 +100,13 @@ class TimeBucketStore(SegmentStore):
             else:
                 del self._buckets[b]
         self._size -= len(dropped_ids)
+        if dropped_ids:
+            self._bump_version()
         return len(dropped_ids)
 
     def clear(self) -> None:
+        if self._size:
+            self._bump_version()
         self._buckets.clear()
         self._size = 0
 

@@ -93,6 +93,12 @@ class Simulation:
             memory_every=memory_every,
         )
         self.validate = validate
+        #: simulated seconds between planner.prune calls; <= 0 disables
+        #: pruning entirely (stores then only grow, but no plan-cache
+        #: entries are ever invalidated by version bumps — useful when
+        #: profiling the cache in isolation).  Stores bump their content
+        #: version only when a prune actually drops segments, so a no-op
+        #: prune keeps the planner's edge-weight cache warm.
         self.prune_interval = prune_interval
         #: seconds a robot spends lifting/dropping a rack between stages;
         #: also means a stage's start cell is no longer claimed by the
@@ -131,7 +137,7 @@ class Simulation:
                 for task, robot in assignments:
                     robot.busy_until = _CLAIMED
                     self._start_stage(_ActiveTask(task, robot), now, events)
-            if now - last_prune >= self.prune_interval:
+            if self.prune_interval > 0 and now - last_prune >= self.prune_interval:
                 self.planner.prune(now)
                 last_prune = now
 
@@ -216,6 +222,7 @@ def run_day(
     measure_memory: bool = True,
     memory_every: float = 0.1,
     validate: bool = False,
+    prune_interval: int = 256,
     handover_delay: int = 1,
     dispatcher: Optional[Dispatcher] = None,
 ) -> SimulationResult:
@@ -228,6 +235,7 @@ def run_day(
         measure_memory=measure_memory,
         memory_every=memory_every,
         validate=validate,
+        prune_interval=prune_interval,
         handover_delay=handover_delay,
         dispatcher=dispatcher,
     )

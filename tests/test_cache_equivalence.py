@@ -1,0 +1,94 @@
+"""Property test: the plan cache never changes planning outcomes.
+
+The versioned-key design promises that SRP with the edge-weight cache
+enabled is *bit-for-bit* identical to SRP without it — same routes,
+same start times, same failures — on any online query stream.  This
+drives randomly generated streams through two planners in lockstep and
+compares every outcome.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Query, SRPPlanner, Warehouse
+from repro.exceptions import PlanningFailedError
+
+WORLD = """
+........
+..##.##.
+..##.##.
+........
+..##.##.
+........
+"""
+
+
+def _warehouse() -> Warehouse:
+    return Warehouse.from_ascii(WORLD)
+
+
+_FREE = _warehouse().free_cells()
+
+
+@st.composite
+def query_stream(draw):
+    n = draw(st.integers(1, 8))
+    queries = []
+    release = 0
+    for k in range(n):
+        release += draw(st.integers(0, 6))
+        origin = _FREE[draw(st.integers(0, len(_FREE) - 1))]
+        destination = _FREE[draw(st.integers(0, len(_FREE) - 1))]
+        if origin == destination:
+            continue
+        queries.append(Query(origin, destination, release, query_id=k))
+    return queries
+
+
+def _run(planner, queries):
+    outcomes = []
+    for query in queries:
+        try:
+            route = planner.plan(query)
+        except PlanningFailedError:
+            outcomes.append(None)
+            continue
+        outcomes.append((route.start_time, tuple(route.grids)))
+    return outcomes
+
+
+@settings(max_examples=20, deadline=None)
+@given(queries=query_stream())
+def test_cached_routes_identical_to_uncached(queries):
+    warehouse = _warehouse()
+    cached = _run(SRPPlanner(warehouse, cache=True), queries)
+    uncached = _run(SRPPlanner(warehouse, cache=False), queries)
+    assert cached == uncached
+
+
+@settings(max_examples=10, deadline=None)
+@given(queries=query_stream())
+def test_equivalence_survives_pruning(queries):
+    warehouse = _warehouse()
+    planners = (SRPPlanner(warehouse, cache=True), SRPPlanner(warehouse, cache=False))
+    outcomes = ([], [])
+    for query in queries:
+        for i, planner in enumerate(planners):
+            planner.prune(query.release_time)
+            try:
+                route = planner.plan(query)
+            except PlanningFailedError:
+                outcomes[i].append(None)
+                continue
+            outcomes[i].append((route.start_time, tuple(route.grids)))
+    assert outcomes[0] == outcomes[1]
+
+
+@settings(max_examples=10, deadline=None)
+@given(queries=query_stream())
+def test_tiny_cache_still_equivalent(queries):
+    # Heavy eviction pressure: correctness must not depend on entries
+    # surviving (eviction only ever costs recomputation).
+    warehouse = _warehouse()
+    tiny = _run(SRPPlanner(warehouse, cache=True, cache_size=2), queries)
+    uncached = _run(SRPPlanner(warehouse, cache=False), queries)
+    assert tiny == uncached

@@ -1,0 +1,291 @@
+"""Tests for the versioned plan cache and the store version counters.
+
+Correctness of the cache rests on one invariant: a store's ``version``
+changes whenever its contents change, and no two content states — even
+of different store incarnations for the same strip — ever share a
+version.  These tests pin that invariant for every store backend, then
+check the cache layers built on top of it: the LRU structure itself,
+the encoded-plan round trip, and the planner-level guarantee that a
+cached entry is never served stale.
+"""
+
+import pytest
+
+from repro import Query, Warehouse
+from repro.core.inter_strip import SearchConfig, SearchStats, plan_route
+from repro.core.intra_strip import IntraPlan
+from repro.core.naive_store import NaiveSegmentStore
+from repro.core.plan_cache import (
+    MISSING,
+    PlanCache,
+    decode_plan,
+    encode_plan,
+)
+from repro.core.segments import Segment, make_move, make_wait
+from repro.core.slope_index import SlopeIndexedStore
+from repro.core.store_base import EMPTY_STORE, StripStoreMap
+from repro.core.strips import build_strip_graph
+from repro.core.time_bucket_store import TimeBucketStore
+
+STORES = [NaiveSegmentStore, SlopeIndexedStore, TimeBucketStore]
+
+
+class TestPlanCacheStructure:
+    def test_miss_returns_sentinel(self):
+        cache = PlanCache()
+        assert cache.get(("k",)) is MISSING
+
+    def test_put_then_get(self):
+        cache = PlanCache()
+        cache.put("a", (1, 2, 3))
+        assert cache.get("a") == (1, 2, 3)
+        assert "a" in cache and len(cache) == 1
+
+    def test_negative_result_distinct_from_miss(self):
+        cache = PlanCache()
+        cache.put("failed", None)
+        assert cache.get("failed") is None
+        assert cache.get("failed") is not MISSING
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh: "b" is now least recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert cache.get("b") is MISSING
+        assert cache.evictions == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.get("a") is MISSING
+
+    def test_raw_entries_is_live_view(self):
+        cache = PlanCache()
+        cache.put("a", 1)
+        assert cache.raw_entries().get("a", MISSING) == 1
+        assert cache.raw_entries().get("b", MISSING) is MISSING
+
+
+class TestEncodedPlans:
+    def test_round_trip(self):
+        plan = IntraPlan(
+            [Segment(5, 2, 9, 6), Segment(9, 6, 12, 6)], 5, 12, expansions=7
+        )
+        back = decode_plan(encode_plan(plan))
+        assert back.start_time == 5 and back.arrival_time == 12
+        assert back.expansions == 7
+        assert [s.raw for s in back.segments] == [s.raw for s in plan.segments]
+
+    def test_round_trip_empty_plan(self):
+        plan = IntraPlan([], 3, 3)
+        back = decode_plan(encode_plan(plan))
+        assert back.segments == [] and back.arrival_time == 3
+
+    def test_decode_returns_fresh_objects(self):
+        plan = IntraPlan([Segment(0, 0, 4, 4)], 0, 4)
+        flat = encode_plan(plan)
+        assert decode_plan(flat).segments[0] is not decode_plan(flat).segments[0]
+
+    def test_encoded_form_is_flat_ints(self):
+        plan = IntraPlan([Segment(1, 0, 3, 2)], 1, 3, expansions=2)
+        flat = encode_plan(plan)
+        assert flat == (1, 3, 2, 1, 0, 3, 2)
+        assert all(isinstance(x, int) for x in flat)
+
+
+@pytest.mark.parametrize("store_cls", STORES)
+class TestStoreVersions:
+    def test_insert_bumps(self, store_cls):
+        store = store_cls()
+        v0 = store.version
+        store.insert(make_move(0, 0, 5))
+        assert store.version != v0
+
+    def test_effective_prune_bumps(self, store_cls):
+        store = store_cls()
+        store.insert(make_move(0, 0, 3))
+        v0 = store.version
+        assert store.prune(10) == 1
+        assert store.version != v0
+
+    def test_noop_prune_keeps_version(self, store_cls):
+        store = store_cls()
+        store.insert(make_move(20, 0, 5))
+        v0 = store.version
+        assert store.prune(10) == 0
+        assert store.version == v0
+
+    def test_clear_bumps_only_nonempty(self, store_cls):
+        store = store_cls()
+        v0 = store.version
+        store.clear()
+        assert store.version == v0
+        store.insert(make_move(0, 0, 3))
+        v1 = store.version
+        store.clear()
+        assert store.version != v1
+
+    def test_versions_never_repeat(self, store_cls):
+        # The counter is process-global and monotone: a sequence of
+        # mutations yields strictly fresh versions, so an old cache key
+        # can never be revalidated by later changes.
+        store = store_cls()
+        seen = {store.version}
+        for t in range(6):
+            store.insert(make_move(4 * t, 0, 3))
+            assert store.version not in seen
+            seen.add(store.version)
+        store.prune(100)
+        assert store.version not in seen
+
+    def test_two_stores_never_share_a_version(self, store_cls):
+        a, b = store_cls(), store_cls()
+        a.insert(make_move(0, 0, 3))
+        b.insert(make_move(0, 0, 3))
+        assert a.version != b.version
+
+
+class TestStripStoreMapVersions:
+    def test_empty_strip_reports_version_zero(self):
+        stores = StripStoreMap(4, SlopeIndexedStore)
+        assert stores.version_of(2) == EMPTY_STORE.version == 0
+
+    def test_materialized_strip_reports_store_version(self):
+        stores = StripStoreMap(4, SlopeIndexedStore)
+        store = stores.materialize(1)
+        store.insert(make_move(0, 0, 3))
+        assert stores.version_of(1) == store.version != 0
+
+    def test_prune_drop_cannot_resurrect_stale_entries(self):
+        # A strip whose store empties out is dropped from the map and
+        # reads as EMPTY_STORE (version 0) again.  Version 0 entries
+        # are computed against *no traffic*, so they are valid for any
+        # empty incarnation; a later re-materialised store draws a
+        # fresh version, so entries cached against the old incarnation
+        # stay unreachable forever.
+        stores = StripStoreMap(4, SlopeIndexedStore)
+        first = stores.materialize(1)
+        first.insert(make_move(0, 0, 3))
+        old_version = stores.version_of(1)
+        stores.prune(50)  # drops the emptied store
+        assert stores.version_of(1) == 0
+        second = stores.materialize(1)
+        second.insert(make_wait(0, 0, 5))
+        assert stores.version_of(1) != old_version
+        assert stores.version_of(1) != 0
+
+
+OPEN = """
+......
+......
+......
+"""
+
+
+def _fingerprint(plan):
+    return (
+        plan.start_time,
+        plan.arrival_time,
+        [(leg.strip, [s.raw for s in leg.segments]) for leg in plan.legs],
+    )
+
+
+class TestSearchLevelCaching:
+    def _world(self):
+        wh = Warehouse.from_ascii(OPEN)
+        graph = build_strip_graph(wh)
+        stores = StripStoreMap(graph.n_vertices, SlopeIndexedStore)
+        return graph, stores
+
+    def _commit(self, stores, plan):
+        for leg in plan.legs:
+            store = stores.materialize(leg.strip)
+            if leg.entry is not None:
+                store.insert(leg.entry.point)
+            for seg in leg.segments:
+                store.insert(seg)
+
+    def test_repeat_search_is_served_from_cache(self):
+        graph, stores = self._world()
+        cache = PlanCache()
+        config = SearchConfig()
+        # Commit one route so later searches actually touch traffic
+        # (the cache deliberately skips empty strips).
+        warm = plan_route(graph, stores, set(), Query((0, 0), (2, 5), 0), config)
+        self._commit(stores, warm)
+
+        query = Query((2, 0), (0, 5), 0)
+        first_stats = SearchStats()
+        first = plan_route(graph, stores, set(), query, config, first_stats, cache)
+        second_stats = SearchStats()
+        second = plan_route(graph, stores, set(), query, config, second_stats, cache)
+
+        assert first_stats.cache_misses > 0
+        assert second_stats.cache_misses == 0
+        assert (
+            second_stats.cache_hits + second_stats.cache_negative_hits
+            == first_stats.cache_misses
+        )
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_insert_invalidates_previous_entries(self):
+        graph, stores = self._world()
+        cache = PlanCache()
+        config = SearchConfig()
+        warm = plan_route(graph, stores, set(), Query((0, 0), (2, 5), 0), config)
+        self._commit(stores, warm)
+
+        query = Query((2, 0), (0, 5), 0)
+        plan_route(graph, stores, set(), query, config, SearchStats(), cache)
+        # New traffic in the strips the route used: every key touching
+        # those strips now carries a fresh version.
+        self._commit(
+            stores,
+            plan_route(graph, stores, set(), Query((1, 0), (1, 5), 0), config),
+        )
+        stats = SearchStats()
+        replanned = plan_route(graph, stores, set(), query, config, stats, cache)
+        uncached = plan_route(graph, stores, set(), query, config, SearchStats())
+        assert _fingerprint(replanned) == _fingerprint(uncached)
+
+
+class TestMaxDurationPruneRegression:
+    """``prune`` must shrink the candidate look-back windows again."""
+
+    def test_naive_store_shrinks_window(self):
+        store = NaiveSegmentStore()
+        store.insert(make_wait(0, 5, 30))  # duration 30
+        store.insert(make_move(40, 0, 3))
+        assert store._max_duration == 30
+        store.prune(35)  # the long wait is history
+        assert store._max_duration == 3
+
+    def test_slope_store_shrinks_per_slope_windows(self):
+        store = SlopeIndexedStore()
+        store.insert(make_wait(0, 5, 30))  # slope 0, duration 30
+        store.insert(make_move(40, 0, 6))  # slope +1, duration 6
+        store.insert(make_move(41, 9, 4))  # slope -1, duration 5
+        assert store._max_durations[0] == 30
+        store.prune(35)
+        assert store._max_durations[0] == 0
+        assert store._max_durations[1] == 6
+        assert store._max_durations[-1] == 5
+
+    def test_slope_store_windows_stay_correct_after_prune(self):
+        store = SlopeIndexedStore()
+        store.insert(make_wait(0, 5, 30))
+        store.insert(make_wait(50, 5, 4))
+        store.prune(40)
+        # The surviving wait must still be found by a query overlapping
+        # its span even though the window shrank.
+        probe = Segment(53, 5, 53, 5)
+        hit = store.earliest_conflict(probe)
+        assert hit is not None and hit[0] == 53
