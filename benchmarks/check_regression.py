@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Performance regression gate over the ``BENCH_hotpath.json`` trajectory.
+
+Re-runs the hot-path benchmark and compares its throughput against the
+most recent trajectory record with the *same configuration* (layout,
+scale, stream length, day span, seed).  The gate fails (exit 1) when
+cached-planning qps dropped by more than ``--threshold`` (default 20%).
+
+Baselines taken on different hardware are not comparable, so the gate
+is scoped by the ``machine`` fingerprint stamped into every record:
+
+* same config **and** same machine  -> hard gate (fail on regression);
+* same config, different/unknown machine -> soft pass with a warning
+  (CI runners vs dev boxes would otherwise trade false alarms).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py           # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --quick   # CI
+    PYTHONPATH=src python benchmarks/check_regression.py --append  # gate,
+        then append the fresh record to the trajectory
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from benchmarks.bench_hotpath import bench_layout  # noqa: E402
+from benchmarks.conftest import (  # noqa: E402
+    BENCH_HOTPATH_PATH,
+    append_bench_record,
+    machine_fingerprint,
+)
+
+#: record fields that must match for two runs to be comparable
+CONFIG_KEYS = ("layout", "scale", "n_queries", "day_length", "seed")
+
+
+def load_records(path: str = BENCH_HOTPATH_PATH):
+    """All trajectory records, oldest first ([] when absent/corrupt)."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    records = data.get("records") if isinstance(data, dict) else None
+    return records if isinstance(records, list) else []
+
+
+def find_baseline(records, fresh: dict):
+    """The most recent record matching ``fresh``'s configuration."""
+    for record in reversed(records):
+        if all(record.get(k) == fresh.get(k) for k in CONFIG_KEYS):
+            return record
+    return None
+
+
+def throughput(record: dict) -> float:
+    """Comparable qps of a record: CPU-time based when available.
+
+    CPU-time throughput is immune to frequency throttling and machine
+    load, which skew wall-clock qps by tens of percent; old records
+    without the CPU figure fall back to wall-clock qps.
+    """
+    return record.get("qps_cached_cpu") or record.get("qps_cached") or 0.0
+
+
+def check(fresh: dict, baseline, threshold: float) -> int:
+    """Gate one fresh record against its baseline; returns an exit code."""
+    config = ", ".join(f"{k}={fresh.get(k)}" for k in CONFIG_KEYS)
+    if baseline is None:
+        print(f"PASS (no baseline yet for {config})")
+        return 0
+    base_qps, new_qps = throughput(baseline), throughput(fresh)
+    if base_qps <= 0:
+        print(f"PASS (baseline for {config} has no usable throughput)")
+        return 0
+    ratio = new_qps / base_qps
+    same_machine = baseline.get("machine") == fresh.get("machine")
+    verdict = (
+        f"qps {new_qps:.1f} vs baseline {base_qps:.1f} "
+        f"({ratio:.2f}x, commit {baseline.get('commit', '?')})"
+    )
+    if ratio >= 1.0 - threshold:
+        print(f"PASS {verdict}")
+        return 0
+    if not same_machine:
+        print(
+            f"SOFT PASS {verdict} — baseline machine "
+            f"{baseline.get('machine', 'unknown')!r} differs from "
+            f"{fresh.get('machine')!r}, not comparable"
+        )
+        return 0
+    print(
+        f"FAIL {verdict} — cached-planning throughput dropped more than "
+        f"{threshold:.0%} on the same machine ({fresh.get('machine')})",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--layouts", default="W-1", help="comma-separated, e.g. W-1,W-2")
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--queries", type=int, default=500)
+    parser.add_argument("--day", type=int, default=800)
+    parser.add_argument("--seed", type=int, default=97)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="tolerated fractional qps drop before failing (default 0.2)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: tiny stream (still gated against quick baselines)",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append the fresh record to BENCH_hotpath.json after gating",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.scale = min(args.scale, 0.25)
+        args.queries = min(args.queries, 60)
+        args.repeats = 1
+
+    records = load_records()
+    exit_code = 0
+    for layout in args.layouts.split(","):
+        layout = layout.strip()
+        fresh = bench_layout(
+            layout, args.scale, args.queries, args.day, args.seed, args.repeats
+        )
+        fresh.setdefault("machine", machine_fingerprint())
+        if not fresh["routes_identical"]:
+            print(f"FAIL {layout}: cached routes differ from uncached ones", file=sys.stderr)
+            exit_code = 1
+        exit_code = max(exit_code, check(fresh, find_baseline(records, fresh), args.threshold))
+        if args.append:
+            append_bench_record(fresh)
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import subprocess
+import sys
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -82,12 +84,30 @@ def current_commit() -> str:
         return "unknown"
 
 
+def machine_fingerprint() -> str:
+    """Coarse identity of the machine producing a bench record.
+
+    qps numbers are only comparable between runs on similar hardware;
+    the regression gate (``benchmarks/check_regression.py``) hard-fails
+    only when the baseline record carries the *same* fingerprint and
+    soft-passes across machines.
+    """
+    return (
+        f"{platform.system()}-{platform.machine()}"
+        f"-cpu{os.cpu_count() or 0}"
+        f"-py{sys.version_info.major}.{sys.version_info.minor}"
+    )
+
+
 def append_bench_record(record: dict, path: str = BENCH_HOTPATH_PATH) -> str:
     """Append one record to the perf-trajectory file and return its path.
 
     The file is ``{"schema": 1, "records": [...]}``; a corrupt or
-    missing file is replaced rather than crashing the bench.
+    missing file is replaced rather than crashing the bench.  Records
+    lacking a ``machine`` field are stamped with the current
+    :func:`machine_fingerprint`.
     """
+    record.setdefault("machine", machine_fingerprint())
     data = {"schema": 1, "records": []}
     if os.path.exists(path):
         try:

@@ -10,10 +10,12 @@
 
 from repro.analysis.validate import (
     Conflict,
+    audit_planner_state,
     find_conflicts,
     find_conflicts_pairwise,
     find_illegal_cells,
     assert_collision_free,
+    assert_planner_state_consistent,
     assert_routes_legal,
 )
 from repro.analysis.sizeof import deep_sizeof
@@ -34,6 +36,8 @@ from repro.analysis.occupancy import (
 
 __all__ = [
     "Conflict",
+    "audit_planner_state",
+    "assert_planner_state_consistent",
     "find_conflicts",
     "find_conflicts_pairwise",
     "find_illegal_cells",

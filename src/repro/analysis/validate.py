@@ -115,3 +115,97 @@ def assert_collision_free(routes: Sequence[Route]) -> None:
             f"{c.kind} conflict at t={c.time}, grid={c.grid} between "
             f"routes #{c.route_a} and #{c.route_b}"
         )
+
+
+#: cap per violation family so a systematic bug doesn't flood the report
+_AUDIT_REPORT_CAP = 20
+
+
+def audit_planner_state(planner, routes: Sequence[Route], since: int = 0) -> List[str]:
+    """Cross-check an SRP-shaped planner's stores against its routes.
+
+    The segment stores and the crossing ledger are the planner's *model*
+    of committed traffic; ``routes`` are the traffic itself (every route
+    the caller received, with recovery revisions applied).  After an
+    undisturbed day the two views agree by construction; after fault
+    injection they only agree if every decommit/replan recovery removed
+    exactly the abandoned suffix and re-committed exactly the revised
+    route.  This audit makes that invariant checkable:
+
+    * **occupancy equality** — the set of ``(t, grid)`` cells covered by
+      stored segments equals the cells covered by the routes plus any
+      exogenous blockages (:attr:`SRPPlanner.blockages`).  A stored cell
+      no route explains is a *phantom reservation* (a leaked suffix); a
+      route cell no segment covers is *missing coverage* (over-eager
+      decommit — later queries could be planned through a robot).
+    * **crossing equality** — the ledger's boundary-crossing keys equal
+      the crossings recomputed from the routes, both directions.
+
+    Comparison is restricted to ``t >= since`` (pass the last prune
+    time: pruned history is gone from the stores by design).  Segment
+    decompositions are *not* compared — decommit truncation legally
+    re-segments a route — only the occupancy they induce.
+
+    Returns human-readable violation strings, empty when consistent.
+    """
+    from repro.core.conversion import route_to_strip_artifacts
+
+    graph = planner.graph
+    violations: List[str] = []
+
+    expected: set = set()
+    for route in routes:
+        for t, grid in route.steps():
+            if t >= since:
+                expected.add((t, grid))
+    blocked: set = set()
+    for cell, t0, t1 in getattr(planner, "blockages", ()):
+        for t in range(max(t0, since), t1 + 1):
+            blocked.add((t, cell))
+
+    stored: set = set()
+    for strip_idx, store in planner.stores.active_items():
+        strip = graph.strips[strip_idx]
+        for seg in store.iter_segments():
+            for t in range(max(seg.t0, since), seg.t1 + 1):
+                stored.add((t, strip.grid_at(seg.position_at(t))))
+
+    for t, grid in sorted(stored - expected - blocked)[:_AUDIT_REPORT_CAP]:
+        violations.append(
+            f"phantom reservation: stores claim {grid} at t={t} "
+            f"but no surviving route or blockage occupies it"
+        )
+    for t, grid in sorted(expected - stored)[:_AUDIT_REPORT_CAP]:
+        violations.append(
+            f"missing coverage: a route occupies {grid} at t={t} "
+            f"but no stored segment covers it"
+        )
+
+    expected_keys: set = set()
+    for route in routes:
+        _segments, keys = route_to_strip_artifacts(graph, route)
+        expected_keys.update(k for k in keys if k[2] >= since)
+    stored_keys = {k for k in planner.crossings.iter_keys() if k[2] >= since}
+    for key in sorted(stored_keys - expected_keys)[:_AUDIT_REPORT_CAP]:
+        violations.append(
+            f"phantom crossing: ledger holds {key[0]}->{key[1]} at t={key[2]} "
+            f"but no surviving route performs it"
+        )
+    for key in sorted(expected_keys - stored_keys)[:_AUDIT_REPORT_CAP]:
+        violations.append(
+            f"missing crossing: a route crosses {key[0]}->{key[1]} at "
+            f"t={key[2]} but the ledger does not record it"
+        )
+    return violations
+
+
+def assert_planner_state_consistent(
+    planner, routes: Sequence[Route], since: int = 0
+) -> None:
+    """Raise :class:`CollisionError` on the first audit violation."""
+    violations = audit_planner_state(planner, routes, since=since)
+    if violations:
+        raise CollisionError(
+            f"planner state audit failed ({len(violations)} finding(s)); "
+            f"first: {violations[0]}"
+        )

@@ -6,6 +6,8 @@ Usage (also available as ``python -m repro.cli``)::
     repro-warehouse plan --dataset W-1 --origin 0,0 --dest 200,90
     repro-warehouse simulate --dataset W-2 --scale 0.3 --tasks 80 \
         --planner SRP --seed 7
+    repro-warehouse simulate --dataset W-1 --scale 0.5 --tasks 120 \
+        --stalls 20 --blockages 10 --fault-seed 5 --validate
 """
 
 from __future__ import annotations
@@ -25,6 +27,12 @@ from repro import (
     run_day,
 )
 from repro.analysis import format_table
+from repro.exceptions import (
+    InvalidQueryError,
+    PlanningFailedError,
+    SimulationError,
+)
+from repro.simulation import FaultPlan
 from repro.warehouse import load_warehouse
 
 PLANNER_NAMES = ("SRP", "SAP", "RP", "TWP", "ACP")
@@ -76,11 +84,26 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _report_failure(kind: str, exc) -> int:
+    """Structured one-line error report for planning/simulation failures."""
+    parts = [f"error: {kind}: {exc.args[0] if exc.args else exc}"]
+    if hasattr(exc, "diagnostics"):
+        for key, value in exc.diagnostics().items():
+            parts.append(f"  {key}: {value}")
+    print("\n".join(parts), file=sys.stderr)
+    return 1
+
+
 def cmd_plan(args) -> int:
     warehouse = _load_warehouse(args)
     planner = _make_planner(args.planner, warehouse, args.store, args.exact)
     query = Query(args.origin, args.dest, args.time)
-    route = planner.plan(query)
+    try:
+        route = planner.plan(query)
+    except PlanningFailedError as exc:
+        return _report_failure("planning failed", exc)
+    except InvalidQueryError as exc:
+        return _report_failure("invalid query", exc)
     print(
         f"{args.planner} route {args.origin} -> {args.dest}: "
         f"{route.duration} steps, departs t={route.start_time}, "
@@ -97,14 +120,35 @@ def cmd_simulate(args) -> int:
         warehouse,
         TaskTraceSpec(n_tasks=args.tasks, day_length=args.day, seed=args.seed),
     )
+    faults = None
+    if args.stalls or args.blockages:
+        faults = FaultPlan.generate(
+            warehouse,
+            n_robots=len(warehouse.robot_homes),
+            day_length=args.day,
+            n_stalls=args.stalls,
+            n_blockages=args.blockages,
+            seed=args.fault_seed,
+        )
     rows = []
     for name in args.planner.split(","):
         name = name.strip().upper()
         planner = _make_planner(name, warehouse, args.store, args.exact)
-        result = run_day(warehouse, planner, tasks, validate=args.validate)
+        try:
+            result = run_day(
+                warehouse, planner, tasks, validate=args.validate, faults=faults
+            )
+        except SimulationError as exc:
+            return _report_failure("simulation failed", exc)
         if result.conflicts:
             print(f"error: {name} produced {len(result.conflicts)} conflicts",
                   file=sys.stderr)
+            return 1
+        if result.audit_violations:
+            print(f"error: {name} planner-state audit found "
+                  f"{len(result.audit_violations)} violation(s):", file=sys.stderr)
+            for violation in result.audit_violations[:10]:
+                print(f"  {violation}", file=sys.stderr)
             return 1
         rows.append(
             [
@@ -114,13 +158,18 @@ def cmd_simulate(args) -> int:
                 f"{(result.peak_mc_bytes or 0) / 1024:.0f}",
                 result.completed_tasks,
                 result.failed_tasks,
+                f"{result.faults_injected}/{result.replans}",
             ]
         )
+    title = f"{warehouse.name}: {args.tasks} tasks over {args.day}s"
+    if faults is not None:
+        title += f", {len(faults)} faults (seed {args.fault_seed})"
     print(
         format_table(
-            ["planner", "OG (s)", "TC (ms)", "MC peak (KiB)", "done", "failed"],
+            ["planner", "OG (s)", "TC (ms)", "MC peak (KiB)", "done", "failed",
+             "faults/replans"],
             rows,
-            title=f"{warehouse.name}: {args.tasks} tasks over {args.day}s",
+            title=title,
         )
     )
     return 0
@@ -171,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the exact intra-strip search (SRP only)")
     p_sim.add_argument("--validate", action="store_true",
                        help="verify collision-freedom of the whole day")
+    p_sim.add_argument("--stalls", type=int, default=0,
+                       help="inject N seeded robot-stall faults (SRP only)")
+    p_sim.add_argument("--blockages", type=int, default=0,
+                       help="inject N seeded transient cell blockages (SRP only)")
+    p_sim.add_argument("--fault-seed", type=int, default=0,
+                       help="RNG seed of the fault plan (default 0)")
     p_sim.set_defaults(func=cmd_simulate)
     return parser
 

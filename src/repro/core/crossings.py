@@ -9,12 +9,21 @@ ledger packs each event into a single integer —
 — so a day of traffic costs one small-int set entry per crossing
 instead of a tuple-of-tuples (~4x less resident memory, which matters
 because MC is one of the paper's three reported metrics).
+
+Like the segment stores, the ledger carries a *content version* drawn
+from the same process-global monotone counter
+(:func:`repro.core.store_base.next_version`): any content change —
+adding a new key, removing one (route decommit), an effective prune or
+clear — takes a fresh value, so two distinct crossing sets never share
+a version.  Decommit and any future crossing-level memoisation
+therefore share one staleness signal with the per-strip plan cache.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, Iterator, Tuple
 
+from repro.core.store_base import next_version
 from repro.types import Grid
 
 #: modulus for the time component of packed keys; crossings are pruned
@@ -25,21 +34,35 @@ _TIME_SPAN = 1 << 40
 class CrossingLedger:
     """Set of boundary crossings with O(1) membership by (from, to, t)."""
 
-    __slots__ = ("_width", "_cells", "_keys")
+    __slots__ = ("_width", "_cells", "_keys", "version")
 
     def __init__(self, height: int, width: int) -> None:
         self._width = width
         self._cells = height * width
         self._keys = set()
+        #: content version; changes exactly when the crossing set changes
+        self.version = next_version()
 
     def _pack(self, from_cell: Grid, to_cell: Grid, t: int) -> int:
         f = from_cell[0] * self._width + from_cell[1]
         g = to_cell[0] * self._width + to_cell[1]
         return (f * self._cells + g) * _TIME_SPAN + t
 
+    def _unpack(self, key: int) -> Tuple[Grid, Grid, int]:
+        rest, t = divmod(key, _TIME_SPAN)
+        f, g = divmod(rest, self._cells)
+        return (
+            divmod(f, self._width),
+            divmod(g, self._width),
+            t,
+        )
+
     # ------------------------------------------------------------------
     def add(self, from_cell: Grid, to_cell: Grid, t: int) -> None:
-        self._keys.add(self._pack(from_cell, to_cell, t))
+        key = self._pack(from_cell, to_cell, t)
+        if key not in self._keys:
+            self._keys.add(key)
+            self.version = next_version()
 
     def add_key(self, key: Tuple[Grid, Grid, int]) -> None:
         self.add(*key)
@@ -48,11 +71,31 @@ class CrossingLedger:
         for key in keys:
             self.add(*key)
 
+    def remove(self, from_cell: Grid, to_cell: Grid, t: int) -> None:
+        """Decommit one crossing; KeyError when it was never committed."""
+        key = self._pack(from_cell, to_cell, t)
+        if key not in self._keys:
+            raise KeyError(f"crossing {(from_cell, to_cell, t)!r} not committed")
+        self._keys.remove(key)
+        self.version = next_version()
+
+    def remove_key(self, key: Tuple[Grid, Grid, int]) -> None:
+        self.remove(*key)
+
     def contains(self, from_cell: Grid, to_cell: Grid, t: int) -> bool:
         return self._pack(from_cell, to_cell, t) in self._keys
 
     def __contains__(self, key: Tuple[Grid, Grid, int]) -> bool:
         return self.contains(*key)
+
+    def iter_keys(self) -> Iterator[Tuple[Grid, Grid, int]]:
+        """Yield every committed ``(from_cell, to_cell, t)`` event.
+
+        Unpacking is audit-path only (order unspecified); the planner's
+        hot membership probes never touch tuples.
+        """
+        for key in self._keys:
+            yield self._unpack(key)
 
     # ------------------------------------------------------------------
     def prune(self, before: int) -> int:
@@ -60,9 +103,13 @@ class CrossingLedger:
         kept = {k for k in self._keys if k % _TIME_SPAN >= before}
         dropped = len(self._keys) - len(kept)
         self._keys = kept
+        if dropped:
+            self.version = next_version()
         return dropped
 
     def clear(self) -> None:
+        if self._keys:
+            self.version = next_version()
         self._keys.clear()
 
     def __len__(self) -> int:

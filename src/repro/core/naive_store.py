@@ -46,6 +46,26 @@ class NaiveSegmentStore(SegmentStore):
             self._max_duration = segment.duration
         self._bump_version()
 
+    def remove(self, segment: Segment) -> None:
+        # All stored instances of a start time sit in one contiguous
+        # bisect window.  Insert appends at the *end* of the window, so
+        # removing the *last* value-equal instance is its exact inverse:
+        # an insert-then-remove round trip restores the list bit-for-bit
+        # even with value-equal duplicates interleaved with other ties.
+        lo = bisect.bisect_left(self._starts, segment.t0)
+        hi = bisect.bisect_right(self._starts, segment.t0, lo)
+        for idx in reversed(range(lo, hi)):
+            if self._segments[idx] == segment:
+                del self._segments[idx]
+                del self._starts[idx]
+                if segment.duration == self._max_duration:
+                    self._max_duration = max(
+                        (s.duration for s in self._segments), default=0
+                    )
+                self._bump_version()
+                return
+        raise KeyError(f"segment {segment!r} not stored")
+
     def earliest_conflict(self, segment: Segment) -> Optional[ConflictHit]:
         self.queries += 1
         # Every potential collider overlaps our span, so it starts no

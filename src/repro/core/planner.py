@@ -14,13 +14,19 @@ Instrumentation matches Fig. 22(a)'s time breakdown: ``inter_time``,
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.conversion import plan_to_route, route_to_strip_artifacts
 from repro.core.crossings import CrossingLedger
 from repro.core.fallback import fallback_plan
-from repro.core.inter_strip import RoutePlan, SearchConfig, SearchStats, plan_route
+from repro.core.inter_strip import (
+    CrossingKey,
+    RoutePlan,
+    SearchConfig,
+    SearchStats,
+    plan_route,
+)
 from repro.core.naive_store import NaiveSegmentStore
 from repro.core.plan_cache import PlanCache
 from repro.core.segments import Segment
@@ -31,7 +37,7 @@ from repro.core.strips import StripGraph, build_strip_graph
 from repro.exceptions import InvalidQueryError, PlanningFailedError
 from repro.pathfinding.distance import DistanceMaps
 from repro.planner_base import Planner
-from repro.types import Query, Route
+from repro.types import Grid, Query, Route, concatenate_routes
 from repro.warehouse.matrix import Warehouse
 
 
@@ -55,6 +61,10 @@ class SRPStats:
     cache_negative_hits: int = 0
     #: intra-strip calls that had to run the real search
     cache_misses: int = 0
+    #: recovery replans served (``replan_from`` calls, successful or not)
+    replans: int = 0
+    #: segments removed from stores by route decommits
+    decommitted_segments: int = 0
 
     @property
     def total_time(self) -> float:
@@ -69,6 +79,22 @@ class SRPStats:
 
     def reset(self) -> None:
         self.__init__()
+
+
+@dataclass
+class CommitRecord:
+    """Everything one query committed, for later decommit/recovery.
+
+    ``segments`` lists one entry per *store insertion* (a multiset view:
+    value-equal duplicates are legal), so a decommit can undo exactly
+    the insertions the commit performed.  ``route`` is the query's
+    current full grid route, updated in place by recoveries.
+    """
+
+    query: Query
+    route: Route
+    segments: List[Tuple[int, Segment]] = field(default_factory=list)
+    crossings: List[CrossingKey] = field(default_factory=list)
 
 
 class SRPPlanner(Planner):
@@ -157,6 +183,19 @@ class SRPPlanner(Planner):
         self.crossings = CrossingLedger(warehouse.height, warehouse.width)
         self.distance_maps = DistanceMaps(warehouse)
         self.stats = SRPStats()
+        #: per-query commit records enabling decommit/recovery; only
+        #: queries with a non-negative ``query_id`` are recorded (ids
+        #: are the recovery handle, and anonymous queries have none).
+        self._commits: Dict[int, CommitRecord] = {}
+        #: routes rewritten by recoveries since the last take_revisions()
+        self._revisions: Dict[int, Route] = {}
+        #: exogenous cell blockages committed via commit_blockage, as
+        #: ``(cell, t0, t1)`` — kept so the post-run state audit can
+        #: distinguish injected obstacles from phantom reservations.
+        self.blockages: List[Tuple[Grid, int, int]] = []
+        #: extra release delays tried by the recovery ladder's final
+        #: wait-and-retry rung, beyond ``max_start_delay``
+        self.recovery_backoff: Tuple[int, ...] = (8, 16, 32, 64)
 
     # ------------------------------------------------------------------
     # Planner interface
@@ -202,8 +241,11 @@ class SRPPlanner(Planner):
                 return route
         self.timers.failures += 1
         raise PlanningFailedError(
-            f"no collision-free route from {query.origin} to "
-            f"{query.destination} at t={query.release_time}"
+            f"no collision-free route from {query.origin} to {query.destination}",
+            query_id=query.query_id,
+            release_time=query.release_time,
+            phase="start-delay",
+            expansions=self.stats.intra_expansions,
         )
 
     def _plan_once(self, query: Query, allow_fallback: bool = True) -> Optional[Route]:
@@ -232,7 +274,8 @@ class SRPPlanner(Planner):
         if plan is not None:
             conv_started = _time.perf_counter()
             route = plan_to_route(self.graph, plan)
-            self._commit_plan(plan, route)
+            route.query_id = query.query_id
+            self._commit_plan(query, plan, route)
             self.stats.conversion_time += _time.perf_counter() - conv_started
             return route
         if not allow_fallback:
@@ -252,11 +295,16 @@ class SRPPlanner(Planner):
         )
         if route is not None:
             self.stats.fallbacks += 1
+            route.query_id = query.query_id
             segments, crossings = route_to_strip_artifacts(self.graph, route)
             for strip_idx, segment in segments:
                 self.stores.materialize(strip_idx).insert(segment)
             self.crossings.update(crossings)
-            self._commit_origin_presence(route)
+            presence = self._commit_origin_presence(route)
+            if query.query_id >= 0:
+                self._commits[query.query_id] = CommitRecord(
+                    query, route, segments + [presence], list(crossings)
+                )
         self.stats.inter_time += _time.perf_counter() - started
         return route
 
@@ -268,6 +316,9 @@ class SRPPlanner(Planner):
         # never reused), but drops the memory.
         if self.plan_cache is not None:
             self.plan_cache.clear()
+        self._commits.clear()
+        self._revisions.clear()
+        self.blockages.clear()
         self.stats.reset()
         self.timers.reset()
 
@@ -275,10 +326,257 @@ class SRPPlanner(Planner):
         """Drop bookkeeping of routes that finished before ``before``."""
         self.stores.prune(before)
         self.crossings.prune(before)
+        for query_id in [
+            q for q, rec in self._commits.items()
+            if rec.route.finish_time < before
+        ]:
+            del self._commits[query_id]
+        if self.blockages:
+            self.blockages = [b for b in self.blockages if b[2] >= before]
+
+    def take_revisions(self) -> dict:
+        """Routes rewritten by recovery replans since the last call."""
+        revisions, self._revisions = self._revisions, {}
+        return revisions
 
     def planning_state(self) -> object:
         """MC counts the traffic-scaling state: stores + crossing events."""
         return (self.stores, self.crossings)
+
+    # ------------------------------------------------------------------
+    # Recovery / execution-disturbance API
+    # ------------------------------------------------------------------
+    def committed_route(self, query_id: int) -> Optional[Route]:
+        """The current full route committed for ``query_id`` (or None)."""
+        record = self._commits.get(query_id)
+        return None if record is None else record.route
+
+    def cell_occupied(self, cell: Grid, t: int) -> bool:
+        """True when committed traffic claims ``cell`` at time ``t``.
+
+        Used by fault injection to decide whether a transient blockage
+        can land on a cell: debris cannot materialise under a robot, and
+        a blockage overlapping a robot's standing presence could never
+        be recovered from (the robot's hold would conflict forever).
+        """
+        strip_idx, pos = self.graph.locate(cell)
+        return self.stores[strip_idx].occupied(pos, t)
+
+    def commit_blockage(self, cell: Grid, t0: int, t1: int) -> None:
+        """Reserve ``cell`` over ``[t0, t1]`` as an exogenous obstacle.
+
+        Used by fault injection for transient cell blockages (debris, a
+        dead robot, a human in the aisle): future queries plan around it
+        exactly like committed traffic.  Blockages are recorded on
+        :attr:`blockages` so the post-run state audit can tell them
+        apart from route traffic; they expire via :meth:`prune` like any
+        other finished segment.
+        """
+        if not self.warehouse.in_bounds(cell):
+            raise InvalidQueryError(f"blockage cell {cell} is out of bounds")
+        if t1 < t0:
+            raise InvalidQueryError(f"blockage window [{t0}, {t1}] runs backwards")
+        strip_idx, pos = self.graph.locate(cell)
+        self.stores.materialize(strip_idx).insert(Segment(t0, pos, t1, pos))
+        self.blockages.append((cell, t0, t1))
+
+    def replan_from(
+        self,
+        query_id: int,
+        cell: Grid,
+        now: int,
+        hold_until: Optional[int] = None,
+    ) -> Route:
+        """Recover the route of ``query_id`` after an execution disturbance.
+
+        The robot executing the route stopped at ``cell`` at time
+        ``now`` (a stall, or a stop forced by another robot's stall) and
+        cannot move again before ``hold_until`` (default ``now + 1``).
+        Recovery proceeds in three steps:
+
+        1. **decommit** — the not-yet-executed suffix (everything after
+           ``now``) of the committed route is removed from the segment
+           stores and the crossing ledger; segments spanning ``now`` are
+           truncated to their executed prefix.  Every removal bumps the
+           store content version, so plan-cache entries about the old
+           suffix die for free.
+        2. **hold** — the robot's standing presence at ``cell`` from
+           ``now`` until the recovered route departs is committed, so
+           queries planned meanwhile route around the stopped robot.
+        3. **replan** — a fresh route from ``cell`` to the original
+           destination, released no earlier than ``hold_until``, found
+           by a graceful-degradation ladder: the cached/strip-level
+           search across the release-delay window, then one
+           expansion-bounded grid A* shot, then bounded wait-and-retry
+           at coarser delays (:attr:`recovery_backoff`).
+
+        Returns the *revised full route* (executed prefix + hold + new
+        plan), also exposed through :meth:`take_revisions`.  On failure
+        raises :class:`PlanningFailedError` carrying the query id, the
+        release time, the deepest ladder rung reached and the expansions
+        spent; the robot's residual hold stays committed so the planner
+        state remains consistent with a robot abandoned in place.
+        """
+        record = self._commits.get(query_id)
+        if record is None:
+            raise InvalidQueryError(
+                f"query {query_id} has no committed route to recover"
+            )
+        route = record.route
+        if now >= route.finish_time:
+            raise InvalidQueryError(
+                f"query {query_id}: route already finished at t={route.finish_time}"
+            )
+        expected = route.position_at(now)
+        if cell != expected:
+            raise InvalidQueryError(
+                f"query {query_id}: robot reported at {cell} but its route "
+                f"puts it at {expected} at t={now}"
+            )
+        # A route disturbed before its departure keeps its original
+        # start time: claims must never extend backward past the
+        # committed start, which would fabricate standing presence over
+        # seconds the model leaves unreserved (e.g. the robot's own
+        # previous-stage arrival second at a shared handover cell).
+        anchor = max(now, route.start_time)
+        release = max(anchor, now + 1, now + 1 if hold_until is None else hold_until)
+        self.stats.replans += 1
+        expansions_before = self.stats.intra_expansions
+        started = _time.perf_counter()
+        try:
+            self._decommit_suffix(record, now)
+            prefix = self._executed_prefix(route, now, cell)
+            strip_idx, pos = self.graph.locate(cell)
+            replan_query = Query(
+                cell, route.destination, release, record.query.kind, query_id
+            )
+            new_route, phase = self._recovery_ladder(replan_query, strip_idx, pos)
+            if new_route is None:
+                # Leave a residual hold over the forced-stop window so the
+                # stranded robot's presence survives in the stores.
+                hold = Segment(anchor, pos, release, pos)
+                self.stores.materialize(strip_idx).insert(hold)
+                record.segments.append((strip_idx, hold))
+                record.route = concatenate_routes(
+                    prefix, Route(release, [cell], query_id=query_id)
+                )
+                self._revisions[query_id] = record.route
+                self.timers.failures += 1
+                raise PlanningFailedError(
+                    f"recovery of query {query_id} found no route from "
+                    f"{cell} to {route.destination}",
+                    query_id=query_id,
+                    release_time=release,
+                    phase=phase,
+                    expansions=self.stats.intra_expansions - expansions_before,
+                )
+            # The ladder's successful attempt wrote a fresh commit record
+            # holding only the new plan's artifacts; fold it back into the
+            # original record together with the hold-in-place presence.
+            new_record = self._commits[query_id]
+            hold = Segment(anchor, pos, new_route.start_time, pos)
+            self.stores.materialize(strip_idx).insert(hold)
+            revised = concatenate_routes(prefix, new_route)
+            record.segments.extend(new_record.segments)
+            record.segments.append((strip_idx, hold))
+            record.crossings.extend(new_record.crossings)
+            record.route = revised
+            self._commits[query_id] = record
+            self._revisions[query_id] = revised
+            return revised
+        finally:
+            self.timers.total += _time.perf_counter() - started
+            self.timers.queries += 1
+
+    def _recovery_ladder(
+        self, query: Query, origin_strip: int, origin_pos: int
+    ) -> Tuple[Optional[Route], str]:
+        """The graceful-degradation ladder behind :meth:`replan_from`.
+
+        Returns ``(route_or_None, deepest_phase_reached)``; phases are
+        ``"strip"`` -> ``"fallback"`` -> ``"wait-retry"``.
+        """
+        store = self.stores[origin_strip]
+        release = query.release_time
+        # Rung 1: cached/strip-level search across the release-delay window.
+        phase = "strip"
+        free_seconds: List[int] = []
+        for delay in range(self.max_start_delay + 1):
+            t = release + delay
+            if store.occupied(origin_pos, t):
+                continue
+            free_seconds.append(t)
+            attempt = Query(query.origin, query.destination, t, query.kind, query.query_id)
+            route = self._plan_once(attempt, allow_fallback=False)
+            if route is not None:
+                return route, phase
+        # Rung 2: one expansion-bounded grid A* shot at the first free second.
+        phase = "fallback"
+        if free_seconds:
+            attempt = Query(
+                query.origin, query.destination, free_seconds[0], query.kind, query.query_id
+            )
+            route = self._plan_fallback(attempt)
+            if route is not None:
+                return route, phase
+        # Rung 3: bounded wait-and-retry — transient congestion around a
+        # disturbance often clears within tens of seconds.
+        phase = "wait-retry"
+        for extra in self.recovery_backoff:
+            t = release + self.max_start_delay + extra
+            if store.occupied(origin_pos, t):
+                continue
+            attempt = Query(query.origin, query.destination, t, query.kind, query.query_id)
+            route = self._plan_once(attempt, allow_fallback=True)
+            if route is not None:
+                return route, phase
+        return None, phase
+
+    def _decommit_suffix(self, record: CommitRecord, now: int) -> int:
+        """Remove the not-yet-executed (``t > now``) part of a route.
+
+        Stored segments entirely in the future are removed; segments
+        spanning ``now`` are replaced by their executed prefix.  Returns
+        the number of store removals.  Every mutation bumps content
+        versions, which keeps the plan cache exact with no extra work.
+        """
+        surviving: List[Tuple[int, Segment]] = []
+        removed = 0
+        for strip_idx, seg in record.segments:
+            if seg.t1 <= now:
+                surviving.append((strip_idx, seg))
+                continue
+            self.stores.remove(strip_idx, seg)
+            removed += 1
+            if seg.t0 <= now:
+                kept = Segment(seg.t0, seg.p0, now, seg.position_at(now))
+                self.stores.materialize(strip_idx).insert(kept)
+                surviving.append((strip_idx, kept))
+        record.segments = surviving
+        kept_keys: List[CrossingKey] = []
+        for key in record.crossings:
+            if key[2] > now:
+                self.crossings.remove_key(key)
+            else:
+                kept_keys.append(key)
+        record.crossings = kept_keys
+        self.stats.decommitted_segments += removed
+        return removed
+
+    @staticmethod
+    def _executed_prefix(route: Route, now: int, cell: Grid) -> Route:
+        """The part of ``route`` the robot executed up to time ``now``."""
+        if now <= route.start_time:
+            # Stopped before departure: the robot stands at its origin,
+            # and the revised route keeps the committed start time (its
+            # claims never extend backward past the original start).
+            return Route(route.start_time, [route.grids[0]], query_id=route.query_id)
+        cut = min(now, route.finish_time) - route.start_time
+        prefix = Route(
+            route.start_time, list(route.grids[: cut + 1]), query_id=route.query_id
+        )
+        assert prefix.destination == cell
+        return prefix
 
     # ------------------------------------------------------------------
     # Internals
@@ -288,32 +586,42 @@ class SRPPlanner(Planner):
             if not self.warehouse.in_bounds(cell):
                 raise InvalidQueryError(f"{label} {cell} is out of bounds")
 
-    def _commit_plan(self, plan: RoutePlan, route: Route) -> None:
+    def _commit_plan(self, query: Query, plan: RoutePlan, route: Route) -> None:
+        committed: List[Tuple[int, Segment]] = []
+        crossing_keys: List[CrossingKey] = []
         for leg in plan.legs:
             store = self.stores.materialize(leg.strip)
             if leg.entry is not None:
                 store.insert(leg.entry.point)
+                committed.append((leg.strip, leg.entry.point))
                 self.crossings.add_key(leg.entry.key)
+                crossing_keys.append(leg.entry.key)
             for segment in leg.segments:
                 store.insert(segment)
-        self._commit_origin_presence(route)
+                committed.append((leg.strip, segment))
+        committed.append(self._commit_origin_presence(route))
+        if query.query_id >= 0:
+            self._commits[query.query_id] = CommitRecord(
+                query, route, committed, crossing_keys
+            )
 
-    def _commit_origin_presence(self, route: Route) -> None:
+    def _commit_origin_presence(self, route: Route) -> Tuple[int, Segment]:
         """Reserve the origin cell for the route's initial standing span.
 
         A route that leaves its origin cell immediately produces no leg
         segment there (the paper's footnote-1 "single point" case), and
         a rack-origin route waits under its rack outside any leg; both
-        occupancies must still be visible to later queries.
+        occupancies must still be visible to later queries.  Returns the
+        ``(strip, segment)`` pair for the caller's commit record.
         """
         origin = route.grids[0]
         depart = 0
         while depart + 1 < len(route.grids) and route.grids[depart + 1] == origin:
             depart += 1
         strip_idx, pos = self.graph.locate(origin)
-        self.stores.materialize(strip_idx).insert(
-            Segment(route.start_time, pos, route.start_time + depart, pos)
-        )
+        presence = Segment(route.start_time, pos, route.start_time + depart, pos)
+        self.stores.materialize(strip_idx).insert(presence)
+        return strip_idx, presence
 
     @property
     def n_segments(self) -> int:

@@ -100,6 +100,46 @@ class SlopeIndexedStore(SegmentStore):
             self._max_durations[k] = segment.duration
         self._bump_version()
 
+    def remove(self, segment: Segment) -> None:
+        """Decommit one segment: undo both index entries of :meth:`insert`.
+
+        Both indexes insert at the *end* of their start-time tie window
+        (``bisect_right``), so removal drops the *last* value-equal
+        instance — the exact inverse, keeping insert-then-remove round
+        trips bit-identical even with duplicates among ties.
+        """
+        k = segment.slope
+        t0 = segment.t0
+        keys = self._start_keys[k]
+        segs = self._by_start[k]
+        lo = bisect.bisect_left(keys, t0)
+        hi = bisect.bisect_right(keys, t0, lo)
+        for idx in reversed(range(lo, hi)):
+            if segs[idx] == segment:
+                del segs[idx]
+                del keys[idx]
+                break
+        else:
+            raise KeyError(f"segment {segment!r} not stored")
+        bucket = self._by_intercept[k][segment.intercept]
+        bucket_keys = self._intercept_keys[k][segment.intercept]
+        blo = bisect.bisect_left(bucket_keys, t0)
+        bhi = bisect.bisect_right(bucket_keys, t0, blo)
+        for idx in reversed(range(blo, bhi)):
+            if bucket[idx] == segment:
+                del bucket[idx]
+                del bucket_keys[idx]
+                break
+        if not bucket:
+            del self._by_intercept[k][segment.intercept]
+            del self._intercept_keys[k][segment.intercept]
+        self._size -= 1
+        if segment.duration == self._max_durations[k]:
+            self._max_durations[k] = max(
+                (s.duration for s in segs), default=0
+            )
+        self._bump_version()
+
     # ------------------------------------------------------------------
     # Algorithm 3, "Collision Judgement"
     # ------------------------------------------------------------------

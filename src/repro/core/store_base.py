@@ -39,6 +39,16 @@ ConflictHit = Tuple[int, Segment]
 _VERSION_COUNTER = itertools.count(1)
 
 
+def next_version() -> int:
+    """A fresh globally-unique content version.
+
+    Shared by the segment stores and the
+    :class:`repro.core.crossings.CrossingLedger` so every piece of
+    committed-traffic state draws from one monotone staleness signal.
+    """
+    return next(_VERSION_COUNTER)
+
+
 class SegmentStore(ABC):
     """Committed segments of one strip plus collision queries."""
 
@@ -65,6 +75,22 @@ class SegmentStore(ABC):
         Zero-duration *point* segments are legal: they represent the
         paper's footnote-1 case of a route touching a strip for a single
         second (e.g. departing its origin cell immediately).
+        """
+
+    @abstractmethod
+    def remove(self, segment: Segment) -> None:
+        """Decommit one stored segment (by value).
+
+        Stores are multisets: committing a route may legally store two
+        value-equal segments (e.g. a recovery hold ending exactly at the
+        new departure second alongside the new route's origin-presence
+        point), so ``remove`` drops exactly *one* instance.  Removing a
+        segment that is not stored raises :class:`KeyError` — decommit
+        bugs must fail loudly, silently ignoring them would desynchronise
+        the stores from the surviving routes.
+
+        Bumps the content version exactly like :meth:`insert`, which is
+        what keeps :mod:`repro.core.plan_cache` entries valid for free.
         """
 
     @abstractmethod
@@ -126,6 +152,9 @@ class _EmptyStore(SegmentStore):
     def insert(self, segment: Segment) -> None:  # pragma: no cover - guarded
         raise TypeError("the shared empty store is read-only")
 
+    def remove(self, segment: Segment) -> None:
+        raise KeyError(f"segment {segment!r} not stored (strip has no traffic)")
+
     def earliest_conflict(self, segment: Segment):
         return None
 
@@ -185,6 +214,22 @@ class StripStoreMap:
     def active_items(self):
         """(strip_index, store) pairs that hold at least one segment."""
         return self._stores.items()
+
+    def remove(self, idx: int, segment: Segment) -> None:
+        """Decommit one segment from a strip's store.
+
+        A store emptied by the removal is dropped, reverting the strip
+        to the shared :data:`EMPTY_STORE` (version 0) — sound for the
+        same reason :meth:`prune` may drop emptied stores: version-0
+        cache entries describe a traffic-free strip, which the strip now
+        is again.
+        """
+        store = self._stores.get(idx)
+        if store is None:
+            raise KeyError(f"segment {segment!r} not stored (strip {idx} has no traffic)")
+        store.remove(segment)
+        if len(store) == 0:
+            del self._stores[idx]
 
     def prune(self, before: int) -> int:
         # Dropping an emptied store reverts the strip to EMPTY_STORE

@@ -52,6 +52,28 @@ class TimeBucketStore(SegmentStore):
         self._size += 1
         self._bump_version()
 
+    def remove(self, segment: Segment) -> None:
+        """Decommit one segment from every bucket its span covers.
+
+        Buckets are append-ordered, so removal drops the *last*
+        value-equal instance per bucket — the exact inverse of
+        :meth:`insert`, keeping insert-then-remove round trips
+        bit-identical even with value-equal duplicates present.
+        """
+        span = self._bucket_range(segment.t0, segment.t1)
+        if any(segment not in self._buckets.get(b, ()) for b in span):
+            raise KeyError(f"segment {segment!r} not stored")
+        for b in span:
+            bucket = self._buckets[b]
+            for idx in reversed(range(len(bucket))):
+                if bucket[idx] == segment:
+                    del bucket[idx]
+                    break
+            if not bucket:
+                del self._buckets[b]
+        self._size -= 1
+        self._bump_version()
+
     def earliest_conflict(self, segment: Segment) -> Optional[ConflictHit]:
         self.queries += 1
         best: Optional[ConflictHit] = None

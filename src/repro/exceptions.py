@@ -2,9 +2,17 @@
 
 All library-specific errors derive from :class:`ReproError` so callers can
 catch everything raised by this package with a single ``except`` clause.
+
+Planning and simulation failures carry *structured diagnostics* (query
+id, release time, the phase that was reached, budget spent) instead of
+burying them in the message string: the simulator decides per-failure
+whether to abandon or retry a task, and the CLI prints the fields so a
+failed run names the exact query and recovery phase that gave up.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Optional
 
 
 class ReproError(Exception):
@@ -27,14 +35,94 @@ class InvalidQueryError(ReproError):
 class PlanningFailedError(ReproError):
     """No collision-free route could be found for a query.
 
-    The strip-based planner raises this only after its grid-level A*
-    fallback has also failed, which indicates a genuinely infeasible
-    instance (e.g. destination permanently blocked).
+    The strip-based planner raises this only after every rung of its
+    degradation ladder has failed — strip-level search, grid-level A*
+    fallback, bounded wait-and-retry — which indicates a genuinely
+    infeasible instance (e.g. destination permanently blocked) or an
+    exhausted recovery budget after an execution disturbance.
+
+    Attributes:
+        query_id: id of the failed query (-1 when the query had none).
+        release_time: release time of the last attempt.
+        phase: the furthest ladder rung reached before giving up
+            (e.g. ``"strip"``, ``"fallback"``, ``"wait-retry"``).
+        expansions: collision-query expansions spent across attempts,
+            when the caller tracked them (None otherwise).
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        query_id: int = -1,
+        release_time: Optional[int] = None,
+        phase: Optional[str] = None,
+        expansions: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.query_id = query_id
+        self.release_time = release_time
+        self.phase = phase
+        self.expansions = expansions
+
+    def diagnostics(self) -> Dict[str, object]:
+        """The structured fields that are actually set, as a dict."""
+        fields: Dict[str, object] = {}
+        if self.query_id != -1:
+            fields["query_id"] = self.query_id
+        if self.release_time is not None:
+            fields["release_time"] = self.release_time
+        if self.phase is not None:
+            fields["phase"] = self.phase
+        if self.expansions is not None:
+            fields["expansions"] = self.expansions
+        return fields
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        extras = " ".join(f"{k}={v}" for k, v in self.diagnostics().items())
+        return f"{base} [{extras}]" if extras else base
 
 
 class SimulationError(ReproError):
-    """The warehouse simulation reached an inconsistent state."""
+    """The warehouse simulation reached an inconsistent state.
+
+    Attributes:
+        query_id: query being processed when the failure occurred
+            (-1 when no single query is responsible).
+        release_time: simulated second of the failure (None if unknown).
+        phase: simulation phase that failed (e.g. ``"fault-injection"``,
+            ``"recovery-cascade"``, ``"dispatch"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        query_id: int = -1,
+        release_time: Optional[int] = None,
+        phase: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.query_id = query_id
+        self.release_time = release_time
+        self.phase = phase
+
+    def diagnostics(self) -> Dict[str, object]:
+        """The structured fields that are actually set, as a dict."""
+        fields: Dict[str, object] = {}
+        if self.query_id != -1:
+            fields["query_id"] = self.query_id
+        if self.release_time is not None:
+            fields["release_time"] = self.release_time
+        if self.phase is not None:
+            fields["phase"] = self.phase
+        return fields
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        extras = " ".join(f"{k}={v}" for k, v in self.diagnostics().items())
+        return f"{base} [{extras}]" if extras else base
 
 
 class CollisionError(SimulationError):

@@ -11,9 +11,13 @@ comparison."*
 * :mod:`repro.simulation.metrics` — OG / TC / MC recording with
   progress snapshots (the x-axis of Figs. 16-21);
 * :mod:`repro.simulation.engine` — the discrete-event loop driving
-  tasks through their pickup / transmission / return stages.
+  tasks through their pickup / transmission / return stages;
+* :mod:`repro.simulation.faults` — seeded execution-fault injection
+  (robot stalls, transient blockages) exercised by the engine's
+  decommit/replan recovery path (see ``docs/robustness.md``).
 """
 
+from repro.simulation.faults import BlockageFault, Fault, FaultPlan, StallFault
 from repro.simulation.metrics import ProgressSnapshot, SimulationMetrics
 from repro.simulation.robots import Robot, RobotFleet
 from repro.simulation.dispatch import (
@@ -24,6 +28,10 @@ from repro.simulation.dispatch import (
 from repro.simulation.engine import Simulation, SimulationResult, run_day
 
 __all__ = [
+    "BlockageFault",
+    "Fault",
+    "FaultPlan",
+    "StallFault",
     "ProgressSnapshot",
     "SimulationMetrics",
     "Robot",

@@ -12,18 +12,35 @@ robot is idle.  Planning is instantaneous in simulated time (TC is wall
 time, accounted separately by the planner), matching the paper's test
 environment, which measures algorithm time while the warehouse clock
 advances with robot motion.
+
+**Execution disturbances.**  An optional seeded
+:class:`~repro.simulation.faults.FaultPlan` injects robot stalls and
+transient cell blockages mid-run.  Each fault triggers a
+*stop-and-replan* recovery (after Kulich et al.'s "Push, Stop, and
+Replan"): the disturbed robot's committed route suffix is decommitted
+and replanned from its actual position via
+:meth:`~repro.core.planner.SRPPlanner.replan_from`, and a bounded
+cascade stops-and-replans any other robot whose surviving route now
+conflicts with the disturbance.  With an empty fault plan the engine's
+behaviour is bit-identical to an undisturbed run.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.validate import Conflict, find_conflicts, find_illegal_cells
+from repro.analysis.validate import (
+    Conflict,
+    audit_planner_state,
+    find_conflicts,
+    find_illegal_cells,
+)
 from repro.exceptions import PlanningFailedError, SimulationError
 from repro.planner_base import Planner
 from repro.simulation.dispatch import Dispatcher, NearestIdleDispatcher
+from repro.simulation.faults import BlockageFault, Fault, FaultPlan, StallFault
 from repro.simulation.metrics import ProgressSnapshot, SimulationMetrics
 from repro.simulation.robots import Robot, RobotFleet
 from repro.types import Query, QueryKind, Route, Task
@@ -33,6 +50,9 @@ _STAGE_KINDS = (QueryKind.PICKUP, QueryKind.TRANSMISSION, QueryKind.RETURN)
 
 #: busy horizon marking a robot as claimed while its stage is planned
 _CLAIMED = 1 << 60
+
+#: recovery-cascade rounds tried per fault before declaring divergence
+_MAX_RECOVERY_ROUNDS = 32
 
 
 @dataclass
@@ -48,6 +68,16 @@ class SimulationResult:
     peak_mc_bytes: Optional[int]  # max of the paper's MC curve
     snapshots: List[ProgressSnapshot]
     conflicts: List[Conflict]
+    #: faults injected from the fault plan (0 on undisturbed runs)
+    faults_injected: int = 0
+    #: successful decommit/replan recoveries performed
+    replans: int = 0
+    #: tasks abandoned because a recovery replan failed
+    recovery_failures: int = 0
+    #: planner-state audit findings (filled when ``validate=True`` and
+    #: the planner exposes auditable stores; empty means stores and
+    #: crossings exactly matched the surviving routes)
+    audit_violations: List[str] = field(default_factory=list)
 
     @property
     def og(self) -> int:
@@ -60,6 +90,12 @@ class _ActiveTask:
     task: Task
     robot: Robot
     stage: int = 0  # index into _STAGE_KINDS
+    #: query id and committed route of the stage being executed
+    query_id: int = -1
+    route: Optional[Route] = None
+    #: bumped on every recovery replan; stage-done events carry the
+    #: epoch they were scheduled under, so superseded events are inert
+    epoch: int = 0
 
 
 class Simulation:
@@ -77,6 +113,7 @@ class Simulation:
         prune_interval: int = 256,
         handover_delay: int = 1,
         dispatcher: Optional[Dispatcher] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if not tasks:
             raise SimulationError("cannot simulate an empty task list")
@@ -105,30 +142,55 @@ class Simulation:
         #: robot's own previous arrival second.
         self.handover_delay = handover_delay
         self.dispatcher: Dispatcher = dispatcher or NearestIdleDispatcher()
+        self.faults = faults if faults is not None else FaultPlan.empty()
+        if self.faults and not hasattr(self.planner, "replan_from"):
+            raise SimulationError(
+                f"planner {self.planner.name} cannot recover from execution "
+                f"faults (no replan_from); run it with an empty fault plan",
+                phase="fault-injection",
+            )
         self._routes: Dict[int, Route] = {}  # query_id -> latest route
+        #: query_id -> the in-flight stage that committed it.  Keyed by
+        #: query rather than robot: a release event landing on exactly a
+        #: stage's finish second can dispatch a robot's next task before
+        #: that stage-done event pops, so one robot may briefly carry
+        #: two in-flight stages — both must stay visible to recovery.
+        self._executing: Dict[int, _ActiveTask] = {}
+        #: blockage windows still relevant to the recovery cascade
+        self._active_blockages: List[BlockageFault] = []
         self._next_query_id = 0
         self._seq = 0
         self.completed = 0
         self.failed = 0
         self.makespan = 0
+        self.faults_injected = 0
+        self.replans = 0
+        self.recovery_failures = 0
+        self._last_prune = 0
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute the whole day and return the aggregates."""
-        # Event heap: (time, seq, kind, payload); kinds: 0 release, 1 stage done.
+        # Event heap: (time, seq, kind, payload); kinds: 0 release,
+        # 1 stage done, 2 fault injection.
         events: List = []
         for task in self.tasks:
             events.append((task.release_time, self._next_seq(), 0, task))
+        for fault in self.faults:
+            events.append((fault.time, self._next_seq(), 2, fault))
         heapq.heapify(events)
         waiting: List[Task] = []
-        last_prune = 0
 
         while events:
             now, _s, kind, payload = heapq.heappop(events)
             if kind == 0:
                 waiting.append(payload)
+            elif kind == 1:
+                active, epoch = payload
+                if epoch == active.epoch:  # superseded by a recovery otherwise
+                    self._advance_stage(active, now, events)
             else:
-                self._advance_stage(payload, now, events)
+                self._inject_fault(payload, now, events)
             # Dispatch as many waiting tasks as the policy allows.
             if waiting:
                 assignments = self.dispatcher.assign(waiting, self.fleet, now)
@@ -137,15 +199,20 @@ class Simulation:
                 for task, robot in assignments:
                     robot.busy_until = _CLAIMED
                     self._start_stage(_ActiveTask(task, robot), now, events)
-            if self.prune_interval > 0 and now - last_prune >= self.prune_interval:
+            if self.prune_interval > 0 and now - self._last_prune >= self.prune_interval:
                 self.planner.prune(now)
-                last_prune = now
+                self._last_prune = now
 
         conflicts: List[Conflict] = []
+        audit: List[str] = []
         if self.validate:
             routes = list(self._routes.values())
             conflicts = find_conflicts(routes)
             conflicts += find_illegal_cells(routes, self.warehouse)
+            if hasattr(self.planner, "stores"):
+                audit = audit_planner_state(
+                    self.planner, routes, since=self._last_prune
+                )
         return SimulationResult(
             planner_name=self.planner.name,
             n_tasks=len(self.tasks),
@@ -156,6 +223,10 @@ class Simulation:
             peak_mc_bytes=self.metrics.peak_mc(),
             snapshots=self.metrics.snapshots,
             conflicts=conflicts,
+            faults_injected=self.faults_injected,
+            replans=self.replans,
+            recovery_failures=self.recovery_failures,
+            audit_violations=audit,
         )
 
     # ------------------------------------------------------------------
@@ -178,15 +249,24 @@ class Simulation:
             self._task_finished(now)
             return
         self._record_route(query.query_id, route)
+        active.query_id = query.query_id
+        active.route = route
+        self._executing[query.query_id] = active
         robot.cell = route.destination
         robot.busy_until = route.finish_time
-        heapq.heappush(events, (route.finish_time, self._next_seq(), 1, active))
+        heapq.heappush(
+            events, (route.finish_time, self._next_seq(), 1, (active, active.epoch))
+        )
 
     def _advance_stage(self, active: _ActiveTask, now: int, events: List) -> None:
+        self._executing.pop(active.query_id, None)
         active.stage += 1
         if active.stage < len(_STAGE_KINDS):
             active.robot.busy_until = _CLAIMED
-            self._start_stage(active, now + self.handover_delay, events)
+            # A stalled robot resumes its next stage only once the stall
+            # has cleared (the rack handover cannot happen mid-fault).
+            resume = max(now + self.handover_delay, active.robot.stalled_until)
+            self._start_stage(active, resume, events)
             return
         # Task complete: the robot idles under the returned rack.
         active.robot.tasks_served += 1
@@ -195,15 +275,167 @@ class Simulation:
         self.makespan = max(self.makespan, now)
         self._task_finished(now)
 
+    # ------------------------------------------------------------------
+    # Fault injection and stop-and-replan recovery
+    # ------------------------------------------------------------------
+    def _inject_fault(self, fault: Fault, now: int, events: List) -> None:
+        self.faults_injected += 1
+        if isinstance(fault, StallFault):
+            robots = self.fleet.robots
+            robot = robots[fault.robot_id % len(robots)]
+            robot.stalls += 1
+            robot.stalled_until = max(robot.stalled_until, now + fault.duration)
+            # Every in-flight stage of this robot whose route overlaps
+            # the stall window must be recovered.  Routes departing
+            # after the stall clears stay executable verbatim and must
+            # not be disturbed (pulling their start earlier would
+            # fabricate standing presence the model does not reserve).
+            disturbed = [
+                a
+                for a in self._executing.values()
+                if a.robot is robot
+                and a.route is not None
+                and a.route.finish_time > now
+                and a.route.start_time < now + fault.duration
+            ]
+            if not disturbed:
+                # Idle or between stages: the stall only delays the next
+                # dispatch/handover; nothing committed needs recovery.
+                if robot.busy_until != _CLAIMED:
+                    robot.busy_until = max(robot.busy_until, robot.stalled_until)
+                return
+            for active in disturbed:
+                cell = active.route.position_at(now)
+                self._replan_execution(
+                    active, cell, now, hold_until=now + fault.duration, events=events
+                )
+        else:
+            if self.warehouse.is_rack(fault.cell):
+                return  # racks are never traversed; a blocked rack is inert
+            if self.planner.cell_occupied(fault.cell, now):
+                # Debris cannot land under a robot — and a blockage
+                # overlapping a robot's standing second would make its
+                # recovery hold conflict with the blockage forever.
+                return
+            self.planner.commit_blockage(fault.cell, now, now + fault.duration)
+            self._active_blockages.append(fault)
+        self._resolve_disturbances(now, events)
+
+    def _resolve_disturbances(self, now: int, events: List) -> None:
+        """Stop-and-replan every robot whose surviving route conflicts.
+
+        A disturbance (a stalled robot's hold, a blockage, or a freshly
+        recovered route) can invalidate routes committed earlier; each
+        round detects grid-level conflicts among the not-yet-executed
+        route suffixes (plus blockage windows as pseudo-routes) and
+        replans the affected robots from their actual positions.  Each
+        recovery is collision-free against all committed state, so the
+        cascade converges; the round bound turns a logic bug into a loud
+        :class:`SimulationError` instead of a hang.
+        """
+        for _round in range(_MAX_RECOVERY_ROUNDS):
+            self._active_blockages = [
+                b for b in self._active_blockages if b.time + b.duration >= now
+            ]
+            suffixes: List[Route] = []
+            owners: List[Optional[_ActiveTask]] = []
+            for active in self._executing.values():
+                route = active.route
+                if route is None or route.finish_time <= now:
+                    continue
+                # Occupancy follows the validator's convention exactly:
+                # a route claims grids over [start_time, finish_time]
+                # only (standing robots between stages are non-blocking,
+                # DESIGN.md §4), so the cascade replans precisely the
+                # robots whose *routes* the disturbance invalidates.
+                start = max(now, route.start_time)
+                grids = [
+                    route.position_at(t) for t in range(start, route.finish_time + 1)
+                ]
+                suffixes.append(Route(start, grids, query_id=active.query_id))
+                owners.append(active)
+            for blockage in self._active_blockages:
+                start = max(blockage.time, now)
+                span = blockage.time + blockage.duration - start + 1
+                suffixes.append(Route(start, [blockage.cell] * span))
+                owners.append(None)
+            disturbed: Dict[int, _ActiveTask] = {}
+            for conflict in find_conflicts(suffixes):
+                for idx in (conflict.route_a, conflict.route_b):
+                    active = owners[idx]
+                    if active is not None:
+                        disturbed[active.query_id] = active
+            if not disturbed:
+                return
+            for active in disturbed.values():
+                if active.query_id not in self._executing:
+                    continue  # its recovery failed earlier this round
+                cell = active.route.position_at(now)
+                self._replan_execution(
+                    active, cell, now, hold_until=now + 1, events=events
+                )
+        raise SimulationError(
+            f"recovery cascade did not converge within "
+            f"{_MAX_RECOVERY_ROUNDS} rounds",
+            release_time=now,
+            phase="recovery-cascade",
+        )
+
+    def _replan_execution(
+        self,
+        active: _ActiveTask,
+        cell,
+        now: int,
+        hold_until: int,
+        events: List,
+    ) -> None:
+        """Stop one robot at ``cell`` and recover its route in place."""
+        robot = active.robot
+        try:
+            revised = self.planner.replan_from(
+                active.query_id, cell, now, hold_until=hold_until
+            )
+        except PlanningFailedError:
+            # Recovery exhausted its ladder: abandon the task where the
+            # robot stands (mirrors the stage-planning failure policy).
+            self._apply_revisions()
+            self.failed += 1
+            self.recovery_failures += 1
+            active.epoch += 1  # neutralise the pending stage-done event
+            self._executing.pop(active.query_id, None)
+            robot.cell = cell
+            robot.busy_until = max(robot.busy_until, hold_until)
+            # The abandoned robot's residual hold stays committed in the
+            # stores; surface it to the cascade as a pseudo-blockage so
+            # robots whose committed routes cross it are replanned too.
+            release = max(now + 1, hold_until)
+            self._active_blockages.append(
+                BlockageFault(time=now, cell=cell, duration=release - now)
+            )
+            self._task_finished(now)
+            return
+        self._apply_revisions()
+        self.replans += 1
+        active.route = revised
+        active.epoch += 1
+        robot.cell = revised.destination
+        robot.busy_until = revised.finish_time
+        heapq.heappush(
+            events, (revised.finish_time, self._next_seq(), 1, (active, active.epoch))
+        )
+
+    def _apply_revisions(self) -> None:
+        for revised_id, revised in self.planner.take_revisions().items():
+            self._routes[revised_id] = revised
+
+    # ------------------------------------------------------------------
     def _task_finished(self, now: int) -> None:
         finished = self.completed + self.failed
         self.metrics.maybe_snapshot(finished, now, self.planner)
 
     def _record_route(self, query_id: int, route: Route) -> None:
         self._routes[query_id] = route
-        for revised_id, revised in self.planner.take_revisions().items():
-            if revised_id in self._routes:
-                self._routes[revised_id] = revised
+        self._apply_revisions()
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -225,6 +457,7 @@ def run_day(
     prune_interval: int = 256,
     handover_delay: int = 1,
     dispatcher: Optional[Dispatcher] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate one day and return the result."""
     sim = Simulation(
@@ -238,5 +471,6 @@ def run_day(
         prune_interval=prune_interval,
         handover_delay=handover_delay,
         dispatcher=dispatcher,
+        faults=faults,
     )
     return sim.run()

@@ -1,0 +1,143 @@
+"""Deterministic, seeded execution-fault injection.
+
+SRP (and every baseline) plans under the assumption that committed
+routes are executed exactly.  Real warehouses disagree: robots stall
+(low battery, wheel slip, an operator pause) and cells get transiently
+blocked (dropped totes, a human in the aisle).  This module describes
+such disturbances as *data* — a :class:`FaultPlan` drawn once from a
+seeded RNG — so a disturbed day is exactly reproducible: the same seed
+injects the same faults at the same simulated seconds, and an empty
+plan leaves the simulation bit-identical to an undisturbed run.
+
+Two fault kinds are modelled, following the recovery literature the
+framework targets (context-aware replanning, push-stop-and-replan):
+
+* :class:`StallFault` — a robot freezes in place for ``duration``
+  seconds, holding its current cell;
+* :class:`BlockageFault` — a free cell becomes impassable for
+  ``duration`` seconds.
+
+The simulation engine turns each fault into a decommit/replan recovery
+via :meth:`repro.core.planner.SRPPlanner.replan_from`; see
+``docs/robustness.md`` for the end-to-end story.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple, Union
+
+from repro.exceptions import SimulationError
+from repro.types import Grid
+
+
+@dataclass(frozen=True)
+class StallFault:
+    """Robot ``robot_id`` freezes at time ``time`` for ``duration`` s."""
+
+    time: int
+    robot_id: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise SimulationError(
+                f"stall duration must be >= 1, got {self.duration}",
+                phase="fault-injection",
+            )
+
+
+@dataclass(frozen=True)
+class BlockageFault:
+    """Cell ``cell`` is impassable over ``[time, time + duration]``."""
+
+    time: int
+    cell: Grid
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise SimulationError(
+                f"blockage duration must be >= 1, got {self.duration}",
+                phase="fault-injection",
+            )
+
+
+Fault = Union[StallFault, BlockageFault]
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible schedule of execution disturbances.
+
+    Iteration yields faults in time order (stalls before blockages at
+    equal seconds, then declaration order) — the order the engine
+    injects them, so two runs of the same plan disturb identically.
+    """
+
+    stalls: List[StallFault] = field(default_factory=list)
+    blockages: List[BlockageFault] = field(default_factory=list)
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        """A plan injecting nothing; simulating with it is a no-op."""
+        return cls()
+
+    @classmethod
+    def generate(
+        cls,
+        warehouse,
+        *,
+        n_robots: int,
+        day_length: int,
+        n_stalls: int = 0,
+        n_blockages: int = 0,
+        seed: int = 0,
+        stall_duration: Tuple[int, int] = (2, 8),
+        blockage_duration: Tuple[int, int] = (3, 12),
+    ) -> "FaultPlan":
+        """Draw a reproducible plan from ``random.Random(seed)``.
+
+        Stall times spread over ``[1, day_length]`` and target uniform
+        robots; blockages strike uniform rack-free cells (a blocked rack
+        cell would never be traversed anyway).
+        """
+        if n_robots < 1:
+            raise SimulationError(
+                "fault generation needs at least one robot", phase="fault-injection"
+            )
+        rng = random.Random(seed)
+        stalls = [
+            StallFault(
+                time=rng.randint(1, max(1, day_length)),
+                robot_id=rng.randrange(n_robots),
+                duration=rng.randint(*stall_duration),
+            )
+            for _ in range(n_stalls)
+        ]
+        free = warehouse.free_cells()
+        blockages = [
+            BlockageFault(
+                time=rng.randint(1, max(1, day_length)),
+                cell=rng.choice(free),
+                duration=rng.randint(*blockage_duration),
+            )
+            for _ in range(n_blockages)
+        ]
+        return cls(sorted(stalls, key=lambda f: f.time),
+                   sorted(blockages, key=lambda f: f.time))
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(
+            sorted(
+                [*self.stalls, *self.blockages],
+                key=lambda f: (f.time, isinstance(f, BlockageFault)),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.stalls) + len(self.blockages)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

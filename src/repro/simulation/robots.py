@@ -18,12 +18,20 @@ from repro.types import Grid, manhattan
 
 @dataclass
 class Robot:
-    """One robot: identifier, current cell, busy horizon."""
+    """One robot: identifier, current cell, busy horizon.
+
+    ``stalled_until`` is the fault-injection hook: while a stall fault
+    is active the robot cannot start (or resume) moving before that
+    second, and the engine delays stage handovers accordingly.
+    ``stalls`` counts the faults that hit this robot over the day.
+    """
 
     robot_id: int
     cell: Grid
     busy_until: int = -1
     tasks_served: int = 0
+    stalled_until: int = -1
+    stalls: int = 0
 
     def is_idle(self, now: int) -> bool:
         return self.busy_until <= now

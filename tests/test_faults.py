@@ -1,0 +1,193 @@
+"""Fault injection and decommit/replan recovery, end to end.
+
+The contract under test (docs/robustness.md):
+
+* a seeded :class:`FaultPlan` disturbs a day reproducibly;
+* every recovery keeps the executed day collision-free (ground-truth
+  validator) and the planner's stores exactly consistent with the
+  surviving routes (state audit);
+* an *empty* fault plan leaves the simulation bit-identical to a run
+  with fault injection disabled entirely.
+"""
+
+import pytest
+
+from repro.baselines import make_baseline
+from repro.core.planner import SRPPlanner
+from repro.exceptions import InvalidQueryError, PlanningFailedError, SimulationError
+from repro.simulation import BlockageFault, FaultPlan, Simulation, StallFault, run_day
+from repro.types import Query
+from repro.warehouse import TaskTraceSpec, generate_tasks, w1
+from repro.analysis import assert_collision_free, audit_planner_state
+
+
+def _routes_snapshot(sim: Simulation):
+    return {q: (r.start_time, tuple(r.grids)) for q, r in sim._routes.items()}
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic(self, small_warehouse):
+        kwargs = dict(n_robots=6, day_length=300, n_stalls=5, n_blockages=4, seed=9)
+        a = FaultPlan.generate(small_warehouse, **kwargs)
+        b = FaultPlan.generate(small_warehouse, **kwargs)
+        assert list(a) == list(b)
+        c = FaultPlan.generate(small_warehouse, **{**kwargs, "seed": 10})
+        assert list(a) != list(c)
+
+    def test_iteration_is_time_ordered(self, small_warehouse):
+        plan = FaultPlan.generate(
+            small_warehouse, n_robots=6, day_length=300, n_stalls=8, n_blockages=8,
+            seed=1,
+        )
+        times = [f.time for f in plan]
+        assert times == sorted(times)
+        assert len(plan) == 16 and bool(plan)
+
+    def test_blockages_target_free_cells(self, small_warehouse):
+        plan = FaultPlan.generate(
+            small_warehouse, n_robots=6, day_length=300, n_blockages=12, seed=4
+        )
+        assert all(not small_warehouse.is_rack(f.cell) for f in plan.blockages)
+
+    def test_durations_validated(self):
+        with pytest.raises(SimulationError) as exc:
+            StallFault(time=5, robot_id=0, duration=0)
+        assert exc.value.phase == "fault-injection"
+        with pytest.raises(SimulationError):
+            BlockageFault(time=5, cell=(1, 1), duration=-2)
+
+    def test_empty_plan_is_falsy(self):
+        plan = FaultPlan.empty()
+        assert not plan and len(plan) == 0 and list(plan) == []
+
+
+class TestReplanFromAPI:
+    def test_unknown_query_rejected(self, small_warehouse):
+        planner = SRPPlanner(small_warehouse)
+        with pytest.raises(InvalidQueryError):
+            planner.replan_from(123, (1, 1), 5)
+
+    def test_wrong_position_rejected(self, small_warehouse):
+        planner = SRPPlanner(small_warehouse)
+        free = small_warehouse.free_cells()
+        route = planner.plan(Query(free[0], free[40], 0, query_id=1))
+        mid = route.start_time + route.duration // 2
+        wrong = free[40] if route.position_at(mid) != free[40] else free[39]
+        with pytest.raises(InvalidQueryError):
+            planner.replan_from(1, wrong, mid)
+
+    def test_replan_revises_route_and_stays_consistent(self, small_warehouse):
+        planner = SRPPlanner(small_warehouse)
+        free = small_warehouse.free_cells()
+        route = planner.plan(Query(free[0], free[40], 0, query_id=1))
+        assert route.duration >= 2
+        mid = route.start_time + route.duration // 2
+        cell = route.position_at(mid)
+        revised = planner.replan_from(1, cell, mid, hold_until=mid + 4)
+        # The revised route replays the executed prefix, holds at the
+        # stop cell through the stall, then reaches the destination.
+        assert revised.start_time == route.start_time
+        assert revised.grids[: mid - route.start_time + 1] == route.grids[
+            : mid - route.start_time + 1
+        ]
+        assert all(
+            revised.position_at(t) == cell for t in range(mid, mid + 4)
+        )
+        assert revised.destination == route.destination
+        assert planner.take_revisions() == {1: revised}
+        assert planner.stats.replans == 1
+        assert planner.stats.decommitted_segments > 0
+        # Stores must exactly describe the one surviving (revised) route.
+        assert audit_planner_state(planner, [revised]) == []
+
+    def test_replan_is_collision_aware_of_other_routes(self, small_warehouse):
+        planner = SRPPlanner(small_warehouse)
+        free = small_warehouse.free_cells()
+        first = planner.plan(Query(free[0], free[40], 0, query_id=1))
+        second = planner.plan(Query(free[40], free[0], 0, query_id=2))
+        mid = first.start_time + first.duration // 2
+        revised = planner.replan_from(1, first.position_at(mid), mid)
+        assert_collision_free([revised, planner.committed_route(2)])
+        assert audit_planner_state(planner, [revised, second]) == []
+
+    def test_blockage_commitment_validated(self, small_warehouse):
+        planner = SRPPlanner(small_warehouse)
+        with pytest.raises(InvalidQueryError):
+            planner.commit_blockage((-1, 0), 0, 5)
+        with pytest.raises(InvalidQueryError):
+            planner.commit_blockage((1, 1), 9, 3)
+
+
+class TestFaultedSimulation:
+    @pytest.fixture(scope="class")
+    def w1_small(self):
+        return w1(scale=0.35)
+
+    @pytest.fixture(scope="class")
+    def w1_tasks(self, w1_small):
+        return generate_tasks(
+            w1_small, TaskTraceSpec(n_tasks=90, day_length=450, seed=3)
+        )
+
+    def test_faulted_day_is_collision_free_and_audited(self, w1_small, w1_tasks):
+        """Acceptance: a seeded faulted W-1 day completes with zero
+        validator collisions and zero store-audit violations."""
+        faults = FaultPlan.generate(
+            w1_small,
+            n_robots=len(w1_small.robot_homes),
+            day_length=700,
+            n_stalls=30,
+            n_blockages=15,
+            seed=5,
+        )
+        planner = SRPPlanner(w1_small)
+        result = run_day(
+            w1_small, planner, w1_tasks,
+            validate=True, measure_memory=False, faults=faults,
+        )
+        assert result.faults_injected == len(faults)
+        assert result.replans > 0, "fault plan never disturbed an executing robot"
+        assert result.conflicts == []
+        assert result.audit_violations == []
+        assert result.completed_tasks + result.failed_tasks == len(w1_tasks)
+
+    def test_empty_fault_plan_is_bit_identical(self, w1_small, w1_tasks):
+        def day(faults):
+            planner = SRPPlanner(w1_small)
+            sim = Simulation(
+                w1_small, planner, w1_tasks,
+                validate=False, measure_memory=False, faults=faults,
+            )
+            result = sim.run()
+            return _routes_snapshot(sim), result.makespan
+
+        base_routes, base_makespan = day(None)
+        empty_routes, empty_makespan = day(FaultPlan.empty())
+        assert empty_routes == base_routes
+        assert empty_makespan == base_makespan
+
+    def test_stall_replans_are_recorded_on_robots(self, w1_small, w1_tasks):
+        faults = FaultPlan.generate(
+            w1_small, n_robots=len(w1_small.robot_homes), day_length=700,
+            n_stalls=20, seed=5,
+        )
+        planner = SRPPlanner(w1_small)
+        sim = Simulation(
+            w1_small, planner, w1_tasks,
+            validate=False, measure_memory=False, faults=faults,
+        )
+        sim.run()
+        assert sum(r.stalls for r in sim.fleet.robots) == 20
+        assert planner.stats.replans == sim.replans + sim.recovery_failures
+
+    def test_unrecoverable_planner_rejects_faults(self, small_warehouse):
+        tasks = generate_tasks(
+            small_warehouse, TaskTraceSpec(n_tasks=5, day_length=100, seed=1)
+        )
+        faults = FaultPlan(stalls=[StallFault(time=10, robot_id=0, duration=3)])
+        planner = make_baseline("SAP", small_warehouse)
+        with pytest.raises(SimulationError) as exc:
+            Simulation(small_warehouse, planner, tasks, faults=faults)
+        assert exc.value.phase == "fault-injection"
+        # An empty plan is fine for any planner.
+        Simulation(small_warehouse, planner, tasks, faults=FaultPlan.empty())
