@@ -42,7 +42,47 @@ except ImportError:
 from repro import Query, SRPPlanner, datasets  # noqa: E402
 from repro.exceptions import PlanningFailedError  # noqa: E402
 
+try:  # faulted-day leg; absent on pre-fault checkouts (PR <= 2)
+    from repro.simulation import FaultPlan, Simulation  # noqa: E402
+    from repro.warehouse import TaskTraceSpec, generate_tasks  # noqa: E402
+except ImportError:  # pragma: no cover - only on old checkouts
+    FaultPlan = Simulation = TaskTraceSpec = generate_tasks = None
+
 from benchmarks.conftest import append_bench_record, current_commit  # noqa: E402
+
+
+def _counter(obj, name: str) -> int:
+    """Read an instrumentation counter, tolerating older checkouts."""
+    return int(getattr(obj, name, 0) or 0)
+
+
+def cache_counters(planner: SRPPlanner) -> dict:
+    """The per-layer cache counters of one planned stream/day.
+
+    All reads go through ``getattr`` so the benchmark still runs against
+    checkouts that predate a given cache layer (the counter simply
+    reports zero there).
+    """
+    stats = planner.stats
+    counters = {
+        "cache_hit_rate": getattr(stats, "cache_hit_rate", 0.0),
+        "cache_hits": _counter(stats, "cache_hits"),
+        "cache_negative_hits": _counter(stats, "cache_negative_hits"),
+        "cache_misses": _counter(stats, "cache_misses"),
+        "window_hits": _counter(stats, "window_hits"),
+        "shift_hits": _counter(stats, "shift_hits"),
+        "crossing_hits": _counter(stats, "crossing_hits"),
+        "crossing_misses": _counter(stats, "crossing_misses"),
+    }
+    maps = getattr(planner, "distance_maps", None)
+    if maps is not None:
+        counters["distance_maps"] = {
+            "hits": _counter(maps, "hits"),
+            "misses": _counter(maps, "misses"),
+            "evictions": _counter(maps, "evictions"),
+            "field_builds": _counter(maps, "field_builds"),
+        }
+    return counters
 
 
 def make_queries(warehouse, n: int, day_length: int, seed: int) -> List[Query]:
@@ -107,6 +147,78 @@ def run_stream(
     return fingerprints, elapsed, cpu_elapsed, planner
 
 
+def run_faulted_day(warehouse, tasks, faults, use_cache: bool):
+    """One disturbed simulated day; returns route fingerprints + timings."""
+    planner = make_planner(warehouse, use_cache)
+    sim = Simulation(
+        warehouse, planner, tasks,
+        validate=False, measure_memory=False, faults=faults,
+    )
+    started = time.perf_counter()
+    cpu_started = time.process_time()
+    result = sim.run()
+    cpu_elapsed = time.process_time() - cpu_started
+    elapsed = time.perf_counter() - started
+    routes = {q: (r.start_time, tuple(r.grids)) for q, r in sim._routes.items()}
+    return routes, elapsed, cpu_elapsed, planner, result
+
+
+def bench_faulted(warehouse, n_tasks: int, day_length: int, seed: int,
+                  repeats: int = 1) -> Optional[dict]:
+    """Cache-on vs cache-off over a seeded faulted day (PR 3 recovery path).
+
+    The interesting gate here is bit-identity *across decommit/replan*:
+    every certificate in the plan cache is version-checked, so the
+    cached day must reproduce the uncached routes exactly even when
+    stalls and blockages force mid-route decommits.
+    """
+    if Simulation is None or FaultPlan is None:
+        return None  # old checkout without the fault subsystem
+    tasks = generate_tasks(
+        warehouse, TaskTraceSpec(n_tasks=n_tasks, day_length=day_length, seed=seed)
+    )
+    faults = FaultPlan.generate(
+        warehouse,
+        n_robots=len(warehouse.robot_homes),
+        day_length=day_length,
+        n_stalls=max(2, n_tasks // 10),
+        n_blockages=max(1, n_tasks // 20),
+        seed=seed + 1,
+    )
+    secs_off = secs_on = cpu_off = cpu_on = None
+    routes_off = routes_on = None
+    planner = result = None
+    for _ in range(max(1, repeats)):
+        routes_off, elapsed, cpu, _, _ = run_faulted_day(
+            warehouse, tasks, faults, use_cache=False
+        )
+        if secs_off is None or elapsed < secs_off:
+            secs_off = elapsed
+        if cpu_off is None or cpu < cpu_off:
+            cpu_off = cpu
+        routes_on, elapsed, cpu, planner, result = run_faulted_day(
+            warehouse, tasks, faults, use_cache=True
+        )
+        if secs_on is None or elapsed < secs_on:
+            secs_on = elapsed
+        if cpu_on is None or cpu < cpu_on:
+            cpu_on = cpu
+    sub = {
+        "n_tasks": n_tasks,
+        "n_stalls": len(faults.stalls),
+        "n_blockages": len(faults.blockages),
+        "fault_seed": seed + 1,
+        "speedup_cache": secs_off / secs_on if secs_on else 0.0,
+        "speedup_cache_cpu": cpu_off / cpu_on if cpu_on else 0.0,
+        "faults_injected": result.faults_injected,
+        "replans": result.replans,
+        "recovery_failures": result.recovery_failures,
+        "routes_identical": routes_off == routes_on,
+    }
+    sub.update(cache_counters(planner))
+    return sub
+
+
 def bench_layout(
     layout: str,
     scale: float,
@@ -137,8 +249,6 @@ def bench_layout(
             cpu_on = cpu
 
     identical = routes_off == routes_on
-    stats = planner.stats
-    hit_rate = getattr(stats, "cache_hit_rate", 0.0)
     record = {
         "commit": current_commit(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -154,14 +264,70 @@ def bench_layout(
         "qps_cached_cpu": len(queries) / cpu_on if cpu_on else 0.0,
         "qps_uncached_cpu": len(queries) / cpu_off if cpu_off else 0.0,
         "speedup_cache": secs_off / secs_on if secs_on else 0.0,
-        "cache_hit_rate": hit_rate,
-        "cache_hits": getattr(stats, "cache_hits", 0),
-        "cache_negative_hits": getattr(stats, "cache_negative_hits", 0),
-        "cache_misses": getattr(stats, "cache_misses", 0),
-        "fallbacks": stats.fallbacks,
+        "speedup_cache_cpu": cpu_off / cpu_on if cpu_on else 0.0,
+        "fallbacks": planner.stats.fallbacks,
         "routes_identical": identical,
     }
+    record.update(cache_counters(planner))
+
+    # The disturbed-day leg exercises the decommit/replan recovery path:
+    # cached certificates must survive (or invalidate exactly) across
+    # mid-route decommits.  Sized well below the stream so the whole
+    # benchmark stays minutes, not hours.
+    faulted = bench_faulted(
+        warehouse,
+        n_tasks=max(20, n_queries // 5),
+        day_length=day_length,
+        seed=seed,
+        repeats=1,
+    )
+    if faulted is not None:
+        record["faulted"] = faulted
     return record
+
+
+def summary_markdown(records: List[dict]) -> str:
+    """A GitHub-flavoured markdown digest for CI job summaries."""
+    lines = [
+        "### Hot-path benchmark",
+        "",
+        "| layout | speedup (cache) | hit rate | window hits | shift hits |"
+        " crossing hits | dmap hits/misses | routes identical | faulted day |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for rec in records:
+        dmaps = rec.get("distance_maps") or {}
+        faulted = rec.get("faulted")
+        if faulted is None:
+            faulted_cell = "skipped"
+        else:
+            faulted_cell = "{} ({} replans, {:.2f}x)".format(
+                "identical" if faulted["routes_identical"] else "**DIVERGED**",
+                faulted["replans"],
+                faulted["speedup_cache"],
+            )
+        lines.append(
+            "| {layout} ({scale}) | {speedup:.3f}x | {rate:.1%} | {window} |"
+            " {shift} | {crossing} | {dh}/{dm} | {identical} | {faulted} |".format(
+                layout=rec["layout"],
+                scale=rec["scale"],
+                speedup=rec["speedup_cache"],
+                rate=rec["cache_hit_rate"],
+                window=rec["window_hits"],
+                shift=rec["shift_hits"],
+                crossing=rec["crossing_hits"],
+                dh=dmaps.get("hits", 0),
+                dm=dmaps.get("misses", 0),
+                identical="yes" if rec["routes_identical"] else "**NO**",
+                faulted=faulted_cell,
+            )
+        )
+    lines.append("")
+    lines.append(
+        "speedup < 1.0 means the cache cost more than it saved on this "
+        "machine/scale; see docs/performance.md for how to read these numbers."
+    )
+    return "\n".join(lines) + "\n"
 
 
 def main(argv=None) -> int:
@@ -172,7 +338,11 @@ def main(argv=None) -> int:
     parser.add_argument("--day", type=int, default=800, help="release-time span (s)")
     parser.add_argument("--seed", type=int, default=97)
     parser.add_argument(
-        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+        "--repeats",
+        type=int,
+        default=5,
+        help="best-of-N timing repeats (early iterations run cold — page "
+        "cache, allocator warm-up — so best-of-3 often hasn't converged)",
     )
     parser.add_argument(
         "--quick",
@@ -184,6 +354,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="do not append to BENCH_hotpath.json",
     )
+    parser.add_argument(
+        "--summary",
+        metavar="PATH",
+        default=None,
+        help="also append a markdown digest to PATH "
+        "(e.g. \"$GITHUB_STEP_SUMMARY\" in CI)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -193,18 +370,30 @@ def main(argv=None) -> int:
         args.no_append = True
 
     ok = True
+    records = []
     for layout in args.layouts.split(","):
         layout = layout.strip()
         record = bench_layout(
             layout, args.scale, args.queries, args.day, args.seed, args.repeats
         )
+        records.append(record)
         print(json.dumps(record, indent=2, sort_keys=True))
         if not record["routes_identical"]:
             print(f"ERROR: {layout}: cached routes differ from uncached ones", file=sys.stderr)
             ok = False
+        faulted = record.get("faulted")
+        if faulted is not None and not faulted["routes_identical"]:
+            print(
+                f"ERROR: {layout}: cached routes diverged on the faulted day",
+                file=sys.stderr,
+            )
+            ok = False
         if not args.no_append:
             path = append_bench_record(record)
             print(f"appended record to {path}")
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(summary_markdown(records))
     return 0 if ok else 1
 
 

@@ -15,8 +15,11 @@ from the same process-global monotone counter
 (:func:`repro.core.store_base.next_version`): any content change —
 adding a new key, removing one (route decommit), an effective prune or
 clear — takes a fresh value, so two distinct crossing sets never share
-a version.  Decommit and any future crossing-level memoisation
-therefore share one staleness signal with the per-strip plan cache.
+a version.  The inter-strip search's crossing memo
+(``CROSSING_TAG`` entries in :class:`~repro.core.plan_cache.PlanCache`)
+keys on this version together with both adjacent stores' versions, so
+decommit/replan recovery invalidates memoised crossings exactly — the
+same staleness signal the per-strip plan cache uses.
 """
 
 from __future__ import annotations

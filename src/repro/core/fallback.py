@@ -11,15 +11,19 @@ back *as segments* so later strip-level queries plan around it.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Optional, Sequence
+from typing import AbstractSet, Optional, Sequence, Union
 
 from repro.core.inter_strip import CrossingKey
 from repro.core.segments import Segment
 from repro.core.store_base import SegmentStore
 from repro.core.strips import StripGraph
-from repro.pathfinding.distance import DistanceMaps
+from repro.pathfinding.distance import DistanceMaps, StripDistanceMaps
 from repro.pathfinding.space_time_astar import space_time_astar
 from repro.types import Grid, Query, Route
+
+#: anything with ``.get(target) -> dist_map``; SRP hands in the
+#: strip-batched provider, the baselines keep exact per-cell maps
+DistanceMapProvider = Union[DistanceMaps, StripDistanceMaps]
 
 
 class SegmentStoreChecker:
@@ -60,12 +64,17 @@ def fallback_plan(
     graph: StripGraph,
     stores: Sequence[SegmentStore],
     crossings: AbstractSet[CrossingKey],
-    distance_maps: DistanceMaps,
+    distance_maps: DistanceMapProvider,
     query: Query,
     max_expansions: int = 200_000,
     horizon_slack: int = 256,
 ) -> Optional[Route]:
-    """Plan one query with space-time A* against the segment stores."""
+    """Plan one query with space-time A* against the segment stores.
+
+    ``distance_maps`` may be the exact per-cell :class:`DistanceMaps`
+    or the strip-batched :class:`StripDistanceMaps` — A* only needs an
+    admissible heuristic map, which both provide.
+    """
     dist_map = distance_maps.get(query.destination)
     checker = SegmentStoreChecker(graph, stores, crossings)
     return space_time_astar(

@@ -35,7 +35,16 @@ from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.intra_strip import IntraPlan, plan_within_strip
 from repro.core.intra_strip_exact import plan_within_strip_exact
-from repro.core.plan_cache import MISSING, PlanCache, decode_plan, encode_plan
+from repro.core.plan_cache import (
+    CROSSING_TAG,
+    MISSING,
+    SHIFT_TAG,
+    WINDOW_TAG,
+    PlanCache,
+    decode_plan,
+    encode_plan,
+    free_flow_plan,
+)
 from repro.core.segments import Segment, make_wait
 from repro.core.store_base import SegmentStore
 from repro.core.strips import StripGraph
@@ -44,6 +53,15 @@ from repro.types import Grid, Query, manhattan
 #: a committed boundary crossing: the robot is at from_cell at time-1
 #: and at to_cell at time.
 CrossingKey = Tuple[Grid, Grid, int]
+
+#: Largest store (segment count) against which window / shift
+#: certificates are minted and probed.  Certification scans the store,
+#: so on congested strips it costs as much as the search it tries to
+#: save while the next commit kills the certificate anyway; small
+#: stores scan cheaply and their certificates live long enough to pay.
+#: Purely a performance throttle — both sides of the bound produce
+#: bit-identical routes.
+_CERT_STORE_MAX = 16
 
 
 @dataclass(frozen=True)
@@ -83,6 +101,14 @@ class SearchStats:
     cache_hits: int = 0
     cache_negative_hits: int = 0
     cache_misses: int = 0
+    #: positive hits served by a free-flow window certificate
+    window_hits: int = 0
+    #: positive hits served by a shift-invariance certificate
+    shift_hits: int = 0
+    #: boundary-crossing searches served from the crossing memo
+    crossing_hits: int = 0
+    #: boundary-crossing searches that ran the real wait loop
+    crossing_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -227,6 +253,15 @@ class _Search:
         # Raw view of the cache's entry dict: the probe below runs once
         # per edge relaxation, so even one extra method call shows up.
         self._cache_entries = cache.raw_entries() if cache is not None else None
+        # Window certificates rebuild the free-flow plan without running
+        # the search, which is only faithful when the uncached search
+        # would at least get to its first collision probe — and never
+        # for the exact time-expanded search, whose plans the greedy
+        # free-flow shape does not describe.
+        self._windows_ok = not self._exact and config.max_expansions >= 1
+        # The crossing memo needs the ledger's content version; plain
+        # sets (accepted for ad-hoc use) have none, so it stays off.
+        self._crossings_versioned = hasattr(crossings, "version")
 
     # ------------------------------------------------------------------
     # Timed wrappers around the intra-strip level
@@ -236,25 +271,90 @@ class _Search:
         key = None
         store = self.stores[strip]
         entries = self._cache_entries
+        stats = self.stats
         if entries is not None and (len(store) != 0 or self._exact):
             # Planning through an empty strip is already O(1) (a single
             # free-flow segment), so the cache only engages where there
-            # is traffic.  The store version changes exactly when the
-            # strip's committed traffic changes, so a hit is never
-            # stale; see repro.core.plan_cache.
-            key = (strip, origin, dest, t, store.version)
-            cached = entries.get(key, MISSING)
-            if cached is not MISSING:
-                if cached is None:
-                    self.stats.cache_negative_hits += 1
-                    plan = None
-                else:
-                    self.stats.cache_hits += 1
-                    plan = decode_plan(cached)
-                self.stats.intra_time += _time.perf_counter() - started
-                self.stats.intra_calls += 1
-                return plan
-            self.stats.cache_misses += 1
+            # is traffic.  Layered probe order — free-flow window, then
+            # shift certificate, then the exact per-second key; every
+            # layer is checked against content versions, so a hit is
+            # never stale; see repro.core.plan_cache.
+            version = store.version
+            if not self._exact:
+                if self._windows_ok and t > store.last_end:
+                    # O(1) degenerate free-flow window: every segment
+                    # ever committed here ends before t (last_end is a
+                    # monotone high-water mark, so this is sound even
+                    # after decommit/prune), hence the uncached search
+                    # would spend one clean probe and go free-flow.
+                    stats.cache_hits += 1
+                    stats.window_hits += 1
+                    stats.intra_calls += 1
+                    stats.intra_time += _time.perf_counter() - started
+                    return free_flow_plan(t, origin, dest)
+                if len(store) <= _CERT_STORE_MAX:
+                    # Certificates are only ever filed against small
+                    # stores (see _memoise), so skip both probes — two
+                    # tuple builds and dict gets per call — when the
+                    # store has outgrown the certification bound.
+                    if self._windows_ok:
+                        windows = entries.get(
+                            (WINDOW_TAG, strip, origin, dest, version)
+                        )
+                        if windows is not None:
+                            span = dest - origin if dest >= origin else origin - dest
+                            for i in range(0, len(windows), 2):
+                                if windows[i] <= t and t + span <= windows[i + 1]:
+                                    stats.cache_hits += 1
+                                    stats.window_hits += 1
+                                    stats.intra_calls += 1
+                                    stats.intra_time += _time.perf_counter() - started
+                                    return free_flow_plan(t, origin, dest)
+                    skey = (SHIFT_TAG, strip, origin, dest, t)
+                    cert = entries.get(skey)
+                    if cert is not None:
+                        cert_version, horizon, signature, encoded = cert
+                        if cert_version != version:
+                            # The strip changed somewhere — but if the
+                            # band over the search's probe region reads
+                            # back the same, the search would replay
+                            # identically.
+                            lo, hi = (origin, dest) if origin <= dest else (dest, origin)
+                            if store.band_signature(lo, hi, t, horizon) == signature:
+                                # Re-stamp so the next probe is O(1) again.
+                                self.cache.put(
+                                    skey, (version, horizon, signature, encoded)
+                                )
+                            else:
+                                encoded = None
+                        if encoded is not None:
+                            stats.cache_hits += 1
+                            stats.shift_hits += 1
+                            stats.intra_calls += 1
+                            stats.intra_time += _time.perf_counter() - started
+                            return decode_plan(encoded)
+                    key = (strip, origin, dest, t, version)
+                # Stores past the certification bound get no per-second
+                # key either: exact keys on a congested store die on the
+                # next commit, so storing them costs encode+put per miss
+                # for almost no hits (measured well under 1%) — the call
+                # still counts as a miss below so the hit rate stays an
+                # honest fraction of cache-eligible calls.
+            else:
+                key = (strip, origin, dest, t, version)
+            if key is not None:
+                cached = entries.get(key, MISSING)
+                if cached is not MISSING:
+                    if cached is None:
+                        stats.cache_negative_hits += 1
+                        plan = None
+                    else:
+                        stats.cache_hits += 1
+                        plan = decode_plan(cached)
+                    stats.intra_time += _time.perf_counter() - started
+                    stats.intra_calls += 1
+                    return plan
+            stats.cache_misses += 1
         if self._exact:
             plan = plan_within_strip_exact(
                 store,
@@ -276,12 +376,59 @@ class _Search:
                 max_wait=self.config.max_wait,
             )
         if key is not None:
-            self.cache.put(key, None if plan is None else encode_plan(plan))
-        self.stats.intra_time += _time.perf_counter() - started
-        self.stats.intra_calls += 1
+            self._memoise(key, store, strip, t, origin, dest, plan)
+        stats.intra_time += _time.perf_counter() - started
+        stats.intra_calls += 1
         if plan is not None:
-            self.stats.intra_expansions += plan.expansions
+            stats.intra_expansions += plan.expansions
         return plan
+
+    def _memoise(
+        self,
+        key: Tuple,
+        store: SegmentStore,
+        strip: int,
+        t: int,
+        origin: int,
+        dest: int,
+        plan: Optional[IntraPlan],
+    ) -> None:
+        """File a fresh intra-strip result under the strongest sound key.
+
+        Failed searches only ever land under the exact per-second key
+        (nothing bounds the region a failure depends on).  Free-flow
+        results try a window certificate first; every other successful
+        plan gets a shift-invariance certificate, whose probe region
+        ``band x [t, arrival + max_wait]`` provably contains every
+        collision query the greedy search issued.
+
+        Certification itself costs a store scan (``free_window`` /
+        ``band_signature``), so ``_intra`` only files results computed
+        against stores small enough (:data:`_CERT_STORE_MAX`) that the
+        scan is about as cheap as the search it hopes to save — on
+        congested stores every key dies on the next commit, so minting
+        certificates (or even exact entries) there costs more than the
+        sub-1% hits they would ever serve.
+        """
+        if plan is None or self._exact:
+            self.cache.put(key, None if plan is None else encode_plan(plan))
+            return
+        lo, hi = (origin, dest) if origin <= dest else (dest, origin)
+        if plan.expansions <= 1 and self._windows_ok:
+            window = store.free_window(lo, hi, t, plan.arrival_time)
+            if window is not None:
+                wkey = (WINDOW_TAG, strip, origin, dest, store.version)
+                old = self._cache_entries.get(wkey)
+                flat = window if old is None else old + window
+                if len(flat) > 8:  # keep the 4 most recent windows
+                    flat = flat[-8:]
+                self.cache.put(wkey, flat)
+                return
+        horizon = plan.arrival_time + self.config.max_wait
+        self.cache.put(
+            (SHIFT_TAG, strip, origin, dest, t),
+            (store.version, horizon, store.band_signature(lo, hi, t, horizon), encode_plan(plan)),
+        )
 
     def _plan_crossing(
         self,
@@ -296,6 +443,15 @@ class _Search:
         The robot may wait at ``from_pos`` first.  Returns the wait
         segment (or None), the crossing entry, and the arrival time at
         ``to_pos``; None when no wait length within the cap works.
+
+        Off the empty-target fast path, results are memoised against the
+        two stores' content versions plus the crossing ledger's — the
+        whole result is determined by the arrival second, so the memo
+        stores a single int (or ``None`` for a failed crossing).  The
+        memo follows the same size throttle as the intra certificates
+        (:data:`_CERT_STORE_MAX`): against congested stores the key dies
+        on the next commit, so building and hashing the 9-tuple per
+        evaluation costs more than the hits it could serve.
         """
         started = _time.perf_counter()
         try:
@@ -314,16 +470,57 @@ class _Search:
             ):
                 # Fast path: nothing in the target strip and no opposing
                 # crossing — step over immediately, no waiting needed.
+                # Already O(1); memoising it would only slow it down.
                 entry = CrossingEntry(
                     t + 1, from_cell, to_cell, Segment(t + 1, to_pos, t + 1, to_pos)
                 )
                 return None, entry, t + 1
+            memo_key = None
+            entries = self._cache_entries
+            if (
+                entries is not None
+                and self._crossings_versioned
+                and len(to_store) <= _CERT_STORE_MAX
+                and len(from_store) <= _CERT_STORE_MAX
+            ):
+                memo_key = (
+                    CROSSING_TAG,
+                    from_strip,
+                    to_strip,
+                    t,
+                    from_pos,
+                    to_pos,
+                    from_store.version,
+                    to_store.version,
+                    self.crossings.version,
+                )
+                cached = entries.get(memo_key, MISSING)
+                if cached is not MISSING:
+                    self.stats.crossing_hits += 1
+                    if cached is None:
+                        return None
+                    arrival = cached
+                    wait = (
+                        make_wait(t, from_pos, arrival - 1 - t)
+                        if arrival - 1 > t
+                        else None
+                    )
+                    entry = CrossingEntry(
+                        arrival,
+                        from_cell,
+                        to_cell,
+                        Segment(arrival, to_pos, arrival, to_pos),
+                    )
+                    return wait, entry, arrival
+                self.stats.crossing_misses += 1
             if len(from_store) == 0:
                 wait_blocked = None
             else:
                 wait_probe = make_wait(t, from_pos, self.config.max_wait)
                 wait_blocked = from_store.earliest_block(wait_probe)
             if wait_blocked is not None and wait_blocked <= t:
+                if memo_key is not None:
+                    self.cache.put(memo_key, None)
                 return None  # cannot even stand at the transit cell
             latest_leave = (
                 t + self.config.max_wait if wait_blocked is None else wait_blocked - 1
@@ -343,7 +540,14 @@ class _Search:
                     continue
                 wait = make_wait(t, from_pos, leave - t) if leave > t else None
                 entry = CrossingEntry(arrival, from_cell, to_cell, point)
+                if memo_key is not None and arrival > t + 1:
+                    # Only delayed crossings are worth memoising: they
+                    # paid a probe loop above, while an immediate step
+                    # costs one probe — cheaper than the memo write.
+                    self.cache.put(memo_key, arrival)
                 return wait, entry, arrival
+            if memo_key is not None:
+                self.cache.put(memo_key, None)
             return None
         finally:
             self.stats.intra_time += _time.perf_counter() - started

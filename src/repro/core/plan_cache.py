@@ -20,6 +20,35 @@ same strip — ever share one).  A cached entry is therefore *never*
 stale: no explicit invalidation hooks, no TTLs, and cached-on planning
 is bit-for-bit identical to cached-off planning.
 
+Exact per-second keys alone almost never repeat on a steady online
+query stream (~1% hit rates), so the search layers three additional
+entry families into the same LRU, distinguished by a negative integer
+tag as the key's first element (real strip indexes are >= 0, so the
+families can never collide with the exact keys):
+
+* ``(WINDOW_TAG, strip, origin, destination, store_version)`` —
+  *free-flow window certificates*: a flat tuple of ``(w_lo, w_hi)``
+  pairs from :meth:`~repro.core.store_base.SegmentStore.free_window`,
+  each certifying that the strip's position band ``[origin, dest]`` is
+  free of committed traffic anywhere in ``[w_lo, w_hi]``.  Any start
+  time whose whole move span fits inside a window hits, and the
+  free-flow plan is rebuilt by :func:`free_flow_plan` — no search.
+* ``(SHIFT_TAG, strip, origin, destination, start_time)`` — a
+  *shift-invariance certificate* ``(store_version, horizon,
+  band_signature, encoded_plan)`` for partially-congested strips: the
+  greedy search only ever probes the band over ``[start_time,
+  horizon]``, so when the band's
+  :meth:`~repro.core.store_base.SegmentStore.band_signature` over that
+  region is unchanged the cached plan is *provably* what a fresh
+  search would return, even though the store version moved on.
+* ``(CROSSING_TAG, from_strip, to_strip, t, from_pos, to_pos,
+  from_version, to_version, ledger_version)`` — memoised boundary
+  crossings; the value is the arrival second (or ``None``), from which
+  the full crossing result is reconstructed.
+
+Every family is version-checked (never heuristically invalidated), so
+the bit-identity guarantee survives decommit/replan recovery unchanged.
+
 Failed searches (``None`` results) are cached too — the negative cache.
 A failed intra-strip search is the most expensive kind (it burns the
 whole expansion budget), and the planner's release-delay retry loop
@@ -44,10 +73,15 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, Tuple
 
 from repro.core.intra_strip import IntraPlan
-from repro.core.segments import Segment
+from repro.core.segments import Segment, make_move
 
 #: sentinel distinguishing "not cached" from a cached negative result
 MISSING = object()
+
+#: key-family tags (first key element; strip indexes are >= 0)
+WINDOW_TAG = -1
+SHIFT_TAG = -2
+CROSSING_TAG = -3
 
 #: (strip, origin, destination, start_time, store_version)
 CacheKey = Tuple[int, int, int, int, int]
@@ -65,6 +99,21 @@ def encode_plan(plan: IntraPlan) -> EncodedPlan:
         parts.append(s.t1)
         parts.append(s.p1)
     return tuple(parts)
+
+
+def free_flow_plan(start_time: int, origin: int, destination: int) -> IntraPlan:
+    """The plan a free-band intra-strip search returns, built directly.
+
+    With at least one committed segment in the strip, a free band costs
+    the greedy search exactly one collision probe (``expansions == 1``)
+    before it returns the single direct move (or, for a standing query,
+    an empty segment list) — so a window-certificate hit can rebuild the
+    search's result bit-for-bit without running it.
+    """
+    if origin == destination:
+        return IntraPlan([], start_time, start_time, 1)
+    move = make_move(start_time, origin, destination)
+    return IntraPlan([move], start_time, move.t1, 1)
 
 
 def decode_plan(flat: EncodedPlan) -> IntraPlan:

@@ -35,7 +35,7 @@ from repro.core.store_base import SegmentStore, StripStoreMap
 from repro.core.time_bucket_store import TimeBucketStore
 from repro.core.strips import StripGraph, build_strip_graph
 from repro.exceptions import InvalidQueryError, PlanningFailedError
-from repro.pathfinding.distance import DistanceMaps
+from repro.pathfinding.distance import StripDistanceMaps
 from repro.planner_base import Planner
 from repro.types import Grid, Query, Route, concatenate_routes
 from repro.warehouse.matrix import Warehouse
@@ -55,12 +55,21 @@ class SRPStats:
     intra_expansions: int = 0
     strips_popped: int = 0
     edges_relaxed: int = 0
-    #: intra-strip calls answered from the plan cache (positive results)
+    #: intra-strip calls answered from the plan cache (positive results,
+    #: including window and shift certificate hits)
     cache_hits: int = 0
     #: intra-strip calls answered from the negative cache (memoised failures)
     cache_negative_hits: int = 0
     #: intra-strip calls that had to run the real search
     cache_misses: int = 0
+    #: positive hits served by a free-flow window certificate
+    window_hits: int = 0
+    #: positive hits served by a shift-invariance certificate
+    shift_hits: int = 0
+    #: boundary-crossing searches served from the crossing memo
+    crossing_hits: int = 0
+    #: boundary-crossing searches that ran the real wait loop
+    crossing_misses: int = 0
     #: recovery replans served (``replan_from`` calls, successful or not)
     replans: int = 0
     #: segments removed from stores by route decommits
@@ -121,11 +130,13 @@ class SRPPlanner(Planner):
             are bit-for-bit identical with the cache on or off; the
             flag exists for ablation and the Fig. 22-style breakdown
             (``stats.cache_hits`` / ``cache_misses``).
-        cache_size: LRU bound on memoised intra-strip plans.  Reuse is
-            temporally local (completion-tail retries within a search,
-            the release-delay retry loop), so a small cache captures
-            almost all hits; large bounds measurably tax allocator and
-            GC locality for no extra hits on steady query streams.
+        cache_size: LRU bound on memoised entries (intra-strip plans,
+            free-flow window certificates, shift certificates, crossing
+            memos).  Certificates stay valid across store-version bumps,
+            so — unlike the original per-second entries — they keep
+            paying across an entire query stream; the default is sized
+            for that.  Entries are flat int tuples, so a large bound
+            costs little beyond its resident ints.
         max_wait: cap on consecutive waiting seconds tried at one cell.
         max_expansions: per-intra-strip-search collision-query budget.
         max_start_delay: how many release-time delays to try when the
@@ -147,7 +158,7 @@ class SRPPlanner(Planner):
         intra_backward: bool = False,
         store: Optional[str] = None,
         cache: bool = True,
-        cache_size: int = 256,
+        cache_size: int = 4096,
     ) -> None:
         super().__init__()
         self.warehouse = warehouse
@@ -181,7 +192,10 @@ class SRPPlanner(Planner):
         self.plan_cache: Optional[PlanCache] = PlanCache(cache_size) if cache else None
         #: committed boundary crossings (from_cell, to_cell, arrival_time)
         self.crossings = CrossingLedger(warehouse.height, warehouse.width)
-        self.distance_maps = DistanceMaps(warehouse)
+        #: strip-keyed heuristic fields for the A* fallback: one pair of
+        #: multi-source BFS fields per destination *strip* serves every
+        #: destination cell in it (see pathfinding.distance)
+        self.distance_maps = StripDistanceMaps(warehouse, self.graph)
         self.stats = SRPStats()
         #: per-query commit records enabling decommit/recovery; only
         #: queries with a non-negative ``query_id`` are recorded (ids
@@ -270,6 +284,10 @@ class SRPPlanner(Planner):
         self.stats.cache_hits += stats.cache_hits
         self.stats.cache_negative_hits += stats.cache_negative_hits
         self.stats.cache_misses += stats.cache_misses
+        self.stats.window_hits += stats.window_hits
+        self.stats.shift_hits += stats.shift_hits
+        self.stats.crossing_hits += stats.crossing_hits
+        self.stats.crossing_misses += stats.crossing_misses
 
         if plan is not None:
             conv_started = _time.perf_counter()

@@ -31,7 +31,7 @@ import bisect
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.segments import Segment
-from repro.core.store_base import ConflictHit, SegmentStore
+from repro.core.store_base import FOREVER, ConflictHit, SegmentStore
 from repro.geometry.collision import conflict_between_segments
 
 _SLOPES = (0, 1, -1)
@@ -44,6 +44,7 @@ class SlopeIndexedStore(SegmentStore):
         "queries",
         "judged",
         "version",
+        "last_end",
         "_by_start",
         "_start_keys",
         "_by_intercept",
@@ -98,7 +99,7 @@ class SlopeIndexedStore(SegmentStore):
         self._size += 1
         if segment.duration > self._max_durations[k]:
             self._max_durations[k] = segment.duration
-        self._bump_version()
+        self._bump_insert(segment)
 
     def remove(self, segment: Segment) -> None:
         """Decommit one segment: undo both index entries of :meth:`insert`.
@@ -215,6 +216,48 @@ class SlopeIndexedStore(SegmentStore):
         return False
 
     # ------------------------------------------------------------------
+    # Free-flow window certificates
+    # ------------------------------------------------------------------
+    def free_window(self, lo: int, hi: int, t0: int, t1: int):
+        # Per-slope loops with the band test inlined per slope class:
+        # waits are in the band iff their cell is, unit-slope segments
+        # iff their position range overlaps it.  Runs once per free-flow
+        # certification on the planner's hot path.
+        w_lo, w_hi = 0, FOREVER
+        for k in _SLOPES:
+            for segment in self._by_start[k]:
+                p0 = segment.p0
+                if k == 0:
+                    if p0 < lo or p0 > hi:
+                        continue
+                    a, b = segment.t0, segment.t1
+                elif k == 1:
+                    if segment.p1 < lo or p0 > hi:
+                        continue
+                    a = segment.t0 + (lo - p0 if lo > p0 else 0)
+                    b = min(segment.t0 + (hi - p0), segment.t1)
+                else:
+                    if p0 < lo or segment.p1 > hi:
+                        continue
+                    a = segment.t0 + (p0 - hi if hi < p0 else 0)
+                    b = min(segment.t0 + (p0 - lo), segment.t1)
+                if a <= t1 and b >= t0:
+                    return None
+                if b < t0:
+                    if b >= w_lo:
+                        w_lo = b + 1
+                elif a - 1 < w_hi:
+                    w_hi = a - 1
+        return w_lo, w_hi
+
+    # band_signature: the base implementation walks iter_segments below,
+    # i.e. the per-slope start-time lists in _SLOPES order — exactly the
+    # candidate scan order of earliest_conflict (the same-intercept
+    # bucket of a slope class is an order-preserving subsequence of that
+    # class's start-time list), so the inherited signature satisfies the
+    # canonical-order contract.
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def iter_segments(self) -> Iterator[Segment]:
@@ -262,3 +305,4 @@ class SlopeIndexedStore(SegmentStore):
             self._intercept_keys[k].clear()
         self._size = 0
         self._max_durations = {k: 0 for k in _SLOPES}
+        self.last_end = -1

@@ -29,6 +29,39 @@ from repro.core.segments import Segment
 #: (blocked_time, blocking_segment)
 ConflictHit = Tuple[int, Segment]
 
+#: Upper bound standing in for "no segment ever blocks this band again";
+#: free-flow windows reported by :meth:`SegmentStore.free_window` use it
+#: as their open right end.
+FOREVER = 1 << 60
+
+
+def _band_time_interval(
+    segment: Segment, lo: int, hi: int
+) -> Optional[Tuple[int, int]]:
+    """Closed time interval during which ``segment`` sits inside ``[lo, hi]``.
+
+    ``None`` when the segment's trajectory never enters the position
+    band.  Conflicts between segments (vertex or swap) always happen at
+    a shared position inside both segments' position ranges, so any
+    segment able to conflict with a probe confined to the band must be
+    inside the band — at a (possibly half-integer) time covered by the
+    closed integer interval returned here.
+    """
+    p0, p1 = segment.p0, segment.p1
+    pmin, pmax = (p0, p1) if p0 <= p1 else (p1, p0)
+    if pmax < lo or pmin > hi:
+        return None
+    k = segment.slope
+    if k == 0:
+        return segment.t0, segment.t1
+    if k == 1:
+        enter = segment.t0 + (lo - p0 if lo > p0 else 0)
+        exit_ = segment.t0 + (hi - p0)
+    else:
+        enter = segment.t0 + (p0 - hi if hi < p0 else 0)
+        exit_ = segment.t0 + (p0 - lo)
+    return enter, min(exit_, segment.t1)
+
 #: Process-wide monotone source of store versions.  Every content
 #: mutation of any store takes a fresh value, so two distinct content
 #: states never share a version — even across store *instances*.  That
@@ -63,9 +96,24 @@ class SegmentStore(ABC):
         #: changes (insert, effective prune, effective clear).  Cache
         #: keys derived from it are therefore never stale.
         self.version = next(_VERSION_COUNTER)
+        #: high-water mark over the end times of every segment *ever*
+        #: inserted: an upper bound on the latest end among the stored
+        #: segments, maintained in O(1).  ``t > last_end`` certifies the
+        #: whole strip is traffic-free from ``t`` on — the degenerate
+        #: free-flow window ``(last_end + 1, FOREVER)`` for every band —
+        #: without touching a single segment.  ``remove``/``prune`` leave
+        #: it (possibly stale-high, which only costs certificate hits,
+        #: never soundness); ``clear`` resets it.
+        self.last_end = -1
 
     def _bump_version(self) -> None:
         """Take a fresh globally-unique version after a content change."""
+        self.version = next(_VERSION_COUNTER)
+
+    def _bump_insert(self, segment: Segment) -> None:
+        """Version bump plus :attr:`last_end` upkeep, for insert paths."""
+        if segment.t1 > self.last_end:
+            self.last_end = segment.t1
         self.version = next(_VERSION_COUNTER)
 
     @abstractmethod
@@ -116,6 +164,66 @@ class SegmentStore(ABC):
     def __len__(self) -> int:
         """Number of stored segments."""
 
+    def free_window(
+        self, lo: int, hi: int, t0: int, t1: int
+    ) -> Optional[Tuple[int, int]]:
+        """Maximal time window around ``[t0, t1]`` with an empty band.
+
+        Returns ``(w_lo, w_hi)`` such that ``w_lo <= t0 <= t1 <= w_hi``
+        and *no* stored segment is inside the position band ``[lo, hi]``
+        at any time in ``[w_lo, w_hi]`` — a *free-flow certificate*: any
+        unit-speed move confined to the band whose whole time span lies
+        inside the window is provably collision-free against this store
+        state.  ``w_hi`` may be :data:`FOREVER`.  Returns ``None`` when
+        some segment enters the band during ``[t0, t1]`` itself (the
+        certificate is conservative: a segment inside the band need not
+        actually conflict with a particular move).
+
+        The window describes *this* content state; callers must key any
+        cached use of it on :attr:`version`.
+        """
+        w_lo, w_hi = 0, FOREVER
+        for segment in self.iter_segments():
+            interval = _band_time_interval(segment, lo, hi)
+            if interval is None:
+                continue
+            a, b = interval
+            if a <= t1 and b >= t0:
+                return None
+            if b < t0:
+                if b >= w_lo:
+                    w_lo = b + 1
+            elif a - 1 < w_hi:
+                w_hi = a - 1
+        return w_lo, w_hi
+
+    def band_signature(self, lo: int, hi: int, t0: int, t1: int) -> Tuple:
+        """Canonical fingerprint of the segments able to affect probes in a region.
+
+        The region is the position band ``[lo, hi]`` crossed with the
+        time span ``[t0, t1]``.  The signature is the ordered tuple of
+        raw ``(t0, p0, t1, p1)`` tuples of every stored segment whose
+        position range and time span both intersect the region — a
+        superset of the segments any :meth:`earliest_conflict` probe
+        confined to the region could collide with.
+
+        **Contract:** the order must follow the store's own candidate
+        scan order, so that *equal* signatures on two content states
+        guarantee every probe confined to the region answers identically
+        on both — including which blocking segment is reported when two
+        candidates tie on the blocked time.  The default implementation
+        relies on :meth:`iter_segments` following that scan order;
+        stores whose scan order differs must override.
+        """
+        return tuple(
+            s.raw
+            for s in self.iter_segments()
+            if s.t0 <= t1
+            and s.t1 >= t0
+            and (s.p0 if s.p0 <= s.p1 else s.p1) <= hi
+            and (s.p0 if s.p0 >= s.p1 else s.p1) >= lo
+        )
+
     def earliest_block(self, segment: Segment) -> Optional[int]:
         """First integer time at which ``segment`` conflicts, or None."""
         hit = self.earliest_conflict(segment)
@@ -137,11 +245,12 @@ class SegmentStore(ABC):
 class _EmptyStore(SegmentStore):
     """Immutable empty store shared by all strips without traffic."""
 
-    __slots__ = ("queries", "judged", "version")
+    __slots__ = ("queries", "judged", "version", "last_end")
 
     def __init__(self) -> None:
         self.queries = 0
         self.judged = 0
+        self.last_end = -1
         # Version 0 is reserved for "no traffic at all".  Every strip
         # without a materialised store shares it, which is sound: a
         # planning result against an empty store depends only on the
@@ -175,6 +284,12 @@ class _EmptyStore(SegmentStore):
 
     def move_blocked(self, t: int, p_from: int, p_to: int) -> bool:
         return False
+
+    def free_window(self, lo: int, hi: int, t0: int, t1: int):
+        return 0, FOREVER
+
+    def band_signature(self, lo: int, hi: int, t0: int, t1: int) -> Tuple:
+        return ()
 
 
 EMPTY_STORE = _EmptyStore()

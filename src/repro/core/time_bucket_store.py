@@ -21,7 +21,7 @@ deduplicated per query by identity.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.segments import Segment
 from repro.core.store_base import ConflictHit, SegmentStore
@@ -31,7 +31,15 @@ from repro.geometry.collision import conflict_between_segments
 class TimeBucketStore(SegmentStore):
     """Segments hashed into fixed-width time buckets."""
 
-    __slots__ = ("queries", "judged", "version", "_bucket_width", "_buckets", "_size")
+    __slots__ = (
+        "queries",
+        "judged",
+        "version",
+        "last_end",
+        "_bucket_width",
+        "_buckets",
+        "_size",
+    )
 
     def __init__(self, bucket_width: int = 16) -> None:
         super().__init__()
@@ -50,7 +58,7 @@ class TimeBucketStore(SegmentStore):
         for b in self._bucket_range(segment.t0, segment.t1):
             self._buckets.setdefault(b, []).append(segment)
         self._size += 1
-        self._bump_version()
+        self._bump_insert(segment)
 
     def remove(self, segment: Segment) -> None:
         """Decommit one segment from every bucket its span covers.
@@ -98,6 +106,38 @@ class TimeBucketStore(SegmentStore):
                         return best
         return best
 
+    # free_window: the base implementation scans iter_segments (with its
+    # id-dedup) — a full pass either way, since the nearest blocked
+    # times before/after the query span can live in any bucket.
+
+    def band_signature(self, lo: int, hi: int, t0: int, t1: int) -> Tuple:
+        """Canonical fingerprint per the :class:`SegmentStore` contract.
+
+        Unlike the list-backed stores, iteration order here follows
+        bucket-dict insertion order, which is *not* content-determined —
+        so the signature instead mirrors the probe scan order exactly:
+        bucket indexes ascending across the region's span, append order
+        within each bucket.  Equal signatures therefore reproduce the
+        candidate sequence (and id-dedup behaviour) of every
+        earliest_conflict probe confined to the region.
+        """
+        parts = []
+        for b in self._bucket_range(t0, t1):
+            bucket = self._buckets.get(b)
+            if not bucket:
+                continue
+            raws = tuple(
+                s.raw
+                for s in bucket
+                if s.t0 <= t1
+                and s.t1 >= t0
+                and (s.p0 if s.p0 <= s.p1 else s.p1) <= hi
+                and (s.p0 if s.p0 >= s.p1 else s.p1) >= lo
+            )
+            if raws:
+                parts.append((b, raws))
+        return tuple(parts)
+
     # ------------------------------------------------------------------
     def iter_segments(self) -> Iterator[Segment]:
         seen: Set[int] = set()
@@ -131,6 +171,7 @@ class TimeBucketStore(SegmentStore):
             self._bump_version()
         self._buckets.clear()
         self._size = 0
+        self.last_end = -1
 
     def __len__(self) -> int:
         return self._size

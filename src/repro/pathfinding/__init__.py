@@ -9,7 +9,11 @@
   efficiency bottleneck of grid-based planners.
 """
 
-from repro.pathfinding.distance import DistanceMaps, bfs_distance_map
+from repro.pathfinding.distance import (
+    DistanceMaps,
+    StripDistanceMaps,
+    bfs_distance_map,
+)
 from repro.pathfinding.space_time_astar import (
     ConflictChecker,
     NullConflictChecker,
@@ -18,6 +22,7 @@ from repro.pathfinding.space_time_astar import (
 
 __all__ = [
     "DistanceMaps",
+    "StripDistanceMaps",
     "bfs_distance_map",
     "ConflictChecker",
     "NullConflictChecker",

@@ -5,16 +5,26 @@ rack-avoiding path from every cell to that target.  Rack cells other
 than the target are impassable; the target itself may be a rack cell
 (robots slide under the rack as their final step).
 
-Planners cache one map per destination (:class:`DistanceMaps`), which
-doubles as the "cached shortest path" machinery of the ACP baseline:
-greedily descending the distance map reproduces a cached shortest path
-without storing explicit paths per origin-destination pair.
+Two caching granularities exist:
+
+* :class:`DistanceMaps` — one *exact* map per destination cell, LRU
+  bounded.  The baselines need exactness: greedily descending an exact
+  map reproduces a cached shortest path (the ACP/RP machinery).
+* :class:`StripDistanceMaps` — one pair of weighted multi-source BFS
+  *fields* per destination **strip**; the per-cell map handed to the
+  A* fallback is derived from the strip's fields with a few vectorised
+  array operations instead of a fresh grid BFS.  The derived map is an
+  admissible (never over-estimating) heuristic with exact values along
+  the destination strip, which is all space-time A* needs; destinations
+  clustered in the same strip — the common warehouse pattern — stop
+  paying one full BFS each.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -82,6 +92,7 @@ class DistanceMaps:
         self._max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, target: Grid) -> np.ndarray:
         cached = self._maps.get(target)
@@ -95,6 +106,7 @@ class DistanceMaps:
         computed = bfs_distance_map(self._warehouse, target)
         if len(self._maps) >= self._max_entries:
             self._maps.pop(next(iter(self._maps)))
+            self.evictions += 1
         self._maps[target] = computed
         return computed
 
@@ -133,6 +145,192 @@ class DistanceMaps:
         return path
 
     def clear(self) -> None:
+        self._maps.clear()
+
+    def __len__(self) -> int:
+        return len(self._maps)
+
+
+def _weighted_field(warehouse: Warehouse, seeds: List[Tuple[Grid, int]]) -> np.ndarray:
+    """Multi-source weighted BFS field: ``F(x) = min_s d(x, s) + w_s``.
+
+    ``seeds`` are ``(cell, weight)`` pairs over free cells; edges cost 1
+    (a Dijkstra heap handles the non-uniform seed weights).  Free cells
+    unreachable from every seed keep -1; rack cells get one-hop values
+    through their free neighbours, matching :func:`bfs_distance_map`'s
+    under-rack semantics.
+    """
+    h, w = warehouse.shape
+    racks = warehouse.racks
+    field = np.full((h, w), UNREACHABLE, dtype=np.int32)
+    heap: List[Tuple[int, int, int]] = []
+    for (i, j), weight in seeds:
+        cur = field[i, j]
+        if cur < 0 or weight < cur:
+            field[i, j] = weight
+            heapq.heappush(heap, (weight, i, j))
+    while heap:
+        d, i, j = heapq.heappop(heap)
+        if d > field[i, j]:
+            continue  # stale heap entry
+        nd = d + 1
+        for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+            if 0 <= ni < h and 0 <= nj < w and not racks[ni, nj]:
+                cur = field[ni, nj]
+                if cur < 0 or nd < cur:
+                    field[ni, nj] = nd
+                    heapq.heappush(heap, (nd, ni, nj))
+    _extend_to_rack_cells(field, racks)
+    return field
+
+
+class StripDistanceMaps:
+    """Distance maps batched per destination *strip*.
+
+    For a strip of length ``L`` two weighted fields are built once and
+    shared by every destination cell in the strip:
+
+    * ``A(x) = min_p d_p(x) + p``
+    * ``B(x) = min_p d_p(x) + (L - 1 - p)``
+
+    where ``d_p(x)`` is the exact rack-avoiding distance from ``x`` to
+    the strip cell at local position ``p`` (for rack strips, to its
+    free neighbours plus the final slide-under step, weight ``p + 1`` /
+    ``L - p``).  For a destination at position ``q``, every ``p`` term
+    gives ``d_q(x) >= d_p(x) + |p - q| >= d_p(x) + p - q``, so
+
+    ``H(x) = max(A(x) - q, B(x) - (L - 1 - q), manhattan(x, target))``
+
+    never over-estimates ``d_q(x)`` — an admissible heuristic for
+    space-time A*, derived with three vectorised array ops instead of a
+    fresh grid BFS per destination.  Along the destination strip itself
+    the bound is tight (``A`` restricted to an aisle strip equals the
+    local position exactly), which is where heuristic accuracy matters
+    most for the fallback's corridor-shaped searches.
+
+    Exactness of the *routes* is untouched: admissible heuristics leave
+    space-time A* optimal, and the cached-vs-uncached planner invariant
+    only requires both modes to share one heuristic provider — they do.
+    Cells unreachable from every seed stay ``UNREACHABLE`` so the
+    solver's early-abort paths behave as before; the target cell is
+    pinned to 0 (its extended under-rack value would be ``q + 2``-ish,
+    not 0, and A* requires ``h(goal) = 0``).
+
+    The per-strip fields and the small per-target derived maps sit in
+    separate LRU caches; ``hits``/``misses``/``evictions`` count target
+    lookups, ``field_builds`` counts strip field constructions (the
+    expensive part — two Dijkstra sweeps each).
+    """
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        graph,
+        max_strips: int = 128,
+        max_targets: int = 512,
+    ) -> None:
+        self._warehouse = warehouse
+        self._graph = graph
+        self._max_strips = max_strips
+        self._max_targets = max_targets
+        # strip index -> (A field, B field, strip length)
+        self._fields: Dict[int, Tuple[np.ndarray, np.ndarray, int]] = {}
+        # target cell -> derived per-target map
+        self._maps: Dict[Grid, np.ndarray] = {}
+        h, w = warehouse.shape
+        self._rows = np.arange(h, dtype=np.int32).reshape(h, 1)
+        self._cols = np.arange(w, dtype=np.int32).reshape(1, w)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.field_builds = 0
+
+    # ------------------------------------------------------------------
+    def _strip_fields(self, strip_index: int) -> Tuple[np.ndarray, np.ndarray, int]:
+        entry = self._fields.get(strip_index)
+        if entry is not None:
+            del self._fields[strip_index]
+            self._fields[strip_index] = entry
+            return entry
+        strip = self._graph.strips[strip_index]
+        length = strip.length
+        racks = self._warehouse.racks
+        h, w = self._warehouse.shape
+        a_seeds: List[Tuple[Grid, int]] = []
+        b_seeds: List[Tuple[Grid, int]] = []
+        for p in range(length):
+            i, j = strip.grid_at(p)
+            if strip.is_aisle:
+                a_seeds.append(((i, j), p))
+                b_seeds.append(((i, j), length - 1 - p))
+            else:
+                # Rack cell: routes end by sliding under it from a free
+                # neighbour, so seed the neighbours with the +1 step.
+                for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+                    if 0 <= ni < h and 0 <= nj < w and not racks[ni, nj]:
+                        a_seeds.append(((ni, nj), p + 1))
+                        b_seeds.append(((ni, nj), length - p))
+        entry = (
+            _weighted_field(self._warehouse, a_seeds),
+            _weighted_field(self._warehouse, b_seeds),
+            length,
+        )
+        self.field_builds += 1
+        if len(self._fields) >= self._max_strips:
+            self._fields.pop(next(iter(self._fields)))
+        self._fields[strip_index] = entry
+        return entry
+
+    def get(self, target: Grid) -> np.ndarray:
+        """The derived heuristic map for ``target`` (-1 = unreachable)."""
+        cached = self._maps.get(target)
+        if cached is not None:
+            self.hits += 1
+            del self._maps[target]
+            self._maps[target] = cached
+            return cached
+        self.misses += 1
+        if not self._warehouse.in_bounds(target):
+            raise InvalidQueryError(f"target {target} is out of bounds")
+        strip_index, q = self._graph.locate(target)
+        a_field, b_field, length = self._strip_fields(strip_index)
+        derived = np.maximum(
+            a_field - np.int32(q), b_field - np.int32(length - 1 - q)
+        )
+        manhattan = np.abs(self._rows - np.int32(target[0])) + np.abs(
+            self._cols - np.int32(target[1])
+        )
+        derived = np.maximum(derived, manhattan).astype(np.int32, copy=False)
+        derived[a_field < 0] = UNREACHABLE
+        # Rebuild rack-cell values with the oracle's own one-hop
+        # extension: the strip fields reach rack cells only through free
+        # neighbours, but ``bfs_distance_map`` lets a rack cell adjacent
+        # to a rack *target* take the direct slide (distance 1 through
+        # the target's 0), so the field-derived rack values can
+        # over-estimate there.  Extending from the (admissible) free
+        # values keeps every rack cell admissible too.
+        racks = self._warehouse.racks
+        derived[racks] = UNREACHABLE
+        if a_field[target] >= 0:
+            derived[target] = 0
+        _extend_to_rack_cells(derived, racks)
+        if len(self._maps) >= self._max_targets:
+            self._maps.pop(next(iter(self._maps)))
+            self.evictions += 1
+        self._maps[target] = derived
+        return derived
+
+    def distance(self, origin: Grid, target: Grid) -> int:
+        """Admissible lower bound on the rack-avoiding distance.
+
+        Exact when either endpoint lies on the target's strip; a lower
+        bound elsewhere (this class serves heuristic consumers — use
+        :class:`DistanceMaps` where exact distances are required).
+        """
+        return int(self.get(target)[origin])
+
+    def clear(self) -> None:
+        self._fields.clear()
         self._maps.clear()
 
     def __len__(self) -> int:

@@ -24,7 +24,10 @@ STORES = [NaiveSegmentStore, SlopeIndexedStore, TimeBucketStore]
 
 #: instrumentation and version counters are *expected* to drift across a
 #: round trip; everything else must match exactly
-_NON_CONTENT = {"queries", "judged", "version"}
+#: slots that are not segment content: instrumentation counters, the
+#: version (monotone by design), and the last_end high-water mark
+#: (deliberately stale-high after remove — see SegmentStore.last_end)
+_NON_CONTENT = {"queries", "judged", "version", "last_end"}
 
 
 def state_of(store):

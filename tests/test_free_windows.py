@@ -1,0 +1,250 @@
+"""Free-flow window certificates and faulted cached-planner bit-identity.
+
+Two property families guard the PR's caching layers:
+
+* **certificate soundness** — ``free_window`` answers and the
+  ``last_end`` high-water mark are checked against brute force on
+  random committed-segment soups for all three store backends; a
+  window-certified band must reproduce the greedy search's plan
+  bit-for-bit via :func:`free_flow_plan`;
+* **bit-identity under disturbance** — random interleavings of online
+  planning, blockage commits, pruning and ``replan_from`` recoveries
+  (the PR 2/3 decommit path) must leave a cached planner's routes
+  exactly equal to an uncached one's, because every cached certificate
+  is version-checked rather than heuristically invalidated.
+"""
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro import Query, SRPPlanner, Warehouse
+from repro.core.intra_strip import plan_within_strip
+from repro.core.naive_store import NaiveSegmentStore
+from repro.core.plan_cache import free_flow_plan
+from repro.core.segments import Segment
+from repro.core.slope_index import SlopeIndexedStore
+from repro.core.store_base import FOREVER, _band_time_interval
+from repro.core.time_bucket_store import TimeBucketStore
+from repro.exceptions import InvalidQueryError, PlanningFailedError
+
+STORES = [NaiveSegmentStore, SlopeIndexedStore, TimeBucketStore]
+
+
+@st.composite
+def segment_strategy(draw, max_t=30, max_p=12, max_len=8):
+    t0 = draw(st.integers(0, max_t))
+    p0 = draw(st.integers(0, max_p))
+    slope = draw(st.sampled_from([-1, 0, 1]))
+    length = draw(st.integers(0, max_len))
+    return Segment(t0, p0, t0 + length, p0 + slope * length if slope else p0)
+
+
+@st.composite
+def band_strategy(draw, max_p=12):
+    lo = draw(st.integers(0, max_p))
+    hi = draw(st.integers(lo, max_p))
+    return lo, hi
+
+
+def _blocks_band(segment: Segment, lo: int, hi: int, t0: int, t1: int) -> bool:
+    """Brute-force: is ``segment`` inside ``[lo, hi]`` during ``[t0, t1]``?"""
+    interval = _band_time_interval(segment, lo, hi)
+    return interval is not None and interval[0] <= t1 and interval[1] >= t0
+
+
+@pytest.mark.parametrize("store_cls", STORES)
+class TestFreeWindowSoundness:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        segments=st.lists(segment_strategy(), max_size=12),
+        band=band_strategy(),
+        t0=st.integers(0, 40),
+        span=st.integers(0, 12),
+    )
+    def test_window_matches_brute_force(self, store_cls, segments, band, t0, span):
+        """A window exists iff the probe span is band-free, it contains
+        the probe span, and *no* stored segment enters the band anywhere
+        inside it."""
+        lo, hi = band
+        t1 = t0 + span
+        store = store_cls()
+        for seg in segments:
+            store.insert(seg)
+        window = store.free_window(lo, hi, t0, t1)
+        if any(_blocks_band(s, lo, hi, t0, t1) for s in segments):
+            assert window is None
+        else:
+            assert window is not None
+            w_lo, w_hi = window
+            assert 0 <= w_lo <= t0 and t1 <= w_hi <= FOREVER
+            for seg in segments:
+                assert not _blocks_band(seg, lo, hi, w_lo, w_hi)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        segments=st.lists(segment_strategy(), min_size=1, max_size=10),
+        origin=st.integers(0, 12),
+        dest=st.integers(0, 12),
+        offset=st.integers(1, 20),
+    )
+    def test_last_end_certificate_reproduces_search(
+        self, store_cls, segments, origin, dest, offset
+    ):
+        """Past the high-water mark the greedy search degenerates to the
+        single free-flow move — :func:`free_flow_plan` must rebuild that
+        result bit-for-bit, expansions included (the planner's O(1)
+        certificate path)."""
+        store = store_cls()
+        for seg in segments:
+            store.insert(seg)
+        t = store.last_end + offset
+        searched = plan_within_strip(store, t, origin, dest)
+        certified = free_flow_plan(t, origin, dest)
+        assert searched is not None
+        assert [s.raw for s in searched.segments] == [
+            s.raw for s in certified.segments
+        ]
+        assert searched.start_time == certified.start_time
+        assert searched.arrival_time == certified.arrival_time
+        assert searched.expansions == certified.expansions
+
+    @settings(max_examples=80, deadline=None)
+    @given(segments=st.lists(segment_strategy(), min_size=1, max_size=10))
+    def test_last_end_is_an_upper_bound(self, store_cls, segments):
+        """``last_end`` dominates every live end time, exactly after
+        pure inserts, and monotonically (possibly stale-high, never
+        stale-low) across removals."""
+        store = store_cls()
+        for seg in segments:
+            store.insert(seg)
+        true_max = max(s.t1 for s in segments)
+        assert store.last_end == true_max
+        for seg in segments[: len(segments) // 2]:
+            store.remove(seg)
+        live = [s.t1 for s in store.iter_segments()]
+        assert store.last_end >= max(live, default=-1)
+        assert store.last_end == true_max  # monotone: removals never lower it
+        store.clear()
+        assert store.last_end == -1
+
+
+# ----------------------------------------------------------------------
+# Cached-vs-uncached bit-identity under fault/decommit interleavings
+# ----------------------------------------------------------------------
+WORLD = """
+........
+..##.##.
+..##.##.
+........
+..##.##.
+........
+"""
+
+
+def _warehouse() -> Warehouse:
+    return Warehouse.from_ascii(WORLD)
+
+
+_FREE = _warehouse().free_cells()
+
+#: one op per element: plan a query, commit a blockage, prune, or
+#: recover an executing route via replan_from (decommit + hold + replan)
+_OP = st.one_of(
+    st.tuples(
+        st.just("plan"),
+        st.integers(0, len(_FREE) - 1),
+        st.integers(0, len(_FREE) - 1),
+        st.integers(0, 6),
+    ),
+    st.tuples(st.just("blockage"), st.integers(0, len(_FREE) - 1), st.integers(1, 6)),
+    st.tuples(st.just("prune"), st.just(0), st.just(0)),
+    st.tuples(st.just("replan"), st.integers(0, 31), st.integers(0, 31)),
+)
+
+
+def _apply_ops(planner, ops):
+    """Drive one planner through an op sequence; return every outcome.
+
+    Replan targets are derived from the planner's *own* committed
+    routes, so if cached and uncached planners ever diverged the
+    derived op streams (and hence the outcome logs) would too.
+    """
+    outcomes = []
+    routes = {}
+    now = 0
+    qid = 0
+    pruned_to = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "plan":
+            _, oi, di, dt = op
+            now += dt
+            origin = _FREE[oi]
+            destination = _FREE[di]
+            if origin == destination:
+                continue
+            query = Query(origin, destination, now, query_id=qid)
+            qid += 1
+            try:
+                route = planner.plan(query)
+            except PlanningFailedError:
+                outcomes.append(("fail", query.query_id))
+                continue
+            routes[query.query_id] = route
+            outcomes.append(("route", query.query_id, route.start_time, tuple(route.grids)))
+        elif kind == "blockage":
+            _, ci, duration = op
+            cell = _FREE[ci]
+            planner.commit_blockage(cell, now, now + duration)
+            outcomes.append(("blockage", cell, now, now + duration))
+        elif kind == "prune":
+            planner.prune(now)
+            pruned_to = max(pruned_to, now)
+        else:  # replan: stall some executing route mid-flight
+            _, pick, frac = op
+            # Only routes no prune has touched are recoverable (the
+            # simulation never replans history it already discarded).
+            active = [
+                (q, r)
+                for q, r in sorted(routes.items())
+                if r.finish_time > r.start_time + 1 and r.start_time >= pruned_to
+            ]
+            if not active:
+                continue
+            query_id, route = active[pick % len(active)]
+            stall_t = route.start_time + 1 + frac % (route.finish_time - route.start_time - 1)
+            cell = route.position_at(stall_t)
+            try:
+                revised = planner.replan_from(query_id, cell, stall_t)
+            except PlanningFailedError:
+                outcomes.append(("replan-fail", query_id, stall_t))
+                continue
+            except InvalidQueryError:
+                # e.g. a second stall scheduled before an earlier one on
+                # the same route — rejected deterministically either way
+                outcomes.append(("replan-invalid", query_id, stall_t))
+                continue
+            routes[query_id] = revised
+            outcomes.append(
+                ("replan", query_id, revised.start_time, tuple(revised.grids))
+            )
+    return outcomes
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(_OP, min_size=1, max_size=12))
+def test_cached_identical_under_fault_interleavings(ops):
+    warehouse = _warehouse()
+    cached = _apply_ops(SRPPlanner(warehouse, cache=True), ops)
+    uncached = _apply_ops(SRPPlanner(warehouse, cache=False), ops)
+    assert cached == uncached
+
+
+@settings(max_examples=10, deadline=None)
+@given(ops=st.lists(_OP, min_size=1, max_size=12))
+def test_exact_cache_identical_under_fault_interleavings(ops):
+    """The per-second exact-key mode must obey the same invariant."""
+    warehouse = _warehouse()
+    exact = _apply_ops(SRPPlanner(warehouse, cache=True, intra_exact=True), ops)
+    uncached = _apply_ops(SRPPlanner(warehouse, cache=False), ops)
+    assert exact == uncached

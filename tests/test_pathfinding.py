@@ -4,8 +4,14 @@ import numpy as np
 import pytest
 
 from repro import Query, Warehouse
+from repro.core.strips import build_strip_graph
 from repro.exceptions import InvalidQueryError
-from repro.pathfinding.distance import UNREACHABLE, DistanceMaps, bfs_distance_map
+from repro.pathfinding.distance import (
+    UNREACHABLE,
+    DistanceMaps,
+    StripDistanceMaps,
+    bfs_distance_map,
+)
 from repro.pathfinding.space_time_astar import NullConflictChecker, space_time_astar
 from repro.baselines.reservation import ReservationTable
 from repro.types import Route
@@ -74,6 +80,86 @@ class TestDistanceMaps:
         wh = Warehouse.from_ascii("..#..\n..#..")
         maps = DistanceMaps(wh)
         assert maps.greedy_path((0, 0), (0, 4)) is None
+
+    def test_lru_evicts_by_access_recency(self, tiny_warehouse):
+        """A hit refreshes its entry: eviction drops the least recently
+        *used* map, not the least recently inserted one."""
+        maps = DistanceMaps(tiny_warehouse, max_entries=2)
+        maps.get((0, 0))
+        maps.get((0, 1))
+        maps.get((0, 0))  # touch: (0, 1) is now the LRU entry
+        maps.get((0, 2))  # evicts (0, 1)
+        assert maps.evictions == 1
+        assert maps.get((0, 0)) is not None
+        assert maps.hits == 2 and maps.misses == 3  # (0, 0) survived
+
+    def test_distance_touches_lru_order(self, tiny_warehouse):
+        """distance() goes through get(), so it refreshes recency too."""
+        maps = DistanceMaps(tiny_warehouse, max_entries=2)
+        maps.get((0, 0))
+        maps.get((0, 1))
+        maps.distance((3, 3), (0, 0))  # touch via distance()
+        maps.get((0, 2))  # must evict (0, 1), not (0, 0)
+        maps.get((0, 0))
+        assert maps.hits == 2 and maps.evictions == 1
+
+
+class TestStripDistanceMaps:
+    def _exact_vs_derived(self, warehouse, target):
+        maps = StripDistanceMaps(warehouse, build_strip_graph(warehouse))
+        return bfs_distance_map(warehouse, target), maps.get(target), maps
+
+    def test_admissible_everywhere(self, tiny_warehouse):
+        """The derived map never over-estimates the true distance."""
+        for target in [(0, 0), (4, 3), (7, 7), (2, 2)]:  # incl. a rack cell
+            exact, derived, _ = self._exact_vs_derived(tiny_warehouse, target)
+            reachable = exact >= 0
+            assert np.all(derived[reachable] <= exact[reachable])
+
+    def test_exact_along_destination_strip(self, tiny_warehouse):
+        """Cells of the target's own strip get the true distance."""
+        graph = build_strip_graph(tiny_warehouse)
+        target = (4, 3)
+        strip_index, _ = graph.locate(target)
+        strip = graph.strips[strip_index]
+        exact, derived, _ = self._exact_vs_derived(tiny_warehouse, target)
+        for p in range(strip.length):
+            cell = strip.grid_at(p)
+            assert derived[cell] == exact[cell]
+
+    def test_target_cell_is_zero(self, tiny_warehouse):
+        _, derived, _ = self._exact_vs_derived(tiny_warehouse, (4, 3))
+        assert derived[4, 3] == 0
+
+    def test_unreachable_cells_masked(self):
+        wh = Warehouse.from_ascii("..#..\n..#..")
+        maps = StripDistanceMaps(wh, build_strip_graph(wh))
+        derived = maps.get((0, 0))
+        assert derived[0, 4] == UNREACHABLE and derived[1, 4] == UNREACHABLE
+
+    def test_same_strip_targets_share_fields(self, tiny_warehouse):
+        """The whole point: N targets in one strip build one field pair."""
+        graph = build_strip_graph(tiny_warehouse)
+        maps = StripDistanceMaps(tiny_warehouse, graph)
+        strip_index, _ = graph.locate((0, 0))
+        strip = graph.strips[strip_index]
+        for p in range(strip.length):
+            maps.get(strip.grid_at(p))
+        assert maps.field_builds == 1
+        assert maps.misses == strip.length
+        maps.get(strip.grid_at(0))
+        assert maps.hits == 1
+
+    def test_target_lru_eviction_counts(self, tiny_warehouse):
+        maps = StripDistanceMaps(
+            tiny_warehouse, build_strip_graph(tiny_warehouse), max_targets=2
+        )
+        maps.get((0, 0))
+        maps.get((0, 1))
+        maps.get((0, 0))  # refresh
+        maps.get((0, 2))  # evicts (0, 1)
+        assert maps.evictions == 1
+        assert len(maps) == 2
 
 
 class TestSpaceTimeAStar:
