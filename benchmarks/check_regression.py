@@ -140,6 +140,50 @@ def check(fresh: dict, baseline, threshold: float) -> int:
     return 1
 
 
+def pragma_audit(root: str = os.path.join(_ROOT, "src")) -> list:
+    """Every ``# srplint: allow…`` pragma under ``root``, for the summary.
+
+    Suppressions are cheap to add and easy to forget; surfacing the
+    complete list (with the mandatory reasons) on every gate run keeps
+    the exemption surface reviewed instead of quietly growing.  Returns
+    ``[(path, line, code, reason), ...]``; empty when srplint is not on
+    the checkout (pre-lint seeds) so old baselines still gate cleanly.
+    """
+    tools_dir = os.path.join(_ROOT, "tools")
+    if tools_dir not in sys.path:
+        sys.path.insert(0, tools_dir)
+    try:
+        from srplint.engine import extract_pragmas, iter_python_files
+    except ImportError:  # pragma: no cover - only on old checkouts
+        return []
+    entries = []
+    for path in iter_python_files([root]):
+        try:
+            source = open(path, encoding="utf-8").read()
+        except OSError:
+            continue
+        rel = os.path.relpath(path, _ROOT)
+        for line, directive, reason in extract_pragmas(source).entries:
+            entries.append((rel, line, directive, reason))
+    return sorted(entries)
+
+
+def report_pragmas(entries) -> None:
+    """Print the audit and mirror it into ``$GITHUB_STEP_SUMMARY``."""
+    print(f"srplint pragma audit: {len(entries)} suppression(s) in src/")
+    for rel, line, directive, reason in entries:
+        print(f"  {rel}:{line}: {directive} — {reason}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    with open(summary_path, "a", encoding="utf-8") as fh:
+        fh.write(f"\n### srplint pragma audit ({len(entries)} suppression(s))\n\n")
+        if entries:
+            fh.write("| location | pragma | reason |\n|---|---|---|\n")
+            for rel, line, directive, reason in entries:
+                fh.write(f"| `{rel}:{line}` | {directive} | {reason} |\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--layouts", default="W-1", help="comma-separated, e.g. W-1,W-2")
@@ -170,6 +214,8 @@ def main(argv=None) -> int:
         args.scale = min(args.scale, 0.25)
         args.queries = min(args.queries, 60)
         args.repeats = 1
+
+    report_pragmas(pragma_audit())
 
     records = load_records()
     exit_code = 0

@@ -11,8 +11,7 @@
 
 import random
 
-import pytest
-
+from benchmarks.conftest import BENCH_SCALE
 from repro import Query, SRPPlanner, datasets
 from repro.analysis import (
     THEOREM1_P_STAR,
@@ -20,7 +19,6 @@ from repro.analysis import (
     format_table,
     measure_competitive_ratios,
 )
-from benchmarks.conftest import BENCH_SCALE
 
 
 def _query_stream(warehouse, n, seed, spacing):

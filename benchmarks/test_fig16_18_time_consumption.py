@@ -10,9 +10,9 @@ but clearly in SRP's favour and grows with warehouse size).
 
 import pytest
 
-from repro import Query, SRPPlanner, SAPPlanner, datasets
-from repro.analysis import format_series, format_table
 from benchmarks.conftest import BENCH_SCALE, DATASETS, PLANNERS
+from repro import Query, SAPPlanner, datasets
+from repro.analysis import format_series, format_table
 
 
 @pytest.mark.parametrize("dataset", DATASETS)

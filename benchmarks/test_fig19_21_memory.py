@@ -10,9 +10,9 @@ segment endpoints instead of one reservation per timestep.
 
 import pytest
 
+from benchmarks.conftest import BENCH_SCALE, DATASETS, PLANNERS
 from repro import Query, SRPPlanner, datasets, deep_sizeof
 from repro.analysis import format_series, format_table
-from benchmarks.conftest import BENCH_SCALE, DATASETS, PLANNERS
 
 
 @pytest.mark.parametrize("dataset", DATASETS)

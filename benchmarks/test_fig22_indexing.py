@@ -10,9 +10,9 @@
 
 import pytest
 
-from repro import Query, SRPPlanner, TaskTraceSpec, datasets, generate_tasks, run_day
-from repro.analysis import format_table
 from benchmarks.conftest import BENCH_SCALE, BENCH_TASKS
+from repro import SRPPlanner, TaskTraceSpec, datasets, generate_tasks, run_day
+from repro.analysis import format_table
 
 
 def _run_day_with(warehouse, tasks, use_slope_index):

@@ -11,14 +11,7 @@ import random
 
 import pytest
 
-from repro import (
-    LayoutSpec,
-    Query,
-    SAPPlanner,
-    SRPPlanner,
-    build_strip_graph,
-    generate_layout,
-)
+from repro import LayoutSpec, Query, SAPPlanner, SRPPlanner, build_strip_graph, generate_layout
 from repro.analysis import format_table
 
 

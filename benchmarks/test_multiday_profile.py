@@ -11,11 +11,11 @@ absolute gap appears — the regime of the paper's 227x snapshot.
 
 import pytest
 
+from benchmarks.conftest import BENCH_SCALE
 from repro import SAPPlanner, SRPPlanner, datasets, generate_tasks
 from repro.analysis import format_table
 from repro.simulation import run_day
 from repro.warehouse import day_trace_spec
-from benchmarks.conftest import BENCH_SCALE
 
 DATASET = "W-3"
 VOLUME_DIVISOR = 1000.0  # Table II thousands -> tasks per simulated day

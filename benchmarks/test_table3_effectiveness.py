@@ -8,9 +8,9 @@ worse, despite being drastically faster.
 
 import pytest
 
+from benchmarks.conftest import BENCH_SCALE, DATASETS, PLANNERS
 from repro import Query, SRPPlanner, datasets
 from repro.analysis import format_table
-from benchmarks.conftest import BENCH_SCALE, DATASETS, PLANNERS
 
 
 @pytest.fixture(scope="module")

@@ -59,7 +59,7 @@ def main() -> None:
             ["load", "arrival rate", "ms/query", "mean CR", "worst CR", "fallbacks"],
             rows,
             title="SRP under increasing congestion "
-            f"(Theorem 1 bound at p=0.577: "
+            "(Theorem 1 bound at p=0.577: "
             f"{expected_competitive_ratio_bound(0.577):.3f})",
         )
     )

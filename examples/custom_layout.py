@@ -11,7 +11,7 @@ Run:  python examples/custom_layout.py
 import tempfile
 from pathlib import Path
 
-from repro import LayoutSpec, SRPPlanner, Query, generate_layout
+from repro import LayoutSpec, Query, SRPPlanner, generate_layout
 from repro.core.strips import Direction, StripKind
 from repro.warehouse import load_warehouse, save_warehouse
 

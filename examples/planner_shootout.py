@@ -15,8 +15,8 @@ from repro import (
     RPPlanner,
     SAPPlanner,
     SRPPlanner,
-    TWPPlanner,
     TaskTraceSpec,
+    TWPPlanner,
     datasets,
     generate_tasks,
     run_day,

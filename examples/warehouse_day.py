@@ -12,14 +12,7 @@ Run:  python examples/warehouse_day.py [scale] [n_tasks]
 
 import sys
 
-from repro import (
-    SAPPlanner,
-    SRPPlanner,
-    TaskTraceSpec,
-    datasets,
-    generate_tasks,
-    run_day,
-)
+from repro import SAPPlanner, SRPPlanner, TaskTraceSpec, datasets, generate_tasks, run_day
 
 
 def main() -> None:

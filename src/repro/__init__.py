@@ -21,34 +21,28 @@ Quickstart::
     print(route.grids)
 """
 
+from repro.analysis import assert_collision_free, deep_sizeof, find_conflicts
+from repro.baselines import ACPPlanner, RPPlanner, SAPPlanner, TWPPlanner, make_baseline
+from repro.core import SRPPlanner, StripGraph, build_strip_graph
 from repro.exceptions import (
-    ReproError,
-    LayoutError,
-    InvalidQueryError,
-    PlanningFailedError,
-    SimulationError,
     CollisionError,
+    InvalidQueryError,
+    LayoutError,
+    PlanningFailedError,
+    ReproError,
+    SimulationError,
 )
-from repro.types import Grid, Query, QueryKind, Route, Task, manhattan
 from repro.planner_base import Planner
+from repro.simulation import Simulation, SimulationResult, run_day
+from repro.types import Grid, Query, QueryKind, Route, Task, manhattan
 from repro.warehouse import (
-    Warehouse,
     LayoutSpec,
-    generate_layout,
     TaskTraceSpec,
+    Warehouse,
+    datasets,
+    generate_layout,
     generate_tasks,
 )
-from repro.warehouse import datasets
-from repro.core import SRPPlanner, build_strip_graph, StripGraph
-from repro.baselines import (
-    SAPPlanner,
-    TWPPlanner,
-    RPPlanner,
-    ACPPlanner,
-    make_baseline,
-)
-from repro.simulation import Simulation, SimulationResult, run_day
-from repro.analysis import find_conflicts, assert_collision_free, deep_sizeof
 
 __version__ = "1.0.0"
 

@@ -8,30 +8,30 @@
   the rows the paper reports.
 """
 
-from repro.analysis.validate import (
-    Conflict,
-    audit_planner_state,
-    find_conflicts,
-    find_conflicts_pairwise,
-    find_illegal_cells,
-    assert_collision_free,
-    assert_planner_state_consistent,
-    assert_routes_legal,
+from repro.analysis.occupancy import (
+    busiest_cells,
+    occupancy_probability,
+    render_heatmap,
+    visit_heatmap,
 )
+from repro.analysis.render import animate, render_route, render_snapshot
+from repro.analysis.reporting import format_series, format_table
 from repro.analysis.sizeof import deep_sizeof
-from repro.analysis.reporting import format_table, format_series
 from repro.analysis.theory import (
     THEOREM1_P_STAR,
     CompetitiveRatioReport,
     expected_competitive_ratio_bound,
     measure_competitive_ratios,
 )
-from repro.analysis.render import animate, render_route, render_snapshot
-from repro.analysis.occupancy import (
-    busiest_cells,
-    occupancy_probability,
-    render_heatmap,
-    visit_heatmap,
+from repro.analysis.validate import (
+    Conflict,
+    assert_collision_free,
+    assert_planner_state_consistent,
+    assert_routes_legal,
+    audit_planner_state,
+    find_conflicts,
+    find_conflicts_pairwise,
+    find_illegal_cells,
 )
 
 __all__ = [

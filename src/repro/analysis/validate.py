@@ -173,12 +173,12 @@ def audit_planner_state(planner, routes: Sequence[Route], since: int = 0) -> Lis
     for t, grid in sorted(stored - expected - blocked)[:_AUDIT_REPORT_CAP]:
         violations.append(
             f"phantom reservation: stores claim {grid} at t={t} "
-            f"but no surviving route or blockage occupies it"
+            "but no surviving route or blockage occupies it"
         )
     for t, grid in sorted(expected - stored)[:_AUDIT_REPORT_CAP]:
         violations.append(
             f"missing coverage: a route occupies {grid} at t={t} "
-            f"but no stored segment covers it"
+            "but no stored segment covers it"
         )
 
     expected_keys: set = set()
@@ -189,7 +189,7 @@ def audit_planner_state(planner, routes: Sequence[Route], since: int = 0) -> Lis
     for key in sorted(stored_keys - expected_keys)[:_AUDIT_REPORT_CAP]:
         violations.append(
             f"phantom crossing: ledger holds {key[0]}->{key[1]} at t={key[2]} "
-            f"but no surviving route performs it"
+            "but no surviving route performs it"
         )
     for key in sorted(expected_keys - stored_keys)[:_AUDIT_REPORT_CAP]:
         violations.append(

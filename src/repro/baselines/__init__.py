@@ -17,12 +17,12 @@ for small conflict groups, and :mod:`repro.baselines.reservation` the
 shared grid-level reservation table.
 """
 
-from repro.baselines.reservation import ReservationTable
-from repro.baselines.sap import SAPPlanner
-from repro.baselines.twp import TWPPlanner
-from repro.baselines.rp import RPPlanner
 from repro.baselines.acp import ACPPlanner
 from repro.baselines.cbs import cbs_solve
+from repro.baselines.reservation import ReservationTable
+from repro.baselines.rp import RPPlanner
+from repro.baselines.sap import SAPPlanner
+from repro.baselines.twp import TWPPlanner
 
 __all__ = [
     "ReservationTable",

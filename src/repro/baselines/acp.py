@@ -81,7 +81,12 @@ class ACPPlanner(Planner):
             self.table.register(route)
             return route
         self.timers.failures += 1
-        raise PlanningFailedError(f"ACP could not plan {query}")
+        raise PlanningFailedError(
+            f"ACP could not plan {query}",
+            query_id=query.query_id,
+            release_time=query.release_time,
+            phase="full-search",
+        )
 
     def _cached_with_waits(self, query: Query) -> Optional[Route]:
         """Delay the cached shortest path until it is conflict-free."""

@@ -85,7 +85,12 @@ class RPPlanner(Planner):
         free_route = self._shortest_ignoring_collisions(query)
         if free_route is None:
             self.timers.failures += 1
-            raise PlanningFailedError(f"RP: destination unreachable for {query}")
+            raise PlanningFailedError(
+                f"RP: destination unreachable for {query}",
+                query_id=query.query_id,
+                release_time=query.release_time,
+                phase="free-route",
+            )
         conflicting = self.table.routes_conflicting(free_route)
         if not conflicting:
             token = self.table.register(free_route)
@@ -101,7 +106,12 @@ class RPPlanner(Planner):
         route = self._cooperative_astar(query)
         if route is None:
             self.timers.failures += 1
-            raise PlanningFailedError(f"RP could not resolve conflicts for {query}")
+            raise PlanningFailedError(
+                f"RP could not resolve conflicts for {query}",
+                query_id=query.query_id,
+                release_time=query.release_time,
+                phase="cooperative-astar",
+            )
         token = self.table.register(route)
         self._query_of[token] = query
         return route

@@ -82,7 +82,12 @@ class SAPPlanner(Planner):
                 self.table.register(route)
                 return route
         self.timers.failures += 1
-        raise PlanningFailedError(f"SAP could not plan {query}")
+        raise PlanningFailedError(
+            f"SAP could not plan {query}",
+            query_id=query.query_id,
+            release_time=query.release_time,
+            phase="space-time-astar",
+        )
 
     def reset(self) -> None:
         self.table.clear()

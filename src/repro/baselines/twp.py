@@ -83,7 +83,12 @@ class TWPPlanner(Planner):
                 self.table.register(route)
                 return route
         self.timers.failures += 1
-        raise PlanningFailedError(f"TWP could not plan {query}")
+        raise PlanningFailedError(
+            f"TWP could not plan {query}",
+            query_id=query.query_id,
+            release_time=query.release_time,
+            phase="windowed-astar",
+        )
 
     def _resolve_tail(self, route: Route, dist_map):
         """Repair conflicts the window relaxation left beyond the window.

@@ -27,11 +27,7 @@ from repro import (
     run_day,
 )
 from repro.analysis import format_table
-from repro.exceptions import (
-    InvalidQueryError,
-    PlanningFailedError,
-    SimulationError,
-)
+from repro.exceptions import InvalidQueryError, PlanningFailedError, SimulationError
 from repro.simulation import FaultPlan
 from repro.warehouse import load_warehouse
 

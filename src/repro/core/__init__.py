@@ -25,20 +25,20 @@ Modules map one-to-one onto the paper's sections:
   public entry point.
 """
 
+from repro.core.intra_strip import IntraPlan, plan_within_strip
+from repro.core.naive_store import NaiveSegmentStore
+from repro.core.plan_cache import PlanCache
+from repro.core.planner import SRPPlanner
+from repro.core.segments import Segment
+from repro.core.slope_index import SlopeIndexedStore
 from repro.core.strips import (
     Direction,
-    StripKind,
     Strip,
     StripGraph,
+    StripKind,
     TransitRange,
     build_strip_graph,
 )
-from repro.core.segments import Segment
-from repro.core.naive_store import NaiveSegmentStore
-from repro.core.plan_cache import PlanCache
-from repro.core.slope_index import SlopeIndexedStore
-from repro.core.intra_strip import IntraPlan, plan_within_strip
-from repro.core.planner import SRPPlanner
 
 __all__ = [
     "Direction",

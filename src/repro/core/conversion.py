@@ -55,7 +55,9 @@ def plan_to_route(graph: StripGraph, plan: RoutePlan) -> Route:
             if seg.t0 != t or strip.grid_at(seg.p0) != grids[-1]:
                 raise PlanningFailedError(
                     f"discontinuous plan: segment {seg} does not start at "
-                    f"time {t} grid {grids[-1]}"
+                    f"time {t} grid {grids[-1]}",
+                    release_time=plan.start_time,
+                    phase="conversion",
                 )
             step = seg.slope
             pos = seg.p0
@@ -66,7 +68,9 @@ def plan_to_route(graph: StripGraph, plan: RoutePlan) -> Route:
     if t != plan.arrival_time or grids[-1] != plan.destination:
         raise PlanningFailedError(
             f"plan materialised to time {t}, grid {grids[-1]}; expected "
-            f"time {plan.arrival_time}, grid {plan.destination}"
+            f"time {plan.arrival_time}, grid {plan.destination}",
+            release_time=plan.start_time,
+            phase="conversion",
         )
     return Route(plan.start_time, grids)
 

@@ -105,15 +105,17 @@ class CrossingLedger:
         """Drop crossings that happened strictly before ``before``."""
         kept = {k for k in self._keys if k % _TIME_SPAN >= before}
         dropped = len(self._keys) - len(kept)
+        if not dropped:
+            return 0  # no-op: the ledger (and its version) stays untouched
         self._keys = kept
-        if dropped:
-            self.version = next_version()
+        self.version = next_version()
         return dropped
 
     def clear(self) -> None:
-        if self._keys:
-            self.version = next_version()
+        if not self._keys:
+            return
         self._keys.clear()
+        self.version = next_version()
 
     def __len__(self) -> int:
         return len(self._keys)

@@ -14,7 +14,6 @@ from __future__ import annotations
 from typing import AbstractSet, Optional, Sequence, Union
 
 from repro.core.inter_strip import CrossingKey
-from repro.core.segments import Segment
 from repro.core.store_base import SegmentStore
 from repro.core.strips import StripGraph
 from repro.pathfinding.distance import DistanceMaps, StripDistanceMaps
@@ -41,7 +40,7 @@ class SegmentStoreChecker:
         graph: StripGraph,
         stores: Sequence[SegmentStore],
         crossings: AbstractSet[CrossingKey],
-    ):
+    ) -> None:
         self._graph = graph
         self._stores = stores
         self._crossings = crossings

@@ -31,7 +31,7 @@ from __future__ import annotations
 import heapq
 import time as _time
 from dataclasses import dataclass
-from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.intra_strip import IntraPlan, plan_within_strip
 from repro.core.intra_strip_exact import plan_within_strip_exact
@@ -79,7 +79,7 @@ class SearchConfig:
     max_expansions: int = 600
     max_wait: int = 64
     use_heuristic: bool = True
-    detour_factor: float = 2.0
+    detour_factor: float = 2.0  # srplint: allow-float search-budget knob, int()-clamped before use
     max_detour: int = 64
     #: use the exact time-expanded intra-strip search instead of the
     #: paper's greedy one (quality ablation; see intra_strip_exact)
@@ -93,7 +93,7 @@ class SearchConfig:
 class SearchStats:
     """Counters filled during one plan_route call."""
 
-    intra_time: float = 0.0
+    intra_time: float = 0.0  # srplint: allow-float perf_counter seconds, reporting only
     intra_calls: int = 0
     intra_expansions: int = 0
     strips_popped: int = 0
@@ -322,6 +322,7 @@ class _Search:
                             lo, hi = (origin, dest) if origin <= dest else (dest, origin)
                             if store.band_signature(lo, hi, t, horizon) == signature:
                                 # Re-stamp so the next probe is O(1) again.
+                                assert self.cache is not None
                                 self.cache.put(
                                     skey, (version, horizon, signature, encoded)
                                 )
@@ -385,7 +386,7 @@ class _Search:
 
     def _memoise(
         self,
-        key: Tuple,
+        key: Tuple[int, ...],
         store: SegmentStore,
         strip: int,
         t: int,
@@ -410,22 +411,25 @@ class _Search:
         certificates (or even exact entries) there costs more than the
         sub-1% hits they would ever serve.
         """
+        cache = self.cache
+        entries = self._cache_entries
+        assert cache is not None and entries is not None  # keyed calls only
         if plan is None or self._exact:
-            self.cache.put(key, None if plan is None else encode_plan(plan))
+            cache.put(key, None if plan is None else encode_plan(plan))
             return
         lo, hi = (origin, dest) if origin <= dest else (dest, origin)
         if plan.expansions <= 1 and self._windows_ok:
             window = store.free_window(lo, hi, t, plan.arrival_time)
             if window is not None:
                 wkey = (WINDOW_TAG, strip, origin, dest, store.version)
-                old = self._cache_entries.get(wkey)
+                old = entries.get(wkey)
                 flat = window if old is None else old + window
                 if len(flat) > 8:  # keep the 4 most recent windows
                     flat = flat[-8:]
-                self.cache.put(wkey, flat)
+                cache.put(wkey, flat)
                 return
         horizon = plan.arrival_time + self.config.max_wait
-        self.cache.put(
+        cache.put(
             (SHIFT_TAG, strip, origin, dest, t),
             (store.version, horizon, store.band_signature(lo, hi, t, horizon), encode_plan(plan)),
         )
@@ -492,7 +496,7 @@ class _Search:
                     to_pos,
                     from_store.version,
                     to_store.version,
-                    self.crossings.version,
+                    getattr(self.crossings, "version"),
                 )
                 cached = entries.get(memo_key, MISSING)
                 if cached is not MISSING:
@@ -520,6 +524,7 @@ class _Search:
                 wait_blocked = from_store.earliest_block(wait_probe)
             if wait_blocked is not None and wait_blocked <= t:
                 if memo_key is not None:
+                    assert self.cache is not None
                     self.cache.put(memo_key, None)
                 return None  # cannot even stand at the transit cell
             latest_leave = (
@@ -544,9 +549,11 @@ class _Search:
                     # Only delayed crossings are worth memoising: they
                     # paid a probe loop above, while an immediate step
                     # costs one probe — cheaper than the memo write.
+                    assert self.cache is not None
                     self.cache.put(memo_key, arrival)
                 return wait, entry, arrival
             if memo_key is not None:
+                assert self.cache is not None
                 self.cache.put(memo_key, None)
             return None
         finally:
@@ -567,7 +574,8 @@ class _Search:
         # keys are admissible lower bounds (free-flow transit + hop), so
         # expensive intra-strip planning only runs for edges that are
         # actually competitive — lazy edge evaluation.
-        heap: List = []
+        # kind-0 payload is the strip index, kind-1 the edge stub tuple
+        heap: List[Tuple[int, int, int, int, Union[int, Tuple[int, int, int, int, int]]]] = []
         seq = 0
 
         di, dj = dst
@@ -636,7 +644,9 @@ class _Search:
         target_strips = frozenset(rack_targets) if dst_is_rack else frozenset((dst_strip_idx,))
         best: Optional[RoutePlan] = None
 
-        def completion_tail(v: int, arrival: int, pos: int):
+        _Tail = Tuple[List[Segment], Optional[Leg], int]
+
+        def completion_tail(v: int, arrival: int, pos: int) -> Optional[_Tail]:
             """Final movement within target strip ``v`` from (arrival, pos).
 
             Returns ``(segments_in_v, rack_leg_or_None, completion_time)``
@@ -649,7 +659,7 @@ class _Search:
                 if plan is None:
                     return None
                 return list(plan.segments), None, plan.arrival_time
-            tail = None
+            tail: Optional[_Tail] = None
             for transit_pos in rack_targets.get(v, ()):
                 plan = self._intra(v, arrival, pos, transit_pos)
                 if plan is None:
@@ -668,7 +678,7 @@ class _Search:
                 tail = segments, Leg(dst_strip_idx, entry, []), completion
             return tail
 
-        def record_completion(base_legs: List[Leg], tail) -> None:
+        def record_completion(base_legs: List[Leg], tail: _Tail) -> None:
             nonlocal best
             segments, rack_leg, completion = tail
             if best is not None and completion >= best.arrival_time:

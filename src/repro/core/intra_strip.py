@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.segments import Segment, make_move, make_wait
-from repro.core.store_base import SegmentStore
+from repro.core.store_base import ConflictHit, SegmentStore
 from repro.geometry.collision import conflict_between_segments
 
 
@@ -129,7 +129,7 @@ def plan_within_strip(
 
     expansions = 0
 
-    def conflict_of(segment: Segment):
+    def conflict_of(segment: Segment) -> Optional[ConflictHit]:
         nonlocal expansions
         expansions += 1
         return store.earliest_conflict(segment)

@@ -19,15 +19,10 @@ every intra-strip search.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.segments import Segment
-from repro.core.store_base import (
-    FOREVER,
-    ConflictHit,
-    SegmentStore,
-    _band_time_interval,
-)
+from repro.core.store_base import FOREVER, ConflictHit, SegmentStore, _band_time_interval
 from repro.geometry.collision import conflict_between_segments
 
 
@@ -102,7 +97,9 @@ class NaiveSegmentStore(SegmentStore):
     def iter_segments(self) -> Iterator[Segment]:
         return iter(self._segments)
 
-    def free_window(self, lo: int, hi: int, t0: int, t1: int):
+    def free_window(
+        self, lo: int, hi: int, t0: int, t1: int
+    ) -> Optional[Tuple[int, int]]:
         # Same semantics as the base implementation, but iterating the
         # flat list directly: this runs once per free-flow certification
         # on the planner's hot path.
@@ -138,12 +135,14 @@ class NaiveSegmentStore(SegmentStore):
         return dropped
 
     def clear(self) -> None:
-        if self._segments:
-            self._segments.clear()
-            self._starts.clear()
-            self._max_duration = 0
-            self.last_end = -1
-            self._bump_version()
+        if not self._segments:
+            self.last_end = -1  # scalar reset only; nothing to invalidate
+            return
+        self._segments.clear()
+        self._starts.clear()
+        self._max_duration = 0
+        self.last_end = -1
+        self._bump_version()
 
     def __len__(self) -> int:
         return len(self._segments)

@@ -85,8 +85,8 @@ class Segment:
         index buckets by :attr:`intercept`, which equals ``sqrt(2)``
         times the rotated first coordinate (up to sign convention).
         """
-        theta = -math.pi / 4 if self.slope >= 0 else math.pi / 4
-        cos_t, sin_t = math.cos(theta), math.sin(theta)
+        theta = -math.pi / 4 if self.slope >= 0 else math.pi / 4  # srplint: allow-float paper-fidelity Eq. 4 helper, test-only
+        cos_t, sin_t = math.cos(theta), math.sin(theta)  # srplint: allow-float paper-fidelity Eq. 4 helper, test-only
         x, y = self.t0, self.p0
         return (cos_t * x - sin_t * y, sin_t * x + cos_t * y)
 

@@ -218,7 +218,9 @@ class SlopeIndexedStore(SegmentStore):
     # ------------------------------------------------------------------
     # Free-flow window certificates
     # ------------------------------------------------------------------
-    def free_window(self, lo: int, hi: int, t0: int, t1: int):
+    def free_window(
+        self, lo: int, hi: int, t0: int, t1: int
+    ) -> Optional[Tuple[int, int]]:
         # Per-slope loops with the band test inlined per slope class:
         # waits are in the band iff their cell is, unit-slope segments
         # iff their position range overlaps it.  Runs once per free-flow
@@ -265,6 +267,8 @@ class SlopeIndexedStore(SegmentStore):
             yield from self._by_start[k]
 
     def prune(self, before: int) -> int:
+        if all(s.t1 >= before for k in _SLOPES for s in self._by_start[k]):
+            return 0  # no-op: the index (and its version) stays untouched
         dropped = 0
         max_durations = {k: 0 for k in _SLOPES}
         for k in _SLOPES:
@@ -287,17 +291,17 @@ class SlopeIndexedStore(SegmentStore):
                     del buckets[key]
                     del bucket_keys[key]
         self._size -= dropped
-        if dropped:
-            # Recompute from the survivors so the candidate windows stay
-            # tight after long multiday runs instead of remembering the
-            # longest segment ever stored.
-            self._max_durations = max_durations
-            self._bump_version()
+        # Recompute from the survivors so the candidate windows stay
+        # tight after long multiday runs instead of remembering the
+        # longest segment ever stored.
+        self._max_durations = max_durations
+        self._bump_version()
         return dropped
 
     def clear(self) -> None:
-        if self._size:
-            self._bump_version()
+        if not self._size:
+            self.last_end = -1  # scalar reset only; nothing to invalidate
+            return
         for k in _SLOPES:
             self._by_start[k].clear()
             self._start_keys[k].clear()
@@ -306,3 +310,4 @@ class SlopeIndexedStore(SegmentStore):
         self._size = 0
         self._max_durations = {k: 0 for k in _SLOPES}
         self.last_end = -1
+        self._bump_version()

@@ -22,12 +22,16 @@ from __future__ import annotations
 
 import itertools
 from abc import ABC, abstractmethod
-from typing import Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.core.segments import Segment
 
 #: (blocked_time, blocking_segment)
 ConflictHit = Tuple[int, Segment]
+
+#: Opaque, equality-compared content fingerprint of a store region;
+#: element shape is store-specific (see :meth:`SegmentStore.band_signature`).
+BandSignature = Tuple[object, ...]
 
 #: Upper bound standing in for "no segment ever blocks this band again";
 #: free-flow windows reported by :meth:`SegmentStore.free_window` use it
@@ -197,7 +201,7 @@ class SegmentStore(ABC):
                 w_hi = a - 1
         return w_lo, w_hi
 
-    def band_signature(self, lo: int, hi: int, t0: int, t1: int) -> Tuple:
+    def band_signature(self, lo: int, hi: int, t0: int, t1: int) -> BandSignature:
         """Canonical fingerprint of the segments able to affect probes in a region.
 
         The region is the position band ``[lo, hi]`` crossed with the
@@ -264,10 +268,10 @@ class _EmptyStore(SegmentStore):
     def remove(self, segment: Segment) -> None:
         raise KeyError(f"segment {segment!r} not stored (strip has no traffic)")
 
-    def earliest_conflict(self, segment: Segment):
+    def earliest_conflict(self, segment: Segment) -> Optional[ConflictHit]:
         return None
 
-    def iter_segments(self):
+    def iter_segments(self) -> Iterator[Segment]:
         return iter(())
 
     def prune(self, before: int) -> int:
@@ -285,10 +289,10 @@ class _EmptyStore(SegmentStore):
     def move_blocked(self, t: int, p_from: int, p_to: int) -> bool:
         return False
 
-    def free_window(self, lo: int, hi: int, t0: int, t1: int):
+    def free_window(self, lo: int, hi: int, t0: int, t1: int) -> Optional[Tuple[int, int]]:
         return 0, FOREVER
 
-    def band_signature(self, lo: int, hi: int, t0: int, t1: int) -> Tuple:
+    def band_signature(self, lo: int, hi: int, t0: int, t1: int) -> BandSignature:
         return ()
 
 
@@ -305,10 +309,12 @@ class StripStoreMap:
     live traffic instead of warehouse size.
     """
 
-    def __init__(self, n_strips: int, factory) -> None:
+    def __init__(
+        self, n_strips: int, factory: Callable[[], SegmentStore]
+    ) -> None:
         self._n = n_strips
         self._factory = factory
-        self._stores = {}
+        self._stores: Dict[int, SegmentStore] = {}
 
     def __getitem__(self, idx: int) -> SegmentStore:
         return self._stores.get(idx, EMPTY_STORE)
@@ -326,9 +332,9 @@ class StripStoreMap:
             store = self._stores[idx] = self._factory()
         return store
 
-    def active_items(self):
+    def active_items(self) -> Iterator[Tuple[int, SegmentStore]]:
         """(strip_index, store) pairs that hold at least one segment."""
-        return self._stores.items()
+        return iter(self._stores.items())
 
     def remove(self, idx: int, segment: Segment) -> None:
         """Decommit one segment from a strip's store.
@@ -367,7 +373,7 @@ class StripStoreMap:
     def total_segments(self) -> int:
         return sum(len(s) for s in self._stores.values())
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SegmentStore]:
         """Iterate over the materialised (traffic-bearing) stores."""
         return iter(self._stores.values())
 

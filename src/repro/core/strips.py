@@ -108,7 +108,9 @@ class TransitRange:
 class StripGraph:
     """The strip graph ``S = <V, E>`` (Definition 5) plus grid mapping."""
 
-    def __init__(self, warehouse: Warehouse, strips: List[Strip], strip_of: np.ndarray):
+    def __init__(
+        self, warehouse: Warehouse, strips: List[Strip], strip_of: np.ndarray
+    ) -> None:
         self.warehouse = warehouse
         self.strips = strips
         self._strip_of = strip_of
@@ -190,8 +192,8 @@ class StripGraph:
             "grid_edges": ge,
             "strip_vertices": self.n_vertices,
             "strip_edges": self.n_edges,
-            "vertex_ratio": self.n_vertices / gv,
-            "edge_ratio": self.n_edges / ge,
+            "vertex_ratio": self.n_vertices / gv,  # srplint: allow-float reduction-ratio reporting (Fig. 8)
+            "edge_ratio": self.n_edges / ge,  # srplint: allow-float reduction-ratio reporting (Fig. 8)
         }
 
     # ------------------------------------------------------------------
@@ -223,7 +225,12 @@ class StripGraph:
 
         pair_positions: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
 
-        def scan(u_ids, v_ids, u_pos, v_pos) -> None:
+        def scan(
+            u_ids: np.ndarray,
+            v_ids: np.ndarray,
+            u_pos: np.ndarray,
+            v_pos: np.ndarray,
+        ) -> None:
             boundary = u_ids != v_ids
             boundary &= aisle[u_ids] | aisle[v_ids]
             for u, v, pu, pv in zip(

@@ -21,10 +21,10 @@ deduplicated per query by identity.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.core.segments import Segment
-from repro.core.store_base import ConflictHit, SegmentStore
+from repro.core.store_base import BandSignature, ConflictHit, SegmentStore
 from repro.geometry.collision import conflict_between_segments
 
 
@@ -110,7 +110,7 @@ class TimeBucketStore(SegmentStore):
     # id-dedup) — a full pass either way, since the nearest blocked
     # times before/after the query span can live in any bucket.
 
-    def band_signature(self, lo: int, hi: int, t0: int, t1: int) -> Tuple:
+    def band_signature(self, lo: int, hi: int, t0: int, t1: int) -> BandSignature:
         """Canonical fingerprint per the :class:`SegmentStore` contract.
 
         Unlike the list-backed stores, iteration order here follows
@@ -148,6 +148,12 @@ class TimeBucketStore(SegmentStore):
                     yield segment
 
     def prune(self, before: int) -> int:
+        if all(
+            segment.t1 >= before
+            for bucket in self._buckets.values()
+            for segment in bucket
+        ):
+            return 0  # no-op: the buckets (and the version) stay untouched
         dropped_ids: Set[int] = set()
         for b in list(self._buckets):
             bucket = self._buckets[b]
@@ -162,16 +168,17 @@ class TimeBucketStore(SegmentStore):
             else:
                 del self._buckets[b]
         self._size -= len(dropped_ids)
-        if dropped_ids:
-            self._bump_version()
+        self._bump_version()
         return len(dropped_ids)
 
     def clear(self) -> None:
-        if self._size:
-            self._bump_version()
+        if not self._size:
+            self.last_end = -1  # scalar reset only; nothing to invalidate
+            return
         self._buckets.clear()
         self._size = 0
         self.last_end = -1
+        self._bump_version()
 
     def __len__(self) -> int:
         return self._size

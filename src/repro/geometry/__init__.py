@@ -11,20 +11,20 @@ subpackage provides:
   produce, including the Eq. (3) collision-time formula.
 """
 
-from repro.geometry.primitives import (
-    cross,
-    orientation,
-    on_segment,
-    segments_properly_intersect,
-    segments_intersect,
-)
 from repro.geometry.collision import (
     ConflictKind,
     SegmentConflict,
+    collision_time,
     conflict_between,
     conflict_between_segments,
     earliest_block_time,
-    collision_time,
+)
+from repro.geometry.primitives import (
+    cross,
+    on_segment,
+    orientation,
+    segments_intersect,
+    segments_properly_intersect,
 )
 
 __all__ = [

@@ -9,11 +9,7 @@
   efficiency bottleneck of grid-based planners.
 """
 
-from repro.pathfinding.distance import (
-    DistanceMaps,
-    StripDistanceMaps,
-    bfs_distance_map,
-)
+from repro.pathfinding.distance import DistanceMaps, StripDistanceMaps, bfs_distance_map
 from repro.pathfinding.space_time_astar import (
     ConflictChecker,
     NullConflictChecker,

@@ -225,7 +225,7 @@ class StripDistanceMaps:
     def __init__(
         self,
         warehouse: Warehouse,
-        graph,
+        graph: "StripGraph",
         max_strips: int = 128,
         max_targets: int = 512,
     ) -> None:

@@ -88,8 +88,8 @@ def space_time_astar(
     # equal f breaks ties toward routes that wait less at the end.
     counter = 0
     open_heap = [(start_time + base, -start_time, counter, start_time, origin)]
-    parents: dict = {(origin, start_time): None}
-    closed: set = set()
+    parents: Dict[State, Optional[State]] = {(origin, start_time): None}
+    closed: Set[State] = set()
     expansions = 0
     racks = warehouse.racks
     h, w = warehouse.shape
@@ -134,8 +134,8 @@ def space_time_astar(
     return None
 
 
-def _reconstruct(parents: dict, goal_state) -> Route:
-    cells = []
+def _reconstruct(parents: Dict[State, Optional[State]], goal_state: State) -> Route:
+    cells: List[Grid] = []
     state = goal_state
     while state is not None:
         cells.append(state[0])

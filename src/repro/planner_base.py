@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Tuple
+
 from repro.types import Query, Route
 
 
@@ -58,7 +60,9 @@ class Planner(ABC):
         a long simulated day.
         """
 
-    def plan_batch(self, queries, order: str = "fifo") -> dict:
+    def plan_batch(
+        self, queries: Iterable[Query], order: str = "fifo"
+    ) -> Dict[int, Route]:
         """Plan a batch of simultaneous queries with a priority ordering.
 
         Online CARP occasionally releases many queries at one timestamp
@@ -71,7 +75,7 @@ class Planner(ABC):
         Returns ``{query_id: route}`` including any revisions of earlier
         routes triggered along the way.
         """
-        keys = {
+        keys: Dict[str, Callable[[Query], Tuple[int, ...]]] = {
             "fifo": lambda q: (q.release_time, q.query_id),
             "shortest_first": lambda q: (q.release_time, q.lower_bound(), q.query_id),
             "longest_first": lambda q: (q.release_time, -q.lower_bound(), q.query_id),
@@ -80,13 +84,13 @@ class Planner(ABC):
             key = keys[order]
         except KeyError:
             raise ValueError(f"unknown batch order {order!r}; expected one of {sorted(keys)}")
-        routes: dict = {}
+        routes: Dict[int, Route] = {}
         for query in sorted(queries, key=key):
             routes[query.query_id] = self.plan(query)
             routes.update(self.take_revisions())
         return routes
 
-    def take_revisions(self) -> dict:
+    def take_revisions(self) -> Dict[int, Route]:
         """Routes revised since the last call, keyed by ``query_id``.
 
         Planners based on re-planning (RP) may replace routes they

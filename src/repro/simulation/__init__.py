@@ -17,15 +17,11 @@ comparison."*
   decommit/replan recovery path (see ``docs/robustness.md``).
 """
 
+from repro.simulation.dispatch import Dispatcher, HungarianDispatcher, NearestIdleDispatcher
+from repro.simulation.engine import Simulation, SimulationResult, run_day
 from repro.simulation.faults import BlockageFault, Fault, FaultPlan, StallFault
 from repro.simulation.metrics import ProgressSnapshot, SimulationMetrics
 from repro.simulation.robots import Robot, RobotFleet
-from repro.simulation.dispatch import (
-    Dispatcher,
-    HungarianDispatcher,
-    NearestIdleDispatcher,
-)
-from repro.simulation.engine import Simulation, SimulationResult, run_day
 
 __all__ = [
     "BlockageFault",

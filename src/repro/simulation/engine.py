@@ -116,9 +116,11 @@ class Simulation:
         faults: Optional[FaultPlan] = None,
     ) -> None:
         if not tasks:
-            raise SimulationError("cannot simulate an empty task list")
+            raise SimulationError("cannot simulate an empty task list", phase="setup")
         if not warehouse.robot_homes:
-            raise SimulationError("warehouse defines no robot home cells")
+            raise SimulationError(
+                "warehouse defines no robot home cells", phase="setup"
+            )
         self.warehouse = warehouse
         self.planner = planner
         self.tasks = sorted(tasks, key=lambda t: (t.release_time, t.task_id))
@@ -146,7 +148,7 @@ class Simulation:
         if self.faults and not hasattr(self.planner, "replan_from"):
             raise SimulationError(
                 f"planner {self.planner.name} cannot recover from execution "
-                f"faults (no replan_from); run it with an empty fault plan",
+                "faults (no replan_from); run it with an empty fault plan",
                 phase="fault-injection",
             )
         self._routes: Dict[int, Route] = {}  # query_id -> latest route
@@ -375,7 +377,7 @@ class Simulation:
                     active, cell, now, hold_until=now + 1, events=events
                 )
         raise SimulationError(
-            f"recovery cascade did not converge within "
+            "recovery cascade did not converge within "
             f"{_MAX_RECOVERY_ROUNDS} rounds",
             release_time=now,
             phase="recovery-cascade",

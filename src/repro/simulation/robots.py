@@ -42,7 +42,7 @@ class RobotFleet:
 
     def __init__(self, home_cells: List[Grid]) -> None:
         if not home_cells:
-            raise SimulationError("a fleet needs at least one robot")
+            raise SimulationError("a fleet needs at least one robot", phase="setup")
         self.robots = [Robot(i, cell) for i, cell in enumerate(home_cells)]
 
     def __len__(self) -> int:

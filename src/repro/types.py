@@ -69,7 +69,7 @@ class Route:
     """
 
     start_time: int
-    grids: list  # list[Grid]
+    grids: List[Grid]
     query_id: int = -1
 
     def __post_init__(self) -> None:

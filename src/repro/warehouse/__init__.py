@@ -15,29 +15,18 @@ This subpackage rebuilds that substrate:
 * :mod:`repro.warehouse.io` — JSON (de)serialisation of all the above.
 """
 
-from repro.warehouse.matrix import Warehouse
-from repro.warehouse.layout import LayoutSpec, generate_layout
-from repro.warehouse.datasets import (
-    w1,
-    w2,
-    w3,
-    dataset_by_name,
-    DATASET_SUMMARY,
-)
-from repro.warehouse.tasks import (
-    TaskTraceSpec,
-    day_trace_spec,
-    generate_tasks,
-    queries_for_task,
-)
+from repro.warehouse.datasets import DATASET_SUMMARY, dataset_by_name, w1, w2, w3
 from repro.warehouse.io import (
-    warehouse_to_dict,
-    warehouse_from_dict,
-    save_warehouse,
+    load_tasks,
     load_warehouse,
     save_tasks,
-    load_tasks,
+    save_warehouse,
+    warehouse_from_dict,
+    warehouse_to_dict,
 )
+from repro.warehouse.layout import LayoutSpec, generate_layout
+from repro.warehouse.matrix import Warehouse
+from repro.warehouse.tasks import TaskTraceSpec, day_trace_spec, generate_tasks, queries_for_task
 
 __all__ = [
     "Warehouse",

@@ -19,7 +19,7 @@ of Table II (real warehouses keep staging/buffer zones rack-free).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 import numpy as np
@@ -173,7 +173,6 @@ def _place_pickers(spec: LayoutSpec) -> List[Grid]:
     for idx in range(spec.n_pickers):
         row = bottom if idx < per_row else top
         rank = idx if idx < per_row else idx - per_row
-        col = usable[(2 * rank) % len(usable)]
         # Probe forward past already-taken columns (wrap within the row).
         for probe in range(len(usable)):
             cell = (row, usable[(2 * rank + probe) % len(usable)])

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
-    Conflict,
     assert_collision_free,
     deep_sizeof,
     find_conflicts,

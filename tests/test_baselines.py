@@ -5,7 +5,7 @@ import pytest
 from repro import Query
 from repro.analysis import find_conflicts
 from repro.baselines import ACPPlanner, RPPlanner, SAPPlanner, TWPPlanner, make_baseline
-from repro.exceptions import InvalidQueryError, PlanningFailedError
+from repro.exceptions import InvalidQueryError
 from repro.types import manhattan
 from tests.conftest import random_cells
 
@@ -112,7 +112,7 @@ class TestRPSpecifics:
 
     def test_started_routes_immovable(self, mid_warehouse):
         planner = RPPlanner(mid_warehouse)
-        first = planner.plan(Query((0, 0), (39, 29), 0, query_id=1))
+        planner.plan(Query((0, 0), (39, 29), 0, query_id=1))
         # Force a conflicting query after the first robot departed.
         planner.plan(Query((39, 29), (0, 0), 5, query_id=2))
         revisions = planner.take_revisions()

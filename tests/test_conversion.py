@@ -1,15 +1,12 @@
 """Tests for segment-plan <-> grid-route conversion."""
 
-import random
 
-import pytest
-
-from repro import Query, SRPPlanner, Warehouse, build_strip_graph
+from repro import Query, SRPPlanner, build_strip_graph
 from repro.core.conversion import plan_to_route, route_to_strip_artifacts
 from repro.core.inter_strip import SearchConfig, SearchStats, plan_route
 from repro.core.slope_index import SlopeIndexedStore
 from repro.types import Route
-from tests.conftest import TINY_ART, random_cells
+from tests.conftest import random_cells
 
 
 class TestPlanToRoute:
@@ -54,7 +51,6 @@ class TestRouteToStripArtifacts:
         """Every (time, cell) step of the route is covered by a segment."""
         graph = build_strip_graph(mid_warehouse)
         planner = SRPPlanner(mid_warehouse)
-        rng = random.Random(5)
         cells = random_cells(mid_warehouse, 30, seed=23, include_racks=False)
         for k in range(0, 30, 2):
             route = planner.plan(Query(cells[k], cells[k + 1], 10 * k))

@@ -1,6 +1,5 @@
 """Tests for the packed crossing ledger."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.crossings import CrossingLedger

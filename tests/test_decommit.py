@@ -208,6 +208,19 @@ class TestCrossingLedgerVersioning:
         assert ledger.prune(11) == 1
         assert ledger.version != v
 
+    def test_clear_bumps_only_nonempty(self):
+        # Regression for the SRP001 restructure: the no-op path exits
+        # before any mutation; the mutating path bumps after clearing.
+        ledger = CrossingLedger(6, 6)
+        v0 = ledger.version
+        ledger.clear()
+        assert ledger.version == v0
+        ledger.add((1, 1), (1, 2), 5)
+        v1 = ledger.version
+        ledger.clear()
+        assert ledger.version != v1
+        assert len(ledger) == 0 and not ledger
+
 
 class TestStructuredExceptions:
     def test_planning_failed_diagnostics(self):

@@ -1,6 +1,5 @@
 """Tests for the task dispatching strategies."""
 
-import pytest
 
 from repro import SRPPlanner, TaskTraceSpec, generate_tasks, run_day
 from repro.simulation import HungarianDispatcher, NearestIdleDispatcher, RobotFleet
@@ -50,7 +49,10 @@ class TestHungarianDispatcher:
         tasks = make_tasks((2, 6), (11, 1), (1, 1))
         greedy = NearestIdleDispatcher().assign(tasks, RobotFleet(fleet_cells), 0)
         optimal = HungarianDispatcher().assign(tasks, RobotFleet(fleet_cells), 0)
-        cost = lambda pairs: sum(manhattan(r.cell, t.rack) for t, r in pairs)
+
+        def cost(pairs):
+            return sum(manhattan(r.cell, t.rack) for t, r in pairs)
+
         assert cost(optimal) <= cost(greedy)
 
     def test_empty_inputs(self):

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro import Query, Warehouse, build_strip_graph
+from repro import Query, build_strip_graph
 from repro.core.fallback import SegmentStoreChecker, fallback_plan
-from repro.core.segments import Segment, make_move, make_wait
+from repro.core.segments import Segment, make_wait
 from repro.core.slope_index import SlopeIndexedStore
 from repro.pathfinding.distance import DistanceMaps
 

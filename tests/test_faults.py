@@ -12,13 +12,13 @@ The contract under test (docs/robustness.md):
 
 import pytest
 
+from repro.analysis import assert_collision_free, audit_planner_state
 from repro.baselines import make_baseline
 from repro.core.planner import SRPPlanner
-from repro.exceptions import InvalidQueryError, PlanningFailedError, SimulationError
+from repro.exceptions import InvalidQueryError, SimulationError
 from repro.simulation import BlockageFault, FaultPlan, Simulation, StallFault, run_day
 from repro.types import Query
 from repro.warehouse import TaskTraceSpec, generate_tasks, w1
-from repro.analysis import assert_collision_free, audit_planner_state
 
 
 def _routes_snapshot(sim: Simulation):

@@ -14,8 +14,8 @@ Two property families guard the PR's caching layers:
   is version-checked rather than heuristically invalidated.
 """
 
-from hypothesis import given, settings, strategies as st
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import Query, SRPPlanner, Warehouse
 from repro.core.intra_strip import plan_within_strip

@@ -18,8 +18,8 @@ from repro import (
     RPPlanner,
     SAPPlanner,
     SRPPlanner,
-    TWPPlanner,
     TaskTraceSpec,
+    TWPPlanner,
     generate_layout,
     generate_tasks,
     run_day,

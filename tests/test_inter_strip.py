@@ -1,8 +1,8 @@
 """Tests for the strip-level search (Algorithm 4) and its crossing rules."""
 
-import pytest
 
 from repro import Query, Warehouse, build_strip_graph
+from repro.core.conversion import plan_to_route
 from repro.core.inter_strip import (
     CrossingEntry,
     SearchConfig,
@@ -10,7 +10,6 @@ from repro.core.inter_strip import (
     _nearest_transit,
     plan_route,
 )
-from repro.core.conversion import plan_to_route
 from repro.core.slope_index import SlopeIndexedStore
 
 

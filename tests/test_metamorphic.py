@@ -10,7 +10,6 @@ Relations that must hold under input transformations:
   its contents, not the insertion order.
 """
 
-import random
 
 from hypothesis import given, settings, strategies as st
 

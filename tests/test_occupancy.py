@@ -1,14 +1,8 @@
 """Tests for the empirical occupancy statistics."""
 
-import numpy as np
 import pytest
 
-from repro.analysis import (
-    busiest_cells,
-    occupancy_probability,
-    render_heatmap,
-    visit_heatmap,
-)
+from repro.analysis import busiest_cells, occupancy_probability, render_heatmap, visit_heatmap
 from repro.types import Route
 
 

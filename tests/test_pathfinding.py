@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import Query, Warehouse
+from repro import Warehouse
+from repro.baselines.reservation import ReservationTable
 from repro.core.strips import build_strip_graph
 from repro.exceptions import InvalidQueryError
 from repro.pathfinding.distance import (
@@ -13,7 +14,6 @@ from repro.pathfinding.distance import (
     bfs_distance_map,
 )
 from repro.pathfinding.space_time_astar import NullConflictChecker, space_time_astar
-from repro.baselines.reservation import ReservationTable
 from repro.types import Route
 
 

@@ -15,12 +15,7 @@ from repro import Query, Warehouse
 from repro.core.inter_strip import SearchConfig, SearchStats, plan_route
 from repro.core.intra_strip import IntraPlan
 from repro.core.naive_store import NaiveSegmentStore
-from repro.core.plan_cache import (
-    MISSING,
-    PlanCache,
-    decode_plan,
-    encode_plan,
-)
+from repro.core.plan_cache import MISSING, PlanCache, decode_plan, encode_plan
 from repro.core.segments import Segment, make_move, make_wait
 from repro.core.slope_index import SlopeIndexedStore
 from repro.core.store_base import EMPTY_STORE, StripStoreMap
@@ -132,6 +127,32 @@ class TestStoreVersions:
         v1 = store.version
         store.clear()
         assert store.version != v1
+
+    def test_clear_on_empty_store_stays_usable(self, store_cls):
+        # Regression for the SRP001 restructure: clear() now exits early
+        # on an empty store — it must still reset the last_end high-water
+        # mark and leave the store fully usable afterwards.
+        store = store_cls()
+        store.insert(make_move(0, 0, 3))
+        store.prune(100)  # empties the store; last_end keeps its high-water
+        v0 = store.version
+        store.clear()
+        assert store.version == v0  # no content change, no bump
+        assert store.last_end == -1  # scalar reset still happens
+        store.insert(make_move(5, 0, 3))
+        assert len(store) == 1 and store.version != v0
+
+    def test_effective_clear_resets_everything(self, store_cls):
+        # Regression for the SRP001 restructure: the mutating path of
+        # clear() bumps unconditionally, after the mutations.
+        store = store_cls()
+        store.insert(make_move(0, 0, 4))
+        v0 = store.version
+        store.clear()
+        assert store.version != v0
+        assert len(store) == 0 and store.last_end == -1
+        store.insert(make_move(2, 0, 2))
+        assert len(store) == 1
 
     def test_versions_never_repeat(self, store_cls):
         # The counter is process-global and monotone: a sequence of

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Query, SRPPlanner, Warehouse, generate_layout, LayoutSpec
+from repro import Query, SRPPlanner, Warehouse
 from repro.analysis import assert_collision_free, find_conflicts
 from repro.exceptions import InvalidQueryError, PlanningFailedError
 from repro.types import manhattan

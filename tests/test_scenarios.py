@@ -9,15 +9,7 @@ subtle boundary/swap semantics.
 
 import pytest
 
-from repro import (
-    ACPPlanner,
-    Query,
-    RPPlanner,
-    SAPPlanner,
-    SRPPlanner,
-    TWPPlanner,
-    Warehouse,
-)
+from repro import ACPPlanner, Query, RPPlanner, SAPPlanner, SRPPlanner, TWPPlanner, Warehouse
 from repro.analysis import find_conflicts
 
 ALL_PLANNERS = [SRPPlanner, SAPPlanner, TWPPlanner, RPPlanner, ACPPlanner]

@@ -7,8 +7,8 @@ from repro import (
     RPPlanner,
     SAPPlanner,
     SRPPlanner,
-    TWPPlanner,
     TaskTraceSpec,
+    TWPPlanner,
     generate_tasks,
     run_day,
 )

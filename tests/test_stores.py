@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.naive_store import NaiveSegmentStore
-from repro.core.segments import Segment, make_move, make_wait
+from repro.core.segments import Segment, make_move
 from repro.core.slope_index import SlopeIndexedStore
 from repro.geometry.collision import conflict_between
 
@@ -27,11 +27,10 @@ def segment_strategy(draw, max_t=25, max_p=15, max_len=8):
 
 def brute_earliest(query: Segment, committed):
     best = None
-    best_seg = None
     for other in committed:
         c = conflict_between(query.raw, other.raw)
         if c is not None and (best is None or c.blocked_time < best):
-            best, best_seg = c.blocked_time, other
+            best = c.blocked_time
     return best
 
 

@@ -1,9 +1,8 @@
 """Tests for strip aggregation and the strip graph (Algorithm 1)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
-
-import numpy as np
 
 from repro import LayoutSpec, Warehouse, build_strip_graph, generate_layout
 from repro.core.strips import Direction, StripKind, TransitRange

@@ -1,6 +1,5 @@
 """Tests for the Section VII-A effectiveness theory module."""
 
-import math
 
 import pytest
 

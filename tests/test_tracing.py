@@ -3,13 +3,7 @@
 import pytest
 
 from repro import Query, SAPPlanner, SRPPlanner, TaskTraceSpec, generate_tasks, run_day
-from repro.tracing import (
-    PlannerTrace,
-    TraceRecorder,
-    load_trace,
-    replay_trace,
-    save_trace,
-)
+from repro.tracing import PlannerTrace, TraceRecorder, load_trace, replay_trace, save_trace
 from tests.conftest import random_cells
 
 

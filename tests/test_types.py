@@ -3,14 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.types import (
-    Query,
-    QueryKind,
-    Route,
-    Task,
-    concatenate_routes,
-    manhattan,
-)
+from repro.types import Query, QueryKind, Route, Task, concatenate_routes, manhattan
 
 
 class TestManhattan:

@@ -2,13 +2,12 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro import LayoutSpec, TaskTraceSpec, Warehouse, generate_layout, generate_tasks
 from repro.exceptions import LayoutError
+from repro.types import QueryKind
 from repro.warehouse.datasets import DATASET_SUMMARY, dataset_by_name, w1, w2, w3
 from repro.warehouse.tasks import queries_for_task
-from repro.types import QueryKind
 
 
 class TestWarehouseMatrix:

@@ -1,0 +1,39 @@
+"""srplint — AST-level invariant checker for the SRP reproduction.
+
+The SRP planner's exactness rests on conventions that ordinary linters
+cannot see: segment-store mutations must bump the shared content version
+(or the plan cache serves stale routes), core arithmetic must stay on
+ints (bit-identity of cached vs uncached routes), planning must be
+deterministic, failures must carry diagnostics, and cache keys must
+embed store versions.  srplint encodes each of those invariants as a
+pluggable rule over the stdlib ``ast`` module — no third-party runtime
+dependencies.
+
+Rules
+-----
+SRP001  segment-store mutations must bump the content version on every
+        exit path
+SRP002  no float literals / true division / ``math.*`` float ops in
+        ``core/`` and ``geometry/`` arithmetic
+SRP003  no wall-clock or unseeded nondeterminism in planning code
+SRP004  ``PlanningFailedError`` / ``SimulationError`` raises must attach
+        diagnostics context
+SRP005  plan-cache keys must include a version component
+
+Run ``python -m srplint src/`` (with ``tools`` on ``PYTHONPATH``) or
+``python tools/srplint src/``.  See ``docs/static-analysis.md``.
+"""
+
+from srplint.engine import Finding, Rule, default_rules, iter_python_files, run_path, run_source
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "default_rules",
+    "iter_python_files",
+    "run_path",
+    "run_source",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Entry point: ``python -m srplint`` / ``python tools/srplint``.
+
+When invoked as ``python tools/srplint`` the package directory itself is
+``sys.path[0]`` and absolute ``srplint.*`` imports would fail; bootstrap
+the parent (``tools/``) onto ``sys.path`` first so both invocations
+behave identically.
+"""
+
+import os
+import sys
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from srplint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

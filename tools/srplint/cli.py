@@ -1,0 +1,93 @@
+"""srplint command-line interface.
+
+Usage::
+
+    PYTHONPATH=tools python -m srplint src/ [--format text|github]
+    python tools/srplint src/           # path bootstrap in __main__
+
+Exit status: 0 when no findings, 1 when any finding is reported, 2 on
+usage errors.  ``--format github`` emits GitHub Actions workflow-command
+annotations so findings attach to the offending lines in PR diffs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from srplint.engine import Finding, default_rules, iter_python_files, run_path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="srplint",
+        description="AST-level invariant checker for the SRP reproduction.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "github"), default="text",
+        help="output format: human-readable lines or GitHub annotations",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = default_rules()
+
+    if args.list_rules:
+        for rule in rules:
+            doc = (type(rule).__doc__ or "").strip().splitlines()[0]
+            print(f"{rule.code}  {rule.name:<20} {doc}")
+        return 0
+
+    if args.select:
+        wanted = {code.strip().upper() for code in args.select.split(",")}
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            print(f"srplint: unknown rule code(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.code in wanted]
+
+    findings: List[Finding] = []
+    checked = 0
+    for path in iter_python_files(args.paths):
+        checked += 1
+        findings.extend(run_path(path, rules=rules))
+
+    if checked == 0:
+        print(f"srplint: no python files found under: {' '.join(args.paths)}",
+              file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        if args.format == "github":
+            print(finding.render_github())
+        else:
+            print(finding.render())
+
+    if not args.quiet:
+        status = f"{len(findings)} finding(s)" if findings else "clean"
+        print(f"srplint: {checked} file(s) checked, {status}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""Core srplint engine: findings, pragmas, rule protocol, file runner.
+
+A :class:`Rule` inspects one parsed module and yields :class:`Finding`
+records.  The engine owns everything rule-independent: discovering
+files, parsing, extracting ``# srplint:`` suppression pragmas with
+:mod:`tokenize` (so pragmas inside string literals are never honoured),
+and filtering findings through those pragmas.
+
+Pragma syntax (one comment, trailing the offending line)::
+
+    x = 0.5  # srplint: allow-float  <reason why a float is sound here>
+    foo()    # srplint: allow(SRP003) <reason>
+
+``allow-float`` is sugar for ``allow(SRP002)``.  A pragma **must** carry
+a non-empty reason; a bare pragma is itself reported as ``SRP000`` so
+that suppressions stay auditable (``benchmarks/check_regression.py``
+surfaces the full pragma inventory in CI job summaries).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Code used for tool-level problems (unparsable file, malformed pragma).
+TOOL_CODE = "SRP000"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*srplint:\s*(?P<directive>allow-float|allow\((?P<code>[A-Z]{3}\d{3})\))"
+    r"(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violation (or tool error) at a location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """Classic ``path:line:col: CODE message`` single-line form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotation form."""
+        return (
+            f"::error file={self.path},line={self.line},col={self.col},"
+            f"title={self.code}::{self.message}"
+        )
+
+
+@dataclass
+class Pragmas:
+    """Per-file suppression table extracted from ``# srplint:`` comments."""
+
+    #: line -> set of rule codes allowed on that line
+    allowed: Dict[int, set] = field(default_factory=dict)
+    #: tool-level findings for malformed pragmas
+    errors: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: (line, directive, reason) for every well-formed pragma (audit feed)
+    entries: List[Tuple[int, str, str]] = field(default_factory=list)
+
+    def allows(self, line: int, code: str) -> bool:
+        return code in self.allowed.get(line, ())
+
+
+def extract_pragmas(source: str) -> Pragmas:
+    """Scan *source* comments for ``# srplint:`` pragmas.
+
+    Uses :mod:`tokenize` so string literals that merely contain the
+    pragma text are ignored.  Falls back to a line scan when the file
+    does not tokenize (the parse error is reported separately).
+    """
+    pragmas = Pragmas()
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                idx = text.index("#")
+                comments.append((lineno, idx, text[idx:]))
+    for lineno, col, text in comments:
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            if "srplint" in text:
+                pragmas.errors.append(
+                    (lineno, col, "unrecognised srplint pragma (expected "
+                     "'# srplint: allow-float <reason>' or "
+                     "'# srplint: allow(CODE) <reason>')")
+                )
+            continue
+        directive = match.group("directive")
+        code = match.group("code") or "SRP002"
+        reason = match.group("reason").strip(" :-—")
+        if not reason:
+            pragmas.errors.append(
+                (lineno, col,
+                 f"srplint pragma '{directive}' is missing a reason")
+            )
+            continue
+        pragmas.allowed.setdefault(lineno, set()).add(code)
+        pragmas.entries.append((lineno, directive, reason))
+    return pragmas
+
+
+class Rule:
+    """Base class for srplint rules.
+
+    Subclasses set :attr:`code`, :attr:`name`, :attr:`scope` and
+    implement :meth:`check`.  ``scope`` is a tuple of POSIX path
+    substrings; an empty tuple applies the rule to every file.
+    """
+
+    code: str = TOOL_CODE
+    name: str = "base"
+    scope: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if not self.scope:
+            return True
+        posix = path.replace("\\", "/")
+        return any(part in posix for part in self.scope)
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+def default_rules() -> List[Rule]:
+    """Instantiate the built-in rule set (imported lazily to avoid cycles)."""
+    from srplint.rules import ALL_RULES
+
+    return [rule_cls() for rule_cls in ALL_RULES]
+
+
+def run_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    respect_scope: bool = True,
+) -> List[Finding]:
+    """Lint one module's *source*; returns findings sorted by location.
+
+    ``respect_scope=False`` runs every given rule regardless of its
+    path scope — used by the fixture tests, which live outside the
+    paths the rules target in the real tree.
+    """
+    if rules is None:
+        rules = default_rules()
+    pragmas = extract_pragmas(source)
+    findings: List[Finding] = [
+        Finding(path, line, col, TOOL_CODE, message)
+        for line, col, message in pragmas.errors
+    ]
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        findings.append(
+            Finding(path, exc.lineno or 1, (exc.offset or 1) - 1, TOOL_CODE,
+                    f"could not parse file: {exc.msg}")
+        )
+        return sorted(findings, key=lambda f: (f.line, f.col, f.code))
+    for rule in rules:
+        if respect_scope and not rule.applies_to(path):
+            continue
+        for finding in rule.check(tree, path):
+            if pragmas.allows(finding.line, finding.code):
+                continue
+            findings.append(finding)
+    return sorted(findings, key=lambda f: (f.line, f.col, f.code))
+
+
+def run_path(
+    path: Path,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return run_source(source, str(path), rules=rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under *paths* (files or directories)."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p

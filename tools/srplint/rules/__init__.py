@@ -1,0 +1,30 @@
+"""Built-in srplint rules.
+
+Adding a rule: create ``srpNNN_<slug>.py`` exporting a
+:class:`srplint.engine.Rule` subclass, import it here, and append it to
+``ALL_RULES`` — the CLI, pragma machinery, and fixture-test harness pick
+it up automatically.  See ``docs/static-analysis.md``.
+"""
+
+from srplint.rules.srp001_version_bump import SRP001VersionBump
+from srplint.rules.srp002_int_arithmetic import SRP002IntArithmetic
+from srplint.rules.srp003_determinism import SRP003Determinism
+from srplint.rules.srp004_diagnostics import SRP004Diagnostics
+from srplint.rules.srp005_cache_keys import SRP005CacheKeyVersion
+
+ALL_RULES = [
+    SRP001VersionBump,
+    SRP002IntArithmetic,
+    SRP003Determinism,
+    SRP004Diagnostics,
+    SRP005CacheKeyVersion,
+]
+
+__all__ = [
+    "ALL_RULES",
+    "SRP001VersionBump",
+    "SRP002IntArithmetic",
+    "SRP003Determinism",
+    "SRP004Diagnostics",
+    "SRP005CacheKeyVersion",
+]

@@ -1,0 +1,404 @@
+"""SRP001 — segment-store mutations must bump the content version.
+
+Invariant (PR 1/PR 2): every mutation of a segment container inside a
+``SegmentStore`` subclass (or any class that stamps itself with
+``store_base.next_version()``, e.g. ``CrossingLedger``) must be followed
+by a version bump — ``self._bump_version()``, ``self._bump_insert(...)``
+or ``self.version = next_version()`` — before the method returns.  The
+plan cache keys on those versions; a mutation that escapes without a
+bump silently serves stale cached routes.
+
+The rule runs a small may-dirty dataflow over each method body:
+
+* a *mutation* marks the state dirty — a mutating method call
+  (``.insert/.append/.add/.pop/...``) on a container reached from
+  ``self``, a subscript store/delete on one, or reassignment of a
+  container attribute (container attributes are inferred from
+  ``__init__``: anything initialised to a list/dict/set literal,
+  comprehension, or ``list()/dict()/set()/deque()/defaultdict()`` call);
+* a *bump* clears it;
+* reaching ``return`` — or falling off the end of the method — while
+  dirty is a finding.  ``raise`` exits are exempt: failed operations
+  are expected to leave the store untouched (``remove()`` raises
+  ``KeyError`` only when nothing was removed).
+
+Locals aliased from ``self`` containers are tracked (``segs =
+self._by_start[k]``; ``bucket = d.get(key)``), including through
+``if/else``, loops with ``break``/``continue``, and ``with`` blocks —
+joins are may-dirty, so a mutation on *any* path must be matched by a
+bump on *every* path that can observe it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set
+
+from srplint.engine import Finding, Rule
+
+#: Method names whose call on a tracked container counts as a mutation.
+MUTATING_METHODS = frozenset({
+    "insert", "append", "appendleft", "add", "remove", "discard", "clear",
+    "pop", "popitem", "popleft", "setdefault", "update", "extend",
+    "extendleft", "sort", "reverse",
+})
+
+#: Free functions that mutate their first argument in place.
+MUTATING_FUNCTIONS = frozenset({
+    "heappush", "heappop", "heapreplace", "heappushpop",
+    "insort", "insort_left", "insort_right",
+})
+
+#: ``.get``-style accessors whose result aliases the container.
+ALIASING_METHODS = frozenset({"get", "setdefault"})
+
+#: Constructor calls in ``__init__`` that mark an attribute as a container.
+CONTAINER_FACTORIES = frozenset({
+    "list", "dict", "set", "frozenset", "tuple", "deque", "defaultdict",
+    "OrderedDict", "Counter", "array", "bytearray",
+})
+
+#: Methods never analysed: construction and the bump primitives themselves.
+SKIPPED_METHODS = frozenset({"__init__", "_bump_version", "_bump_insert"})
+
+
+class _State:
+    """Dataflow fact: may the store be dirty, and which locals alias it."""
+
+    __slots__ = ("dirty", "aliases")
+
+    def __init__(self, dirty: bool = False, aliases: Optional[Set[str]] = None):
+        self.dirty = dirty
+        self.aliases: Set[str] = set() if aliases is None else aliases
+
+    def copy(self) -> "_State":
+        return _State(self.dirty, set(self.aliases))
+
+
+def _join(states: Sequence[Optional["_State"]]) -> Optional["_State"]:
+    """May-analysis join; ``None`` (terminated path) is the bottom element."""
+    live = [s for s in states if s is not None]
+    if not live:
+        return None
+    out = _State(any(s.dirty for s in live))
+    for s in live:
+        out.aliases |= s.aliases
+    return out
+
+
+def _is_version_store(node: ast.ClassDef) -> bool:
+    """A ``SegmentStore`` subclass, or a class self-stamped via ``next_version``."""
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if name.endswith("SegmentStore"):
+            return True
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            for stmt in ast.walk(item):
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.value.func, ast.Name)
+                    and stmt.value.func.id == "next_version"
+                ):
+                    return True
+    return False
+
+
+def _container_attrs(node: ast.ClassDef) -> Set[str]:
+    """Attributes initialised to containers in ``__init__`` / class body."""
+    attrs: Set[str] = set()
+
+    def classify(target: ast.AST, value: Optional[ast.AST]) -> None:
+        if value is None:
+            return
+        name = None
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            name = target.attr
+        elif isinstance(target, ast.Name):
+            # class-body annotated container defaults
+            name = target.id
+        if name is None:
+            return
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)):
+            attrs.add(name)
+        elif isinstance(value, ast.Call):
+            func = value.func
+            fname = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if fname in CONTAINER_FACTORIES:
+                attrs.add(name)
+
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            for stmt in ast.walk(item):
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        classify(target, stmt.value)
+                elif isinstance(stmt, ast.AnnAssign):
+                    classify(stmt.target, stmt.value)
+    return attrs
+
+
+class _MethodAnalyzer:
+    """Runs the may-dirty walk over one method body."""
+
+    def __init__(self, rule: "SRP001VersionBump", path: str,
+                 method: ast.FunctionDef, containers: Set[str]):
+        self.rule = rule
+        self.path = path
+        self.method = method
+        self.containers = containers
+        self.findings: List[Finding] = []
+        self._break_stack: List[List[_State]] = []
+        self._continue_stack: List[List[_State]] = []
+
+    # -- expression classification ------------------------------------
+
+    def _is_tracked(self, node: ast.AST, state: _State) -> bool:
+        """Does *node* evaluate to (part of) a ``self`` container?"""
+        if isinstance(node, ast.Name):
+            return node.id in state.aliases
+        if isinstance(node, ast.Attribute):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self.containers
+            )
+        if isinstance(node, ast.Subscript):
+            return self._is_tracked(node.value, state)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            return (
+                node.func.attr in ALIASING_METHODS
+                and self._is_tracked(node.func.value, state)
+            )
+        return False
+
+    def _is_bump(self, stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            func = stmt.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and func.attr in ("_bump_version", "_bump_insert")
+            ):
+                return True
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr == "version"
+                ):
+                    return True
+        return False
+
+    def _stmt_mutates(self, stmt: ast.stmt, state: _State) -> bool:
+        # Mutating method / free-function calls anywhere in the statement.
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS
+                    and self._is_tracked(func.value, state)
+                ):
+                    return True
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in MUTATING_FUNCTIONS
+                    and node.args
+                    and self._is_tracked(node.args[0], state)
+                ):
+                    return True
+        # Subscript stores / attribute reassignment / deletions.
+        targets: List[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            for leaf in self._flatten_target(target):
+                if isinstance(leaf, ast.Subscript) and self._is_tracked(
+                    leaf.value, state
+                ):
+                    return True
+                if (
+                    isinstance(leaf, ast.Attribute)
+                    and isinstance(leaf.value, ast.Name)
+                    and leaf.value.id == "self"
+                    and leaf.attr in self.containers
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _flatten_target(target: ast.AST) -> List[ast.AST]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out: List[ast.AST] = []
+            for elt in target.elts:
+                out.extend(_MethodAnalyzer._flatten_target(elt))
+            return out
+        return [target]
+
+    def _update_aliases(self, stmt: ast.stmt, state: _State) -> None:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return
+        value = stmt.value
+        if value is None:
+            return
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        tracked = self._is_tracked(value, state)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if tracked:
+                    state.aliases.add(target.id)
+                else:
+                    state.aliases.discard(target.id)
+
+    # -- control-flow walk --------------------------------------------
+
+    def _flag(self, node: ast.AST, where: str) -> None:
+        self.findings.append(self.rule.finding(
+            self.path, node,
+            f"method '{self.method.name}' mutates a segment container but "
+            f"{where} without a version bump "
+            "(call self._bump_version() / self._bump_insert() or assign "
+            "self.version = next_version())",
+        ))
+
+    def walk_body(self, stmts: Sequence[ast.stmt],
+                  state: Optional[_State]) -> Optional[_State]:
+        cur = state
+        for stmt in stmts:
+            if cur is None:
+                break
+            cur = self.walk_stmt(stmt, cur)
+        return cur
+
+    def walk_stmt(self, stmt: ast.stmt, state: _State) -> Optional[_State]:
+        if isinstance(stmt, ast.Return):
+            if state.dirty:
+                self._flag(stmt, "returns")
+            return None
+        if isinstance(stmt, ast.Raise):
+            return None  # error exits may leave the store untouched
+        if isinstance(stmt, ast.Break):
+            if self._break_stack:
+                self._break_stack[-1].append(state.copy())
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._continue_stack:
+                self._continue_stack[-1].append(state.copy())
+            return None
+        if isinstance(stmt, ast.If):
+            then_out = self.walk_body(stmt.body, state.copy())
+            else_out = self.walk_body(stmt.orelse, state.copy())
+            return _join([then_out, else_out])
+        if isinstance(stmt, (ast.For, ast.While)):
+            return self._walk_loop(stmt, state)
+        if isinstance(stmt, ast.With):
+            return self.walk_body(stmt.body, state)
+        if isinstance(stmt, ast.Try):
+            return self._walk_try(stmt, state)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return state  # nested defs are not store exit paths
+        # Plain statement: bump clears, mutation dirties, aliases update.
+        if self._is_bump(stmt):
+            state.dirty = False
+            return state
+        if self._stmt_mutates(stmt, state):
+            state.dirty = True
+        self._update_aliases(stmt, state)
+        return state
+
+    def _walk_loop(self, stmt: ast.stmt, state: _State) -> Optional[_State]:
+        self._break_stack.append([])
+        self._continue_stack.append([])
+        once = self.walk_body(stmt.body, state.copy())
+        once = _join([once] + self._continue_stack[-1])
+        self._continue_stack[-1] = []
+        # Second pass from the joined fact catches loop-carried dirtiness.
+        twice: Optional[_State] = None
+        carried = _join([state, once])
+        if carried is not None:
+            twice = self.walk_body(stmt.body, carried.copy())
+            twice = _join([twice] + self._continue_stack[-1])
+        breaks = self._break_stack.pop()
+        self._continue_stack.pop()
+        # Zero, one, or more iterations may run; breaks exit mid-body.
+        after = _join([state, once, twice] + breaks)
+        if stmt.orelse:
+            # ``else`` runs only when the loop finishes without break.
+            else_entry = _join([state, once, twice])
+            else_out = self.walk_body(stmt.orelse, else_entry)
+            return _join([else_out] + breaks) if breaks else else_out
+        return after
+
+    def _walk_try(self, stmt: ast.Try, state: _State) -> Optional[_State]:
+        body_out = self.walk_body(stmt.body, state.copy())
+        # A handler can be entered from any point in the body; be
+        # conservative and assume the body's mutations may have landed.
+        body_may_dirty = state.copy()
+        if any(self._stmt_mutates(s, state) for s in ast.walk(stmt)
+               if isinstance(s, ast.stmt)):
+            body_may_dirty.dirty = True
+        handler_outs = [
+            self.walk_body(handler.body, body_may_dirty.copy())
+            for handler in stmt.handlers
+        ]
+        else_out = (
+            self.walk_body(stmt.orelse, body_out.copy())
+            if (stmt.orelse and body_out is not None) else body_out
+        )
+        merged = _join([else_out] + handler_outs)
+        if stmt.finalbody:
+            return self.walk_body(stmt.finalbody, merged)
+        return merged
+
+    def run(self) -> List[Finding]:
+        final = self.walk_body(self.method.body, _State())
+        if final is not None and final.dirty:
+            last = self.method.body[-1]
+            self._flag(last, "falls off the end")
+        return self.findings
+
+
+class SRP001VersionBump(Rule):
+    """Flag store methods whose mutations can escape without a version bump."""
+
+    code = "SRP001"
+    name = "store-version-bump"
+    scope = ("repro/core/",)
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or not _is_version_store(node):
+                continue
+            containers = _container_attrs(node)
+            if not containers:
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if item.name in SKIPPED_METHODS:
+                    continue
+                analyzer = _MethodAnalyzer(self, path, item, containers)
+                findings.extend(analyzer.run())
+        return findings

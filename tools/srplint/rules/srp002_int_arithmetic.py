@@ -1,0 +1,82 @@
+"""SRP002 — core time/position arithmetic must stay on ints.
+
+Invariant (Def. 6 / Eq. 2–4 of the paper): committed segments have
+slopes ±1/0 and all timestamps/positions are integers.  The Hypothesis
+suites assert *bit identity* between cached and uncached planning; a
+single float creeping into ``repro/core/`` or ``repro/geometry/``
+arithmetic (rounding, ``/`` true division, ``math.*`` transcendental
+calls) breaks that guarantee non-deterministically across platforms.
+
+Flagged inside the scoped packages:
+
+* ``float`` (and ``complex``) literals,
+* the ``/`` true-division operator (use ``//``),
+* calls to the ``float(...)`` builtin,
+* ``math.<fn>`` uses outside the integer-safe allowlist
+  (``floor/ceil/gcd/isqrt/comb/perm/factorial/lcm/prod``).
+
+Deliberate float use (reporting ratios, paper-fidelity geometry
+helpers) is allowlisted per line with ``# srplint: allow-float
+<reason>`` — the reason is mandatory and audited in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from srplint.engine import Finding, Rule
+
+#: ``math`` functions that are closed over the integers.
+INT_SAFE_MATH = frozenset({
+    "floor", "ceil", "gcd", "isqrt", "comb", "perm", "factorial", "lcm",
+    "prod",
+})
+
+
+class SRP002IntArithmetic(Rule):
+    """Flag float-valued arithmetic in the exact-integer core."""
+
+    code = "SRP002"
+    name = "int-arithmetic"
+    scope = ("repro/core/", "repro/geometry/")
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, (float, complex)
+            ):
+                findings.append(self.finding(
+                    path, node,
+                    f"float literal {node.value!r} in exact-integer core "
+                    "(slopes are ±1/0 per Def. 6; use ints or add "
+                    "'# srplint: allow-float <reason>')",
+                ))
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                findings.append(self.finding(
+                    path, node,
+                    "true division '/' produces a float; use floor "
+                    "division '//' in exact-integer core",
+                ))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                findings.append(self.finding(
+                    path, node,
+                    "float(...) conversion in exact-integer core",
+                ))
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "math"
+                and node.attr not in INT_SAFE_MATH
+            ):
+                findings.append(self.finding(
+                    path, node,
+                    f"math.{node.attr} is not integer-safe in exact-integer "
+                    "core (allowed: " + ", ".join(sorted(INT_SAFE_MATH)) + ")",
+                ))
+        return findings

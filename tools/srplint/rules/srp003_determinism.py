@@ -1,0 +1,120 @@
+"""SRP003 — planning code must be deterministic and clock-free.
+
+Invariant: given the same queries, seeds, and store state, the planner
+must produce byte-identical routes on every run and machine — the
+regression gates, the plan-cache equivalence suites, and the fault
+injection replays (seeded ``random.Random``) all depend on it.
+
+Flagged inside ``repro/core/``, ``repro/pathfinding/`` and
+``repro/simulation/faults.py``:
+
+* wall-clock reads: ``time.time`` / ``time.time_ns`` (``perf_counter``
+  is fine — it only feeds *reporting*, never route construction),
+* ``datetime.now/today/utcnow``,
+* unseeded module-level randomness: bare ``random.<fn>(...)`` calls
+  (instantiate ``random.Random(seed)`` instead) and
+  ``np.random.<fn>`` outside ``default_rng``/``Generator``,
+* ``uuid.uuid1/uuid4``, ``os.urandom``, ``secrets.*``,
+* iterating a ``set`` literal or ``set(...)`` call — set order is
+  hash-randomised across runs and must never feed route construction.
+
+Deliberate uses are suppressed per line with
+``# srplint: allow(SRP003) <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from srplint.engine import Finding, Rule
+
+WALL_CLOCK_ATTRS = frozenset({"time", "time_ns"})
+TIME_MODULES = frozenset({"time", "_time"})
+DATETIME_ATTRS = frozenset({"now", "today", "utcnow"})
+SEEDED_RANDOM_OK = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence", "RandomState"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+class SRP003Determinism(Rule):
+    """Flag wall-clock reads and unseeded nondeterminism in planning code."""
+
+    code = "SRP003"
+    name = "determinism"
+    scope = ("repro/core/", "repro/pathfinding/", "repro/simulation/faults.py")
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Name
+            ):
+                base, attr = node.value.id, node.attr
+                if base in TIME_MODULES and attr in WALL_CLOCK_ATTRS:
+                    findings.append(self.finding(
+                        path, node,
+                        f"wall-clock read {base}.{attr} in deterministic "
+                        "planning code (perf_counter is fine for reporting)",
+                    ))
+                elif base == "datetime" and attr in DATETIME_ATTRS:
+                    findings.append(self.finding(
+                        path, node,
+                        f"wall-clock read datetime.{attr} in deterministic "
+                        "planning code",
+                    ))
+                elif base == "random" and attr not in SEEDED_RANDOM_OK:
+                    findings.append(self.finding(
+                        path, node,
+                        f"unseeded random.{attr} in planning code; "
+                        "instantiate random.Random(seed) instead",
+                    ))
+                elif base == "secrets":
+                    findings.append(self.finding(
+                        path, node,
+                        f"secrets.{attr} is nondeterministic by design",
+                    ))
+                elif base == "os" and attr == "urandom":
+                    findings.append(self.finding(
+                        path, node, "os.urandom is nondeterministic",
+                    ))
+                elif base == "uuid" and attr in ("uuid1", "uuid4"):
+                    findings.append(self.finding(
+                        path, node,
+                        f"uuid.{attr} is nondeterministic; derive ids from "
+                        "query ids / seeds instead",
+                    ))
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.value, ast.Attribute
+            ):
+                inner = node.value
+                if (
+                    isinstance(inner.value, ast.Name)
+                    and inner.value.id in ("np", "numpy")
+                    and inner.attr == "random"
+                    and node.attr not in NP_RANDOM_OK
+                ):
+                    findings.append(self.finding(
+                        path, node,
+                        f"unseeded {inner.value.id}.random.{node.attr}; use "
+                        "default_rng(seed)",
+                    ))
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                it = node.iter
+                if _is_set_expr(it):
+                    findings.append(self.finding(
+                        path, it,
+                        "iteration over a set has hash-randomised order; "
+                        "sort it or use a list/tuple when the order can "
+                        "reach route construction",
+                    ))
+        return findings

@@ -1,0 +1,61 @@
+"""SRP004 — planner/simulation failures must carry diagnostics context.
+
+Invariant (PR 2): ``PlanningFailedError`` and ``SimulationError`` expose
+a structured ``.diagnostics()`` dict that the CLI prints on stderr and
+the fault-recovery ladder logs.  A bare ``raise PlanningFailedError("no
+route")`` produces an empty diagnostics payload, which makes faulted-day
+failures undebuggable after the fact.
+
+Every ``raise`` of those two exception types (by exact name — subclasses
+like ``CollisionError`` populate their own context) must pass at least
+one of the diagnostics keywords: ``query_id``, ``release_time``,
+``phase``, ``expansions``.  Re-raises of a caught instance (``raise
+err``) are not flagged.  Suppress a deliberate bare raise with
+``# srplint: allow(SRP004) <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from srplint.engine import Finding, Rule
+
+CHECKED_EXCEPTIONS = frozenset({"PlanningFailedError", "SimulationError"})
+DIAGNOSTIC_KEYWORDS = frozenset({"query_id", "release_time", "phase", "expansions"})
+
+
+class SRP004Diagnostics(Rule):
+    """Flag diagnostics-free raises of the planner's structured errors."""
+
+    code = "SRP004"
+    name = "raise-diagnostics"
+    scope = ("repro/",)
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if not isinstance(exc, ast.Call):
+                continue
+            func = exc.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if name not in CHECKED_EXCEPTIONS:
+                continue
+            keywords = {kw.arg for kw in exc.keywords if kw.arg is not None}
+            if keywords & DIAGNOSTIC_KEYWORDS:
+                continue
+            if any(kw.arg is None for kw in exc.keywords):
+                continue  # **kwargs forwarding — assume context flows through
+            findings.append(self.finding(
+                path, node,
+                f"raise {name}(...) without diagnostics context; pass at "
+                "least one of "
+                + ", ".join(sorted(DIAGNOSTIC_KEYWORDS))
+                + " so .diagnostics() stays actionable",
+            ))
+        return findings

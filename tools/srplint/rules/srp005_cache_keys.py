@@ -1,0 +1,149 @@
+"""SRP005 — plan-cache keys must include a version component.
+
+Invariant (PR 1/PR 3): the plan cache is *never invalidated* — it is
+kept exact by construction, because every key embeds the content
+version(s) of the store(s) the cached plan read.  A key tuple that
+drops the version component serves stale routes the moment a commit,
+decommit, or prune lands.
+
+Checked in ``plan_cache.py`` / ``inter_strip.py``:
+
+* tuples tagged ``WINDOW_TAG`` or ``CROSSING_TAG`` must contain an
+  element whose name mentions ``version`` (e.g. ``store.version``,
+  ``version_of(...)``, ``self.crossings.version``);
+* ``SHIFT_TAG`` keys deliberately omit the version — there the version
+  lives in the cached *value*, so when a ``SHIFT_TAG`` key is passed to
+  ``cache.put(key, value)`` the **value** expression must mention a
+  version instead;
+* any untagged tuple of five or more elements bound to a ``*key``-named
+  variable must mention a version.
+
+Suppress deliberate exceptions with ``# srplint: allow(SRP005)
+<reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from srplint.engine import Finding, Rule
+
+VERSIONED_TAGS = frozenset({"WINDOW_TAG", "CROSSING_TAG"})
+VALUE_VERSIONED_TAGS = frozenset({"SHIFT_TAG"})
+
+
+def _mentions_version(node: ast.AST) -> bool:
+    """Any Name/Attribute/keyword in *node*'s subtree mentioning 'version'."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "version" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "version" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.keyword) and sub.arg and "version" in sub.arg.lower():
+            return True
+    return False
+
+
+def _tag_of(tup: ast.Tuple) -> Optional[str]:
+    if tup.elts and isinstance(tup.elts[0], ast.Name):
+        return tup.elts[0].id
+    return None
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Scan one function: local tuple bindings, put() calls, key tuples."""
+
+    def __init__(self, rule: "SRP005CacheKeyVersion", path: str,
+                 findings: List[Finding]):
+        self.rule = rule
+        self.path = path
+        self.findings = findings
+        self._tuples: Dict[str, ast.Tuple] = {}
+
+    def _resolve(self, node: ast.AST) -> Optional[ast.Tuple]:
+        if isinstance(node, ast.Tuple):
+            return node
+        if isinstance(node, ast.Name):
+            return self._tuples.get(node.id)
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Tuple):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._tuples[target.id] = node.value
+                    self._check_key_binding(target.id, node.value)
+        self.generic_visit(node)
+
+    def _check_key_binding(self, name: str, tup: ast.Tuple) -> None:
+        tag = _tag_of(tup)
+        if tag in VERSIONED_TAGS or tag in VALUE_VERSIONED_TAGS:
+            return  # tagged tuples are checked by visit_Tuple / put()
+        if not name.lower().endswith("key"):
+            return
+        if len(tup.elts) >= 5 and not _mentions_version(tup):
+            self.findings.append(self.rule.finding(
+                self.path, tup,
+                f"cache key '{name}' = {len(tup.elts)}-tuple without a "
+                "version component; include store.version / version_of(...) "
+                "or the cached result can go stale",
+            ))
+
+    def visit_Tuple(self, node: ast.Tuple) -> None:
+        tag = _tag_of(node)
+        if tag in VERSIONED_TAGS and not _mentions_version(node):
+            self.findings.append(self.rule.finding(
+                self.path, node,
+                f"{tag}-tagged cache key omits the store/ledger version "
+                "component",
+            ))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scopes get their own scanner (and binding table)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "put"
+            and len(node.args) >= 2
+        ):
+            key_tuple = self._resolve(node.args[0])
+            if key_tuple is not None and _tag_of(key_tuple) in VALUE_VERSIONED_TAGS:
+                value = node.args[1]
+                resolved_value = self._resolve(value) or value
+                if not _mentions_version(resolved_value):
+                    self.findings.append(self.rule.finding(
+                        self.path, node,
+                        "SHIFT_TAG cache entry stores a value without a "
+                        "version stamp; shift certificates must embed "
+                        "store.version in the cached value for "
+                        "re-validation",
+                    ))
+        self.generic_visit(node)
+
+
+class SRP005CacheKeyVersion(Rule):
+    """Flag plan-cache key/value constructions that drop the version."""
+
+    code = "SRP005"
+    name = "cache-key-version"
+    scope = ("repro/core/plan_cache.py", "repro/core/inter_strip.py")
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        scopes: List[ast.AST] = [tree]
+        scopes.extend(
+            node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            scanner = _FunctionScanner(self, path, findings)
+            for stmt in scope.body:  # type: ignore[attr-defined]
+                scanner.visit(stmt)
+        return findings

@@ -1,0 +1,8 @@
+"""Make the ``srplint`` package importable when pytest runs from the repo root."""
+
+import sys
+from pathlib import Path
+
+_TOOLS_DIR = str(Path(__file__).resolve().parents[2])
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)

@@ -1,0 +1,18 @@
+"""Pragma fixtures: suppression with reasons, and malformed pragmas."""
+
+
+def hit_rate(hits, misses):
+    total = hits + misses
+    if not total:
+        return 0.0  # srplint: allow-float reporting ratio, never fed to routes
+    return hits / total  # srplint: allow-float reporting ratio
+
+
+def bad_rate(hits, misses):
+    return hits / (misses + 1)  # srplint: allow-float
+    # ^ BAD: a pragma without a reason reports SRP000 and does NOT suppress,
+    #   so the division above is also still reported as SRP002
+
+
+def leftover(value):
+    return value * 0.25  # BAD (SRP002): no pragma at all

@@ -1,0 +1,33 @@
+"""Seeded SRP001 violations: container mutations escaping without a bump."""
+
+
+class LeakyStore(SegmentStore):  # noqa: F821 — parsed, never executed
+    """Fixture store exercising every unbumped-exit shape."""
+
+    def __init__(self):
+        super().__init__()
+        self._segments = []
+        self._index = {}
+
+    def insert(self, segment):
+        self._segments.append(segment)
+        return segment  # BAD: returns dirty
+
+    def prune(self, horizon):
+        kept = [s for s in self._segments if s.t1 >= horizon]
+        dropped = len(self._segments) - len(kept)
+        self._segments = kept
+        if dropped:
+            self._bump_version()  # BAD: unconditional mutation, conditional bump
+
+    def clear(self):
+        if self._segments:
+            self._bump_version()
+        self._segments.clear()  # BAD: bump happens before the mutation
+
+    def remove_via_alias(self, key):
+        bucket = self._index.get(key)
+        if bucket is None:
+            raise KeyError(key)
+        bucket.pop()
+        return True  # BAD: alias mutation, no bump

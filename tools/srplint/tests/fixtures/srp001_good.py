@@ -1,0 +1,51 @@
+"""SRP001-clean store: every mutating exit path bumps the version."""
+
+
+class TidyStore(SegmentStore):  # noqa: F821 — parsed, never executed
+    """Fixture store exercising the shapes SRP001 must accept."""
+
+    def __init__(self):
+        super().__init__()
+        self._segments = []
+        self._index = {}
+
+    def insert(self, segment):
+        self._segments.append(segment)
+        self._bump_insert(segment)
+        return segment
+
+    def remove(self, segment_id):
+        for idx, seg in enumerate(self._segments):
+            if seg.segment_id == segment_id:
+                removed = self._segments.pop(idx)
+                self._bump_version()
+                return removed
+        raise KeyError(segment_id)  # raise exits may leave the store untouched
+
+    def prune(self, horizon):
+        kept = [s for s in self._segments if s.t1 >= horizon]
+        if len(kept) == len(self._segments):
+            return 0  # no-op exit before any mutation
+        dropped = len(self._segments) - len(kept)
+        self._segments = kept
+        self._bump_version()
+        return dropped
+
+    def clear(self):
+        if not self._segments:
+            return
+        self._segments.clear()
+        self.version = next_version()  # noqa: F821 — ledger-style bump
+
+    def snapshot(self):
+        return list(self._segments)  # reads never need a bump
+
+
+class Plain:
+    """Not a store: mutations here are out of scope."""
+
+    def __init__(self):
+        self._stuff = []
+
+    def push(self, item):
+        self._stuff.append(item)

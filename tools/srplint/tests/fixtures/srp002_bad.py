@@ -1,0 +1,19 @@
+"""Seeded SRP002 violations: float arithmetic in the exact-integer core."""
+import math
+
+
+def midpoint(t0, t1):
+    return (t0 + t1) / 2  # BAD: true division
+
+
+def weight(distance):
+    scale = 0.5  # BAD: float literal
+    return float(distance) * scale  # BAD: float() conversion
+
+
+def diagonal(length):
+    return length * math.sqrt(2)  # BAD: math.sqrt is not integer-safe
+
+
+def span(cells):
+    return math.floor(len(cells)) + math.isqrt(4)  # fine: integer-safe math

@@ -1,0 +1,30 @@
+"""Seeded SRP003 violations: nondeterminism in planning code."""
+import random
+import time
+from datetime import datetime
+
+
+def stamp_release(query):
+    query.release_time = int(time.time())  # BAD: wall clock
+    query.day = datetime.now()  # BAD: wall clock
+    return query
+
+
+def jitter(route):
+    return route[random.randint(0, 1)]  # BAD: unseeded module-level random
+
+
+def order_strips(strip_ids):
+    out = []
+    for strip in {3, 1, 2}:  # BAD: set-literal iteration order
+        out.append(strip)
+    for strip in set(strip_ids):  # BAD: set(...) iteration order
+        out.append(strip)
+    return out
+
+
+def seeded_ok(seed, items):
+    rng = random.Random(seed)  # fine: seeded instance
+    started = time.perf_counter()  # fine: reporting-only clock
+    ordered = sorted(set(items))  # fine: sorted() defuses the set order
+    return rng.choice(ordered), started

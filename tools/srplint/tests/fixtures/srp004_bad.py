@@ -1,0 +1,17 @@
+"""Seeded SRP004 violations: structured errors raised without context."""
+
+
+def plan_or_die(query):
+    if query is None:
+        raise PlanningFailedError("no route")  # noqa: F821  # BAD: bare
+    raise SimulationError("robot desync")  # noqa: F821  # BAD: bare
+
+
+def plan_with_context(query, err):
+    if query.release_time < 0:
+        raise PlanningFailedError(  # noqa: F821  # fine: has diagnostics
+            "negative release", query_id=query.query_id, phase="intake",
+        )
+    if err is not None:
+        raise err  # fine: re-raise of a caught instance
+    raise CollisionError("cell contested")  # noqa: F821  # fine: subclass

@@ -1,0 +1,35 @@
+"""Seeded SRP005 violations: cache keys/values dropping the version."""
+
+WINDOW_TAG = -1
+SHIFT_TAG = -2
+CROSSING_TAG = -3
+
+
+def file_window(cache, strip, origin, dest, store):
+    key = (WINDOW_TAG, strip, origin, dest)  # BAD: no version component
+    cache.put(key, store.plan)
+
+
+def file_crossing(cache, a, b, t, pa, pb):
+    cache.put((CROSSING_TAG, a, b, t, pa, pb), None)  # BAD: no versions
+
+
+def file_shift(cache, strip, origin, dest, t, horizon, encoded):
+    skey = (SHIFT_TAG, strip, origin, dest, t)  # fine: version lives in value
+    cache.put(skey, (horizon, encoded))  # BAD: value drops the version stamp
+
+
+def file_untagged(cache, strip, origin, dest, t):
+    memo_key = (strip, origin, dest, t, t + 1)  # BAD: 5-tuple key, no version
+    cache.put(memo_key, None)
+
+
+def file_ok(cache, strip, origin, dest, t, store, horizon, encoded):
+    key = (strip, origin, dest, t, store.version)  # fine: versioned
+    cache.put(key, None)
+    wkey = (WINDOW_TAG, strip, origin, dest, store.version)  # fine
+    cache.put(wkey, None)
+    skey = (SHIFT_TAG, strip, origin, dest, t)
+    cache.put(skey, (store.version, horizon, encoded))  # fine: stamped value
+    short = (strip, t)  # fine: too short to be a composite cache key
+    return short

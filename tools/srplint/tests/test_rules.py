@@ -1,0 +1,172 @@
+"""Fixture-driven tests for the srplint rules.
+
+Each seeded-violation fixture must produce the exact (code, line) pairs
+listed here — no more, no fewer — and the companion "good" fixtures must
+come back clean.  A final test asserts the real tree under ``src/`` is
+clean, which is the same gate CI enforces via ``python -m srplint src/``.
+"""
+
+from pathlib import Path
+
+from srplint.engine import default_rules, extract_pragmas, run_path, run_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def lint_fixture(name):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return run_source(source, str(FIXTURES / name),
+                      rules=default_rules(), respect_scope=False)
+
+
+def codes_and_lines(findings):
+    return [(f.code, f.line) for f in findings]
+
+
+class TestSRP001VersionBump:
+    def test_seeded_violations_exact(self):
+        findings = [f for f in lint_fixture("srp001_bad.py") if f.code == "SRP001"]
+        assert codes_and_lines(findings) == [
+            ("SRP001", 14),  # insert: return while dirty
+            ("SRP001", 20),  # prune: conditional bump, unconditional mutation
+            ("SRP001", 26),  # clear: bump before the mutation
+            ("SRP001", 33),  # remove_via_alias: alias mutation, no bump
+        ]
+
+    def test_clean_store_shapes_accepted(self):
+        assert lint_fixture("srp001_good.py") == []
+
+
+class TestSRP002IntArithmetic:
+    def test_seeded_violations_exact(self):
+        findings = [f for f in lint_fixture("srp002_bad.py") if f.code == "SRP002"]
+        assert codes_and_lines(findings) == [
+            ("SRP002", 6),   # true division
+            ("SRP002", 10),  # float literal
+            ("SRP002", 11),  # float() conversion
+            ("SRP002", 15),  # math.sqrt
+        ]
+
+    def test_integer_safe_math_not_flagged(self):
+        lines = {f.line for f in lint_fixture("srp002_bad.py")}
+        assert 19 not in lines  # math.floor / math.isqrt line
+
+
+class TestSRP003Determinism:
+    def test_seeded_violations_exact(self):
+        findings = [f for f in lint_fixture("srp003_bad.py") if f.code == "SRP003"]
+        assert codes_and_lines(findings) == [
+            ("SRP003", 8),   # time.time
+            ("SRP003", 9),   # datetime.now
+            ("SRP003", 14),  # random.randint
+            ("SRP003", 19),  # set-literal iteration
+            ("SRP003", 21),  # set(...) iteration
+        ]
+
+    def test_seeded_and_reporting_uses_not_flagged(self):
+        lines = {f.line for f in lint_fixture("srp003_bad.py")}
+        # random.Random(seed), perf_counter, sorted(set(...)) are all fine
+        assert not lines & {27, 28, 29}
+
+
+class TestSRP004Diagnostics:
+    def test_seeded_violations_exact(self):
+        findings = [f for f in lint_fixture("srp004_bad.py") if f.code == "SRP004"]
+        assert codes_and_lines(findings) == [
+            ("SRP004", 6),  # bare PlanningFailedError
+            ("SRP004", 7),  # bare SimulationError
+        ]
+
+    def test_contextful_reraise_and_subclass_not_flagged(self):
+        lines = {f.line for f in lint_fixture("srp004_bad.py")}
+        assert not lines & {12, 16, 17}
+
+
+class TestSRP005CacheKeyVersion:
+    def test_seeded_violations_exact(self):
+        findings = [f for f in lint_fixture("srp005_bad.py") if f.code == "SRP005"]
+        assert codes_and_lines(findings) == [
+            ("SRP005", 9),   # WINDOW_TAG key without version
+            ("SRP005", 14),  # CROSSING_TAG key without versions
+            ("SRP005", 19),  # SHIFT_TAG value without version stamp
+            ("SRP005", 23),  # untagged 5-tuple key without version
+        ]
+
+    def test_versioned_keys_not_flagged(self):
+        lines = {f.line for f in lint_fixture("srp005_bad.py")}
+        assert not lines & {27, 29, 32, 33}
+
+
+class TestPragmas:
+    def test_allow_float_with_reason_suppresses(self):
+        findings = lint_fixture("pragmas.py")
+        assert codes_and_lines(findings) == [
+            ("SRP002", 12),  # division under a reason-less pragma still fires
+            ("SRP000", 12),  # ...and the reason-less pragma itself is flagged
+            ("SRP002", 18),  # un-pragma'd float literal
+        ]
+
+    def test_pragma_entries_feed_the_audit(self):
+        source = (FIXTURES / "pragmas.py").read_text(encoding="utf-8")
+        pragmas = extract_pragmas(source)
+        assert [(line, directive) for line, directive, _ in pragmas.entries] == [
+            (7, "allow-float"),
+            (8, "allow-float"),
+        ]
+        assert all(reason for _, _, reason in pragmas.entries)
+
+    def test_pragma_in_string_literal_ignored(self):
+        source = 's = "# srplint: allow-float not a pragma"\nx = 1.5\n'
+        findings = run_source(source, "repro/core/x.py", rules=default_rules())
+        assert codes_and_lines(findings) == [("SRP002", 2)]
+
+    def test_allow_code_form(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # srplint: allow(SRP003) fixture clock\n"
+        )
+        findings = run_source(source, "repro/core/x.py", rules=default_rules())
+        assert findings == []
+
+
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self):
+        findings = run_source("def broken(:\n", "repro/core/x.py")
+        assert [f.code for f in findings] == ["SRP000"]
+
+    def test_scope_respected(self):
+        source = "x = 1.5\n"
+        assert run_source(source, "src/repro/core/a.py") != []
+        assert run_source(source, "src/repro/simulation/a.py") == []
+
+    def test_clean_tree_zero_findings(self):
+        """The committed tree must satisfy every invariant — same gate as CI."""
+        src = REPO_ROOT / "src"
+        assert src.is_dir()
+        findings = []
+        for path in sorted(src.rglob("*.py")):
+            findings.extend(run_path(path))
+        assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+class TestCLI:
+    def test_exit_codes_and_github_format(self, tmp_path, capsys):
+        from srplint.cli import main
+
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("x = 2.5\n", encoding="utf-8")
+        assert main([str(tmp_path), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out and "title=SRP002" in out
+
+        good = tmp_path / "repro" / "core" / "good.py"
+        good.write_text("x = 2\n", encoding="utf-8")
+        bad.unlink()
+        assert main([str(tmp_path)]) == 0
+
+    def test_select_unknown_code_is_usage_error(self):
+        from srplint.cli import main
+
+        assert main(["--select", "SRP999", "."]) == 2
