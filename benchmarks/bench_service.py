@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Soak benchmark of the online planning service under overload.
+
+The harness answers one question the offline benchmarks cannot: *what
+does the service sustain, and how does it degrade, when offered more
+load than the planner can plan?*  Procedure:
+
+1. **calibrate** — plan a short closed-loop prefix of the query mix to
+   measure the planner's raw capacity (queries per second);
+2. **soak** — drive a fresh :class:`~repro.service.core.ServiceCore`
+   with a seeded open-loop schedule offered at ``capacity x overload``
+   (default 2x) through :func:`repro.service.loadgen.run_soak`;
+3. **record** — sustained qps, latency percentiles (p50/p95/p99 from
+   the service's own fixed-bucket histograms), and the shed/timeout
+   split, appended to ``BENCH_service.json`` with ``--append``.
+
+A healthy admission queue keeps the shed rate strictly below 100% at
+any finite overload factor (it sheds the excess, not everything) while
+the answered remainder keeps a bounded queue wait — both are gated by
+``benchmarks/check_regression.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # print
+    PYTHONPATH=src python benchmarks/bench_service.py --quick    # CI
+    PYTHONPATH=src python benchmarks/bench_service.py --append   # record
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from benchmarks.conftest import (  # noqa: E402
+    BENCH_SERVICE_PATH,
+    append_bench_record,
+    current_commit,
+    machine_fingerprint,
+)
+from repro.core.planner import SRPPlanner  # noqa: E402
+from repro.service import ServiceConfig, ServiceCore  # noqa: E402
+from repro.service.loadgen import LoadSpec, make_schedule, run_soak  # noqa: E402
+from repro.warehouse import datasets  # noqa: E402
+
+
+def calibrate_capacity(warehouse, schedule, n_calibrate: int = 40) -> float:
+    """Closed-loop planning rate (queries/s) over a prefix of the mix.
+
+    Uses a throwaway planner so the soak below starts cold, like a
+    freshly started service.
+    """
+    planner = SRPPlanner(warehouse)
+    prefix = schedule[: max(1, min(n_calibrate, len(schedule)))]
+    t0 = time.perf_counter()
+    for item in prefix:
+        try:
+            planner.plan(item.query)
+        except Exception:
+            pass  # capacity is about time spent, not success
+    elapsed = max(1e-6, time.perf_counter() - t0)
+    return len(prefix) / elapsed
+
+
+def bench_service(
+    layout: str,
+    scale: float,
+    n_queries: int,
+    seed: int,
+    overload: float,
+    deadline_ms: int,
+    queue_capacity: int,
+) -> dict:
+    """Run one calibrated soak and return the trajectory record."""
+    warehouse = datasets.dataset_by_name(layout, scale=scale)
+    # The calibration mix reuses the soak's seed so capacity is measured
+    # on the same traffic shape the soak offers.
+    probe = make_schedule(warehouse, LoadSpec(
+        n_queries=min(64, n_queries), rate_qps=1e9, seed=seed,
+    ))
+    capacity_qps = calibrate_capacity(warehouse, probe)
+    offered_qps = capacity_qps * overload
+
+    spec = LoadSpec(
+        n_queries=n_queries,
+        rate_qps=offered_qps,
+        seed=seed,
+        deadline_ms=deadline_ms,
+    )
+    schedule = make_schedule(warehouse, spec)
+    core = ServiceCore(
+        SRPPlanner(warehouse),
+        ServiceConfig(queue_capacity=queue_capacity,
+                      default_deadline_ms=deadline_ms),
+    )
+    results, elapsed_s = run_soak(core, schedule)
+
+    counts: dict = {}
+    for _, reply in results:
+        counts[reply.status.value] = counts.get(reply.status.value, 0) + 1
+    answered = counts.get("ok", 0) + counts.get("degraded", 0)
+    shed, requests = core.telemetry.shed_rate() or (0, max(1, n_queries))
+    service_hist = core.telemetry.histograms.get("service_ms")
+    queue_hist = core.telemetry.histograms.get("queue_ms")
+
+    record = {
+        # -- configuration (regression-gate identity) ------------------
+        "layout": layout,
+        "scale": scale,
+        "n_queries": n_queries,
+        "seed": seed,
+        "overload": overload,
+        "deadline_ms": deadline_ms,
+        "queue_capacity": queue_capacity,
+        # -- measurements ---------------------------------------------
+        "capacity_qps": round(capacity_qps, 2),
+        "offered_qps": round(offered_qps, 2),
+        "sustained_qps": round(answered / max(1e-6, elapsed_s), 2),
+        "elapsed_s": round(elapsed_s, 3),
+        "answered": answered,
+        "status_counts": dict(sorted(counts.items())),
+        "shed": shed,
+        "shed_rate": round(shed / requests, 4),
+        "service_p50_ms": service_hist.percentile(50) if service_hist else 0,
+        "service_p95_ms": service_hist.percentile(95) if service_hist else 0,
+        "service_p99_ms": service_hist.percentile(99) if service_hist else 0,
+        "queue_p95_ms": queue_hist.percentile(95) if queue_hist else 0,
+        # -- provenance -----------------------------------------------
+        "commit": current_commit(),
+        "machine": machine_fingerprint(),
+    }
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--layout", default="W-1")
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--queries", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=97)
+    parser.add_argument("--overload", type=float, default=2.0,
+                        help="offered load as a multiple of measured capacity")
+    parser.add_argument("--deadline-ms", type=int, default=250)
+    parser.add_argument("--queue-cap", type=int, default=16)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: small warehouse and short soak")
+    parser.add_argument("--append", action="store_true",
+                        help="append the record to BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.scale = min(args.scale, 0.25)
+        args.queries = min(args.queries, 120)
+
+    record = bench_service(
+        args.layout, args.scale, args.queries, args.seed,
+        args.overload, args.deadline_ms, args.queue_cap,
+    )
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if record["shed_rate"] >= 1.0:
+        print("FAIL: the service shed every request under overload",
+              file=sys.stderr)
+        return 1
+    if args.append:
+        path = append_bench_record(record, BENCH_SERVICE_PATH)
+        print(f"appended to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

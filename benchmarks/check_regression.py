@@ -38,14 +38,22 @@ except ImportError:
     sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 from benchmarks.bench_hotpath import bench_layout  # noqa: E402
+from benchmarks.bench_service import bench_service  # noqa: E402
 from benchmarks.conftest import (  # noqa: E402
     BENCH_HOTPATH_PATH,
+    BENCH_SERVICE_PATH,
     append_bench_record,
     machine_fingerprint,
 )
 
 #: record fields that must match for two runs to be comparable
 CONFIG_KEYS = ("layout", "scale", "n_queries", "day_length", "seed")
+
+#: likewise for service-soak records (BENCH_service.json)
+SERVICE_CONFIG_KEYS = (
+    "layout", "scale", "n_queries", "seed", "overload", "deadline_ms",
+    "queue_capacity",
+)
 
 
 def load_records(path: str = BENCH_HOTPATH_PATH):
@@ -59,10 +67,10 @@ def load_records(path: str = BENCH_HOTPATH_PATH):
     return records if isinstance(records, list) else []
 
 
-def find_baseline(records, fresh: dict):
+def find_baseline(records, fresh: dict, keys=CONFIG_KEYS):
     """The most recent record matching ``fresh``'s configuration."""
     for record in reversed(records):
-        if all(record.get(k) == fresh.get(k) for k in CONFIG_KEYS):
+        if all(record.get(k) == fresh.get(k) for k in keys):
             return record
     return None
 
@@ -106,15 +114,43 @@ def soft_checks(fresh: dict, baseline) -> None:
         )
 
 
-def check(fresh: dict, baseline, threshold: float) -> int:
+#: verdict lines of this run, mirrored into ``--summary`` when asked
+SUMMARY_LINES: list = []
+
+
+def emit(line: str, err: bool = False) -> None:
+    """Print a verdict line and keep it for the markdown summary."""
+    print(line, file=sys.stderr if err else sys.stdout)
+    SUMMARY_LINES.append(line)
+
+
+def write_summary(path: str) -> None:
+    """Append this run's verdicts to a markdown summary file."""
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n### performance regression gate\n\n")
+            for line in SUMMARY_LINES:
+                fh.write(f"- {line}\n")
+    except OSError as exc:  # the summary must never fail the gate
+        print(f"WARN could not write summary to {path}: {exc}", file=sys.stderr)
+
+
+def check(
+    fresh: dict,
+    baseline,
+    threshold: float,
+    keys=CONFIG_KEYS,
+    qps_of=throughput,
+    label: str = "cached-planning",
+) -> int:
     """Gate one fresh record against its baseline; returns an exit code."""
-    config = ", ".join(f"{k}={fresh.get(k)}" for k in CONFIG_KEYS)
+    config = ", ".join(f"{k}={fresh.get(k)}" for k in keys)
     if baseline is None:
-        print(f"PASS (no baseline yet for {config})")
+        emit(f"PASS [{label}] (no baseline yet for {config})")
         return 0
-    base_qps, new_qps = throughput(baseline), throughput(fresh)
+    base_qps, new_qps = qps_of(baseline), qps_of(fresh)
     if base_qps <= 0:
-        print(f"PASS (baseline for {config} has no usable throughput)")
+        emit(f"PASS [{label}] (baseline for {config} has no usable throughput)")
         return 0
     ratio = new_qps / base_qps
     same_machine = baseline.get("machine") == fresh.get("machine")
@@ -123,21 +159,69 @@ def check(fresh: dict, baseline, threshold: float) -> int:
         f"({ratio:.2f}x, commit {baseline.get('commit', '?')})"
     )
     if ratio >= 1.0 - threshold:
-        print(f"PASS {verdict}")
+        emit(f"PASS [{label}] {verdict}")
         return 0
     if not same_machine:
-        print(
-            f"SOFT PASS {verdict} — baseline machine "
+        emit(
+            f"SOFT PASS [{label}] {verdict} — baseline machine "
             f"{baseline.get('machine', 'unknown')!r} differs from "
             f"{fresh.get('machine')!r}, not comparable"
         )
         return 0
-    print(
-        f"FAIL {verdict} — cached-planning throughput dropped more than "
+    emit(
+        f"FAIL [{label}] {verdict} — throughput dropped more than "
         f"{threshold:.0%} on the same machine ({fresh.get('machine')})",
-        file=sys.stderr,
+        err=True,
     )
     return 1
+
+
+def service_throughput(record: dict) -> float:
+    """Comparable qps of a service-soak record."""
+    return record.get("sustained_qps") or 0.0
+
+
+def check_service(args) -> int:
+    """Run the service soak and gate it against ``BENCH_service.json``.
+
+    Two conditions: sustained qps must not regress (same rules as the
+    hot path — hard gate same-machine, soft pass across machines), and
+    the shed rate must stay strictly below 100% at the configured
+    overload factor (an admission queue that sheds *everything* is a
+    liveness bug, machine speed notwithstanding).
+    """
+    fresh = bench_service(
+        args.layouts.split(",")[0].strip(), args.scale,
+        args.service_queries, args.seed, args.overload,
+        args.service_deadline_ms, args.service_queue_cap,
+    )
+    fresh.setdefault("machine", machine_fingerprint())
+    exit_code = 0
+    if fresh.get("shed_rate", 0.0) >= 1.0:
+        emit(
+            f"FAIL [service] shed rate {fresh['shed_rate']:.0%} — the soak "
+            "shed every request at overload "
+            f"{fresh.get('overload')}x",
+            err=True,
+        )
+        exit_code = 1
+    else:
+        emit(
+            f"PASS [service] shed rate {fresh.get('shed_rate', 0.0):.1%} at "
+            f"{fresh.get('overload')}x overload, p99 "
+            f"{fresh.get('service_p99_ms')} ms"
+        )
+    baseline = find_baseline(
+        load_records(BENCH_SERVICE_PATH), fresh, SERVICE_CONFIG_KEYS
+    )
+    exit_code = max(
+        exit_code,
+        check(fresh, baseline, args.threshold, SERVICE_CONFIG_KEYS,
+              service_throughput, label="service"),
+    )
+    if args.append:
+        append_bench_record(fresh, BENCH_SERVICE_PATH)
+    return exit_code
 
 
 def pragma_audit(root: str = os.path.join(_ROOT, "src")) -> list:
@@ -206,13 +290,30 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--append",
         action="store_true",
-        help="append the fresh record to BENCH_hotpath.json after gating",
+        help="append the fresh records to the trajectory files after gating",
     )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        metavar="PATH",
+        help="append a markdown gate summary here (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--skip-service",
+        action="store_true",
+        help="skip the service-soak gate (BENCH_service.json)",
+    )
+    parser.add_argument("--overload", type=float, default=2.0,
+                        help="service soak: offered load / measured capacity")
+    parser.add_argument("--service-queries", type=int, default=400)
+    parser.add_argument("--service-deadline-ms", type=int, default=250)
+    parser.add_argument("--service-queue-cap", type=int, default=16)
     args = parser.parse_args(argv)
 
     if args.quick:
         args.scale = min(args.scale, 0.25)
         args.queries = min(args.queries, 60)
+        args.service_queries = min(args.service_queries, 120)
         args.repeats = 1
 
     report_pragmas(pragma_audit())
@@ -226,20 +327,21 @@ def main(argv=None) -> int:
         )
         fresh.setdefault("machine", machine_fingerprint())
         if not fresh["routes_identical"]:
-            print(f"FAIL {layout}: cached routes differ from uncached ones", file=sys.stderr)
+            emit(f"FAIL {layout}: cached routes differ from uncached ones", err=True)
             exit_code = 1
         faulted = fresh.get("faulted")
         if faulted is not None and not faulted.get("routes_identical"):
-            print(
-                f"FAIL {layout}: cached routes diverged on the faulted day",
-                file=sys.stderr,
-            )
+            emit(f"FAIL {layout}: cached routes diverged on the faulted day", err=True)
             exit_code = 1
         baseline = find_baseline(records, fresh)
         soft_checks(fresh, baseline)
         exit_code = max(exit_code, check(fresh, baseline, args.threshold))
         if args.append:
             append_bench_record(fresh)
+    if not args.skip_service:
+        exit_code = max(exit_code, check_service(args))
+    if args.summary:
+        write_summary(args.summary)
     return exit_code
 
 

@@ -53,6 +53,10 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: growth instead of living only in commit messages.
 BENCH_HOTPATH_PATH = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
 
+#: service-soak trajectory (sustained qps, latency percentiles, shed
+#: rate under overload), same schema and append discipline as above
+BENCH_SERVICE_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
+
 
 def current_commit() -> str:
     """Short hash of the checked-out commit ("unknown" outside git).

@@ -8,11 +8,16 @@ Usage (also available as ``python -m repro.cli``)::
         --planner SRP --seed 7
     repro-warehouse simulate --dataset W-1 --scale 0.5 --tasks 120 \
         --stalls 20 --blockages 10 --fault-seed 5 --validate
+    repro-warehouse serve --dataset W-1 --scale 0.3 --port 7717 \
+        --deadline-ms 100 --trace session.jsonl
+    repro-warehouse load --port 7717 --queries 500 --rate 150
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
 from typing import Optional
 
@@ -27,7 +32,12 @@ from repro import (
     run_day,
 )
 from repro.analysis import format_table
-from repro.exceptions import InvalidQueryError, PlanningFailedError, SimulationError
+from repro.exceptions import (
+    CollisionError,
+    InvalidQueryError,
+    PlanningFailedError,
+    SimulationError,
+)
 from repro.simulation import FaultPlan
 from repro.warehouse import load_warehouse
 
@@ -137,26 +147,44 @@ def cmd_simulate(args) -> int:
         except SimulationError as exc:
             return _report_failure("simulation failed", exc)
         if result.conflicts:
-            print(f"error: {name} produced {len(result.conflicts)} conflicts",
-                  file=sys.stderr)
-            return 1
+            first = result.conflicts[0]
+            return _report_failure(
+                "conflict check failed",
+                CollisionError(
+                    f"{name} produced {len(result.conflicts)} conflicting "
+                    f"route pair(s); first: {first.kind} at {first.grid}",
+                    release_time=first.time,
+                    phase="validate",
+                ),
+            )
         if result.audit_violations:
-            print(f"error: {name} planner-state audit found "
-                  f"{len(result.audit_violations)} violation(s):", file=sys.stderr)
-            for violation in result.audit_violations[:10]:
-                print(f"  {violation}", file=sys.stderr)
-            return 1
+            shown = "; ".join(str(v) for v in result.audit_violations[:3])
+            return _report_failure(
+                "planner-state audit failed",
+                SimulationError(
+                    f"{name} audit found {len(result.audit_violations)} "
+                    f"violation(s): {shown}",
+                    phase="audit",
+                ),
+            )
         rows.append(
-            [
-                name,
-                result.og,
-                f"{result.tc_seconds * 1000:.1f}",
-                f"{(result.peak_mc_bytes or 0) / 1024:.0f}",
-                result.completed_tasks,
-                result.failed_tasks,
-                f"{result.faults_injected}/{result.replans}",
-            ]
+            {
+                "planner": name,
+                "og_s": result.og,
+                "tc_ms": round(result.tc_seconds * 1000, 3),
+                "mc_peak_kib": round((result.peak_mc_bytes or 0) / 1024),
+                "completed": result.completed_tasks,
+                "failed": result.failed_tasks,
+                "faults": result.faults_injected,
+                "replans": result.replans,
+            }
         )
+    if args.json:
+        for row in rows:
+            row.update(dataset=warehouse.name, tasks=args.tasks, day=args.day,
+                       seed=args.seed)
+            print(json.dumps(row, sort_keys=True))
+        return 0
     title = f"{warehouse.name}: {args.tasks} tasks over {args.day}s"
     if faults is not None:
         title += f", {len(faults)} faults (seed {args.fault_seed})"
@@ -164,11 +192,83 @@ def cmd_simulate(args) -> int:
         format_table(
             ["planner", "OG (s)", "TC (ms)", "MC peak (KiB)", "done", "failed",
              "faults/replans"],
-            rows,
+            [
+                [
+                    row["planner"],
+                    row["og_s"],
+                    f"{row['tc_ms']:.1f}",
+                    f"{row['mc_peak_kib']:.0f}",
+                    row["completed"],
+                    row["failed"],
+                    f"{row['faults']}/{row['replans']}",
+                ]
+                for row in rows
+            ],
             title=title,
         )
     )
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the online planning service until SIGTERM/SIGINT or `shutdown`."""
+    from repro.service import ServiceConfig, ServiceServer
+    from repro.tracing import save_trace
+
+    warehouse = _load_warehouse(args)
+    planner = _make_planner(args.planner, warehouse, args.store, args.exact)
+    config = ServiceConfig(
+        queue_capacity=args.queue_cap,
+        default_deadline_ms=args.deadline_ms,
+        full_budget_ms=args.full_budget_ms,
+        cached_budget_ms=args.cached_budget_ms,
+    )
+    server = ServiceServer(
+        planner,
+        config,
+        host=args.host,
+        port=args.port,
+        telemetry_log=args.telemetry_log,
+        log_interval=args.log_interval,
+    ).start()
+
+    def _drain(signum, frame) -> None:
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    print(f"serving {warehouse.name or '(custom)'} with {args.planner} "
+          f"on {args.host}:{server.port}", flush=True)
+    server.drained.wait()
+    clean = server.stop()
+    if args.trace:
+        save_trace(server.core.trace, args.trace)
+        print(f"session trace ({len(server.core.trace)} entries) "
+              f"saved to {args.trace}")
+    snapshot = server.core.stats_snapshot()
+    print(json.dumps(snapshot, sort_keys=True))
+    return 0 if clean else 1
+
+
+def cmd_load(args) -> int:
+    """Drive a running service open-loop and print the client report."""
+    from repro.service.loadgen import LoadSpec, make_schedule, run_against_server
+
+    warehouse = _load_warehouse(args)
+    spec = LoadSpec(
+        n_queries=args.queries,
+        rate_qps=args.rate,
+        seed=args.seed,
+        deadline_ms=args.deadline_ms,
+    )
+    schedule = make_schedule(warehouse, spec)
+    report = run_against_server(args.host, args.port, schedule,
+                                timeout_s=args.timeout)
+    summary = report.summary()
+    if report.stats is not None:
+        summary["server_stats"] = report.stats
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if report.protocol_errors == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -222,7 +322,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject N seeded transient cell blockages (SRP only)")
     p_sim.add_argument("--fault-seed", type=int, default=0,
                        help="RNG seed of the fault plan (default 0)")
+    p_sim.add_argument("--json", action="store_true",
+                       help="print one JSON object per planner row instead of a table")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the online planning service on a TCP port"
+    )
+    add_world_args(p_serve)
+    p_serve.add_argument("--planner", default="SRP", choices=PLANNER_NAMES)
+    p_serve.add_argument("--store", default="slope",
+                         choices=("slope", "naive", "bucket"),
+                         help="SRP segment-store backend")
+    p_serve.add_argument("--exact", action="store_true",
+                         help="use the exact intra-strip search (SRP only)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7717,
+                         help="TCP port (0 = pick a free one; default 7717)")
+    p_serve.add_argument("--queue-cap", type=int, default=64,
+                         help="admission queue capacity (default 64)")
+    p_serve.add_argument("--deadline-ms", type=int, default=0,
+                         help="default per-request deadline; 0 disables")
+    p_serve.add_argument("--full-budget-ms", type=int, default=50,
+                         help="min remaining budget for the full SRP rung")
+    p_serve.add_argument("--cached-budget-ms", type=int, default=10,
+                         help="min remaining budget for the cached rung")
+    p_serve.add_argument("--telemetry-log", default=None,
+                         help="append a JSONL telemetry snapshot periodically")
+    p_serve.add_argument("--log-interval", type=float, default=5.0,
+                         help="telemetry logging period in seconds")
+    p_serve.add_argument("--trace", default=None,
+                         help="save the session trace here on shutdown")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "load", help="drive a running service with seeded open-loop load"
+    )
+    add_world_args(p_load)
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=7717)
+    p_load.add_argument("--queries", type=int, default=200)
+    p_load.add_argument("--rate", type=float, default=100.0,
+                        help="offered arrival rate (requests/s)")
+    p_load.add_argument("--seed", type=int, default=7)
+    p_load.add_argument("--deadline-ms", type=int, default=0,
+                        help="per-request deadline sent on the wire; 0 = none")
+    p_load.add_argument("--timeout", type=float, default=120.0)
+    p_load.set_defaults(func=cmd_load)
     return parser
 
 

@@ -323,6 +323,85 @@ class SRPPlanner(Planner):
         self.stats.inter_time += _time.perf_counter() - started
         return route
 
+    def plan_strip_only(
+        self, query: Query, max_start_delay: Optional[int] = None
+    ) -> Optional[Route]:
+        """Strip-level planning only; never runs the grid-level A* fallback.
+
+        The cheap rung of the service degradation ladder: the strip
+        search is where the plan cache and the free-flow certificates
+        live, so under steady traffic most calls are answered without a
+        real search.  Scans the release-delay window like :meth:`plan`
+        (bounded by ``max_start_delay``, default the planner's own) but
+        returns ``None`` instead of raising when no strip-level route
+        exists within the window.  Successful routes are committed
+        exactly like :meth:`plan` results.
+        """
+        self._check_query(query)
+        started = _time.perf_counter()
+        try:
+            self.stats.queries += 1
+            window = self.max_start_delay if max_start_delay is None else max_start_delay
+            origin_strip, origin_pos = self.graph.locate(query.origin)
+            store = self.stores[origin_strip]
+            for delay in range(window + 1):
+                if store.occupied(origin_pos, query.release_time + delay):
+                    continue
+                attempt = Query(
+                    query.origin,
+                    query.destination,
+                    query.release_time + delay,
+                    query.kind,
+                    query.query_id,
+                )
+                route = self._plan_once(attempt, allow_fallback=False)
+                if route is not None:
+                    if delay:
+                        self.stats.start_delays += 1
+                    return route
+            return None
+        finally:
+            self.timers.total += _time.perf_counter() - started
+            self.timers.queries += 1
+
+    def plan_fallback_only(
+        self, query: Query, max_start_delay: Optional[int] = None
+    ) -> Optional[Route]:
+        """One expansion-bounded grid-level A* shot, skipping strip search.
+
+        The last answering rung of the service degradation ladder: when
+        the deadline budget is too small for the full SRP pipeline, a
+        single space-time A* against the stores still produces a
+        collision-free (if not strip-optimal) route.  The shot is taken
+        at the first second within ``max_start_delay`` (default the
+        planner's own) at which the origin cell is free; returns
+        ``None`` when no such second exists or A* exhausts its budget.
+        Successful routes are committed exactly like :meth:`plan`
+        results.
+        """
+        self._check_query(query)
+        self.stats.queries += 1
+        window = self.max_start_delay if max_start_delay is None else max_start_delay
+        origin_strip, origin_pos = self.graph.locate(query.origin)
+        store = self.stores[origin_strip]
+        started = _time.perf_counter()
+        try:
+            for delay in range(window + 1):
+                t = query.release_time + delay
+                if store.occupied(origin_pos, t):
+                    continue
+                attempt = Query(
+                    query.origin, query.destination, t, query.kind, query.query_id
+                )
+                route = self._plan_fallback(attempt)
+                if route is not None and delay:
+                    self.stats.start_delays += 1
+                return route
+            return None
+        finally:
+            self.timers.total += _time.perf_counter() - started
+            self.timers.queries += 1
+
     def reset(self) -> None:
         self.stores.clear()
         self.crossings.clear()

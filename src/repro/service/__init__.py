@@ -1,0 +1,47 @@
+"""An online planning service over the SRP planner.
+
+Layering (determinism first):
+
+* :mod:`repro.service.core` — wall-clock-free scheduler: bounded FIFO
+  admission with shedding, deadlines, the degradation ladder, and the
+  replayable session trace.
+* :mod:`repro.service.telemetry` — pure counters / gauges / fixed-bucket
+  latency histograms.
+* :mod:`repro.service.protocol` — the JSON-line wire codec.
+* :mod:`repro.service.server` — the threaded socket frontend (the only
+  place, with :mod:`repro.service.loadgen`, where real time is read).
+* :mod:`repro.service.loadgen` — seeded open-loop load generation,
+  deterministic and wall-clock drivers, and the CI smoke entry point.
+"""
+
+from repro.service.core import (
+    Reply,
+    ReplyStatus,
+    Request,
+    Rung,
+    RungReplayPlanner,
+    ServiceConfig,
+    ServiceCore,
+    plan_at_rung,
+    replay_session,
+)
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.server import ServiceServer
+from repro.service.telemetry import LatencyHistogram, TelemetryRegistry
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "LatencyHistogram",
+    "ProtocolError",
+    "Reply",
+    "ReplyStatus",
+    "Request",
+    "Rung",
+    "RungReplayPlanner",
+    "ServiceConfig",
+    "ServiceCore",
+    "ServiceServer",
+    "TelemetryRegistry",
+    "plan_at_rung",
+    "replay_session",
+]

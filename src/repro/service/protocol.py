@@ -1,0 +1,149 @@
+"""The JSON-line wire protocol of the planning service.
+
+One JSON object per line, newline-terminated, UTF-8.  Requests carry an
+``op``; the server answers every line with exactly one reply object
+(``plan`` replies may arrive out of order relative to other in-flight
+``plan`` requests on the same connection — match them by ``id``).
+
+Requests::
+
+    {"op": "plan", "id": 7, "origin": [r, c], "dest": [r, c],
+     "release": 120, "deadline_ms": 50}        # release/deadline optional
+    {"op": "stats"}
+    {"op": "ping"}
+    {"op": "shutdown"}                         # graceful drain
+
+Replies (``plan``)::
+
+    {"id": 7, "status": "ok"|"degraded", "rung": "full"|"cached"|"fallback",
+     "queue_ms": 3,
+     "route": {"start_time": 120, "grids": [[r, c], ...]}}
+    {"id": 7, "status": "shed"|"timeout"|"failed", "queue_ms": 0, "note": "..."}
+
+``stats`` replies embed the telemetry snapshot under ``"stats"``;
+``shutdown`` acknowledges with ``{"status": "draining"}``; malformed
+lines get ``{"status": "error", "note": "..."}``.  This module only
+converts between wire objects and :mod:`repro.service.core` values —
+no sockets, no clocks — so the server and the load generator share one
+codec and the fixture tests can pin it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.core import Reply, ReplyStatus
+from repro.types import Query, QueryKind, Route
+
+#: protocol revision announced in ``hello``/``stats`` replies
+PROTOCOL_VERSION = 1
+
+VALID_OPS = ("plan", "stats", "ping", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A request line could not be parsed into a valid operation."""
+
+
+def _cell(value: Any, label: str) -> Tuple[int, int]:
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or not all(isinstance(v, int) and not isinstance(v, bool) for v in value)
+    ):
+        raise ProtocolError(f"{label} must be a [row, col] integer pair, got {value!r}")
+    return (value[0], value[1])
+
+
+def parse_request_line(line: str) -> Dict[str, Any]:
+    """Parse one wire line into a validated request dict.
+
+    Returns a dict with ``"op"`` plus, for ``plan``, the fields
+    ``"query"`` (:class:`~repro.types.Query`), ``"id"`` and
+    ``"deadline_ms"`` (relative, 0 = use the server default).
+    Raises :class:`ProtocolError` on anything malformed.
+    """
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(obj).__name__}")
+    op = obj.get("op")
+    if op not in VALID_OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {list(VALID_OPS)}")
+    if op != "plan":
+        return {"op": op}
+    request_id = obj.get("id", -1)
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ProtocolError(f"id must be an integer, got {request_id!r}")
+    release = obj.get("release", 0)
+    if not isinstance(release, int) or isinstance(release, bool) or release < 0:
+        raise ProtocolError(f"release must be a non-negative integer, got {release!r}")
+    deadline = obj.get("deadline_ms", 0)
+    if not isinstance(deadline, int) or isinstance(deadline, bool) or deadline < 0:
+        raise ProtocolError(
+            f"deadline_ms must be a non-negative integer, got {deadline!r}"
+        )
+    query = Query(
+        _cell(obj.get("origin"), "origin"),
+        _cell(obj.get("dest"), "dest"),
+        release,
+        QueryKind.GENERIC,
+        request_id,
+    )
+    return {"op": "plan", "id": request_id, "query": query, "deadline_ms": deadline}
+
+
+def encode_route(route: Route) -> Dict[str, Any]:
+    return {"start_time": route.start_time, "grids": [list(g) for g in route.grids]}
+
+
+def decode_route(obj: Dict[str, Any], query_id: int = -1) -> Route:
+    return Route(obj["start_time"], [tuple(g) for g in obj["grids"]], query_id)
+
+
+def encode_reply(reply: Reply) -> str:
+    """Serialise one plan reply to its wire line (no trailing newline)."""
+    obj: Dict[str, Any] = {
+        "id": reply.request_id,
+        "status": reply.status.value,
+        "queue_ms": reply.queue_ms,
+    }
+    if reply.rung:
+        obj["rung"] = reply.rung
+    if reply.route is not None:
+        obj["route"] = encode_route(reply.route)
+    if reply.note:
+        obj["note"] = reply.note
+    return json.dumps(obj)
+
+
+def encode_error(note: str, request_id: Optional[int] = None) -> str:
+    obj: Dict[str, Any] = {"status": "error", "note": note}
+    if request_id is not None:
+        obj["id"] = request_id
+    return json.dumps(obj)
+
+
+def encode_stats(snapshot: Dict[str, Any]) -> str:
+    return json.dumps(
+        {"status": "ok", "protocol": PROTOCOL_VERSION, "stats": snapshot},
+        sort_keys=True,
+    )
+
+
+def parse_reply_line(line: str) -> Dict[str, Any]:
+    """Client-side decode of one reply line (used by the load generator)."""
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"reply is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict) or "status" not in obj:
+        raise ProtocolError(f"reply is missing a status: {line!r}")
+    status = obj["status"]
+    known = {s.value for s in ReplyStatus} | {"error", "draining"}
+    if status not in known:
+        raise ProtocolError(f"unknown reply status {status!r}")
+    return obj

@@ -1,0 +1,252 @@
+"""Threaded socket frontend of the planning service.
+
+This is the *only* service module (with :mod:`repro.service.loadgen`)
+where real time is allowed: it reads a monotonic clock, feeds
+integer-millisecond timestamps into the deterministic
+:class:`~repro.service.core.ServiceCore`, and owns every thread and
+socket.  The division of labour:
+
+* **connection handlers** (one thread per connection, stdlib
+  :mod:`socketserver`) parse JSON lines and *admit* plan requests —
+  admission is cheap bookkeeping under the state lock, so a client
+  pipelining requests sees genuine queue pressure (and sheds) instead
+  of being back-pressured by planning;
+* a single **planning worker** drains the admission queue; the
+  expensive ladder runs *outside* the state lock (the planner is only
+  ever touched by this thread), replies are delivered through the
+  per-connection writer callback stored on each request;
+* an optional **telemetry logger** appends a JSONL snapshot of the
+  registry every ``log_interval`` seconds.
+
+Graceful drain: a ``shutdown`` request (or SIGTERM via the CLI) stops
+admission — subsequent ``plan`` requests are shed with a ``"server
+draining"`` note — lets the worker answer everything already queued,
+then closes the listener.  The session trace survives on
+``server.core.trace`` for saving/replay.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+import time
+from typing import BinaryIO, Callable, Optional
+
+from repro.planner_base import Planner
+from repro.service.core import Reply, ReplyStatus, Request, ServiceConfig, ServiceCore
+from repro.service.protocol import (
+    ProtocolError,
+    encode_error,
+    encode_reply,
+    encode_stats,
+    parse_request_line,
+)
+
+WriteLine = Callable[[str], None]
+
+
+class _ThreadedTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ServiceServer:
+    """A long-running planning service on a TCP port.
+
+    Args:
+        planner: the shared planner answering every query (touched only
+            by the single worker thread).
+        config: admission/deadline/ladder tunables.
+        host, port: bind address; port 0 picks a free port (read the
+            actual one from :attr:`port` after :meth:`start`).
+        telemetry_log: optional path; one JSON snapshot line is
+            appended every ``log_interval`` seconds while serving.
+        log_interval: telemetry logging period in seconds.
+    """
+
+    def __init__(
+        self,
+        planner: Planner,
+        config: Optional[ServiceConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry_log: Optional[str] = None,
+        log_interval: float = 5.0,
+    ) -> None:
+        self.core = ServiceCore(planner, config)
+        self.telemetry_log = telemetry_log
+        self.log_interval = log_interval
+        #: guards the core's queue/telemetry/trace state; never held
+        #: across planning
+        self._state = threading.Condition()
+        self._draining = False
+        self.drained = threading.Event()
+        self._started = False
+        self._t0 = time.perf_counter()
+        server = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:  # noqa: N802 (socketserver API)
+                server._handle_connection(self.rfile, self.wfile)
+
+        self._tcp = _ThreadedTCPServer((host, port), Handler)
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def port(self) -> int:
+        return int(self._tcp.server_address[1])
+
+    def clock_ms(self) -> int:
+        """Monotonic milliseconds since server construction."""
+        return int((time.perf_counter() - self._t0) * 1000)
+
+    def start(self) -> "ServiceServer":
+        """Start the listener, the planning worker and the logger."""
+        if self._started:
+            return self
+        self._started = True
+        listener = threading.Thread(
+            target=self._tcp.serve_forever, name="service-listener", daemon=True
+        )
+        worker = threading.Thread(
+            target=self._worker_loop, name="service-worker", daemon=True
+        )
+        self._threads = [listener, worker]
+        if self.telemetry_log:
+            logger = threading.Thread(
+                target=self._logger_loop, name="service-telemetry", daemon=True
+            )
+            self._threads.append(logger)
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent, signal-safe)."""
+        with self._state:
+            self._draining = True
+            self._state.notify_all()
+
+    def stop(self, timeout: float = 30.0) -> bool:
+        """Drain, close the listener and join the worker.
+
+        Returns True when the drain completed within ``timeout``.
+        """
+        self.request_shutdown()
+        clean = self.drained.wait(timeout)
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        return clean
+
+    # -- connection handling -------------------------------------------
+    def _make_writer(self, wfile: BinaryIO, wlock: threading.Lock) -> WriteLine:
+        def write_line(text: str) -> None:
+            payload = (text + "\n").encode("utf-8")
+            with wlock:
+                wfile.write(payload)
+                wfile.flush()
+
+        return write_line
+
+    def _handle_connection(self, rfile: BinaryIO, wfile: BinaryIO) -> None:
+        wlock = threading.Lock()
+        write_line = self._make_writer(wfile, wlock)
+        for raw in rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                request = parse_request_line(line)
+            except ProtocolError as exc:
+                self._safe_write(write_line, encode_error(str(exc)))
+                continue
+            op = request["op"]
+            if op == "ping":
+                self._safe_write(write_line, json.dumps({"status": "ok", "pong": True}))
+            elif op == "stats":
+                with self._state:
+                    snapshot = self.core.stats_snapshot()
+                snapshot["uptime_ms"] = self.clock_ms()
+                self._safe_write(write_line, encode_stats(snapshot))
+            elif op == "shutdown":
+                self._safe_write(write_line, json.dumps({"status": "draining"}))
+                self.request_shutdown()
+            else:  # plan
+                self._admit(request, write_line)
+
+    def _admit(self, parsed: dict, write_line: WriteLine) -> None:
+        now = self.clock_ms()
+        deadline = parsed["deadline_ms"]
+        request = Request(
+            parsed["id"],
+            parsed["query"],
+            arrival_ms=now,
+            deadline_ms=now + deadline if deadline > 0 else 0,
+            client=write_line,
+        )
+        with self._state:
+            if self._draining:
+                self.core.telemetry.incr("requests")
+                self.core.telemetry.incr("shed")
+                reply: Optional[Reply] = Reply(
+                    request.request_id, ReplyStatus.SHED, note="server draining"
+                )
+            else:
+                reply = self.core.submit(request, now)
+                if reply is None:
+                    self._state.notify_all()
+        if reply is not None:  # shed — answered inline
+            self._safe_write(write_line, encode_reply(reply))
+
+    @staticmethod
+    def _safe_write(write_line: WriteLine, text: str) -> None:
+        try:
+            write_line(text)
+        except (OSError, ValueError):
+            pass  # client went away; planning state is unaffected
+
+    # -- worker --------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._state:
+                item = self.core.dequeue(self.clock_ms())
+                if item is None:
+                    if self._draining:
+                        break
+                    self._state.wait(timeout=0.2)
+                    continue
+            # Planning runs outside the lock: only this thread ever
+            # touches the planner, and admission must stay responsive.
+            route, rung, note = self.core.plan_dequeued(item)
+            done = self.clock_ms()
+            with self._state:
+                reply = self.core.record_outcome(item, route, rung, note)
+                self.core.telemetry.observe(
+                    "service_ms", done - item.request.arrival_ms
+                )
+            client = item.request.client
+            if callable(client):
+                self._safe_write(client, encode_reply(reply))
+        self.drained.set()
+
+    # -- telemetry logging ---------------------------------------------
+    def _logger_loop(self) -> None:
+        assert self.telemetry_log is not None
+        while not self.drained.wait(self.log_interval):
+            self._append_log_line()
+        self._append_log_line()  # final snapshot after the drain
+
+    def _append_log_line(self) -> None:
+        with self._state:
+            snapshot = self.core.stats_snapshot()
+        snapshot["uptime_ms"] = self.clock_ms()
+        snapshot["wall_time"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        try:
+            with open(self.telemetry_log, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(snapshot, sort_keys=True) + "\n")
+        except OSError:
+            pass  # telemetry must never take the service down

@@ -28,10 +28,17 @@ _FORMAT_VERSION = 1
 
 @dataclass
 class TraceEntry:
-    """One planned query and its answer."""
+    """One planned query and its answer.
+
+    ``tag`` is free-form provenance: the planning service stamps the
+    degradation-ladder rung that produced the route (``"full"``,
+    ``"cached"``, ``"fallback"``) so a session can be replayed through
+    the exact same rung sequence offline.  Empty for plain recordings.
+    """
 
     query: Query
     route: Route
+    tag: str = ""
 
 
 @dataclass
@@ -132,7 +139,7 @@ def replay_trace(trace: PlannerTrace, planner: Planner) -> ReplayReport:
     deltas: List[int] = []
     for entry in trace.entries:
         route = planner.plan(entry.query)
-        replayed.entries.append(TraceEntry(entry.query, route))
+        replayed.entries.append(TraceEntry(entry.query, route, entry.tag))
         deltas.append(route.duration - entry.route.duration)
     return ReplayReport(trace, replayed, deltas)
 
@@ -160,6 +167,8 @@ def save_trace(trace: PlannerTrace, path: PathLike) -> None:
                 "start_time": r.start_time,
                 "grids": [list(g) for g in r.grids],
             }
+            if entry.tag:
+                record["tag"] = entry.tag
             f.write(json.dumps(record) + "\n")
 
 
@@ -186,5 +195,5 @@ def load_trace(path: PathLike) -> PlannerTrace:
                 [tuple(g) for g in record["grids"]],
                 record["query_id"],
             )
-            trace.entries.append(TraceEntry(query, route))
+            trace.entries.append(TraceEntry(query, route, record.get("tag", "")))
     return trace

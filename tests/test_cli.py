@@ -77,6 +77,78 @@ class TestCommands:
         assert "SRP" in out and "ACP" in out
         assert "OG (s)" in out
 
+    def test_simulate_json_rows(self, capsys):
+        import json
+
+        code = main(
+            [
+                "simulate", "--dataset", "W-1", "--scale", "0.2",
+                "--tasks", "6", "--day", "150", "--planner", "SRP,ACP",
+                "--json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        rows = [json.loads(line) for line in out.splitlines() if line]
+        assert [row["planner"] for row in rows] == ["SRP", "ACP"]
+        for row in rows:
+            assert row["dataset"] == "W-1@0.2"
+            assert row["tasks"] == 6
+            assert row["failed"] == 0
+            assert isinstance(row["og_s"], int)
+            assert isinstance(row["tc_ms"], float)
+
+    def test_serve_and_load_round_trip(self, capsys):
+        import json
+        import threading
+
+        from repro.service.loadgen import request_shutdown
+
+        argv = [
+            "serve", "--dataset", "W-1", "--scale", "0.2",
+            "--port", "0", "--deadline-ms", "200",
+        ]
+        codes = {}
+
+        def run_serve():
+            codes["serve"] = main(argv)
+
+        # cmd_serve installs signal handlers only from the main thread;
+        # patch that out and drain via the wire protocol instead.
+        import repro.cli as cli_mod
+
+        original = cli_mod.signal.signal
+        cli_mod.signal.signal = lambda *a, **k: None
+        try:
+            thread = threading.Thread(target=run_serve, daemon=True)
+            thread.start()
+            import re
+            import time
+
+            port = None
+            for _ in range(200):
+                out = capsys.readouterr().out
+                match = re.search(r"on 127\.0\.0\.1:(\d+)", out)
+                if match:
+                    port = int(match.group(1))
+                    break
+                time.sleep(0.05)
+            assert port, "serve never announced its port"
+            codes["load"] = main(
+                ["load", "--dataset", "W-1", "--scale", "0.2",
+                 "--port", str(port), "--queries", "10", "--rate", "500"]
+            )
+            summary = json.loads(capsys.readouterr().out)
+            assert request_shutdown("127.0.0.1", port)
+            thread.join(timeout=20)
+            assert not thread.is_alive()
+        finally:
+            cli_mod.signal.signal = original
+        assert codes == {"serve": 0, "load": 0}
+        assert summary["replies"] == 10
+        assert summary["protocol_errors"] == 0
+        assert summary["server_stats"]["counters"]["admitted"] == 10
+
 
 class TestPlannerVariantFlags:
     def test_plan_with_bucket_store(self, capsys):

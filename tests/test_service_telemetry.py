@@ -1,0 +1,95 @@
+"""Tests for the service telemetry registry and its histograms."""
+
+from repro.service.telemetry import (
+    DEFAULT_BUCKET_BOUNDS_MS,
+    LatencyHistogram,
+    TelemetryRegistry,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty_percentiles_are_zero(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(50) == 0
+        assert hist.percentile(99) == 0
+        assert hist.snapshot()["count"] == 0
+
+    def test_single_sample_lands_in_its_bucket(self):
+        hist = LatencyHistogram()
+        hist.observe(7)
+        # 7 ms falls in the (5, 10] bucket; every percentile reports
+        # that bucket's upper bound.
+        assert hist.percentile(50) == 10
+        assert hist.percentile(99) == 10
+        assert hist.total == 1 and hist.sum_ms == 7 and hist.max_ms == 7
+
+    def test_percentile_is_bucket_upper_bound(self):
+        hist = LatencyHistogram()
+        for v in [1] * 90 + [400] * 10:
+            hist.observe(v)
+        assert hist.percentile(50) == 1
+        assert hist.percentile(90) == 1
+        assert hist.percentile(95) == 500  # 400 ms sits in (200, 500]
+        assert hist.percentile(99) == 500
+
+    def test_overflow_bucket_reports_observed_max(self):
+        hist = LatencyHistogram()
+        hist.observe(123456)  # beyond the last bound
+        assert hist.percentile(99) == 123456
+        assert hist.counts[-1] == 1
+
+    def test_negative_samples_clamp_to_zero(self):
+        hist = LatencyHistogram()
+        hist.observe(-5)
+        assert hist.sum_ms == 0
+        assert hist.counts[0] == 1
+
+    def test_snapshot_shape(self):
+        hist = LatencyHistogram()
+        for v in (1, 2, 3):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["max_ms"] == 3
+        assert len(snap["buckets"]) == len(DEFAULT_BUCKET_BOUNDS_MS) + 1
+
+    def test_determinism_same_samples_same_snapshot(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for v in (3, 17, 900, 42, 0, 6000):
+            a.observe(v)
+            b.observe(v)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestTelemetryRegistry:
+    def test_counters_and_count(self):
+        reg = TelemetryRegistry()
+        reg.incr("requests")
+        reg.incr("requests", 2)
+        assert reg.count("requests") == 3
+        assert reg.count("missing") == 0
+
+    def test_gauge_tracks_peak(self):
+        reg = TelemetryRegistry()
+        reg.set_gauge("queue_depth", 3)
+        reg.set_gauge("queue_depth", 7)
+        reg.set_gauge("queue_depth", 2)
+        assert reg.gauges["queue_depth"] == 2
+        assert reg.gauges["queue_depth_peak"] == 7
+
+    def test_shed_rate(self):
+        reg = TelemetryRegistry()
+        assert reg.shed_rate() is None
+        reg.incr("requests", 10)
+        reg.incr("shed", 3)
+        assert reg.shed_rate() == (3, 10)
+
+    def test_snapshot_is_sorted_and_merges_extra(self):
+        reg = TelemetryRegistry()
+        reg.incr("zeta")
+        reg.incr("alpha")
+        reg.observe("queue_ms", 4)
+        snap = reg.snapshot(extra={"cache_hit_rate": 0.5})
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        assert snap["planner"] == {"cache_hit_rate": 0.5}
+        assert snap["histograms"]["queue_ms"]["count"] == 1

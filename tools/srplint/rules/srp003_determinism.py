@@ -5,8 +5,12 @@ must produce byte-identical routes on every run and machine — the
 regression gates, the plan-cache equivalence suites, and the fault
 injection replays (seeded ``random.Random``) all depend on it.
 
-Flagged inside ``repro/core/``, ``repro/pathfinding/`` and
-``repro/simulation/faults.py``:
+Flagged inside ``repro/core/``, ``repro/pathfinding/``,
+``repro/simulation/faults.py``, and the deterministic half of the
+planning service (``repro/service/core.py`` and
+``repro/service/telemetry.py`` — the socket frontend ``server.py`` and
+the load generator ``loadgen.py`` are the designated homes for real
+time and stay out of scope):
 
 * wall-clock reads: ``time.time`` / ``time.time_ns`` (``perf_counter``
   is fine — it only feeds *reporting*, never route construction),
@@ -51,7 +55,16 @@ class SRP003Determinism(Rule):
 
     code = "SRP003"
     name = "determinism"
-    scope = ("repro/core/", "repro/pathfinding/", "repro/simulation/faults.py")
+    scope = (
+        "repro/core/",
+        "repro/pathfinding/",
+        "repro/simulation/faults.py",
+        # The planning service keeps its scheduler and telemetry pure:
+        # wall clocks are legal only in the I/O frontend (server.py)
+        # and the load generator (loadgen.py).
+        "repro/service/core.py",
+        "repro/service/telemetry.py",
+    )
 
     def check(self, tree: ast.Module, path: str) -> List[Finding]:
         findings: List[Finding] = []

@@ -140,6 +140,27 @@ class TestEngine:
         assert run_source(source, "src/repro/core/a.py") != []
         assert run_source(source, "src/repro/simulation/a.py") == []
 
+    def test_service_determinism_scope_split(self):
+        """SRP003 covers the service's pure half but not its I/O half.
+
+        The scheduler (``core.py``) and the telemetry registry
+        (``telemetry.py``) must stay wall-clock-free; the socket
+        frontend and the load generator are the designated homes for
+        real time and must stay *out* of scope.
+        """
+        source = "import time\nnow = time.time()\n"
+        in_scope = ("src/repro/service/core.py", "src/repro/service/telemetry.py")
+        out_of_scope = (
+            "src/repro/service/server.py",
+            "src/repro/service/loadgen.py",
+            "src/repro/service/protocol.py",
+        )
+        for path in in_scope:
+            findings = run_source(source, path)
+            assert [f.code for f in findings] == ["SRP003"], path
+        for path in out_of_scope:
+            assert run_source(source, path) == [], path
+
     def test_clean_tree_zero_findings(self):
         """The committed tree must satisfy every invariant — same gate as CI."""
         src = REPO_ROOT / "src"
