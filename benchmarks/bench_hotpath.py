@@ -71,6 +71,7 @@ def cache_counters(planner: SRPPlanner) -> dict:
         "cache_misses": _counter(stats, "cache_misses"),
         "window_hits": _counter(stats, "window_hits"),
         "shift_hits": _counter(stats, "shift_hits"),
+        "band_skips": _counter(stats, "band_skips"),
         "crossing_hits": _counter(stats, "crossing_hits"),
         "crossing_misses": _counter(stats, "crossing_misses"),
     }
@@ -109,16 +110,66 @@ def make_queries(warehouse, n: int, day_length: int, seed: int) -> List[Query]:
     return queries
 
 
-def make_planner(warehouse, use_cache: bool) -> SRPPlanner:
-    """Build an SRP planner, tolerating older code without ``cache``."""
+def make_planner(
+    warehouse, use_cache: bool, store_layout: Optional[str] = None
+) -> SRPPlanner:
+    """Build an SRP planner, tolerating older code without newer kwargs."""
+    kwargs = {"cache": use_cache}
+    if store_layout is not None:
+        kwargs["store_layout"] = store_layout
+    while True:
+        try:
+            return SRPPlanner(warehouse, **kwargs)
+        except TypeError:  # older checkout without this kwarg
+            if "store_layout" in kwargs:
+                del kwargs["store_layout"]
+            elif "cache" in kwargs:  # pre-cache checkout (e.g. the seed)
+                del kwargs["cache"]
+            else:
+                raise
+
+
+def time_breakdown(planner: SRPPlanner) -> dict:
+    """Per-layer seconds of one planned stream (zeros on old checkouts).
+
+    ``store_scan`` is the intra-strip share that did real store work:
+    total intra time minus the time spent returning plan-cache hits.
+    """
+    stats = planner.stats
+    intra = float(getattr(stats, "intra_time", 0.0))
+    cache_t = float(getattr(stats, "cache_time", 0.0))
+    return {
+        "store_scan_s": max(0.0, intra - cache_t),
+        "cache_s": cache_t,
+        "dijkstra_s": float(getattr(stats, "inter_time", 0.0)),
+        "conversion_s": float(getattr(stats, "conversion_time", 0.0)),
+    }
+
+
+def memory_footprint(planner: SRPPlanner) -> dict:
+    """Planning-state bytes, overall and per strip with committed traffic."""
     try:
-        return SRPPlanner(warehouse, cache=use_cache)
-    except TypeError:  # pre-cache checkout (e.g. the seed)
-        return SRPPlanner(warehouse)
+        from repro.analysis.sizeof import deep_sizeof
+    except ImportError:  # pragma: no cover - only on old checkouts
+        return {}
+    stores = getattr(planner, "stores", None)
+    if stores is None or not hasattr(planner, "planning_state"):
+        return {}
+    active = sum(1 for _ in stores.active_items())
+    total = deep_sizeof(planner.planning_state())
+    return {
+        "state_bytes": total,
+        "active_strips": active,
+        "bytes_per_strip": total // max(1, active),
+    }
 
 
 def run_stream(
-    warehouse, queries: List[Query], use_cache: bool, prune_every: int = 512
+    warehouse,
+    queries: List[Query],
+    use_cache: bool,
+    prune_every: int = 512,
+    store_layout: Optional[str] = None,
 ) -> Tuple[List[Optional[Tuple[int, tuple]]], float, float, SRPPlanner]:
     """Plan the stream online.
 
@@ -127,7 +178,7 @@ def run_stream(
     time because frequency throttling on busy machines skews wall-clock
     comparisons by tens of percent while CPU time stays stable.
     """
-    planner = make_planner(warehouse, use_cache)
+    planner = make_planner(warehouse, use_cache, store_layout)
     fingerprints: List[Optional[Tuple[int, tuple]]] = []
     last_prune = 0
     started = time.perf_counter()
@@ -147,9 +198,11 @@ def run_stream(
     return fingerprints, elapsed, cpu_elapsed, planner
 
 
-def run_faulted_day(warehouse, tasks, faults, use_cache: bool):
+def run_faulted_day(
+    warehouse, tasks, faults, use_cache: bool, store_layout: Optional[str] = None
+):
     """One disturbed simulated day; returns route fingerprints + timings."""
-    planner = make_planner(warehouse, use_cache)
+    planner = make_planner(warehouse, use_cache, store_layout)
     sim = Simulation(
         warehouse, planner, tasks,
         validate=False, measure_memory=False, faults=faults,
@@ -164,7 +217,8 @@ def run_faulted_day(warehouse, tasks, faults, use_cache: bool):
 
 
 def bench_faulted(warehouse, n_tasks: int, day_length: int, seed: int,
-                  repeats: int = 1) -> Optional[dict]:
+                  repeats: int = 1,
+                  store_layout: Optional[str] = None) -> Optional[dict]:
     """Cache-on vs cache-off over a seeded faulted day (PR 3 recovery path).
 
     The interesting gate here is bit-identity *across decommit/replan*:
@@ -190,14 +244,14 @@ def bench_faulted(warehouse, n_tasks: int, day_length: int, seed: int,
     planner = result = None
     for _ in range(max(1, repeats)):
         routes_off, elapsed, cpu, _, _ = run_faulted_day(
-            warehouse, tasks, faults, use_cache=False
+            warehouse, tasks, faults, use_cache=False, store_layout=store_layout
         )
         if secs_off is None or elapsed < secs_off:
             secs_off = elapsed
         if cpu_off is None or cpu < cpu_off:
             cpu_off = cpu
         routes_on, elapsed, cpu, planner, result = run_faulted_day(
-            warehouse, tasks, faults, use_cache=True
+            warehouse, tasks, faults, use_cache=True, store_layout=store_layout
         )
         if secs_on is None or elapsed < secs_on:
             secs_on = elapsed
@@ -226,6 +280,7 @@ def bench_layout(
     day_length: int,
     seed: int,
     repeats: int = 3,
+    store_layout: Optional[str] = None,
 ):
     warehouse = datasets.dataset_by_name(layout, scale=scale)
     queries = make_queries(warehouse, n_queries, day_length, seed)
@@ -235,14 +290,18 @@ def bench_layout(
     # a single back-to-back pair by tens of percent.
     secs_off = secs_on = cpu_off = cpu_on = None
     routes_off = routes_on = None
-    planner = None
+    planner = planner_off = None
     for _ in range(max(1, repeats)):
-        routes_off, elapsed, cpu, _ = run_stream(warehouse, queries, use_cache=False)
+        routes_off, elapsed, cpu, planner_off = run_stream(
+            warehouse, queries, use_cache=False, store_layout=store_layout
+        )
         if secs_off is None or elapsed < secs_off:
             secs_off = elapsed
         if cpu_off is None or cpu < cpu_off:
             cpu_off = cpu
-        routes_on, elapsed, cpu, planner = run_stream(warehouse, queries, use_cache=True)
+        routes_on, elapsed, cpu, planner = run_stream(
+            warehouse, queries, use_cache=True, store_layout=store_layout
+        )
         if secs_on is None or elapsed < secs_on:
             secs_on = elapsed
         if cpu_on is None or cpu < cpu_on:
@@ -254,6 +313,7 @@ def bench_layout(
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "layout": layout,
         "scale": scale,
+        "store_layout": getattr(planner, "store_layout", "object"),
         "n_queries": len(queries),
         "day_length": day_length,
         "seed": seed,
@@ -269,6 +329,11 @@ def bench_layout(
         "routes_identical": identical,
     }
     record.update(cache_counters(planner))
+    # Per-layer seconds of the *last* repeat each (fresh planner per
+    # repeat, so these are one stream's worth, not best-of-N).
+    record["time_breakdown_cached"] = time_breakdown(planner)
+    record["time_breakdown_uncached"] = time_breakdown(planner_off)
+    record.update(memory_footprint(planner))
 
     # The disturbed-day leg exercises the decommit/replan recovery path:
     # cached certificates must survive (or invalidate exactly) across
@@ -280,6 +345,7 @@ def bench_layout(
         day_length=day_length,
         seed=seed,
         repeats=1,
+        store_layout=store_layout,
     )
     if faulted is not None:
         record["faulted"] = faulted
@@ -291,9 +357,10 @@ def summary_markdown(records: List[dict]) -> str:
     lines = [
         "### Hot-path benchmark",
         "",
-        "| layout | speedup (cache) | hit rate | window hits | shift hits |"
-        " crossing hits | dmap hits/misses | routes identical | faulted day |",
-        "|---|---|---|---|---|---|---|---|---|",
+        "| layout | store layout | speedup (cache) | hit rate | window hits |"
+        " shift hits | crossing hits | dmap hits/misses | bytes/strip |"
+        " routes identical | faulted day |",
+        "|---|---|---|---|---|---|---|---|---|---|---|",
     ]
     for rec in records:
         dmaps = rec.get("distance_maps") or {}
@@ -307,10 +374,13 @@ def summary_markdown(records: List[dict]) -> str:
                 faulted["speedup_cache"],
             )
         lines.append(
-            "| {layout} ({scale}) | {speedup:.3f}x | {rate:.1%} | {window} |"
-            " {shift} | {crossing} | {dh}/{dm} | {identical} | {faulted} |".format(
+            "| {layout} ({scale}) | {store_layout} | {speedup:.3f}x | {rate:.1%} |"
+            " {window} | {shift} | {crossing} | {dh}/{dm} | {bps} |"
+            " {identical} | {faulted} |".format(
                 layout=rec["layout"],
                 scale=rec["scale"],
+                store_layout=rec.get("store_layout", "object"),
+                bps=rec.get("bytes_per_strip", "?"),
                 speedup=rec["speedup_cache"],
                 rate=rec["cache_hit_rate"],
                 window=rec["window_hits"],
@@ -337,6 +407,12 @@ def main(argv=None) -> int:
     parser.add_argument("--queries", type=int, default=500, help="stream length")
     parser.add_argument("--day", type=int, default=800, help="release-time span (s)")
     parser.add_argument("--seed", type=int, default=97)
+    parser.add_argument(
+        "--store-layout",
+        default=None,
+        choices=("object", "columnar"),
+        help="physical store layout (default: the planner's own default)",
+    )
     parser.add_argument(
         "--repeats",
         type=int,
@@ -374,7 +450,8 @@ def main(argv=None) -> int:
     for layout in args.layouts.split(","):
         layout = layout.strip()
         record = bench_layout(
-            layout, args.scale, args.queries, args.day, args.seed, args.repeats
+            layout, args.scale, args.queries, args.day, args.seed, args.repeats,
+            store_layout=args.store_layout,
         )
         records.append(record)
         print(json.dumps(record, indent=2, sort_keys=True))

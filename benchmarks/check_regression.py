@@ -47,7 +47,12 @@ from benchmarks.conftest import (  # noqa: E402
 )
 
 #: record fields that must match for two runs to be comparable
-CONFIG_KEYS = ("layout", "scale", "n_queries", "day_length", "seed")
+CONFIG_KEYS = ("layout", "scale", "n_queries", "day_length", "seed", "store_layout")
+
+#: values assumed for config fields absent from old records — trajectory
+#: entries written before the columnar layout existed were measured on
+#: the object-backed stores
+CONFIG_DEFAULTS = {"store_layout": "object"}
 
 #: likewise for service-soak records (BENCH_service.json)
 SERVICE_CONFIG_KEYS = (
@@ -68,9 +73,18 @@ def load_records(path: str = BENCH_HOTPATH_PATH):
 
 
 def find_baseline(records, fresh: dict, keys=CONFIG_KEYS):
-    """The most recent record matching ``fresh``'s configuration."""
+    """The most recent record matching ``fresh``'s configuration.
+
+    Comparisons are like-for-like: a columnar run only gates against a
+    columnar baseline (missing fields fall back to
+    :data:`CONFIG_DEFAULTS` so pre-columnar records read as "object").
+    """
     for record in reversed(records):
-        if all(record.get(k) == fresh.get(k) for k in keys):
+        if all(
+            record.get(k, CONFIG_DEFAULTS.get(k))
+            == fresh.get(k, CONFIG_DEFAULTS.get(k))
+            for k in keys
+        ):
             return record
     return None
 
@@ -277,6 +291,12 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=97)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--store-layout",
+        default=None,
+        choices=("object", "columnar"),
+        help="physical store layout (default: the planner's own default)",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=0.2,
@@ -323,7 +343,8 @@ def main(argv=None) -> int:
     for layout in args.layouts.split(","):
         layout = layout.strip()
         fresh = bench_layout(
-            layout, args.scale, args.queries, args.day, args.seed, args.repeats
+            layout, args.scale, args.queries, args.day, args.seed, args.repeats,
+            store_layout=args.store_layout,
         )
         fresh.setdefault("machine", machine_fingerprint())
         if not fresh["routes_identical"]:

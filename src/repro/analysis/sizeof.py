@@ -49,6 +49,12 @@ def deep_sizeof(obj: Any) -> int:
             if cur.base is not None:
                 stack.append(cur.base)
             continue
+        if isinstance(cur, memoryview):
+            # A view is a handle; the bytes live in the exporting object
+            # (e.g. the flat column of an array-backed store).
+            total += sys.getsizeof(cur)
+            stack.append(cur.obj)
+            continue
         total += sys.getsizeof(cur)
         if isinstance(cur, dict):
             stack.extend(cur.keys())
@@ -58,10 +64,18 @@ def deep_sizeof(obj: Any) -> int:
         elif is_dataclass(cur) and not isinstance(cur, type):
             for f in fields(cur):
                 stack.append(getattr(cur, f.name))
-        elif hasattr(cur, "__dict__"):
-            stack.append(cur.__dict__)
-        elif hasattr(cur, "__slots__"):
-            for slot in cur.__slots__:
-                if hasattr(cur, slot):
-                    stack.append(getattr(cur, slot))
+        else:
+            # An object can have BOTH a __dict__ and slot attributes
+            # (a slotted subclass of an unslotted base), and its slots
+            # can be spread across the MRO — walk all of them, or the
+            # array columns of a columnar store would go uncounted.
+            if hasattr(cur, "__dict__"):
+                stack.append(cur.__dict__)
+            for klass in type(cur).__mro__:
+                slots = klass.__dict__.get("__slots__", ())
+                if isinstance(slots, str):
+                    slots = (slots,)
+                for slot in slots:
+                    if slot != "__dict__" and hasattr(cur, slot):
+                        stack.append(getattr(cur, slot))
     return total

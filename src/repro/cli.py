@@ -44,9 +44,17 @@ from repro.warehouse import load_warehouse
 PLANNER_NAMES = ("SRP", "SAP", "RP", "TWP", "ACP")
 
 
-def _make_planner(name: str, warehouse, store: str = "slope", exact: bool = False):
+def _make_planner(
+    name: str,
+    warehouse,
+    store: str = "slope",
+    exact: bool = False,
+    store_layout: str | None = None,
+):
     if name == "SRP":
-        return SRPPlanner(warehouse, store=store, intra_exact=exact)
+        return SRPPlanner(
+            warehouse, store=store, store_layout=store_layout, intra_exact=exact
+        )
     return make_baseline(name, warehouse)
 
 
@@ -102,7 +110,7 @@ def _report_failure(kind: str, exc) -> int:
 
 def cmd_plan(args) -> int:
     warehouse = _load_warehouse(args)
-    planner = _make_planner(args.planner, warehouse, args.store, args.exact)
+    planner = _make_planner(args.planner, warehouse, args.store, args.exact, args.store_layout)
     query = Query(args.origin, args.dest, args.time)
     try:
         route = planner.plan(query)
@@ -139,7 +147,7 @@ def cmd_simulate(args) -> int:
     rows = []
     for name in args.planner.split(","):
         name = name.strip().upper()
-        planner = _make_planner(name, warehouse, args.store, args.exact)
+        planner = _make_planner(name, warehouse, args.store, args.exact, args.store_layout)
         try:
             result = run_day(
                 warehouse, planner, tasks, validate=args.validate, faults=faults
@@ -216,7 +224,7 @@ def cmd_serve(args) -> int:
     from repro.tracing import save_trace
 
     warehouse = _load_warehouse(args)
-    planner = _make_planner(args.planner, warehouse, args.store, args.exact)
+    planner = _make_planner(args.planner, warehouse, args.store, args.exact, args.store_layout)
     config = ServiceConfig(
         queue_capacity=args.queue_cap,
         default_deadline_ms=args.deadline_ms,
@@ -298,6 +306,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--planner", default="SRP", choices=PLANNER_NAMES)
     p_plan.add_argument("--store", default="slope", choices=("slope", "naive", "bucket"),
                         help="SRP segment-store backend")
+    p_plan.add_argument("--store-layout", default=None, choices=("object", "columnar"),
+                        help="physical store layout (default: columnar for --store slope, object otherwise)")
     p_plan.add_argument("--exact", action="store_true",
                         help="use the exact intra-strip search (SRP only)")
     p_plan.add_argument("--verbose", action="store_true", help="print every grid")
@@ -312,6 +322,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated planner names (default SRP)")
     p_sim.add_argument("--store", default="slope", choices=("slope", "naive", "bucket"),
                        help="SRP segment-store backend")
+    p_sim.add_argument("--store-layout", default=None, choices=("object", "columnar"),
+                       help="physical store layout (default: columnar for --store slope, object otherwise)")
     p_sim.add_argument("--exact", action="store_true",
                        help="use the exact intra-strip search (SRP only)")
     p_sim.add_argument("--validate", action="store_true",
@@ -334,6 +346,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--store", default="slope",
                          choices=("slope", "naive", "bucket"),
                          help="SRP segment-store backend")
+    p_serve.add_argument("--store-layout", default=None, choices=("object", "columnar"),
+                         help="physical store layout (default: columnar for --store slope, object otherwise)")
     p_serve.add_argument("--exact", action="store_true",
                          help="use the exact intra-strip search (SRP only)")
     p_serve.add_argument("--host", default="127.0.0.1")

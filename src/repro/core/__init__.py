@@ -10,6 +10,9 @@ Modules map one-to-one onto the paper's sections:
   (Section V-B);
 * :mod:`repro.core.slope_index` — slope-based segment indexing
   (Section V-D, Algorithm 3);
+* :mod:`repro.core.columnar_store` — the array-backed columnar layout
+  of the slope index (an engineering extension; routes are bit-identical
+  to the object-backed stores);
 * :mod:`repro.core.intra_strip` — backtracking route search within a
   strip (Section V-C, Algorithm 2);
 * :mod:`repro.core.inter_strip` — Dijkstra over the strip graph with
@@ -25,6 +28,7 @@ Modules map one-to-one onto the paper's sections:
   public entry point.
 """
 
+from repro.core.columnar_store import ColumnarSegmentStore
 from repro.core.intra_strip import IntraPlan, plan_within_strip
 from repro.core.naive_store import NaiveSegmentStore
 from repro.core.plan_cache import PlanCache
@@ -48,6 +52,7 @@ __all__ = [
     "TransitRange",
     "build_strip_graph",
     "Segment",
+    "ColumnarSegmentStore",
     "NaiveSegmentStore",
     "PlanCache",
     "SlopeIndexedStore",

@@ -36,18 +36,16 @@ def plan_to_route(graph: StripGraph, plan: RoutePlan) -> Route:
     """
     grids: List[Grid] = [plan.origin]
     t = plan.start_time
-
-    def advance_to(target_t: int, grid: Grid) -> None:
-        nonlocal t
-        while t < target_t:
-            grids.append(grid)
-            t += 1
+    anchors = graph.anchors
 
     for leg in plan.legs:
         strip = graph.strips[leg.strip]
         if leg.entry is not None:
             # Wait at the previous cell until the crossing second ...
-            advance_to(leg.entry.time - 1, grids[-1])
+            pause = leg.entry.time - 1 - t
+            if pause > 0:
+                grids.extend([grids[-1]] * pause)
+                t += pause
             # ... then step across the boundary.
             grids.append(leg.entry.to_cell)
             t += 1
@@ -59,12 +57,24 @@ def plan_to_route(graph: StripGraph, plan: RoutePlan) -> Route:
                     release_time=plan.start_time,
                     phase="conversion",
                 )
+            # Whole-segment extension — one batch per segment instead of
+            # a grid_at call per simulated second.
             step = seg.slope
-            pos = seg.p0
-            for _ in range(seg.duration):
-                pos += step
-                grids.append(strip.grid_at(pos) if step else grids[-1])
-                t += 1
+            duration = seg.duration
+            if step == 0:
+                grids.extend([grids[-1]] * duration)
+            else:
+                ai, aj, lat = anchors[leg.strip]
+                pos = seg.p0
+                if lat:
+                    grids.extend(
+                        (ai, aj + pos + step * k) for k in range(1, duration + 1)
+                    )
+                else:
+                    grids.extend(
+                        (ai + pos + step * k, aj) for k in range(1, duration + 1)
+                    )
+            t += duration
     if t != plan.arrival_time or grids[-1] != plan.destination:
         raise PlanningFailedError(
             f"plan materialised to time {t}, grid {grids[-1]}; expected "

@@ -31,7 +31,7 @@ from __future__ import annotations
 import heapq
 import time as _time
 from dataclasses import dataclass
-from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple, Union
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.intra_strip import IntraPlan, plan_within_strip
 from repro.core.intra_strip_exact import plan_within_strip_exact
@@ -46,7 +46,10 @@ from repro.core.plan_cache import (
     free_flow_plan,
 )
 from repro.core.segments import Segment, make_wait
+# _entry_clear_time moved to store_base (the batched occupancy scans
+# need it); re-exported here for its long-standing import path.
 from repro.core.store_base import SegmentStore
+from repro.core.store_base import _entry_clear_time as _entry_clear_time
 from repro.core.strips import StripGraph
 from repro.types import Grid, Query, manhattan
 
@@ -54,14 +57,26 @@ from repro.types import Grid, Query, manhattan
 #: and at to_cell at time.
 CrossingKey = Tuple[Grid, Grid, int]
 
-#: Largest store (segment count) against which window / shift
-#: certificates are minted and probed.  Certification scans the store,
-#: so on congested strips it costs as much as the search it tries to
-#: save while the next commit kills the certificate anyway; small
-#: stores scan cheaply and their certificates live long enough to pay.
-#: Purely a performance throttle — both sides of the bound produce
-#: bit-identical routes.
+#: Largest *object-backed* store (segment count) against which window /
+#: shift certificates are minted and probed.  Certification scans the
+#: store, so on congested strips it costs as much as the search it
+#: tries to save while the next commit kills the certificate anyway;
+#: small stores scan cheaply and their certificates live long enough to
+#: pay.  Stores advertising :attr:`SegmentStore.cheap_scans` (the
+#: columnar layout, whose band interval index answers ``free_window``
+#: incrementally and whose ``band_signature`` is one vectorised mask)
+#: skip the throttle entirely — certificate coverage no longer dies on
+#: busy strips there.  Purely a performance gate — either side of it
+#: produces bit-identical routes.
 _CERT_STORE_MAX = 16
+
+#: Largest :meth:`SegmentStore.scan_cost_hint` of a probe region against
+#: which a certificate (or a crossing memo entry) is still minted.  For
+#: object-backed stores the hint is the store size, so together with the
+#: ``_CERT_STORE_MAX`` probe gate this reproduces the per-store throttle
+#: exactly; the columnar layout's hint counts band-index entries near
+#: the probe, making the throttle per-region instead of per-store.
+_MINT_SCAN_MAX = 32
 
 
 @dataclass(frozen=True)
@@ -94,6 +109,9 @@ class SearchStats:
     """Counters filled during one plan_route call."""
 
     intra_time: float = 0.0  # srplint: allow-float perf_counter seconds, reporting only
+    #: portion of intra_time spent answering calls from the plan cache's
+    #: certificate/key layers (hits only; always <= intra_time)
+    cache_time: float = 0.0  # srplint: allow-float perf_counter seconds, reporting only
     intra_calls: int = 0
     intra_expansions: int = 0
     strips_popped: int = 0
@@ -109,6 +127,9 @@ class SearchStats:
     crossing_hits: int = 0
     #: boundary-crossing searches that ran the real wait loop
     crossing_misses: int = 0
+    #: intra-strip searches answered free-flow straight from the store's
+    #: band interval index (no cache involved; works cache-off too)
+    band_skips: int = 0
 
 
 @dataclass(frozen=True)
@@ -164,7 +185,7 @@ class RoutePlan:
     arrival_time: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _Label:
     arrival: int
     pos: int
@@ -172,20 +193,6 @@ class _Label:
     leg_segments: List[Segment]
     entry: Optional[CrossingEntry]
     settled: bool = False
-
-
-def _entry_clear_time(obstacle: Segment, pos: int, t_from: int) -> int:
-    """Earliest arrival >= ``t_from`` at ``pos`` clearing ``obstacle``.
-
-    Pure geometry against the single known blocking segment: a waiting
-    obstacle at the cell clears when it ends; a moving obstacle clears
-    one second after it passes the cell.
-    """
-    if obstacle.slope == 0:
-        return max(t_from, obstacle.t1 + 1)
-    # A unit-slope obstacle passes `pos` at exactly one integer second.
-    t_pass = (pos - obstacle.intercept) * obstacle.slope
-    return max(t_from, t_pass + 1)
 
 
 def _nearest_transit(
@@ -272,6 +279,19 @@ class _Search:
         store = self.stores[strip]
         entries = self._cache_entries
         stats = self.stats
+        if self._windows_ok and store.cheap_scans and len(store) != 0:
+            lo_b, hi_b = (origin, dest) if origin <= dest else (dest, origin)
+            if t > store.last_end or store.band_clear(lo_b, hi_b, t, t + hi_b - lo_b):
+                # Band-index free-flow fast path — no cache involved, so
+                # it fires identically cache-on and cache-off.  Nothing
+                # stored can touch the probe rectangle (the band index
+                # certified the negative), so the greedy search's first
+                # collision probe would come back clean and it would
+                # return exactly this direct free-flow plan.
+                stats.band_skips += 1
+                stats.intra_calls += 1
+                stats.intra_time += _time.perf_counter() - started
+                return free_flow_plan(t, origin, dest)
         if entries is not None and (len(store) != 0 or self._exact):
             # Planning through an empty strip is already O(1) (a single
             # free-flow segment), so the cache only engages where there
@@ -281,7 +301,8 @@ class _Search:
             # never stale; see repro.core.plan_cache.
             version = store.version
             if not self._exact:
-                if self._windows_ok and t > store.last_end:
+                cheap = store.cheap_scans
+                if self._windows_ok and not cheap and t > store.last_end:
                     # O(1) degenerate free-flow window: every segment
                     # ever committed here ends before t (last_end is a
                     # monotone high-water mark, so this is sound even
@@ -290,14 +311,19 @@ class _Search:
                     stats.cache_hits += 1
                     stats.window_hits += 1
                     stats.intra_calls += 1
-                    stats.intra_time += _time.perf_counter() - started
+                    elapsed = _time.perf_counter() - started
+                    stats.intra_time += elapsed
+                    stats.cache_time += elapsed
                     return free_flow_plan(t, origin, dest)
-                if len(store) <= _CERT_STORE_MAX:
+                if cheap or len(store) <= _CERT_STORE_MAX:
                     # Certificates are only ever filed against small
                     # stores (see _memoise), so skip both probes — two
                     # tuple builds and dict gets per call — when the
                     # store has outgrown the certification bound.
-                    if self._windows_ok:
+                    # Columnar stores mint no window certificates (the
+                    # band fast path above covers free-flow), so their
+                    # window probe is skipped too.
+                    if self._windows_ok and not cheap:
                         windows = entries.get(
                             (WINDOW_TAG, strip, origin, dest, version)
                         )
@@ -308,7 +334,9 @@ class _Search:
                                     stats.cache_hits += 1
                                     stats.window_hits += 1
                                     stats.intra_calls += 1
-                                    stats.intra_time += _time.perf_counter() - started
+                                    elapsed = _time.perf_counter() - started
+                                    stats.intra_time += elapsed
+                                    stats.cache_time += elapsed
                                     return free_flow_plan(t, origin, dest)
                     skey = (SHIFT_TAG, strip, origin, dest, t)
                     cert = entries.get(skey)
@@ -332,7 +360,9 @@ class _Search:
                             stats.cache_hits += 1
                             stats.shift_hits += 1
                             stats.intra_calls += 1
-                            stats.intra_time += _time.perf_counter() - started
+                            elapsed = _time.perf_counter() - started
+                            stats.intra_time += elapsed
+                            stats.cache_time += elapsed
                             return decode_plan(encoded)
                     key = (strip, origin, dest, t, version)
                 # Stores past the certification bound get no per-second
@@ -352,7 +382,9 @@ class _Search:
                     else:
                         stats.cache_hits += 1
                         plan = decode_plan(cached)
-                    stats.intra_time += _time.perf_counter() - started
+                    elapsed = _time.perf_counter() - started
+                    stats.intra_time += elapsed
+                    stats.cache_time += elapsed
                     stats.intra_calls += 1
                     return plan
             stats.cache_misses += 1
@@ -417,7 +449,25 @@ class _Search:
         if plan is None or self._exact:
             cache.put(key, None if plan is None else encode_plan(plan))
             return
+        if plan.expansions <= 1 and self._windows_ok and store.cheap_scans:
+            # The band interval index already re-derives free-flow
+            # answers in O(log n) at probe time (the fast path in
+            # ``_intra``), with zero invalidation cost — a window
+            # certificate could only duplicate coverage the index
+            # serves for free, so columnar stores mint none.  Checked
+            # before the hint scan: this is the overwhelmingly common
+            # miss on columnar stores.
+            return
         lo, hi = (origin, dest) if origin <= dest else (dest, origin)
+        if (
+            store.scan_cost_hint(lo, hi, t, plan.arrival_time + self.config.max_wait)
+            > _MINT_SCAN_MAX
+        ):
+            # Certification against this region would scan more entries
+            # than the hits it could plausibly serve — and a certificate
+            # minted against a region this dense dies on the next commit
+            # anyway.  Skipping minting never changes routes.
+            return
         if plan.expansions <= 1 and self._windows_ok:
             window = store.free_window(lo, hi, t, plan.arrival_time)
             if window is not None:
@@ -452,10 +502,11 @@ class _Search:
         two stores' content versions plus the crossing ledger's — the
         whole result is determined by the arrival second, so the memo
         stores a single int (or ``None`` for a failed crossing).  The
-        memo follows the same size throttle as the intra certificates
-        (:data:`_CERT_STORE_MAX`): against congested stores the key dies
-        on the next commit, so building and hashing the 9-tuple per
-        evaluation costs more than the hits it could serve.
+        memo keeps the plain :data:`_CERT_STORE_MAX` size throttle for
+        every layout: its key embeds both store versions, so against
+        congested stores it dies on the next commit and building and
+        hashing the 9-tuple per evaluation costs more than the hits it
+        could serve.
         """
         started = _time.perf_counter()
         try:
@@ -479,8 +530,29 @@ class _Search:
                     t + 1, from_cell, to_cell, Segment(t + 1, to_pos, t + 1, to_pos)
                 )
                 return None, entry, t + 1
+            if (
+                from_store.cheap_scans
+                and to_store.cheap_scans
+                and (to_cell, from_cell, t + 1) not in self.crossings
+                and (t > from_store.last_end
+                     or from_store.band_clear(from_pos, from_pos, t, t))
+                and (t + 1 > to_store.last_end
+                     or to_store.band_clear(to_pos, to_pos, t + 1, t + 1))
+            ):
+                # Band fast path: nobody stands at the departure cell at
+                # ``t``, the entry cell is free at ``t + 1`` and no
+                # opposing crossing is committed — the wait loop below
+                # would find exactly this immediate step (its occupancy
+                # scan can only block the *departure* second, which the
+                # band certified clear).  Two single-band probes replace
+                # two full store scans.
+                entry = CrossingEntry(
+                    t + 1, from_cell, to_cell, Segment(t + 1, to_pos, t + 1, to_pos)
+                )
+                return None, entry, t + 1
             memo_key = None
             entries = self._cache_entries
+            max_wait = self.config.max_wait
             if (
                 entries is not None
                 and self._crossings_versioned
@@ -520,30 +592,28 @@ class _Search:
             if len(from_store) == 0:
                 wait_blocked = None
             else:
-                wait_probe = make_wait(t, from_pos, self.config.max_wait)
-                wait_blocked = from_store.earliest_block(wait_probe)
+                # Standing at the transit cell only collides at occupied
+                # seconds, so the batched occupancy scan answers the full
+                # wait window in one store call.
+                wait_blocked = from_store.first_occupied(from_pos, t, t + max_wait)
             if wait_blocked is not None and wait_blocked <= t:
                 if memo_key is not None:
                     assert self.cache is not None
                     self.cache.put(memo_key, None)
                 return None  # cannot even stand at the transit cell
-            latest_leave = (
-                t + self.config.max_wait if wait_blocked is None else wait_blocked - 1
-            )
-            leave = t
-            while leave <= latest_leave:
-                arrival = leave + 1
+            latest_leave = t + max_wait if wait_blocked is None else wait_blocked - 1
+            # Batched entry scan: the first arrival second the target
+            # strip leaves the entry cell free, jumping past blocking
+            # segments inside the store instead of probing one second at
+            # a time from Python.
+            arrival = to_store.clear_entry_time(to_pos, t + 1, latest_leave + 1)
+            while arrival is not None and (to_cell, from_cell, arrival) in self.crossings:
+                # Exact boundary swap with a committed route: resume the
+                # scan one second later.
+                arrival = to_store.clear_entry_time(to_pos, arrival + 1, latest_leave + 1)
+            if arrival is not None:
+                wait = make_wait(t, from_pos, arrival - 1 - t) if arrival - 1 > t else None
                 point = Segment(arrival, to_pos, arrival, to_pos)
-                hit = to_store.earliest_conflict(point)
-                if hit is not None:
-                    # Jump the departure past the blocking segment instead
-                    # of probing one second at a time.
-                    leave = max(leave + 1, _entry_clear_time(hit[1], to_pos, arrival) - 1)
-                    continue
-                if (to_cell, from_cell, arrival) in self.crossings:
-                    leave += 1  # exact boundary swap with a committed route
-                    continue
-                wait = make_wait(t, from_pos, leave - t) if leave > t else None
                 entry = CrossingEntry(arrival, from_cell, to_cell, point)
                 if memo_key is not None and arrival > t + 1:
                     # Only delayed crossings are worth memoising: they
@@ -569,26 +639,29 @@ class _Search:
             return RoutePlan(t0, ori, dst, [], t0)
 
         labels: Dict[int, _Label] = {}
-        # Entries: (key, seq, kind, payload); kind 0 settles a strip
-        # label, kind 1 lazily evaluates one edge (u, v, tp, vp).  Edge
-        # keys are admissible lower bounds (free-flow transit + hop), so
-        # expensive intra-strip planning only runs for edges that are
-        # actually competitive — lazy edge evaluation.
-        # kind-0 payload is the strip index, kind-1 the edge stub tuple
-        heap: List[Tuple[int, int, int, int, Union[int, Tuple[int, int, int, int, int]]]] = []
+        # Entries: (key, -arrival, seq, kind, *payload); kind 0 settles a
+        # strip label, kind 1 lazily evaluates one edge (u, v, tp, vp).
+        # Edge keys are admissible lower bounds (free-flow transit +
+        # hop), so expensive intra-strip planning only runs for edges
+        # that are actually competitive — lazy edge evaluation.  Stubs
+        # are flattened into the heap tuple itself (arity 9 vs the
+        # settle entries' 5): ``seq`` is unique, so tuple comparison
+        # never reads past index 2 and the mixed arities are safe.
+        heap: List[Tuple[int, ...]] = []
         seq = 0
 
         di, dj = dst
         use_h = self.config.use_heuristic
-        anchors = graph.anchors
+        # h(v, vp) = hK[v] + |vp + hM[v]| — see StripGraph.heuristic_tables.
+        if use_h:
+            hK, hM = graph.heuristic_tables(di, dj)
+        else:
+            hK = hM = []
 
         def heuristic(strip: int, pos: int) -> int:
             if not use_h:
                 return 0
-            ai, aj, lat = anchors[strip]
-            if lat:
-                return abs(ai - di) + abs(aj + pos - dj)
-            return abs(ai + pos - di) + abs(aj - dj)
+            return hK[strip] + abs(pos + hM[strip])
 
         def push(strip: int, label: _Label) -> None:
             nonlocal seq
@@ -695,6 +768,8 @@ class _Search:
         # else at the strip level.
         aisle_adjacency = graph._aisle_adjacency
         heappush = heapq.heappush
+        stats = self.stats
+        labels_get = labels.get
 
         def settle(u: int) -> None:
             """Pop handler for a strip label: complete and queue edge stubs."""
@@ -703,7 +778,7 @@ class _Search:
             if label.settled:
                 return
             label.settled = True
-            self.stats.strips_popped += 1
+            stats.strips_popped += 1
             arrival = label.arrival
             pos = label.pos
 
@@ -716,32 +791,27 @@ class _Search:
                     base.append(Leg(u, label.entry, []))
                     record_completion(base, tail)
 
-            for v, ranges in aisle_adjacency[u]:
-                existing = labels.get(v)
+            for v, lo, hi, offset, multi in aisle_adjacency[u]:
+                existing = labels_get(v)
                 if v not in target_strips:
                     # Common case: one greedy transit (Fig. 10), fully
-                    # inlined — no list, no helper call for the
-                    # overwhelmingly common single-range edge.
+                    # inlined — no nested tuple, no helper call for the
+                    # overwhelmingly common single-range edge (see
+                    # StripGraph's pre-unpacked aisle adjacency).
                     if existing is not None and existing.settled:
                         continue
-                    if len(ranges) == 1:
-                        lo, hi, offset = ranges[0]
+                    if multi is None:
                         tp = lo if pos < lo else (hi if pos > hi else pos)
                         vp = tp + offset
                     else:
-                        tp, vp = _nearest_transit(ranges, pos)
+                        tp, vp = _nearest_transit(multi, pos)
                     # Admissible lower bound: free-flow run to the transit
                     # cell plus the boundary hop.
                     bound = arrival + (pos - tp if tp < pos else tp - pos) + 1
                     if existing is not None and existing.arrival <= bound:
                         continue  # dominated before evaluation
                     if use_h:
-                        ai, aj, lat = anchors[v]
-                        if lat:
-                            h = abs(ai - di) + abs(aj + vp - dj)
-                        else:
-                            h = abs(ai + vp - di) + abs(aj - dj)
-                        key = bound + h
+                        key = bound + hK[v] + abs(vp + hM[v])
                     else:
                         key = bound
                     # Stubs the pop loop could only ever discard (beyond
@@ -752,12 +822,13 @@ class _Search:
                     if best is not None and key >= best.arrival_time:
                         continue
                     seq += 1
-                    heappush(heap, (key, -bound, seq, 1, (u, v, tp, vp, bound)))
+                    heappush(heap, (key, -bound, seq, 1, u, v, tp, vp, bound))
                     continue
                 # Target strip: additionally try entering right at the
                 # goal column — traversing a long congested strip against
                 # opposing traffic is the main failure mode of the
                 # source-greedy transit.
+                ranges = ((lo, hi, offset),) if multi is None else multi
                 transits = [_nearest_transit(ranges, pos)]
                 goal_pos = (
                     min(rack_targets[v], key=lambda p: abs(p - pos))
@@ -770,18 +841,8 @@ class _Search:
                 for tp, vp in transits:
                     bound = arrival + (pos - tp if tp < pos else tp - pos) + 1
                     seq += 1
-                    if use_h:
-                        ai, aj, lat = anchors[v]
-                        if lat:
-                            h = abs(ai - di) + abs(aj + vp - dj)
-                        else:
-                            h = abs(ai + vp - di) + abs(aj - dj)
-                    else:
-                        h = 0
-                    heappush(
-                        heap,
-                        (bound + h, -bound, seq, 1, (u, v, tp, vp, bound)),
-                    )
+                    h = hK[v] + abs(vp + hM[v]) if use_h else 0
+                    heappush(heap, (bound + h, -bound, seq, 1, u, v, tp, vp, bound))
 
         def evaluate_edge(u: int, v: int, tp: int, vp: int, bound: int) -> None:
             """Pop handler for an edge stub: run the real intra/crossing."""
@@ -792,7 +853,7 @@ class _Search:
                 # Dominated or already settled: skip the expensive eval.
                 if existing.settled or existing.arrival <= bound:
                     return
-            self.stats.edges_relaxed += 1
+            stats.edges_relaxed += 1
             plan = self._intra(u, label.arrival, label.pos, tp)
             if plan is None:
                 return
@@ -824,16 +885,18 @@ class _Search:
         key_limit = int(
             t0 + self.config.detour_factor * manhattan(ori, dst) + self.config.max_detour
         )
+        heappop = heapq.heappop
         while heap:
-            key, _neg_arrival, _seq, kind, payload = heapq.heappop(heap)
+            entry = heappop(heap)
+            key = entry[0]
             if best is not None and key >= best.arrival_time:
                 break
             if key > key_limit:
                 break  # nothing within the detour budget remains
-            if kind == 0:
-                settle(payload)
+            if entry[3] == 0:
+                settle(entry[4])
             else:
-                evaluate_edge(*payload)
+                evaluate_edge(entry[4], entry[5], entry[6], entry[7], entry[8])
 
         return best
 

@@ -35,7 +35,7 @@ from repro.core.store_base import ConflictHit, SegmentStore
 from repro.geometry.collision import conflict_between_segments
 
 
-@dataclass
+@dataclass(slots=True)
 class IntraPlan:
     """Result of an intra-strip search.
 
@@ -136,7 +136,8 @@ def plan_within_strip(
 
     if origin == destination:
         # Standing at the start state must itself be conflict-free.
-        if conflict_of(make_wait(start_time, origin, 0)) is not None:
+        expansions += 1
+        if store.first_occupied(origin, start_time, start_time) is not None:
             return None
         return IntraPlan([], start_time, start_time, expansions)
 
@@ -164,11 +165,15 @@ def plan_within_strip(
             # How soon does the direct move from the stop cell clear the
             # obstacle that just blocked us?
             departure = next_clear_departure(obstacle, stop_p, destination, stop_t + 1)
-            # Can we actually sit at the stop cell until then?
-            wait_hit = conflict_of(make_wait(stop_t, stop_p, max_wait))
-            if wait_hit is not None and wait_hit[0] <= stop_t:
+            # Can we actually sit at the stop cell until then?  A
+            # stationary probe only collides at the exact seconds the
+            # cell is occupied, so the batched occupancy scan answers
+            # the whole wait span in one store call.
+            expansions += 1
+            first_block = store.first_occupied(stop_p, stop_t, stop_t + max_wait)
+            if first_block is not None and first_block <= stop_t:
                 continue  # cannot even stand at this cell
-            latest = stop_t + max_wait if wait_hit is None else wait_hit[0] - 1
+            latest = stop_t + max_wait if first_block is None else first_block - 1
             if departure > latest:
                 continue  # obstacle outlives our welcome at this cell
             if stop_t > t:

@@ -46,7 +46,7 @@ class NaiveSegmentStore(SegmentStore):
         self._starts: List[int] = []
         self._max_duration = 0
 
-    def insert(self, segment: Segment) -> None:
+    def insert(self, segment: Segment, owner: int = -1) -> None:
         idx = bisect.bisect_right(self._starts, segment.t0)
         self._starts.insert(idx, segment.t0)
         self._segments.insert(idx, segment)

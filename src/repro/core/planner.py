@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.columnar_store import ColumnarSegmentStore
 from repro.core.conversion import plan_to_route, route_to_strip_artifacts
 from repro.core.crossings import CrossingLedger
 from repro.core.fallback import fallback_plan
@@ -25,7 +26,7 @@ from repro.core.naive_store import NaiveSegmentStore
 from repro.core.plan_cache import PlanCache
 from repro.core.segments import Segment
 from repro.core.slope_index import SlopeIndexedStore
-from repro.core.store_base import StripStoreMap
+from repro.core.store_base import SegmentStore, StripStoreMap
 from repro.core.strips import StripGraph, build_strip_graph
 from repro.core.time_bucket_store import TimeBucketStore
 from repro.exceptions import InvalidQueryError, PlanningFailedError
@@ -41,6 +42,9 @@ class SRPStats:
 
     inter_time: float = 0.0  # srplint: allow-float perf_counter seconds, reporting only
     intra_time: float = 0.0  # srplint: allow-float perf_counter seconds, reporting only
+    #: portion of intra_time spent on plan-cache hits (certificate and
+    #: exact-key lookups that returned a result without a real search)
+    cache_time: float = 0.0  # srplint: allow-float perf_counter seconds, reporting only
     conversion_time: float = 0.0  # srplint: allow-float perf_counter seconds, reporting only
     queries: int = 0
     fallbacks: int = 0
@@ -64,6 +68,9 @@ class SRPStats:
     crossing_hits: int = 0
     #: boundary-crossing searches that ran the real wait loop
     crossing_misses: int = 0
+    #: intra-strip searches answered free-flow straight from the store's
+    #: band interval index (no cache involved; works cache-off too)
+    band_skips: int = 0
     #: recovery replans served (``replan_from`` calls, successful or not)
     replans: int = 0
     #: segments removed from stores by route decommits
@@ -122,6 +129,13 @@ class SRPPlanner(Planner):
         store: segment store backend — "slope" (Algorithm 3, default),
             "naive" (Section V-B) or "bucket" (time-bucketed index, an
             extension beyond the paper).  Overrides use_slope_index.
+        store_layout: physical layout of the per-strip stores —
+            "columnar" (array-backed parallel int columns with
+            vectorised scans; bit-identical to the slope index and the
+            default for store="slope") or "object" (one Python object
+            per segment; the default for the other backends).
+            "columnar" requires store="slope" — it reproduces exactly
+            that backend's semantics.
         cache: memoise intra-strip edge-weight calls keyed by store
             content version (see :mod:`repro.core.plan_cache`).  Routes
             are bit-for-bit identical with the cache on or off; the
@@ -154,6 +168,7 @@ class SRPPlanner(Planner):
         intra_exact: bool = False,
         intra_backward: bool = False,
         store: Optional[str] = None,
+        store_layout: Optional[str] = None,
         cache: bool = True,
         cache_size: int = 4096,
     ) -> None:
@@ -169,9 +184,24 @@ class SRPPlanner(Planner):
         }
         if store not in factories:
             raise ValueError(f"unknown store {store!r}; expected one of {sorted(factories)}")
+        if store_layout is None:
+            store_layout = "columnar" if store == "slope" else "object"
+        if store_layout not in ("object", "columnar"):
+            raise ValueError(
+                f"unknown store_layout {store_layout!r}; expected 'object' or 'columnar'"
+            )
+        if store_layout == "columnar" and store != "slope":
+            raise ValueError(
+                "store_layout='columnar' implements the slope-index semantics; "
+                "combine it with store='slope' (or pick store_layout='object')"
+            )
         self.store_kind = store
+        self.store_layout = store_layout
         self.use_slope_index = store == "slope"
-        self._store_factory = factories[store]
+        factory: Callable[[], SegmentStore] = (
+            ColumnarSegmentStore if store_layout == "columnar" else factories[store]
+        )
+        self._store_factory = factory
         # Lazy map: strips without traffic share one empty store, so the
         # planner's resident state scales with live routes, not with
         # warehouse size (this is the MC story of Figs. 19-21).
@@ -226,16 +256,24 @@ class SRPPlanner(Planner):
         self.stats.queries += 1
         origin_strip, origin_pos = self.graph.locate(query.origin)
         store = self.stores[origin_strip]
+        release = query.release_time
+        latest = release + self.max_start_delay
         attempts = 0
-        for delay in range(self.max_start_delay + 1):
+        t = release
+        while True:
             # Delay departure past seconds when the origin cell itself is
-            # claimed by earlier traffic (e.g. a robot crossing it).
-            if store.occupied(origin_pos, query.release_time + delay):
-                continue
+            # claimed by earlier traffic (e.g. a robot crossing it).  The
+            # batched occupancy scan jumps straight to the next free
+            # second — the same attempt sequence the old per-second probe
+            # loop produced, in one store call per attempt.
+            free = store.clear_entry_time(origin_pos, t, latest)
+            if free is None:
+                break
+            delay = free - release
             attempt = Query(
                 query.origin,
                 query.destination,
-                query.release_time + delay,
+                free,
                 query.kind,
                 query.query_id,
             )
@@ -250,6 +288,7 @@ class SRPPlanner(Planner):
                 if delay:
                     self.stats.start_delays += 1
                 return route
+            t = free + 1
         self.timers.failures += 1
         raise PlanningFailedError(
             f"no collision-free route from {query.origin} to {query.destination}",
@@ -273,6 +312,7 @@ class SRPPlanner(Planner):
         )
         elapsed = _time.perf_counter() - search_started
         self.stats.intra_time += stats.intra_time
+        self.stats.cache_time += stats.cache_time
         self.stats.inter_time += max(0.0, elapsed - stats.intra_time)  # srplint: allow-float timer bookkeeping
         self.stats.intra_calls += stats.intra_calls
         self.stats.intra_expansions += stats.intra_expansions
@@ -285,6 +325,7 @@ class SRPPlanner(Planner):
         self.stats.shift_hits += stats.shift_hits
         self.stats.crossing_hits += stats.crossing_hits
         self.stats.crossing_misses += stats.crossing_misses
+        self.stats.band_skips += stats.band_skips
 
         if plan is not None:
             conv_started = _time.perf_counter()
@@ -313,7 +354,7 @@ class SRPPlanner(Planner):
             route.query_id = query.query_id
             segments, crossings = route_to_strip_artifacts(self.graph, route)
             for strip_idx, segment in segments:
-                self.stores.materialize(strip_idx).insert(segment)
+                self.stores.materialize(strip_idx).insert(segment, query.query_id)
             self.crossings.update(crossings)
             presence = self._commit_origin_presence(route)
             if query.query_id >= 0:
@@ -344,22 +385,25 @@ class SRPPlanner(Planner):
             window = self.max_start_delay if max_start_delay is None else max_start_delay
             origin_strip, origin_pos = self.graph.locate(query.origin)
             store = self.stores[origin_strip]
-            for delay in range(window + 1):
-                if store.occupied(origin_pos, query.release_time + delay):
-                    continue
+            release = query.release_time
+            t = release
+            while True:
+                free = store.clear_entry_time(origin_pos, t, release + window)
+                if free is None:
+                    return None
                 attempt = Query(
                     query.origin,
                     query.destination,
-                    query.release_time + delay,
+                    free,
                     query.kind,
                     query.query_id,
                 )
                 route = self._plan_once(attempt, allow_fallback=False)
                 if route is not None:
-                    if delay:
+                    if free > release:
                         self.stats.start_delays += 1
                     return route
-            return None
+                t = free + 1
         finally:
             self.timers.total += _time.perf_counter() - started
             self.timers.queries += 1
@@ -386,18 +430,17 @@ class SRPPlanner(Planner):
         store = self.stores[origin_strip]
         started = _time.perf_counter()
         try:
-            for delay in range(window + 1):
-                t = query.release_time + delay
-                if store.occupied(origin_pos, t):
-                    continue
-                attempt = Query(
-                    query.origin, query.destination, t, query.kind, query.query_id
-                )
-                route = self._plan_fallback(attempt)
-                if route is not None and delay:
-                    self.stats.start_delays += 1
-                return route
-            return None
+            release = query.release_time
+            t = store.clear_entry_time(origin_pos, release, release + window)
+            if t is None:
+                return None
+            attempt = Query(
+                query.origin, query.destination, t, query.kind, query.query_id
+            )
+            route = self._plan_fallback(attempt)
+            if route is not None and t > release:
+                self.stats.start_delays += 1
+            return route
         finally:
             self.timers.total += _time.perf_counter() - started
             self.timers.queries += 1
@@ -549,7 +592,7 @@ class SRPPlanner(Planner):
                 # Leave a residual hold over the forced-stop window so the
                 # stranded robot's presence survives in the stores.
                 hold = Segment(anchor, pos, release, pos)
-                self.stores.materialize(strip_idx).insert(hold)
+                self.stores.materialize(strip_idx).insert(hold, query_id)
                 record.segments.append((strip_idx, hold))
                 record.route = concatenate_routes(
                     prefix, Route(release, [cell], query_id=query_id)
@@ -569,7 +612,7 @@ class SRPPlanner(Planner):
             # original record together with the hold-in-place presence.
             new_record = self._commits[query_id]
             hold = Segment(anchor, pos, new_route.start_time, pos)
-            self.stores.materialize(strip_idx).insert(hold)
+            self.stores.materialize(strip_idx).insert(hold, query_id)
             revised = concatenate_routes(prefix, new_route)
             record.segments.extend(new_record.segments)
             record.segments.append((strip_idx, hold))
@@ -644,7 +687,7 @@ class SRPPlanner(Planner):
             removed += 1
             if seg.t0 <= now:
                 kept = Segment(seg.t0, seg.p0, now, seg.position_at(now))
-                self.stores.materialize(strip_idx).insert(kept)
+                self.stores.materialize(strip_idx).insert(kept, record.query.query_id)
                 surviving.append((strip_idx, kept))
         record.segments = surviving
         kept_keys: List[CrossingKey] = []
@@ -686,12 +729,12 @@ class SRPPlanner(Planner):
         for leg in plan.legs:
             store = self.stores.materialize(leg.strip)
             if leg.entry is not None:
-                store.insert(leg.entry.point)
+                store.insert(leg.entry.point, query.query_id)
                 committed.append((leg.strip, leg.entry.point))
                 self.crossings.add_key(leg.entry.key)
                 crossing_keys.append(leg.entry.key)
             for segment in leg.segments:
-                store.insert(segment)
+                store.insert(segment, query.query_id)
                 committed.append((leg.strip, segment))
         committed.append(self._commit_origin_presence(route))
         if query.query_id >= 0:
@@ -714,7 +757,7 @@ class SRPPlanner(Planner):
             depart += 1
         strip_idx, pos = self.graph.locate(origin)
         presence = Segment(route.start_time, pos, route.start_time + depart, pos)
-        self.stores.materialize(strip_idx).insert(presence)
+        self.stores.materialize(strip_idx).insert(presence, route.query_id)
         return strip_idx, presence
 
     @property
@@ -723,9 +766,9 @@ class SRPPlanner(Planner):
         return self.stores.total_segments()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        index = "slope-index" if self.use_slope_index else "naive"
         cached = "on" if self.plan_cache is not None else "off"
         return (
-            f"SRPPlanner(warehouse={self.warehouse.name!r}, store={index}, "
+            f"SRPPlanner(warehouse={self.warehouse.name!r}, "
+            f"store={self.store_kind!r}, layout={self.store_layout!r}, "
             f"strips={self.graph.n_vertices}, cache={cached})"
         )

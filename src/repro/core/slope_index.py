@@ -80,7 +80,7 @@ class SlopeIndexedStore(SegmentStore):
     # ------------------------------------------------------------------
     # Algorithm 3, "Insertion"
     # ------------------------------------------------------------------
-    def insert(self, segment: Segment) -> None:
+    def insert(self, segment: Segment, owner: int = -1) -> None:
         k = segment.slope
         t0 = segment.t0
         keys = self._start_keys[k]

@@ -66,6 +66,20 @@ def _band_time_interval(
         exit_ = segment.t0 + (p0 - lo)
     return enter, min(exit_, segment.t1)
 
+
+def _entry_clear_time(obstacle: Segment, pos: int, t_from: int) -> int:
+    """First time >= ``t_from`` at which ``obstacle`` has cleared ``pos``.
+
+    For a wait segment parked on the cell that is one past its end; for
+    a moving segment, one past the single second it passes the cell.
+    Used to jump occupancy scans over an obstacle instead of probing
+    second by second.
+    """
+    if obstacle.slope == 0:
+        return max(t_from, obstacle.t1 + 1)
+    t_pass = (pos - obstacle.intercept) * obstacle.slope
+    return max(t_from, t_pass + 1)
+
 #: Process-wide monotone source of store versions.  Every content
 #: mutation of any store takes a fresh value, so two distinct content
 #: states never share a version — even across store *instances*.  That
@@ -90,6 +104,13 @@ class SegmentStore(ABC):
     """Committed segments of one strip plus collision queries."""
 
     __slots__ = ()
+
+    #: True when full scans of this store are cheap enough that the
+    #: certificate layer should not throttle itself on store size (see
+    #: ``repro.core.inter_strip._CERT_STORE_MAX``).  Array-backed
+    #: layouts with vectorised scans and an incremental band interval
+    #: index set this; object-backed layouts keep the size throttle.
+    cheap_scans: bool = False
 
     def __init__(self) -> None:
         #: number of earliest_conflict queries served (instrumentation)
@@ -121,12 +142,19 @@ class SegmentStore(ABC):
         self.version = next(_VERSION_COUNTER)
 
     @abstractmethod
-    def insert(self, segment: Segment) -> None:
+    def insert(self, segment: Segment, owner: int = -1) -> None:
         """Commit a segment.
 
         Zero-duration *point* segments are legal: they represent the
         paper's footnote-1 case of a route touching a strip for a single
         second (e.g. departing its origin cell immediately).
+
+        ``owner`` is the query id of the route the segment belongs to
+        (-1 when unattributed, e.g. blockages).  It is advisory
+        bookkeeping for audit queries such as
+        ``ColumnarSegmentStore.owners_overlapping`` — collision answers
+        and the remove-by-value contract never depend on it, and
+        layouts without owner tracking may ignore it.
         """
 
     @abstractmethod
@@ -245,6 +273,59 @@ class SegmentStore(ABC):
         """
         return self.earliest_conflict(Segment(t, p_from, t + 1, p_to)) is not None
 
+    def first_occupied(self, pos: int, t_lo: int, t_hi: int) -> Optional[int]:
+        """Earliest second in ``[t_lo, t_hi]`` at which ``pos`` is occupied.
+
+        ``None`` when the cell is free for the whole span.  This is the
+        batched form of the wait-probe the intra-strip search issues: a
+        stationary probe parked on ``pos`` can only collide at the exact
+        seconds some stored segment occupies the cell (unit slopes make
+        swaps against a stationary segment impossible), so the answer
+        equals ``earliest_block`` of the corresponding wait segment.
+        Columnar layouts override this with a single vectorised scan.
+        """
+        if t_hi < t_lo:
+            return None
+        return self.earliest_block(Segment(t_lo, pos, t_hi, pos))
+
+    def clear_entry_time(self, pos: int, t_from: int, t_cap: int) -> Optional[int]:
+        """First second in ``[t_from, t_cap]`` at which ``pos`` is free.
+
+        ``None`` when the cell stays occupied through the whole span.
+        This batches the per-second occupancy scans of the inter-strip
+        crossing probe and the planner's start-delay ladder into one
+        call; the default walks point probes but jumps past each
+        obstacle with :func:`_entry_clear_time`, so object-backed
+        layouts answer identically (if more slowly) than the columnar
+        single-scan override.
+        """
+        t = t_from
+        while t <= t_cap:
+            hit = self.earliest_conflict(Segment(t, pos, t, pos))
+            if hit is None:
+                return t
+            t = max(t + 1, _entry_clear_time(hit[1], pos, t))
+        return None
+
+    def band_clear(self, lo: int, hi: int, t0: int, t1: int) -> bool:
+        """Certify "no stored segment touches band [lo, hi] in [t0, t1]".
+
+        ``True`` is a proof of absence; ``False`` only means the layout
+        cannot certify it cheaply.  Object-backed layouts have no index
+        to answer from, so they always decline — the columnar layout
+        overrides this with its per-band interval index.
+        """
+        return False
+
+    def scan_cost_hint(self, lo: int, hi: int, t0: int, t1: int) -> int:
+        """Upper-bound estimate of the entries a region scan would touch.
+
+        The certificate layer uses this to judge, per probe region,
+        whether minting a certificate is worth its scan; without an
+        index the store size itself is the only available bound.
+        """
+        return len(self)
+
 
 class _EmptyStore(SegmentStore):
     """Immutable empty store shared by all strips without traffic."""
@@ -262,7 +343,7 @@ class _EmptyStore(SegmentStore):
         # (or becomes, after pruning) empty again.
         self.version = 0
 
-    def insert(self, segment: Segment) -> None:  # pragma: no cover - guarded
+    def insert(self, segment: Segment, owner: int = -1) -> None:  # pragma: no cover - guarded
         raise TypeError("the shared empty store is read-only")
 
     def remove(self, segment: Segment) -> None:
@@ -294,6 +375,18 @@ class _EmptyStore(SegmentStore):
 
     def band_signature(self, lo: int, hi: int, t0: int, t1: int) -> BandSignature:
         return ()
+
+    def first_occupied(self, pos: int, t_lo: int, t_hi: int) -> Optional[int]:
+        return None
+
+    def clear_entry_time(self, pos: int, t_from: int, t_cap: int) -> Optional[int]:
+        return t_from if t_from <= t_cap else None
+
+    def band_clear(self, lo: int, hi: int, t0: int, t1: int) -> bool:
+        return True
+
+    def scan_cost_hint(self, lo: int, hi: int, t0: int, t1: int) -> int:
+        return 0
 
 
 EMPTY_STORE = _EmptyStore()

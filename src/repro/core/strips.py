@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -134,11 +134,44 @@ class StripGraph:
         self.aisle_flags: List[bool] = [s.is_aisle for s in strips]
         # Aisle-only mirror of the fast adjacency: the search traverses
         # aisle strips exclusively (racks are endpoints), so its settle
-        # loop should not even see rack neighbors.
-        self._aisle_adjacency: List[List[Tuple[int, Tuple[Tuple[int, int, int], ...]]]] = [
-            [(v, ranges) for v, ranges in row if self.aisle_flags[v]]
+        # loop should not even see rack neighbors.  The single-transit-
+        # range case — the overwhelming warehouse boundary shape — is
+        # pre-unpacked into the row tuple itself: ``(v, lo, hi, offset,
+        # None)``, with ``(v, 0, 0, 0, ranges)`` for gapped boundaries,
+        # so the settle loop clips positions without touching a nested
+        # tuple per neighbor.
+        self._aisle_adjacency: List[
+            List[Tuple[int, int, int, int, Optional[Tuple[Tuple[int, int, int], ...]]]]
+        ] = [
+            [
+                (v, ranges[0][0], ranges[0][1], ranges[0][2], None)
+                if len(ranges) == 1
+                else (v, 0, 0, 0, ranges)
+                for v, ranges in row
+                if self.aisle_flags[v]
+            ]
             for row in self._fast_adjacency
         ]
+        # Columnar mirror of ``anchors`` so heuristic_tables() can fold
+        # a whole destination into per-strip constants with a handful of
+        # vectorised ops instead of a Python loop over every strip.
+        self._anchor_rows = np.array([a[0] for a in self.anchors], dtype=np.int64)
+        self._anchor_cols = np.array([a[1] for a in self.anchors], dtype=np.int64)
+        self._anchor_lat = np.array([a[2] for a in self.anchors], dtype=bool)
+
+    def heuristic_tables(self, di: int, dj: int) -> Tuple[List[int], List[int]]:
+        """Per-strip constants folding the Manhattan heuristic to ``(di, dj)``.
+
+        For a position ``vp`` on strip ``v`` the heuristic is
+        ``K[v] + |vp + M[v]|``: the cross-axis distance is fixed per
+        strip (``K``) and the along-axis term is an absolute offset
+        (``M``), so the search's per-stub cost drops to one list index,
+        one add and one ``abs`` — no anchor tuple unpacking.
+        """
+        rows, cols, lat = self._anchor_rows, self._anchor_cols, self._anchor_lat
+        fixed = np.where(lat, np.abs(rows - di), np.abs(cols - dj))
+        offset = np.where(lat, cols - dj, rows - di)
+        return fixed.tolist(), offset.tolist()
 
     # ------------------------------------------------------------------
     # Lookup helpers

@@ -54,7 +54,7 @@ class TimeBucketStore(SegmentStore):
     def _bucket_range(self, t0: int, t1: int) -> range:
         return range(t0 // self._bucket_width, t1 // self._bucket_width + 1)
 
-    def insert(self, segment: Segment) -> None:
+    def insert(self, segment: Segment, owner: int = -1) -> None:
         for b in self._bucket_range(segment.t0, segment.t1):
             self._buckets.setdefault(b, []).append(segment)
         self._size += 1

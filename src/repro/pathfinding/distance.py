@@ -22,7 +22,6 @@ Two caching granularities exist:
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
@@ -31,6 +30,13 @@ import numpy as np
 from repro.exceptions import InvalidQueryError
 from repro.types import Grid
 from repro.warehouse.matrix import Warehouse
+
+try:  # pragma: no cover - presence depends on the environment
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _sparse_dijkstra
+except ImportError:  # pragma: no cover - numpy-only environments
+    _csr_matrix = None
+    _sparse_dijkstra = None
 
 UNREACHABLE = -1
 
@@ -151,37 +157,157 @@ class DistanceMaps:
         return len(self._maps)
 
 
-def _weighted_field(warehouse: Warehouse, seeds: List[Tuple[Grid, int]]) -> np.ndarray:
-    """Multi-source weighted BFS field: ``F(x) = min_s d(x, s) + w_s``.
+class _SparseFieldSolver:
+    """Exact weighted-field solver on scipy's sparse Dijkstra.
 
-    ``seeds`` are ``(cell, weight)`` pairs over free cells; edges cost 1
-    (a Dijkstra heap handles the non-uniform seed weights).  Free cells
-    unreachable from every seed keep -1; rack cells get one-hop values
-    through their free neighbours, matching :func:`bfs_distance_map`'s
-    under-rack semantics.
+    The free-cell adjacency is built once per warehouse; each query
+    appends a virtual source node whose out-edges carry the seed
+    weights, so one single-source run yields the multi-source field
+    ``F(x) = min_s d(x, s) + w_s`` exactly.  Results are bit-identical
+    to :func:`_swept_fields`: both compute exact integer shortest
+    distances (float64 represents them exactly at warehouse scales) and
+    both finish with :func:`_extend_to_rack_cells`.  Seeds on rack
+    cells are not representable in the free-cell graph; ``fields``
+    returns ``None`` there and the caller falls back to the sweep.
+    """
+
+    def __init__(self, warehouse: Warehouse) -> None:
+        h, w = warehouse.shape
+        self._shape = (h, w)
+        self._racks = warehouse.racks
+        free = ~warehouse.racks
+        node_of = np.full(h * w, -1, dtype=np.int64)
+        free_flat = np.flatnonzero(free.ravel())
+        node_of[free_flat] = np.arange(free_flat.size)
+        self._node_of = node_of
+        self._free_flat = free_flat
+        ii, jj = np.nonzero(free[:, :-1] & free[:, 1:])
+        left = node_of[ii * w + jj]
+        right = node_of[ii * w + jj + 1]
+        ii, jj = np.nonzero(free[:-1, :] & free[1:, :])
+        top = node_of[ii * w + jj]
+        bottom = node_of[ii * w + jj + w]
+        self._src = np.concatenate([left, right, top, bottom])
+        self._dst = np.concatenate([right, left, bottom, top])
+        self._ones = np.ones(self._src.size, dtype=np.float64)
+
+    def fields(
+        self, seed_sets: List[List[Tuple[Grid, int]]]
+    ) -> Optional[List[np.ndarray]]:
+        h, w = self._shape
+        node_of = self._node_of
+        n_free = self._free_flat.size
+        out: List[np.ndarray] = []
+        for seeds in seed_sets:
+            # Duplicate seed cells keep their minimum weight (csr
+            # construction would *sum* duplicate entries).
+            best: Dict[int, int] = {}
+            for (i, j), weight in seeds:
+                node = int(node_of[i * w + j])
+                if node < 0:
+                    return None  # rack-cell seed: the sweep handles those
+                held = best.get(node)
+                if held is None or weight < held:
+                    best[node] = weight
+            field = np.full((h, w), UNREACHABLE, dtype=np.int32)
+            if best:
+                k = len(best)
+                seed_nodes = np.fromiter(best.keys(), dtype=np.int64, count=k)
+                # Shifted +1 so every stored weight is positive: csgraph
+                # drops explicit zeros from sparse matrices.
+                seed_w = np.fromiter(best.values(), dtype=np.float64, count=k) + 1.0
+                src = np.concatenate([self._src, np.full(k, n_free, dtype=np.int64)])
+                dst = np.concatenate([self._dst, seed_nodes])
+                data = np.concatenate([self._ones, seed_w])
+                graph = _csr_matrix((data, (src, dst)), shape=(n_free + 1, n_free + 1))
+                dist = _sparse_dijkstra(graph, directed=True, indices=n_free)[:n_free]
+                reach = np.isfinite(dist)
+                field.ravel()[self._free_flat[reach]] = (dist[reach] - 1.0).astype(
+                    np.int32
+                )
+            _extend_to_rack_cells(field, self._racks)
+            out.append(field)
+        return out
+
+
+def _weighted_fields(
+    warehouse: Warehouse,
+    seed_sets: List[List[Tuple[Grid, int]]],
+    solver: Optional[_SparseFieldSolver] = None,
+) -> List[np.ndarray]:
+    """Multi-source weighted BFS fields: ``F(x) = min_s d(x, s) + w_s``.
+
+    When a :class:`_SparseFieldSolver` is supplied (scipy present) the
+    fields come from one sparse Dijkstra per seed set; otherwise — and
+    for the rack-cell seeds the sparse graph cannot host — they come
+    from :func:`_swept_fields`.  Both paths are exact, so the choice is
+    invisible to callers.
+    """
+    if solver is not None:
+        fields = solver.fields(seed_sets)
+        if fields is not None:
+            return fields
+    return _swept_fields(warehouse, seed_sets)
+
+
+def _swept_fields(
+    warehouse: Warehouse, seed_sets: List[List[Tuple[Grid, int]]]
+) -> List[np.ndarray]:
+    """Dial's bucket sweep over stacked layers — the numpy-only path.
+
+    Each seed set is a list of ``(cell, weight)`` pairs; edges cost 1,
+    so Dijkstra degenerates into Dial's bucket sweep: settle one
+    distance level per pass, with the whole level expanded as four
+    vectorised array shifts instead of a Python heap loop.  All
+    requested fields ride one stacked ``(n, h, w)`` sweep — layers are
+    independent (a level a layer has no frontier at is simply skipped
+    for it), so each comes out exactly as its own sweep would.  Free
+    cells unreachable from every seed keep -1; rack cells get one-hop
+    values through their free neighbours, matching
+    :func:`bfs_distance_map`'s under-rack semantics.
     """
     h, w = warehouse.shape
     racks = warehouse.racks
-    field = np.full((h, w), UNREACHABLE, dtype=np.int32)
-    heap: List[Tuple[int, int, int]] = []
-    for (i, j), weight in seeds:
-        cur = field[i, j]
-        if cur < 0 or weight < cur:
-            field[i, j] = weight
-            heapq.heappush(heap, (weight, i, j))
-    while heap:
-        d, i, j = heapq.heappop(heap)
-        if d > field[i, j]:
-            continue  # stale heap entry
-        nd = d + 1
-        for ni, nj in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
-            if 0 <= ni < h and 0 <= nj < w and not racks[ni, nj]:
-                cur = field[ni, nj]
-                if cur < 0 or nd < cur:
-                    field[ni, nj] = nd
-                    heapq.heappush(heap, (nd, ni, nj))
-    _extend_to_rack_cells(field, racks)
-    return field
+    inf = np.int32(np.iinfo(np.int32).max)
+    n = len(seed_sets)
+    cur = np.full((n, h, w), inf, dtype=np.int32)
+    max_weight = -1
+    for layer, seeds in enumerate(seed_sets):
+        plane = cur[layer]
+        for (i, j), weight in seeds:
+            if weight < plane[i, j]:
+                plane[i, j] = weight
+            if weight > max_weight:
+                max_weight = weight
+    if max_weight >= 0:
+        free = ~racks
+        reach = np.empty((n, h, w), dtype=bool)
+        level = int(cur.min())
+        while True:
+            frontier = cur == level
+            if frontier.any():
+                reach[:] = False
+                reach[:, 1:, :] |= frontier[:, :-1, :]
+                reach[:, :-1, :] |= frontier[:, 1:, :]
+                reach[:, :, 1:] |= frontier[:, :, :-1]
+                reach[:, :, :-1] |= frontier[:, :, 1:]
+                level += 1
+                cur[reach & free & (cur > level)] = level
+            elif level >= max_weight:
+                break  # no frontier and no dormant seeds left: settled
+            else:
+                level += 1
+    fields = []
+    for layer in range(n):
+        field = np.where(cur[layer] == inf, np.int32(UNREACHABLE), cur[layer])
+        _extend_to_rack_cells(field, racks)
+        fields.append(field)
+    return fields
+
+
+def _weighted_field(warehouse: Warehouse, seeds: List[Tuple[Grid, int]]) -> np.ndarray:
+    """Single-field convenience wrapper over :func:`_weighted_fields`."""
+    return _weighted_fields(warehouse, [seeds])[0]
 
 
 class StripDistanceMaps:
@@ -240,6 +366,9 @@ class StripDistanceMaps:
         h, w = warehouse.shape
         self._rows = np.arange(h, dtype=np.int32).reshape(h, 1)
         self._cols = np.arange(w, dtype=np.int32).reshape(1, w)
+        self._solver = (
+            _SparseFieldSolver(warehouse) if _sparse_dijkstra is not None else None
+        )
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -270,11 +399,10 @@ class StripDistanceMaps:
                     if 0 <= ni < h and 0 <= nj < w and not racks[ni, nj]:
                         a_seeds.append(((ni, nj), p + 1))
                         b_seeds.append(((ni, nj), length - p))
-        entry = (
-            _weighted_field(self._warehouse, a_seeds),
-            _weighted_field(self._warehouse, b_seeds),
-            length,
+        a_field, b_field = _weighted_fields(
+            self._warehouse, [a_seeds, b_seeds], self._solver
         )
+        entry = (a_field, b_field, length)
         self.field_builds += 1
         if len(self._fields) >= self._max_strips:
             self._fields.pop(next(iter(self._fields)))

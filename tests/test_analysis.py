@@ -94,6 +94,37 @@ class TestDeepSizeof:
         seg = Segment(0, 0, 5, 5)
         assert deep_sizeof(seg) > 0
 
+    def test_inherited_slots_counted(self):
+        from repro.core.slope_index import SlopeIndexedStore
+        from repro.core.segments import make_move
+
+        # ``queries``/``version``/... live in the *base* class's
+        # __slots__; a walker that only reads the leaf class's slots
+        # misses them (and, worse, every data column of the columnar
+        # store).
+        store = SlopeIndexedStore()
+        empty = deep_sizeof(store)
+        for t in range(200):
+            store.insert(make_move(3 * t, 0, 9))
+        assert deep_sizeof(store) - empty > 200 * 8
+
+    def test_columnar_buffers_counted(self):
+        from repro.core.columnar_store import ColumnarSegmentStore
+        from repro.core.segments import make_move
+
+        store = ColumnarSegmentStore()
+        empty = deep_sizeof(store)
+        for t in range(500):
+            store.insert(make_move(3 * t, 0, 9))
+        # seven int64 columns -> at least 7 * 8 bytes per segment
+        assert deep_sizeof(store) - empty >= 500 * 7 * 8
+
+    def test_memoryview_follows_exporter(self):
+        from array import array
+
+        buf = array("q", range(10_000))
+        assert deep_sizeof(memoryview(buf)) >= 8 * 10_000
+
     def test_planner_state_grows_with_traffic(self, mid_warehouse):
         from repro import Query, SRPPlanner
         from tests.conftest import random_cells

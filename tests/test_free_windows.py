@@ -18,6 +18,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Query, SRPPlanner, Warehouse
+from repro.core.columnar_store import ColumnarSegmentStore
 from repro.core.intra_strip import plan_within_strip
 from repro.core.naive_store import NaiveSegmentStore
 from repro.core.plan_cache import free_flow_plan
@@ -27,7 +28,7 @@ from repro.core.store_base import FOREVER, _band_time_interval
 from repro.core.time_bucket_store import TimeBucketStore
 from repro.exceptions import InvalidQueryError, PlanningFailedError
 
-STORES = [NaiveSegmentStore, SlopeIndexedStore, TimeBucketStore]
+STORES = [NaiveSegmentStore, SlopeIndexedStore, TimeBucketStore, ColumnarSegmentStore]
 
 
 @st.composite

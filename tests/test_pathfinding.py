@@ -162,6 +162,80 @@ class TestStripDistanceMaps:
         assert len(maps) == 2
 
 
+class TestWeightedFieldSolvers:
+    """The scipy-backed solver and the Dial sweep are interchangeable."""
+
+    def _seed_sets(self, warehouse, rng, include_zero=True):
+        h, w = warehouse.shape
+        free = [
+            (i, j) for i in range(h) for j in range(w) if not warehouse.racks[i, j]
+        ]
+        sets = []
+        for _ in range(rng.randint(1, 3)):
+            seeds = [
+                (rng.choice(free), rng.randint(0, 9))
+                for _ in range(rng.choice([0, 1, 2, 5, 15]))
+            ]
+            if seeds:
+                # Duplicate cell with a different weight: the solver must
+                # take the minimum, not the sum.
+                seeds.append((seeds[0][0], rng.randint(0, 9)))
+            if include_zero:
+                seeds.append((rng.choice(free), 0))
+            sets.append(seeds)
+        return sets
+
+    def test_sparse_solver_matches_sweep(self, tiny_warehouse):
+        pytest.importorskip("scipy.sparse.csgraph")
+        import random
+
+        from repro.pathfinding.distance import _SparseFieldSolver, _swept_fields
+
+        solver = _SparseFieldSolver(tiny_warehouse)
+        rng = random.Random(20260808)
+        for _ in range(25):
+            sets = self._seed_sets(tiny_warehouse, rng)
+            got = solver.fields(sets)
+            want = _swept_fields(tiny_warehouse, sets)
+            assert got is not None
+            for g, x in zip(got, want):
+                assert g.dtype == x.dtype
+                assert np.array_equal(g, x)
+
+    def test_sparse_solver_declines_rack_seeds(self, tiny_warehouse):
+        pytest.importorskip("scipy.sparse.csgraph")
+        from repro.pathfinding.distance import (
+            _SparseFieldSolver,
+            _swept_fields,
+            _weighted_fields,
+        )
+
+        h, w = tiny_warehouse.shape
+        rack = next(
+            (i, j) for i in range(h) for j in range(w) if tiny_warehouse.racks[i, j]
+        )
+        free = next(
+            (i, j) for i in range(h) for j in range(w) if not tiny_warehouse.racks[i, j]
+        )
+        solver = _SparseFieldSolver(tiny_warehouse)
+        sets = [[(rack, 2), (free, 1)]]
+        assert solver.fields(sets) is None
+        # The dispatch falls back to the sweep and stays exact.
+        assert np.array_equal(
+            _weighted_fields(tiny_warehouse, sets, solver)[0],
+            _swept_fields(tiny_warehouse, sets)[0],
+        )
+
+    def test_empty_seed_set(self, tiny_warehouse):
+        pytest.importorskip("scipy.sparse.csgraph")
+        from repro.pathfinding.distance import _SparseFieldSolver, _swept_fields
+
+        solver = _SparseFieldSolver(tiny_warehouse)
+        assert np.array_equal(
+            solver.fields([[]])[0], _swept_fields(tiny_warehouse, [[]])[0]
+        )
+
+
 class TestSpaceTimeAStar:
     def _plan(self, wh, o, d, t=0, checker=None, **kw):
         checker = checker or NullConflictChecker()

@@ -8,12 +8,13 @@ because the slope index is a pure acceleration of the naive store.
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.columnar_store import ColumnarSegmentStore
 from repro.core.naive_store import NaiveSegmentStore
 from repro.core.segments import Segment, make_move
 from repro.core.slope_index import SlopeIndexedStore
 from repro.geometry.collision import conflict_between
 
-STORES = [NaiveSegmentStore, SlopeIndexedStore]
+STORES = [NaiveSegmentStore, SlopeIndexedStore, ColumnarSegmentStore]
 
 
 @st.composite

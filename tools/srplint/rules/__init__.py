@@ -11,6 +11,7 @@ from srplint.rules.srp002_int_arithmetic import SRP002IntArithmetic
 from srplint.rules.srp003_determinism import SRP003Determinism
 from srplint.rules.srp004_diagnostics import SRP004Diagnostics
 from srplint.rules.srp005_cache_keys import SRP005CacheKeyVersion
+from srplint.rules.srp006_integer_dtypes import SRP006IntegerDtypes
 
 ALL_RULES = [
     SRP001VersionBump,
@@ -18,6 +19,7 @@ ALL_RULES = [
     SRP003Determinism,
     SRP004Diagnostics,
     SRP005CacheKeyVersion,
+    SRP006IntegerDtypes,
 ]
 
 __all__ = [
@@ -27,4 +29,5 @@ __all__ = [
     "SRP003Determinism",
     "SRP004Diagnostics",
     "SRP005CacheKeyVersion",
+    "SRP006IntegerDtypes",
 ]

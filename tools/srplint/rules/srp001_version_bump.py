@@ -53,9 +53,13 @@ MUTATING_FUNCTIONS = frozenset({
 ALIASING_METHODS = frozenset({"get", "setdefault"})
 
 #: Constructor calls in ``__init__`` that mark an attribute as a container.
+#: The numpy factory names cover array-backed (columnar) stores whose
+#: geometry columns live in flat buffers rather than Python containers.
 CONTAINER_FACTORIES = frozenset({
     "list", "dict", "set", "frozenset", "tuple", "deque", "defaultdict",
     "OrderedDict", "Counter", "array", "bytearray",
+    "empty", "zeros", "ones", "full", "arange", "frombuffer", "fromiter",
+    "asarray",
 })
 
 #: Methods never analysed: construction and the bump primitives themselves.

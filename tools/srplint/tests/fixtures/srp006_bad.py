@@ -1,0 +1,37 @@
+"""Seeded SRP006 violations: float-dtyped arrays in the integer core."""
+from array import array
+
+import numpy as np
+
+
+def missing_dtype(n):
+    return np.zeros(n)  # BAD: defaults to float64
+
+
+def float_dtype(n):
+    return np.empty(n, dtype=np.float64)  # BAD: explicit float dtype
+
+
+def float_string_dtype(buf):
+    return np.frombuffer(buf, dtype="f8")  # BAD: float dtype code
+
+
+def float_arange(n):
+    return np.arange(n, dtype=np.float32)  # BAD: float dtype on arange
+
+
+def sampled(n):
+    return np.linspace(0, 1, n)  # BAD: linspace is float by construction
+
+
+def float_column(values):
+    return array("d", values)  # BAD: float typecode
+
+
+def fine_shapes(n, buf):
+    a = np.zeros(n, dtype=np.int64)  # fine: explicit integer dtype
+    b = np.frombuffer(buf, dtype="i8")  # fine: integer dtype code
+    c = np.arange(n)  # fine: int args yield int64
+    d = array("q", [1, 2])  # fine: integer typecode
+    e = np.fromiter((x for x in range(n)), dtype=bool, count=n)  # fine: bool
+    return a, b, c, d, e

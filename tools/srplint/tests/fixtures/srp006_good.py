@@ -1,0 +1,24 @@
+"""Clean SRP006 shapes: exact integer arrays throughout."""
+from array import array
+
+import numpy as np
+
+
+def columns():
+    return array("q"), array("i", [1, 2, 3])
+
+
+def views(col):
+    return np.frombuffer(col, dtype=np.int64)
+
+
+def masks(n):
+    blocked = np.full(n, 1 << 62, dtype=np.int64)
+    flags = np.zeros(n, dtype=np.bool_)
+    idx = np.arange(n)
+    return blocked, flags, idx
+
+
+def suppressed(n):
+    # reporting-only buffer; seconds need sub-integer resolution here
+    return np.zeros(n)  # srplint: allow(SRP006) wall-clock seconds, reporting only

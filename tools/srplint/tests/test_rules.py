@@ -98,6 +98,27 @@ class TestSRP005CacheKeyVersion:
         assert not lines & {27, 29, 32, 33}
 
 
+class TestSRP006IntegerDtypes:
+    def test_seeded_violations_exact(self):
+        findings = [f for f in lint_fixture("srp006_bad.py") if f.code == "SRP006"]
+        assert codes_and_lines(findings) == [
+            ("SRP006", 8),   # np.zeros without dtype (float64 default)
+            ("SRP006", 12),  # explicit float dtype
+            ("SRP006", 16),  # float string dtype code
+            ("SRP006", 20),  # arange with float dtype
+            ("SRP006", 24),  # linspace
+            ("SRP006", 28),  # array.array float typecode
+        ]
+
+    def test_integer_shapes_not_flagged(self):
+        findings = [f for f in lint_fixture("srp006_bad.py") if f.code == "SRP006"]
+        assert not {f.line for f in findings} & set(range(31, 40))
+
+    def test_clean_columnar_shapes_accepted(self):
+        findings = [f for f in lint_fixture("srp006_good.py") if f.code == "SRP006"]
+        assert findings == []
+
+
 class TestPragmas:
     def test_allow_float_with_reason_suppresses(self):
         findings = lint_fixture("pragmas.py")
