@@ -198,15 +198,26 @@ def run_stream(
     return fingerprints, elapsed, cpu_elapsed, planner
 
 
+def supports_joint_recovery() -> bool:
+    """True when this checkout has the joint conflict-cluster recovery."""
+    try:
+        import inspect
+
+        return "recovery" in inspect.signature(Simulation.__init__).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic old checkout
+        return False
+
+
 def run_faulted_day(
-    warehouse, tasks, faults, use_cache: bool, store_layout: Optional[str] = None
+    warehouse, tasks, faults, use_cache: bool,
+    store_layout: Optional[str] = None, recovery: str = "serial",
 ):
     """One disturbed simulated day; returns route fingerprints + timings."""
     planner = make_planner(warehouse, use_cache, store_layout)
-    sim = Simulation(
-        warehouse, planner, tasks,
-        validate=False, measure_memory=False, faults=faults,
-    )
+    kwargs = dict(validate=False, measure_memory=False, faults=faults)
+    if recovery != "serial":
+        kwargs["recovery"] = recovery
+    sim = Simulation(warehouse, planner, tasks, **kwargs)
     started = time.perf_counter()
     cpu_started = time.process_time()
     result = sim.run()
@@ -218,40 +229,52 @@ def run_faulted_day(
 
 def bench_faulted(warehouse, n_tasks: int, day_length: int, seed: int,
                   repeats: int = 1,
-                  store_layout: Optional[str] = None) -> Optional[dict]:
+                  store_layout: Optional[str] = None,
+                  recovery: str = "serial") -> Optional[dict]:
     """Cache-on vs cache-off over a seeded faulted day (PR 3 recovery path).
 
     The interesting gate here is bit-identity *across decommit/replan*:
     every certificate in the plan cache is version-checked, so the
     cached day must reproduce the uncached routes exactly even when
-    stalls and blockages force mid-route decommits.
+    stalls and blockages force mid-route decommits.  With
+    ``recovery="joint"`` the same day runs through the conflict-cluster
+    recovery (and a fault plan including slowdowns/closures), adding the
+    cluster counters to the record.
     """
     if Simulation is None or FaultPlan is None:
         return None  # old checkout without the fault subsystem
+    if recovery != "serial" and not supports_joint_recovery():
+        return None  # old checkout without the joint recovery subsystem
     tasks = generate_tasks(
         warehouse, TaskTraceSpec(n_tasks=n_tasks, day_length=day_length, seed=seed)
     )
-    faults = FaultPlan.generate(
-        warehouse,
+    fault_kwargs = dict(
         n_robots=len(warehouse.robot_homes),
         day_length=day_length,
         n_stalls=max(2, n_tasks // 10),
         n_blockages=max(1, n_tasks // 20),
         seed=seed + 1,
     )
+    if recovery != "serial":
+        # The joint leg also exercises the richer disturbance physics.
+        fault_kwargs["n_slowdowns"] = max(1, n_tasks // 20)
+        fault_kwargs["n_closures"] = max(1, n_tasks // 40)
+    faults = FaultPlan.generate(warehouse, **fault_kwargs)
     secs_off = secs_on = cpu_off = cpu_on = None
     routes_off = routes_on = None
     planner = result = None
     for _ in range(max(1, repeats)):
         routes_off, elapsed, cpu, _, _ = run_faulted_day(
-            warehouse, tasks, faults, use_cache=False, store_layout=store_layout
+            warehouse, tasks, faults, use_cache=False,
+            store_layout=store_layout, recovery=recovery,
         )
         if secs_off is None or elapsed < secs_off:
             secs_off = elapsed
         if cpu_off is None or cpu < cpu_off:
             cpu_off = cpu
         routes_on, elapsed, cpu, planner, result = run_faulted_day(
-            warehouse, tasks, faults, use_cache=True, store_layout=store_layout
+            warehouse, tasks, faults, use_cache=True,
+            store_layout=store_layout, recovery=recovery,
         )
         if secs_on is None or elapsed < secs_on:
             secs_on = elapsed
@@ -261,12 +284,24 @@ def bench_faulted(warehouse, n_tasks: int, day_length: int, seed: int,
         "n_tasks": n_tasks,
         "n_stalls": len(faults.stalls),
         "n_blockages": len(faults.blockages),
+        "n_slowdowns": len(getattr(faults, "slowdowns", ())),
+        "n_closures": len(getattr(faults, "closures", ())),
         "fault_seed": seed + 1,
+        "recovery": getattr(result, "recovery", "serial"),
         "speedup_cache": secs_off / secs_on if secs_on else 0.0,
         "speedup_cache_cpu": cpu_off / cpu_on if cpu_on else 0.0,
         "faults_injected": result.faults_injected,
         "replans": result.replans,
         "recovery_failures": result.recovery_failures,
+        "replan_attempts": _counter(result, "replan_attempts"),
+        "decommitted_segments": _counter(result, "decommitted_segments"),
+        "recovery_clusters": _counter(result, "recovery_clusters"),
+        "max_cluster_size": _counter(result, "max_cluster_size"),
+        "cluster_robots": _counter(result, "cluster_robots"),
+        "recovery_cbs": _counter(result, "recovery_cbs"),
+        "recovery_serial": _counter(result, "recovery_serial"),
+        "slowdown_stretches": _counter(result, "slowdown_stretches"),
+        "closure_cells": _counter(result, "closure_cells"),
         "routes_identical": routes_off == routes_on,
     }
     sub.update(cache_counters(planner))
@@ -349,6 +384,19 @@ def bench_layout(
     )
     if faulted is not None:
         record["faulted"] = faulted
+    # The same disturbed day once more through the joint conflict-cluster
+    # recovery, with slowdown and aisle-closure faults in the mix.
+    faulted_joint = bench_faulted(
+        warehouse,
+        n_tasks=max(20, n_queries // 5),
+        day_length=day_length,
+        seed=seed,
+        repeats=1,
+        store_layout=store_layout,
+        recovery="joint",
+    )
+    if faulted_joint is not None:
+        record["faulted_joint"] = faulted_joint
     return record
 
 
@@ -359,8 +407,8 @@ def summary_markdown(records: List[dict]) -> str:
         "",
         "| layout | store layout | speedup (cache) | hit rate | window hits |"
         " shift hits | crossing hits | dmap hits/misses | bytes/strip |"
-        " routes identical | faulted day |",
-        "|---|---|---|---|---|---|---|---|---|---|---|",
+        " routes identical | faulted day | joint recovery |",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|",
     ]
     for rec in records:
         dmaps = rec.get("distance_maps") or {}
@@ -373,10 +421,19 @@ def summary_markdown(records: List[dict]) -> str:
                 faulted["replans"],
                 faulted["speedup_cache"],
             )
+        joint = rec.get("faulted_joint")
+        if joint is None:
+            joint_cell = "skipped"
+        else:
+            joint_cell = "{} ({} clusters, {} attempts)".format(
+                "identical" if joint["routes_identical"] else "**DIVERGED**",
+                joint.get("recovery_clusters", 0),
+                joint.get("replan_attempts", 0),
+            )
         lines.append(
             "| {layout} ({scale}) | {store_layout} | {speedup:.3f}x | {rate:.1%} |"
             " {window} | {shift} | {crossing} | {dh}/{dm} | {bps} |"
-            " {identical} | {faulted} |".format(
+            " {identical} | {faulted} | {joint} |".format(
                 layout=rec["layout"],
                 scale=rec["scale"],
                 store_layout=rec.get("store_layout", "object"),
@@ -390,6 +447,7 @@ def summary_markdown(records: List[dict]) -> str:
                 dm=dmaps.get("misses", 0),
                 identical="yes" if rec["routes_identical"] else "**NO**",
                 faulted=faulted_cell,
+                joint=joint_cell,
             )
         )
     lines.append("")
@@ -462,6 +520,14 @@ def main(argv=None) -> int:
         if faulted is not None and not faulted["routes_identical"]:
             print(
                 f"ERROR: {layout}: cached routes diverged on the faulted day",
+                file=sys.stderr,
+            )
+            ok = False
+        joint = record.get("faulted_joint")
+        if joint is not None and not joint["routes_identical"]:
+            print(
+                f"ERROR: {layout}: cached routes diverged on the "
+                "joint-recovery faulted day",
                 file=sys.stderr,
             )
             ok = False

@@ -354,6 +354,20 @@ def main(argv=None) -> int:
         if faulted is not None and not faulted.get("routes_identical"):
             emit(f"FAIL {layout}: cached routes diverged on the faulted day", err=True)
             exit_code = 1
+        joint = fresh.get("faulted_joint")
+        if joint is not None:
+            if not joint.get("routes_identical"):
+                emit(
+                    f"FAIL {layout}: cached routes diverged on the "
+                    "joint-recovery faulted day",
+                    err=True,
+                )
+                exit_code = 1
+            if joint.get("recovery_failures"):
+                emit(
+                    f"WARN {layout}: joint recovery abandoned "
+                    f"{joint['recovery_failures']} task(s) on the benchmark day"
+                )
         baseline = find_baseline(records, fresh)
         soft_checks(fresh, baseline)
         exit_code = max(exit_code, check(fresh, baseline, args.threshold))

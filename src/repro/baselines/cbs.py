@@ -102,6 +102,7 @@ def cbs_solve(
     max_nodes: int = 200,
     max_expansions: int = 50_000,
     horizon_slack: int = 128,
+    stand_from: Optional[Sequence[int]] = None,
 ) -> Optional[List[Route]]:
     """Solve a small joint planning instance with conflict-based search.
 
@@ -110,6 +111,15 @@ def cbs_solve(
         base_checker: additional immovable traffic (routes *outside* the
             group) every agent must also respect.
         max_nodes: high-level constraint-tree node budget.
+        stand_from: when given, agent ``i`` is standing at its origin
+            from second ``stand_from[i]`` onwards (a disturbed robot
+            waiting out its hold): its routes are padded back to that
+            second with origin holds *before* conflict checking, so the
+            high level sees the standing presence that
+            :func:`_pair_conflict` would otherwise miss — two agents
+            cannot be routed through each other's pre-departure cells.
+            A constraint landing inside the padded span makes that
+            branch infeasible (the agent cannot leave early).
 
     Returns:
         One route per query (same order), mutually conflict-free and
@@ -121,6 +131,11 @@ def cbs_solve(
         query = queries[idx]
         checker = _ConstraintChecker(vertex, edge, base_checker)
         dist_map = distance_maps.get(query.destination)
+        stand = query.release_time if stand_from is None else stand_from[idx]
+        if any(
+            (query.origin, t) in vertex for t in range(stand, query.release_time)
+        ):
+            return None  # cannot leave before release; the pad is forced
         for delay in range(0, 16):
             route = space_time_astar(
                 warehouse,
@@ -133,6 +148,9 @@ def cbs_solve(
                 horizon_slack=horizon_slack,
             )
             if route is not None:
+                if stand_from is not None and stand < route.start_time:
+                    pad = route.start_time - stand
+                    route = Route(stand, [query.origin] * pad + list(route.grids))
                 route.query_id = query.query_id
                 return route
         return None
@@ -187,3 +205,56 @@ def cbs_solve(
                 ),
             )
     return None
+
+
+@dataclass(frozen=True)
+class ClusterAgent:
+    """One disturbed robot inside a joint-recovery conflict cluster.
+
+    ``release`` is the earliest second the robot may move again (its
+    hold-until), ``stand_from`` the second it has been standing at
+    ``origin`` since (the committed anchor) — the span between them is
+    forced standing presence the joint solve must respect.
+    """
+
+    query_id: int
+    origin: Grid
+    destination: Grid
+    release: int
+    stand_from: int
+
+
+def solve_conflict_cluster(
+    warehouse: Warehouse,
+    agents: Sequence[ClusterAgent],
+    distance_maps: DistanceMaps,
+    base_checker: Optional[ConflictChecker] = None,
+    max_nodes: int = 200,
+    max_expansions: int = 50_000,
+    horizon_slack: int = 128,
+) -> Optional[List[Route]]:
+    """Jointly plan a recovery conflict cluster with CBS.
+
+    The reusable entry point behind ``recovery="joint"``'s escalation:
+    every agent is planned from its stop cell to its original
+    destination, released no earlier than its hold, padded back to its
+    anchor with standing holds, mutually conflict-free and compatible
+    with all committed traffic outside the cluster (``base_checker``,
+    usually :meth:`repro.core.planner.SRPPlanner.recovery_checker`).
+    Returns one route per agent (same order, each starting at
+    ``stand_from``) or None when the budget is exhausted.
+    """
+    queries = [
+        Query(a.origin, a.destination, a.release, query_id=a.query_id)
+        for a in agents
+    ]
+    return cbs_solve(
+        warehouse,
+        queries,
+        distance_maps,
+        base_checker,
+        max_nodes=max_nodes,
+        max_expansions=max_expansions,
+        horizon_slack=horizon_slack,
+        stand_from=[a.stand_from for a in agents],
+    )

@@ -7,7 +7,8 @@ Usage (also available as ``python -m repro.cli``)::
     repro-warehouse simulate --dataset W-2 --scale 0.3 --tasks 80 \
         --planner SRP --seed 7
     repro-warehouse simulate --dataset W-1 --scale 0.5 --tasks 120 \
-        --stalls 20 --blockages 10 --fault-seed 5 --validate
+        --stalls 20 --blockages 10 --slowdowns 6 --closures 3 \
+        --fault-seed 5 --recovery joint --validate
     repro-warehouse serve --dataset W-1 --scale 0.3 --port 7717 \
         --deadline-ms 100 --trace session.jsonl
     repro-warehouse load --port 7717 --queries 500 --rate 150
@@ -135,13 +136,15 @@ def cmd_simulate(args) -> int:
         TaskTraceSpec(n_tasks=args.tasks, day_length=args.day, seed=args.seed),
     )
     faults = None
-    if args.stalls or args.blockages:
+    if args.stalls or args.blockages or args.slowdowns or args.closures:
         faults = FaultPlan.generate(
             warehouse,
             n_robots=len(warehouse.robot_homes),
             day_length=args.day,
             n_stalls=args.stalls,
             n_blockages=args.blockages,
+            n_slowdowns=args.slowdowns,
+            n_closures=args.closures,
             seed=args.fault_seed,
         )
     rows = []
@@ -150,7 +153,8 @@ def cmd_simulate(args) -> int:
         planner = _make_planner(name, warehouse, args.store, args.exact, args.store_layout)
         try:
             result = run_day(
-                warehouse, planner, tasks, validate=args.validate, faults=faults
+                warehouse, planner, tasks, validate=args.validate, faults=faults,
+                recovery=args.recovery,
             )
         except SimulationError as exc:
             return _report_failure("simulation failed", exc)
@@ -185,6 +189,16 @@ def cmd_simulate(args) -> int:
                 "failed": result.failed_tasks,
                 "faults": result.faults_injected,
                 "replans": result.replans,
+                "recovery": result.recovery,
+                "replan_attempts": result.replan_attempts,
+                "decommitted_segments": result.decommitted_segments,
+                "recovery_clusters": result.recovery_clusters,
+                "max_cluster_size": result.max_cluster_size,
+                "cluster_robots": result.cluster_robots,
+                "recovery_cbs": result.recovery_cbs,
+                "recovery_serial": result.recovery_serial,
+                "slowdown_stretches": result.slowdown_stretches,
+                "closure_cells": result.closure_cells,
             }
         )
     if args.json:
@@ -195,11 +209,12 @@ def cmd_simulate(args) -> int:
         return 0
     title = f"{warehouse.name}: {args.tasks} tasks over {args.day}s"
     if faults is not None:
-        title += f", {len(faults)} faults (seed {args.fault_seed})"
+        title += (f", {len(faults)} faults (seed {args.fault_seed}, "
+                  f"recovery={args.recovery})")
     print(
         format_table(
             ["planner", "OG (s)", "TC (ms)", "MC peak (KiB)", "done", "failed",
-             "faults/replans"],
+             "faults/replans", "attempts/decommits"],
             [
                 [
                     row["planner"],
@@ -209,6 +224,7 @@ def cmd_simulate(args) -> int:
                     row["completed"],
                     row["failed"],
                     f"{row['faults']}/{row['replans']}",
+                    f"{row['replan_attempts']}/{row['decommitted_segments']}",
                 ]
                 for row in rows
             ],
@@ -332,8 +348,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject N seeded robot-stall faults (SRP only)")
     p_sim.add_argument("--blockages", type=int, default=0,
                        help="inject N seeded transient cell blockages (SRP only)")
+    p_sim.add_argument("--slowdowns", type=int, default=0,
+                       help="inject N seeded robot slowdowns (SRP only)")
+    p_sim.add_argument("--closures", type=int, default=0,
+                       help="inject N seeded aisle-closure faults (SRP only)")
     p_sim.add_argument("--fault-seed", type=int, default=0,
                        help="RNG seed of the fault plan (default 0)")
+    p_sim.add_argument("--recovery", default="serial", choices=("serial", "joint"),
+                       help="fault recovery strategy: serial hold-and-replan "
+                            "or joint conflict-cluster recovery (default serial)")
     p_sim.add_argument("--json", action="store_true",
                        help="print one JSON object per planner row instead of a table")
     p_sim.set_defaults(func=cmd_simulate)

@@ -24,7 +24,7 @@ same staleness signal the per-strip plan cache uses.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, Tuple
 
 from repro.core.store_base import next_version
 from repro.types import Grid
@@ -35,14 +35,24 @@ _TIME_SPAN = 1 << 40
 
 
 class CrossingLedger:
-    """Set of boundary crossings with O(1) membership by (from, to, t)."""
+    """Multiset of boundary crossings with O(1) membership by (from, to, t).
+
+    Keys are *reference counted* rather than kept in a plain set:
+    forced recovery commits (a slowdown-stretched suffix, a pinned
+    robot's hold) are committed verbatim before the cascade replans the
+    routes they invalidate, so two commit records can transiently claim
+    the same crossing — exactly like overlapping claims in the segment
+    stores, which keep one entry per record.  Each record's decommit
+    then releases its own reference; membership (and the content
+    version) only changes on the first add and the last remove.
+    """
 
     __slots__ = ("_width", "_cells", "_keys", "version")
 
     def __init__(self, height: int, width: int) -> None:
         self._width = width
         self._cells = height * width
-        self._keys = set()
+        self._keys: Dict[int, int] = {}
         #: content version; changes exactly when the crossing set changes
         self.version = next_version()
 
@@ -63,8 +73,9 @@ class CrossingLedger:
     # ------------------------------------------------------------------
     def add(self, from_cell: Grid, to_cell: Grid, t: int) -> None:
         key = self._pack(from_cell, to_cell, t)
-        if key not in self._keys:
-            self._keys.add(key)
+        count = self._keys.get(key, 0)
+        self._keys[key] = count + 1
+        if count == 0:  # srplint: allow(SRP001) refcount increment on an existing key changes no content
             self.version = next_version()
 
     def add_key(self, key: Tuple[Grid, Grid, int]) -> None:
@@ -75,12 +86,16 @@ class CrossingLedger:
             self.add(*key)
 
     def remove(self, from_cell: Grid, to_cell: Grid, t: int) -> None:
-        """Decommit one crossing; KeyError when it was never committed."""
+        """Release one reference; KeyError when it was never committed."""
         key = self._pack(from_cell, to_cell, t)
-        if key not in self._keys:
+        count = self._keys.get(key, 0)
+        if count == 0:
             raise KeyError(f"crossing {(from_cell, to_cell, t)!r} not committed")
-        self._keys.remove(key)
-        self.version = next_version()
+        if count == 1:  # srplint: allow(SRP001) releasing a surplus reference changes no content
+            del self._keys[key]
+            self.version = next_version()
+        else:
+            self._keys[key] = count - 1
 
     def remove_key(self, key: Tuple[Grid, Grid, int]) -> None:
         self.remove(*key)
@@ -103,7 +118,7 @@ class CrossingLedger:
     # ------------------------------------------------------------------
     def prune(self, before: int) -> int:
         """Drop crossings that happened strictly before ``before``."""
-        kept = {k for k in self._keys if k % _TIME_SPAN >= before}
+        kept = {k: c for k, c in self._keys.items() if k % _TIME_SPAN >= before}
         dropped = len(self._keys) - len(kept)
         if not dropped:
             return 0  # no-op: the ledger (and its version) stays untouched

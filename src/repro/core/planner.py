@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.columnar_store import ColumnarSegmentStore
 from repro.core.conversion import plan_to_route, route_to_strip_artifacts
 from repro.core.crossings import CrossingLedger
-from repro.core.fallback import fallback_plan
+from repro.core.fallback import SegmentStoreChecker, fallback_plan
 from repro.core.inter_strip import CrossingKey, RoutePlan, SearchConfig, SearchStats, plan_route
 from repro.core.naive_store import NaiveSegmentStore
 from repro.core.plan_cache import PlanCache
@@ -75,6 +75,20 @@ class SRPStats:
     replans: int = 0
     #: segments removed from stores by route decommits
     decommitted_segments: int = 0
+    #: recovery planning operations attempted: every ``replan_from``
+    #: call plus every externally planned suffix committed via
+    #: ``commit_recovered_route``.  Together with
+    #: ``decommitted_segments`` this is the recovery-efficiency metric
+    #: the serial-vs-joint comparison is judged on.
+    replan_attempts: int = 0
+    #: conflict clusters recovered jointly (``recovery="joint"`` runs)
+    recovery_clusters: int = 0
+    #: robots that went through joint cluster recovery
+    cluster_robots: int = 0
+    #: clusters escalated to CBS after prioritised replanning failed
+    cbs_escalations: int = 0
+    #: clusters that fell back to the serial hold-and-replan ladder
+    serial_fallbacks: int = 0
 
     @property
     def total_time(self) -> float:
@@ -230,6 +244,10 @@ class SRPPlanner(Planner):
         self._commits: Dict[int, CommitRecord] = {}
         #: routes rewritten by recoveries since the last take_revisions()
         self._revisions: Dict[int, Route] = {}
+        #: transient standing-presence claims for decommitted cluster
+        #: members awaiting their replan (joint recovery only); always
+        #: released again within the same cluster recovery.
+        self._recovery_holds: Dict[int, Tuple[int, Segment]] = {}
         #: exogenous cell blockages committed via commit_blockage, as
         #: ``(cell, t0, t1)`` — kept so the post-run state audit can
         #: distinguish injected obstacles from phantom reservations.
@@ -517,12 +535,177 @@ class SRPPlanner(Planner):
         self.stores.materialize(strip_idx).insert(Segment(t0, pos, t1, pos))
         self.blockages.append((cell, t0, t1))
 
+    def recovery_checker(self) -> SegmentStoreChecker:
+        """A grid-level conflict checker over the live committed state.
+
+        Exposes the planner's segment stores and crossing ledger through
+        the :class:`~repro.pathfinding.space_time_astar.ConflictChecker`
+        protocol, so joint recovery can run CBS over a conflict cluster
+        against everything *outside* the cluster exactly as committed
+        (the cluster's own suffixes are decommitted first).
+        """
+        return SegmentStoreChecker(self.graph, self.stores, self.crossings)
+
+    def decommit_for_recovery(self, query_id: int, cell: Grid, now: int) -> int:
+        """Strip a route back to its executed prefix ahead of joint recovery.
+
+        Joint cluster recovery (:mod:`repro.simulation.recovery`)
+        decommits *every* member's unexecuted suffix before replanning
+        any of them, so no member plans around a doomed suffix of
+        another.  The robot must stand at ``cell`` (the route's position
+        at ``now``).  The commit record's route becomes the executed
+        prefix and is recorded as a revision; a follow-up
+        :meth:`replan_from` with ``decommitted=True`` or a
+        :meth:`commit_recovered_route` completes the recovery.  Calling
+        it again at the same instant removes nothing (idempotent).
+
+        Returns the number of store removals performed (also accumulated
+        on ``stats.decommitted_segments``).
+        """
+        record = self._commits.get(query_id)
+        if record is None:
+            raise InvalidQueryError(
+                f"query {query_id} has no committed route to recover"
+            )
+        route = record.route
+        expected = route.position_at(now)
+        if cell != expected:
+            raise InvalidQueryError(
+                f"query {query_id}: robot reported at {cell} but its route "
+                f"puts it at {expected} at t={now}"
+            )
+        removed = self._decommit_suffix(record, now)
+        record.route = self._executed_prefix(route, now, cell)
+        self._revisions[query_id] = record.route
+        return removed
+
+    def commit_recovery_hold(
+        self, query_id: int, cell: Grid, now: int, until: int
+    ) -> None:
+        """Commit the standing presence of a decommitted cluster member.
+
+        After :meth:`decommit_for_recovery` strips a member back to its
+        executed prefix, the robot still physically stands at ``cell``
+        until at least ``until`` — but that presence no longer exists in
+        the segment stores, so cluster members replanned *before* it
+        would happily route straight through its stop cell (and the
+        joint cascade would chase the resulting conflict forever).  This
+        commits the forced hold ``[anchor, until]`` as an ordinary
+        claim; the member's own replan removes it first via
+        :meth:`release_recovery_hold`.  Idempotent while held.
+        """
+        if query_id in self._recovery_holds:
+            return
+        record = self._commits.get(query_id)
+        if record is None:
+            raise InvalidQueryError(
+                f"query {query_id} has no committed route to recover"
+            )
+        expected = record.route.position_at(now)
+        if cell != expected:
+            raise InvalidQueryError(
+                f"query {query_id}: robot reported at {cell} but its route "
+                f"puts it at {expected} at t={now}"
+            )
+        anchor = max(now, record.route.start_time)
+        strip_idx, pos = self.graph.locate(cell)
+        hold = Segment(anchor, pos, max(until, anchor), pos)
+        self.stores.materialize(strip_idx).insert(hold, query_id)
+        self._recovery_holds[query_id] = (strip_idx, hold)
+
+    def release_recovery_hold(self, query_id: int) -> None:
+        """Remove the hold committed by :meth:`commit_recovery_hold`.
+
+        No-op when no hold is outstanding for ``query_id``.
+        """
+        held = self._recovery_holds.pop(query_id, None)
+        if held is not None:
+            self.stores.remove(held[0], held[1])
+
+    def commit_recovered_route(
+        self, query_id: int, cell: Grid, now: int, suffix: Route
+    ) -> Route:
+        """Commit an externally planned recovery suffix for ``query_id``.
+
+        The counterpart of :meth:`decommit_for_recovery` for recoveries
+        whose new route was *not* produced by this planner's ladder: a
+        CBS solution over a conflict cluster, or a slowdown-stretched
+        copy of the robot's own suffix.  ``suffix`` must start at
+        ``cell`` (where the robot stands at ``now``), depart no earlier
+        than the committed anchor (claims never extend backward past the
+        committed start time), and end at the query's destination.  The
+        suffix's segments and crossings are committed verbatim; a
+        hold-in-place segment covers any gap between the anchor and the
+        suffix's departure so the standing robot stays visible.
+
+        Returns the revised full route (executed prefix + suffix), also
+        exposed through :meth:`take_revisions`.
+        """
+        record = self._commits.get(query_id)
+        if record is None:
+            raise InvalidQueryError(
+                f"query {query_id} has no committed route to recover"
+            )
+        expected = record.route.position_at(now)
+        if cell != expected:
+            raise InvalidQueryError(
+                f"query {query_id}: robot reported at {cell} but its route "
+                f"puts it at {expected} at t={now}"
+            )
+        if suffix.origin != cell:
+            raise InvalidQueryError(
+                f"query {query_id}: recovered suffix starts at {suffix.origin}, "
+                f"but the robot stands at {cell}"
+            )
+        if suffix.destination != record.query.destination:
+            raise InvalidQueryError(
+                f"query {query_id}: recovered suffix ends at "
+                f"{suffix.destination}, not the committed destination "
+                f"{record.query.destination}"
+            )
+        anchor = max(now, record.route.start_time)
+        undeparted = now < record.route.start_time
+        if suffix.start_time < anchor:
+            raise InvalidQueryError(
+                f"query {query_id}: recovered suffix departs at "
+                f"{suffix.start_time}, before the committed anchor {anchor}"
+            )
+        self.stats.replan_attempts += 1
+        started = _time.perf_counter()
+        try:
+            prefix = self._executed_prefix(record.route, now, cell)
+            strip_idx, pos = self.graph.locate(cell)
+            conv_started = _time.perf_counter()
+            segments, crossings = route_to_strip_artifacts(self.graph, suffix)
+            self.stats.conversion_time += _time.perf_counter() - conv_started
+            for seg_strip, segment in segments:
+                self.stores.materialize(seg_strip).insert(segment, query_id)
+            self.crossings.update(crossings)
+            record.segments.extend(segments)
+            record.crossings.extend(crossings)
+            if suffix.start_time > anchor and not undeparted:
+                hold = Segment(anchor, pos, suffix.start_time, pos)
+                self.stores.materialize(strip_idx).insert(hold, query_id)
+                record.segments.append((strip_idx, hold))
+            # A parked robot (disturbed before departure) has no executed
+            # history and leaves its pre-departure parking unreserved, so
+            # its revised route is the suffix alone.
+            revised = suffix if undeparted else concatenate_routes(prefix, suffix)
+            record.route = revised
+            self._revisions[query_id] = revised
+            return revised
+        finally:
+            self.timers.total += _time.perf_counter() - started
+            self.timers.queries += 1
+
     def replan_from(
         self,
         query_id: int,
         cell: Grid,
         now: int,
         hold_until: Optional[int] = None,
+        *,
+        decommitted: bool = False,
     ) -> Route:
         """Recover the route of ``query_id`` after an execution disturbance.
 
@@ -553,6 +736,12 @@ class SRPPlanner(Planner):
         release time, the deepest ladder rung reached and the expansions
         spent; the robot's residual hold stays committed so the planner
         state remains consistent with a robot abandoned in place.
+
+        With ``decommitted=True`` the suffix was already stripped by
+        :meth:`decommit_for_recovery` (joint cluster recovery): the
+        decommit step is skipped, the committed route is expected to be
+        the executed prefix (so the finished-route check is waived) and
+        the replan targets the original query destination.
         """
         record = self._commits.get(query_id)
         if record is None:
@@ -560,7 +749,7 @@ class SRPPlanner(Planner):
                 f"query {query_id} has no committed route to recover"
             )
         route = record.route
-        if now >= route.finish_time:
+        if not decommitted and now >= route.finish_time:
             raise InvalidQueryError(
                 f"query {query_id}: route already finished at t={route.finish_time}"
             )
@@ -570,38 +759,48 @@ class SRPPlanner(Planner):
                 f"query {query_id}: robot reported at {cell} but its route "
                 f"puts it at {expected} at t={now}"
             )
-        # A route disturbed before its departure keeps its original
-        # start time: claims must never extend backward past the
-        # committed start, which would fabricate standing presence over
-        # seconds the model leaves unreserved (e.g. the robot's own
-        # previous-stage arrival second at a shared handover cell).
+        # A route disturbed before its departure belongs to a *parked*
+        # robot (it never moved, DESIGN.md §4 leaves parked presence
+        # unreserved): its recovery simply delays the departure, with no
+        # standing hold at all.  Fabricating one would claim a shared
+        # station cell two parked robots can legally pipeline through —
+        # and two forced holds on one cell can never be replanned apart,
+        # so the recovery cascade would chase that conflict forever.
+        undeparted = now < route.start_time
         anchor = max(now, route.start_time)
         release = max(anchor, now + 1, now + 1 if hold_until is None else hold_until)
+        destination = record.query.destination if decommitted else route.destination
         self.stats.replans += 1
+        self.stats.replan_attempts += 1
         expansions_before = self.stats.intra_expansions
         started = _time.perf_counter()
         try:
-            self._decommit_suffix(record, now)
+            if not decommitted:
+                self._decommit_suffix(record, now)
             prefix = self._executed_prefix(route, now, cell)
             strip_idx, pos = self.graph.locate(cell)
             replan_query = Query(
-                cell, route.destination, release, record.query.kind, query_id
+                cell, destination, release, record.query.kind, query_id
             )
             new_route, phase = self._recovery_ladder(replan_query, strip_idx, pos)
             if new_route is None:
-                # Leave a residual hold over the forced-stop window so the
-                # stranded robot's presence survives in the stores.
-                hold = Segment(anchor, pos, release, pos)
-                self.stores.materialize(strip_idx).insert(hold, query_id)
-                record.segments.append((strip_idx, hold))
-                record.route = concatenate_routes(
-                    prefix, Route(release, [cell], query_id=query_id)
-                )
+                if undeparted:
+                    # Parked robot: it just stays parked (non-blocking).
+                    record.route = Route(release, [cell], query_id=query_id)
+                else:
+                    # Leave a residual hold over the forced-stop window so
+                    # the stranded robot's presence survives in the stores.
+                    hold = Segment(anchor, pos, release, pos)
+                    self.stores.materialize(strip_idx).insert(hold, query_id)
+                    record.segments.append((strip_idx, hold))
+                    record.route = concatenate_routes(
+                        prefix, Route(release, [cell], query_id=query_id)
+                    )
                 self._revisions[query_id] = record.route
                 self.timers.failures += 1
                 raise PlanningFailedError(
                     f"recovery of query {query_id} found no route from "
-                    f"{cell} to {route.destination}",
+                    f"{cell} to {destination}",
                     query_id=query_id,
                     release_time=release,
                     phase=phase,
@@ -609,13 +808,18 @@ class SRPPlanner(Planner):
                 )
             # The ladder's successful attempt wrote a fresh commit record
             # holding only the new plan's artifacts; fold it back into the
-            # original record together with the hold-in-place presence.
+            # original record together with the hold-in-place presence
+            # (departed robots only — a parked robot's route and claims
+            # both begin at the delayed departure).
             new_record = self._commits[query_id]
-            hold = Segment(anchor, pos, new_route.start_time, pos)
-            self.stores.materialize(strip_idx).insert(hold, query_id)
-            revised = concatenate_routes(prefix, new_route)
             record.segments.extend(new_record.segments)
-            record.segments.append((strip_idx, hold))
+            if undeparted:
+                revised = new_route
+            else:
+                hold = Segment(anchor, pos, new_route.start_time, pos)
+                self.stores.materialize(strip_idx).insert(hold, query_id)
+                record.segments.append((strip_idx, hold))
+                revised = concatenate_routes(prefix, new_route)
             record.crossings.extend(new_record.crossings)
             record.route = revised
             self._commits[query_id] = record

@@ -48,6 +48,12 @@ class PlanningFailedError(ReproError):
             (e.g. ``"strip"``, ``"fallback"``, ``"wait-retry"``).
         expansions: collision-query expansions spent across attempts,
             when the caller tracked them (None otherwise).
+        cluster_size: robots in the conflict cluster being recovered
+            when the failure occurred (None outside joint recovery).
+        strategy: recovery strategy in effect — ``"serial"``,
+            ``"prioritised"`` or ``"cbs"`` (None outside recovery).
+        decommits: store segments decommitted for the cluster before
+            the failing attempt (None when not tracked).
     """
 
     def __init__(
@@ -58,12 +64,18 @@ class PlanningFailedError(ReproError):
         release_time: Optional[int] = None,
         phase: Optional[str] = None,
         expansions: Optional[int] = None,
+        cluster_size: Optional[int] = None,
+        strategy: Optional[str] = None,
+        decommits: Optional[int] = None,
     ) -> None:
         super().__init__(message)
         self.query_id = query_id
         self.release_time = release_time
         self.phase = phase
         self.expansions = expansions
+        self.cluster_size = cluster_size
+        self.strategy = strategy
+        self.decommits = decommits
 
     def diagnostics(self) -> Dict[str, object]:
         """The structured fields that are actually set, as a dict."""
@@ -76,6 +88,12 @@ class PlanningFailedError(ReproError):
             fields["phase"] = self.phase
         if self.expansions is not None:
             fields["expansions"] = self.expansions
+        if self.cluster_size is not None:
+            fields["cluster_size"] = self.cluster_size
+        if self.strategy is not None:
+            fields["strategy"] = self.strategy
+        if self.decommits is not None:
+            fields["decommits"] = self.decommits
         return fields
 
     def __str__(self) -> str:
@@ -92,7 +110,12 @@ class SimulationError(ReproError):
             (-1 when no single query is responsible).
         release_time: simulated second of the failure (None if unknown).
         phase: simulation phase that failed (e.g. ``"fault-injection"``,
-            ``"recovery-cascade"``, ``"dispatch"``).
+            ``"fault-validation"``, ``"recovery-cascade"``,
+            ``"dispatch"``).
+        cluster_size: robots in the conflict cluster under recovery
+            when the failure occurred (None outside joint recovery).
+        strategy: recovery strategy in effect — ``"serial"``,
+            ``"prioritised"`` or ``"cbs"`` (None outside recovery).
     """
 
     def __init__(
@@ -102,11 +125,15 @@ class SimulationError(ReproError):
         query_id: int = -1,
         release_time: Optional[int] = None,
         phase: Optional[str] = None,
+        cluster_size: Optional[int] = None,
+        strategy: Optional[str] = None,
     ) -> None:
         super().__init__(message)
         self.query_id = query_id
         self.release_time = release_time
         self.phase = phase
+        self.cluster_size = cluster_size
+        self.strategy = strategy
 
     def diagnostics(self) -> Dict[str, object]:
         """The structured fields that are actually set, as a dict."""
@@ -117,6 +144,10 @@ class SimulationError(ReproError):
             fields["release_time"] = self.release_time
         if self.phase is not None:
             fields["phase"] = self.phase
+        if self.cluster_size is not None:
+            fields["cluster_size"] = self.cluster_size
+        if self.strategy is not None:
+            fields["strategy"] = self.strategy
         return fields
 
     def __str__(self) -> str:

@@ -323,7 +323,10 @@ class ServiceCore:
         if stats is not None:
             extra["cache_hit_rate"] = getattr(stats, "cache_hit_rate", 0.0)
             for name in ("cache_hits", "cache_misses", "cache_negative_hits",
-                         "fallbacks", "replans"):
+                         "fallbacks", "replans", "replan_attempts",
+                         "decommitted_segments", "recovery_clusters",
+                         "cluster_robots", "cbs_escalations",
+                         "serial_fallbacks"):
                 extra[name] = int(getattr(stats, name, 0) or 0)
         snap = self.telemetry.snapshot(extra=extra)
         snap["pending"] = self.pending()

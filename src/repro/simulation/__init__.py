@@ -13,21 +13,43 @@ comparison."*
 * :mod:`repro.simulation.engine` — the discrete-event loop driving
   tasks through their pickup / transmission / return stages;
 * :mod:`repro.simulation.faults` — seeded execution-fault injection
-  (robot stalls, transient blockages) exercised by the engine's
-  decommit/replan recovery path (see ``docs/robustness.md``).
+  (robot stalls, transient blockages, slowdowns, aisle closures)
+  exercised by the engine's decommit/replan recovery path;
+* :mod:`repro.simulation.recovery` — joint conflict-cluster recovery
+  (prioritised replanning, CBS escalation, serial fallback) behind the
+  engine's ``recovery="joint"`` mode (see ``docs/robustness.md``).
 """
 
 from repro.simulation.dispatch import Dispatcher, HungarianDispatcher, NearestIdleDispatcher
 from repro.simulation.engine import Simulation, SimulationResult, run_day
-from repro.simulation.faults import BlockageFault, Fault, FaultPlan, StallFault
+from repro.simulation.faults import (
+    AisleClosureFault,
+    BlockageFault,
+    Fault,
+    FaultPlan,
+    SlowdownFault,
+    StallFault,
+)
 from repro.simulation.metrics import ProgressSnapshot, SimulationMetrics
+from repro.simulation.recovery import (
+    build_clusters,
+    recovery_priority,
+    resolve_joint,
+    stretch_route_suffix,
+)
 from repro.simulation.robots import Robot, RobotFleet
 
 __all__ = [
+    "AisleClosureFault",
     "BlockageFault",
     "Fault",
     "FaultPlan",
+    "SlowdownFault",
     "StallFault",
+    "build_clusters",
+    "recovery_priority",
+    "resolve_joint",
+    "stretch_route_suffix",
     "ProgressSnapshot",
     "SimulationMetrics",
     "Robot",

@@ -14,22 +14,27 @@ environment, which measures algorithm time while the warehouse clock
 advances with robot motion.
 
 **Execution disturbances.**  An optional seeded
-:class:`~repro.simulation.faults.FaultPlan` injects robot stalls and
-transient cell blockages mid-run.  Each fault triggers a
+:class:`~repro.simulation.faults.FaultPlan` injects robot stalls,
+transient cell blockages, slowdowns and aisle closures mid-run.  In the
+default ``recovery="serial"`` mode each fault triggers a
 *stop-and-replan* recovery (after Kulich et al.'s "Push, Stop, and
 Replan"): the disturbed robot's committed route suffix is decommitted
 and replanned from its actual position via
 :meth:`~repro.core.planner.SRPPlanner.replan_from`, and a bounded
 cascade stops-and-replans any other robot whose surviving route now
-conflicts with the disturbance.  With an empty fault plan the engine's
-behaviour is bit-identical to an undisturbed run.
+conflicts with the disturbance.  ``recovery="joint"`` instead groups
+mutually conflicting robots into clusters and recovers each cluster
+jointly (prioritised replanning, CBS escalation, serial fallback) via
+:mod:`repro.simulation.recovery`.  With an empty fault plan the
+engine's behaviour is bit-identical to an undisturbed run in either
+mode.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.validate import (
     Conflict,
@@ -40,10 +45,18 @@ from repro.analysis.validate import (
 from repro.exceptions import PlanningFailedError, SimulationError
 from repro.planner_base import Planner
 from repro.simulation.dispatch import Dispatcher, NearestIdleDispatcher
-from repro.simulation.faults import BlockageFault, Fault, FaultPlan, StallFault
+from repro.simulation.faults import (
+    AisleClosureFault,
+    BlockageFault,
+    Fault,
+    FaultPlan,
+    SlowdownFault,
+    StallFault,
+)
 from repro.simulation.metrics import ProgressSnapshot, SimulationMetrics
+from repro.simulation.recovery import resolve_joint, stretch_route_suffix
 from repro.simulation.robots import Robot, RobotFleet
-from repro.types import Query, QueryKind, Route, Task
+from repro.types import Grid, Query, QueryKind, Route, Task
 from repro.warehouse.matrix import Warehouse
 
 _STAGE_KINDS = (QueryKind.PICKUP, QueryKind.TRANSMISSION, QueryKind.RETURN)
@@ -78,6 +91,31 @@ class SimulationResult:
     #: the planner exposes auditable stores; empty means stores and
     #: crossings exactly matched the surviving routes)
     audit_violations: List[str] = field(default_factory=list)
+    #: recovery strategy the run was configured with
+    recovery: str = "serial"
+    #: recovery planning operations attempted (``replan_from`` calls
+    #: plus externally planned suffix commits) — with
+    #: ``decommitted_segments`` the serial-vs-joint efficiency metric
+    replan_attempts: int = 0
+    #: store segments removed by route decommits
+    decommitted_segments: int = 0
+    #: conflict clusters recovered jointly (0 on serial runs)
+    recovery_clusters: int = 0
+    #: largest cluster seen over the day
+    max_cluster_size: int = 0
+    #: robots that went through joint cluster recovery
+    cluster_robots: int = 0
+    #: clusters escalated to CBS after prioritised replanning failed
+    recovery_cbs: int = 0
+    #: clusters that fell back to the serial hold-and-replan ladder
+    recovery_serial: int = 0
+    #: in-flight routes stretched by slowdown faults
+    slowdown_stretches: int = 0
+    #: aisle-closure cells committed as blockage pseudo-routes
+    closure_cells: int = 0
+    #: structured recovery events (cluster recoveries, abandoned
+    #: tasks), bounded; each carries size/strategy/decommit counts
+    recovery_events: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def og(self) -> int:
@@ -114,9 +152,15 @@ class Simulation:
         handover_delay: int = 1,
         dispatcher: Optional[Dispatcher] = None,
         faults: Optional[FaultPlan] = None,
+        recovery: str = "serial",
     ) -> None:
         if not tasks:
             raise SimulationError("cannot simulate an empty task list", phase="setup")
+        if recovery not in ("serial", "joint"):
+            raise SimulationError(
+                f"unknown recovery mode {recovery!r}; expected 'serial' or 'joint'",
+                phase="setup",
+            )
         if not warehouse.robot_homes:
             raise SimulationError(
                 "warehouse defines no robot home cells", phase="setup"
@@ -144,13 +188,28 @@ class Simulation:
         #: robot's own previous arrival second.
         self.handover_delay = handover_delay
         self.dispatcher: Dispatcher = dispatcher or NearestIdleDispatcher()
+        #: recovery strategy for fault disturbances: "serial" is PR 2's
+        #: one-robot-at-a-time stop-and-replan cascade; "joint" groups
+        #: conflicting robots into clusters and recovers each jointly
+        #: (see repro.simulation.recovery).
+        self.recovery = recovery
         self.faults = faults if faults is not None else FaultPlan.empty()
-        if self.faults and not hasattr(self.planner, "replan_from"):
-            raise SimulationError(
-                f"planner {self.planner.name} cannot recover from execution "
-                "faults (no replan_from); run it with an empty fault plan",
-                phase="fault-injection",
-            )
+        if self.faults:
+            self.faults.validate()
+            if not hasattr(self.planner, "replan_from"):
+                raise SimulationError(
+                    f"planner {self.planner.name} cannot recover from execution "
+                    "faults (no replan_from); run it with an empty fault plan",
+                    phase="fault-injection",
+                )
+            if (self.faults.slowdowns or self.faults.closures) and not hasattr(
+                self.planner, "commit_recovered_route"
+            ):
+                raise SimulationError(
+                    f"planner {self.planner.name} cannot execute slowdown or "
+                    "closure faults (no commit_recovered_route)",
+                    phase="fault-injection",
+                )
         self._routes: Dict[int, Route] = {}  # query_id -> latest route
         #: query_id -> the in-flight stage that committed it.  Keyed by
         #: query rather than robot: a release event landing on exactly a
@@ -168,6 +227,14 @@ class Simulation:
         self.faults_injected = 0
         self.replans = 0
         self.recovery_failures = 0
+        self.recovery_clusters = 0
+        self.max_cluster_size = 0
+        self.cluster_robots = 0
+        self.recovery_cbs = 0
+        self.recovery_serial = 0
+        self.slowdown_stretches = 0
+        self.closure_cells = 0
+        self.recovery_events: List[Dict[str, object]] = []
         self._last_prune = 0
 
     # ------------------------------------------------------------------
@@ -215,6 +282,7 @@ class Simulation:
                 audit = audit_planner_state(
                     self.planner, routes, since=self._last_prune
                 )
+        stats = getattr(self.planner, "stats", None)
         return SimulationResult(
             planner_name=self.planner.name,
             n_tasks=len(self.tasks),
@@ -229,6 +297,17 @@ class Simulation:
             replans=self.replans,
             recovery_failures=self.recovery_failures,
             audit_violations=audit,
+            recovery=self.recovery,
+            replan_attempts=getattr(stats, "replan_attempts", 0),
+            decommitted_segments=getattr(stats, "decommitted_segments", 0),
+            recovery_clusters=self.recovery_clusters,
+            max_cluster_size=self.max_cluster_size,
+            cluster_robots=self.cluster_robots,
+            recovery_cbs=self.recovery_cbs,
+            recovery_serial=self.recovery_serial,
+            slowdown_stretches=self.slowdown_stretches,
+            closure_cells=self.closure_cells,
+            recovery_events=self.recovery_events,
         )
 
     # ------------------------------------------------------------------
@@ -251,6 +330,30 @@ class Simulation:
             self._task_finished(now)
             return
         self._record_route(query.query_id, route)
+        stretched_slow = False
+        if (
+            robot.slow_until > route.start_time
+            and robot.slow_factor > 1
+            and hasattr(self.planner, "commit_recovered_route")
+        ):
+            # The robot is inside a slowdown window: its fresh route must
+            # be executed at reduced speed.  Rewrite it immediately as the
+            # stretched hold/move interleaving so the committed claims
+            # match the physical motion, then chase any conflicts the
+            # longer occupancy introduced.
+            stretched = stretch_route_suffix(
+                route, route.start_time, robot.slow_factor, robot.slow_until
+            )
+            if stretched.finish_time != route.finish_time:
+                self.planner.decommit_for_recovery(
+                    query.query_id, route.origin, route.start_time
+                )
+                route = self.planner.commit_recovered_route(
+                    query.query_id, route.origin, route.start_time, stretched
+                )
+                self._apply_revisions()
+                self.slowdown_stretches += 1
+                stretched_slow = True
         active.query_id = query.query_id
         active.route = route
         self._executing[query.query_id] = active
@@ -259,6 +362,11 @@ class Simulation:
         heapq.heappush(
             events, (route.finish_time, self._next_seq(), 1, (active, active.epoch))
         )
+        if stretched_slow:
+            # Run after the stage is fully registered so the cascade sees
+            # (and may itself revise) the stretched route; a further
+            # replan supersedes the event pushed above via the epoch.
+            self._resolve_disturbances(route.start_time, events)
 
     def _advance_stage(self, active: _ActiveTask, now: int, events: List) -> None:
         self._executing.pop(active.query_id, None)
@@ -282,6 +390,7 @@ class Simulation:
     # ------------------------------------------------------------------
     def _inject_fault(self, fault: Fault, now: int, events: List) -> None:
         self.faults_injected += 1
+        forced: List[Tuple[_ActiveTask, Grid, int]] = []
         if isinstance(fault, StallFault):
             robots = self.fleet.robots
             robot = robots[fault.robot_id % len(robots)]
@@ -306,11 +415,41 @@ class Simulation:
                 if robot.busy_until != _CLAIMED:
                     robot.busy_until = max(robot.busy_until, robot.stalled_until)
                 return
-            for active in disturbed:
-                cell = active.route.position_at(now)
-                self._replan_execution(
-                    active, cell, now, hold_until=now + fault.duration, events=events
+            if self.recovery == "joint":
+                # Joint mode defers the pinned robots to the cluster
+                # resolver so they are recovered together with whoever
+                # their forced holds collide with.
+                forced = [
+                    (a, a.route.position_at(now), now + fault.duration)
+                    for a in disturbed
+                ]
+            else:
+                for active in disturbed:
+                    cell = active.route.position_at(now)
+                    self._replan_execution(
+                        active, cell, now, hold_until=now + fault.duration,
+                        events=events,
+                    )
+        elif isinstance(fault, SlowdownFault):
+            self._apply_slowdown(fault, now, events)
+        elif isinstance(fault, AisleClosureFault):
+            committed_any = False
+            for cell in fault.cells:
+                if self.warehouse.is_rack(cell):
+                    continue  # racks are never traversed; inert
+                if self.planner.cell_occupied(cell, now):
+                    # Debris cannot land under a robot (same rule as
+                    # single-cell blockages); the rest of the span still
+                    # closes.
+                    continue
+                self.planner.commit_blockage(cell, now, now + fault.duration)
+                self._active_blockages.append(
+                    BlockageFault(time=now, cell=cell, duration=fault.duration)
                 )
+                self.closure_cells += 1
+                committed_any = True
+            if not committed_any:
+                return
         else:
             if self.warehouse.is_rack(fault.cell):
                 return  # racks are never traversed; a blocked rack is inert
@@ -321,9 +460,53 @@ class Simulation:
                 return
             self.planner.commit_blockage(fault.cell, now, now + fault.duration)
             self._active_blockages.append(fault)
-        self._resolve_disturbances(now, events)
+        self._resolve_disturbances(now, events, forced=forced)
 
-    def _resolve_disturbances(self, now: int, events: List) -> None:
+    def _apply_slowdown(self, fault: SlowdownFault, now: int, events: List) -> None:
+        """Slow a robot down: stretch its in-flight routes in place.
+
+        The stretched suffix visits the same cells in the same order at
+        ``1/factor`` speed (a deterministic hold/move interleaving), so
+        this is forced physics rather than a planning choice — conflicts
+        the longer occupancy introduces are chased by the disturbance
+        cascade that runs after every injection.  Stages planned while
+        the window is still open are stretched at plan time
+        (see :meth:`_start_stage`).
+        """
+        robots = self.fleet.robots
+        robot = robots[fault.robot_id % len(robots)]
+        robot.slowdowns += 1
+        until = now + fault.duration
+        robot.slow_until = max(robot.slow_until, until)
+        robot.slow_factor = fault.factor
+        disturbed = [
+            a
+            for a in self._executing.values()
+            if a.robot is robot
+            and a.route is not None
+            and a.route.finish_time > now
+            and a.route.start_time < until
+        ]
+        for active in disturbed:
+            route = active.route
+            suffix = stretch_route_suffix(route, now, fault.factor, until)
+            if suffix.finish_time == route.finish_time:
+                continue  # no move falls inside the window; nothing changes
+            cell = route.position_at(now)
+            self.planner.decommit_for_recovery(active.query_id, cell, now)
+            revised = self.planner.commit_recovered_route(
+                active.query_id, cell, now, suffix
+            )
+            self._apply_revisions()
+            self.slowdown_stretches += 1
+            self._install_revision(active, revised, events)
+
+    def _resolve_disturbances(
+        self,
+        now: int,
+        events: List,
+        forced: Sequence[Tuple[_ActiveTask, Grid, int]] = (),
+    ) -> None:
         """Stop-and-replan every robot whose surviving route conflicts.
 
         A disturbance (a stalled robot's hold, a blockage, or a freshly
@@ -334,7 +517,16 @@ class Simulation:
         recovery is collision-free against all committed state, so the
         cascade converges; the round bound turns a logic bug into a loud
         :class:`SimulationError` instead of a hang.
+
+        With ``recovery="joint"`` the work is delegated to
+        :func:`repro.simulation.recovery.resolve_joint`, which recovers
+        whole conflict clusters at a time; ``forced`` carries robots
+        pinned in place by the triggering fault (serial mode replans
+        them before calling here, so it always passes none).
         """
+        if self.recovery == "joint":
+            resolve_joint(self, now, events, forced=forced)
+            return
         for _round in range(_MAX_RECOVERY_ROUNDS):
             self._active_blockages = [
                 b for b in self._active_blockages if b.time + b.duration >= now
@@ -390,16 +582,34 @@ class Simulation:
         now: int,
         hold_until: int,
         events: List,
+        decommitted: bool = False,
+        context: Optional[Dict[str, object]] = None,
     ) -> None:
-        """Stop one robot at ``cell`` and recover its route in place."""
+        """Stop one robot at ``cell`` and recover its route in place.
+
+        ``decommitted`` marks a suffix already stripped by joint
+        recovery; ``context`` carries the cluster diagnostics (size,
+        strategy, decommit count) attached to the failure exception and
+        the recovery event log when the ladder gives up.
+        """
         robot = active.robot
         try:
             revised = self.planner.replan_from(
-                active.query_id, cell, now, hold_until=hold_until
+                active.query_id, cell, now, hold_until=hold_until,
+                decommitted=decommitted,
             )
-        except PlanningFailedError:
+        except PlanningFailedError as exc:
             # Recovery exhausted its ladder: abandon the task where the
             # robot stands (mirrors the stage-planning failure policy).
+            if context is not None:
+                exc.cluster_size = context.get("cluster_size", exc.cluster_size)  # type: ignore[assignment]
+                exc.strategy = context.get("strategy", exc.strategy)  # type: ignore[assignment]
+                exc.decommits = context.get("decommits", exc.decommits)  # type: ignore[assignment]
+            elif exc.strategy is None:
+                exc.strategy = "serial"
+            self._log_recovery_event(
+                {"time": now, "event": "task-abandoned", **exc.diagnostics()}
+            )
             self._apply_revisions()
             self.failed += 1
             self.recovery_failures += 1
@@ -418,6 +628,13 @@ class Simulation:
             return
         self._apply_revisions()
         self.replans += 1
+        self._install_revision(active, revised, events)
+
+    def _install_revision(
+        self, active: _ActiveTask, revised: Route, events: List
+    ) -> None:
+        """Adopt a recovered route: bump the epoch, re-arm the stage event."""
+        robot = active.robot
         active.route = revised
         active.epoch += 1
         robot.cell = revised.destination
@@ -425,6 +642,11 @@ class Simulation:
         heapq.heappush(
             events, (revised.finish_time, self._next_seq(), 1, (active, active.epoch))
         )
+
+    def _log_recovery_event(self, event: Dict[str, object]) -> None:
+        """Record a structured recovery event, bounded against storms."""
+        if len(self.recovery_events) < 512:
+            self.recovery_events.append(event)
 
     def _apply_revisions(self) -> None:
         for revised_id, revised in self.planner.take_revisions().items():
@@ -460,6 +682,7 @@ def run_day(
     handover_delay: int = 1,
     dispatcher: Optional[Dispatcher] = None,
     faults: Optional[FaultPlan] = None,
+    recovery: str = "serial",
 ) -> SimulationResult:
     """Convenience wrapper: simulate one day and return the result."""
     sim = Simulation(
@@ -474,5 +697,6 @@ def run_day(
         handover_delay=handover_delay,
         dispatcher=dispatcher,
         faults=faults,
+        recovery=recovery,
     )
     return sim.run()

@@ -9,16 +9,25 @@ seeded RNG — so a disturbed day is exactly reproducible: the same seed
 injects the same faults at the same simulated seconds, and an empty
 plan leaves the simulation bit-identical to an undisturbed run.
 
-Two fault kinds are modelled, following the recovery literature the
+Four fault kinds are modelled, following the recovery literature the
 framework targets (context-aware replanning, push-stop-and-replan):
 
 * :class:`StallFault` — a robot freezes in place for ``duration``
   seconds, holding its current cell;
 * :class:`BlockageFault` — a free cell becomes impassable for
-  ``duration`` seconds.
+  ``duration`` seconds;
+* :class:`SlowdownFault` — a robot moves at an integer speed factor
+  (one grid per ``factor`` seconds) for a window.  The engine keeps
+  routes exact-integer by stretching the affected route suffix into a
+  deterministic hold/move interleaving — no fractional speeds ever
+  enter the stores or collision checks;
+* :class:`AisleClosureFault` — a contiguous span of aisle cells is
+  closed for a window, committed as a batch of blockage pseudo-routes.
 
 The simulation engine turns each fault into a decommit/replan recovery
-via :meth:`repro.core.planner.SRPPlanner.replan_from`; see
+via :meth:`repro.core.planner.SRPPlanner.replan_from` (serial mode) or
+the joint conflict-cluster recovery of
+:mod:`repro.simulation.recovery` (``recovery="joint"``); see
 ``docs/robustness.md`` for the end-to-end story.
 """
 
@@ -64,20 +73,108 @@ class BlockageFault:
             )
 
 
-Fault = Union[StallFault, BlockageFault]
+@dataclass(frozen=True)
+class SlowdownFault:
+    """Robot ``robot_id`` runs at speed ``1/factor`` over a window.
+
+    Over ``[time, time + duration]`` every move the robot makes takes
+    ``factor`` seconds instead of one: the engine rewrites the route
+    suffix as ``factor - 1`` holds at the source cell followed by the
+    move, so geometry stays exact-integer and collision checking is
+    unchanged.  ``factor`` must be at least 2 (a factor of 1 would be
+    an undetectable no-op and is rejected so plans stay meaningful).
+    """
+
+    time: int
+    robot_id: int
+    factor: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise SimulationError(
+                f"slowdown duration must be >= 1, got {self.duration}",
+                phase="fault-injection",
+            )
+        if self.factor < 2:
+            raise SimulationError(
+                f"slowdown factor must be >= 2, got {self.factor}",
+                phase="fault-injection",
+            )
+
+
+@dataclass(frozen=True)
+class AisleClosureFault:
+    """A contiguous aisle span ``cells`` closed over ``[time, time + duration]``.
+
+    The cells must form a straight, gap-free run along one grid axis (a
+    partial aisle closure — spilled pallets, maintenance tape).  The
+    engine commits each free cell of the span as a blockage pseudo-route
+    in one batch, so planning and recovery treat the closure exactly
+    like simultaneous cell blockages that expire together.
+    """
+
+    time: int
+    cells: Tuple[Grid, ...]
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise SimulationError(
+                f"closure duration must be >= 1, got {self.duration}",
+                phase="fault-injection",
+            )
+        if not self.cells:
+            raise SimulationError(
+                "aisle closure needs at least one cell", phase="fault-injection"
+            )
+        if len(self.cells) > 1:
+            rows = [c[0] for c in self.cells]
+            cols = [c[1] for c in self.cells]
+            if all(r == rows[0] for r in rows):
+                run = sorted(cols)
+            elif all(c == cols[0] for c in cols):
+                run = sorted(rows)
+            else:
+                raise SimulationError(
+                    f"closure cells {self.cells} are not collinear",
+                    phase="fault-injection",
+                )
+            if run != list(range(run[0], run[0] + len(run))):
+                raise SimulationError(
+                    f"closure cells {self.cells} are not contiguous",
+                    phase="fault-injection",
+                )
+
+
+Fault = Union[StallFault, BlockageFault, SlowdownFault, AisleClosureFault]
+
+#: injection order of fault kinds at equal seconds: robot-state faults
+#: first (stalls, then slowdowns), then cell faults (blockages, then
+#: closures) — the relative order of the original two kinds is
+#: unchanged, so pre-existing plans inject identically.
+_KIND_RANK = {StallFault: 0, SlowdownFault: 1, BlockageFault: 2, AisleClosureFault: 3}
+
+
+def _overlaps(a0: int, a1: int, b0: int, b1: int) -> bool:
+    """True when the closed windows ``[a0, a1]`` and ``[b0, b1]`` meet."""
+    return a0 <= b1 and b0 <= a1
 
 
 @dataclass
 class FaultPlan:
     """A reproducible schedule of execution disturbances.
 
-    Iteration yields faults in time order (stalls before blockages at
-    equal seconds, then declaration order) — the order the engine
-    injects them, so two runs of the same plan disturb identically.
+    Iteration yields faults in time order (robot faults before cell
+    faults at equal seconds, then declaration order) — the order the
+    engine injects them, so two runs of the same plan disturb
+    identically.
     """
 
     stalls: List[StallFault] = field(default_factory=list)
     blockages: List[BlockageFault] = field(default_factory=list)
+    slowdowns: List[SlowdownFault] = field(default_factory=list)
+    closures: List[AisleClosureFault] = field(default_factory=list)
 
     @classmethod
     def empty(cls) -> "FaultPlan":
@@ -93,15 +190,27 @@ class FaultPlan:
         day_length: int,
         n_stalls: int = 0,
         n_blockages: int = 0,
+        n_slowdowns: int = 0,
+        n_closures: int = 0,
         seed: int = 0,
         stall_duration: Tuple[int, int] = (2, 8),
         blockage_duration: Tuple[int, int] = (3, 12),
+        slowdown_factor: Tuple[int, int] = (2, 3),
+        slowdown_duration: Tuple[int, int] = (4, 12),
+        closure_length: Tuple[int, int] = (2, 5),
+        closure_duration: Tuple[int, int] = (5, 15),
     ) -> "FaultPlan":
         """Draw a reproducible plan from ``random.Random(seed)``.
 
         Stall times spread over ``[1, day_length]`` and target uniform
         robots; blockages strike uniform rack-free cells (a blocked rack
-        cell would never be traversed anyway).
+        cell would never be traversed anyway).  Stalls and blockages are
+        drawn first, in the exact RNG order of earlier releases, so a
+        plan requesting only those kinds is bit-identical to one drawn
+        before slowdowns and closures existed.  Slowdowns and closures
+        are then drawn with bounded rejection-resampling so the result
+        always passes :meth:`validate` (no robot is simultaneously
+        stalled and slowed, no cell doubly closed).
         """
         if n_robots < 1:
             raise SimulationError(
@@ -125,19 +234,142 @@ class FaultPlan:
             )
             for _ in range(n_blockages)
         ]
-        return cls(sorted(stalls, key=lambda f: f.time),
-                   sorted(blockages, key=lambda f: f.time))
+        slowdowns: List[SlowdownFault] = []
+        robot_windows = [(f.robot_id, f.time, f.time + f.duration) for f in stalls]
+        for _ in range(n_slowdowns):
+            fault = None
+            for _attempt in range(64):
+                t = rng.randint(1, max(1, day_length))
+                robot = rng.randrange(n_robots)
+                d = rng.randint(*slowdown_duration)
+                if all(
+                    robot != r or not _overlaps(t, t + d, w0, w1)
+                    for r, w0, w1 in robot_windows
+                ):
+                    fault = SlowdownFault(
+                        time=t,
+                        robot_id=robot,
+                        factor=rng.randint(*slowdown_factor),
+                        duration=d,
+                    )
+                    break
+            if fault is None:
+                raise SimulationError(
+                    f"could not place slowdown {len(slowdowns) + 1}/{n_slowdowns} "
+                    "without overlapping an existing robot fault window",
+                    phase="fault-validation",
+                )
+            slowdowns.append(fault)
+            robot_windows.append(
+                (fault.robot_id, fault.time, fault.time + fault.duration)
+            )
+        closures: List[AisleClosureFault] = []
+        cell_windows = [(f.cell, f.time, f.time + f.duration) for f in blockages]
+        for _ in range(n_closures):
+            fault = None
+            for _attempt in range(64):
+                seed_cell = rng.choice(free)
+                step = (0, 1) if rng.randrange(2) == 0 else (1, 0)
+                length = rng.randint(*closure_length)
+                t = rng.randint(1, max(1, day_length))
+                d = rng.randint(*closure_duration)
+                cells = [seed_cell]
+                cur = seed_cell
+                while len(cells) < length:
+                    nxt = (cur[0] + step[0], cur[1] + step[1])
+                    if not warehouse.in_bounds(nxt) or warehouse.is_rack(nxt):
+                        break
+                    cells.append(nxt)
+                    cur = nxt
+                if all(
+                    cell not in cells or not _overlaps(t, t + d, w0, w1)
+                    for cell, w0, w1 in cell_windows
+                ):
+                    fault = AisleClosureFault(time=t, cells=tuple(cells), duration=d)
+                    break
+            if fault is None:
+                raise SimulationError(
+                    f"could not place closure {len(closures) + 1}/{n_closures} "
+                    "without overlapping an existing cell fault window",
+                    phase="fault-validation",
+                )
+            closures.append(fault)
+            cell_windows.extend(
+                (cell, fault.time, fault.time + fault.duration) for cell in fault.cells
+            )
+        plan = cls(
+            sorted(stalls, key=lambda f: f.time),
+            sorted(blockages, key=lambda f: f.time),
+            sorted(slowdowns, key=lambda f: f.time),
+            sorted(closures, key=lambda f: f.time),
+        )
+        plan.validate()
+        return plan
+
+    def validate(self) -> None:
+        """Reject fault combinations with undefined engine behaviour.
+
+        The original kinds are unrestricted: overlapping stalls on one
+        robot merge via ``max`` and overlapping blockages on one cell
+        are independent reservations, both long-defined.  The richer
+        kinds are not composable that way — a robot cannot be frozen
+        *and* moving slowly (or moving at two speed factors), and a
+        closure landing on an already-blocked cell would double-commit
+        the cell's presence — so those overlaps raise a
+        :class:`SimulationError` naming the colliding windows.
+        """
+        robot_windows = [
+            ("stall", f.robot_id, f.time, f.time + f.duration) for f in self.stalls
+        ] + [
+            ("slowdown", f.robot_id, f.time, f.time + f.duration)
+            for f in self.slowdowns
+        ]
+        for i, (kind_a, robot_a, a0, a1) in enumerate(robot_windows):
+            for kind_b, robot_b, b0, b1 in robot_windows[i + 1:]:
+                if "slowdown" not in (kind_a, kind_b):
+                    continue
+                if robot_a == robot_b and _overlaps(a0, a1, b0, b1):
+                    raise SimulationError(
+                        f"overlapping {kind_a}/{kind_b} faults target robot "
+                        f"{robot_a} over [{max(a0, b0)}, {min(a1, b1)}]; a robot "
+                        "cannot hold two speed states at once",
+                        release_time=max(a0, b0),
+                        phase="fault-validation",
+                    )
+        cell_windows = [
+            ("blockage", f.cell, f.time, f.time + f.duration) for f in self.blockages
+        ] + [
+            ("closure", cell, f.time, f.time + f.duration)
+            for f in self.closures
+            for cell in f.cells
+        ]
+        for i, (kind_a, cell_a, a0, a1) in enumerate(cell_windows):
+            for kind_b, cell_b, b0, b1 in cell_windows[i + 1:]:
+                if "closure" not in (kind_a, kind_b):
+                    continue
+                if cell_a == cell_b and _overlaps(a0, a1, b0, b1):
+                    raise SimulationError(
+                        f"overlapping {kind_a}/{kind_b} faults close cell "
+                        f"{cell_a} over [{max(a0, b0)}, {min(a1, b1)}]",
+                        release_time=max(a0, b0),
+                        phase="fault-validation",
+                    )
 
     def __iter__(self) -> Iterator[Fault]:
         return iter(
             sorted(
-                [*self.stalls, *self.blockages],
-                key=lambda f: (f.time, isinstance(f, BlockageFault)),
+                [*self.stalls, *self.slowdowns, *self.blockages, *self.closures],
+                key=lambda f: (f.time, _KIND_RANK[type(f)]),
             )
         )
 
     def __len__(self) -> int:
-        return len(self.stalls) + len(self.blockages)
+        return (
+            len(self.stalls)
+            + len(self.blockages)
+            + len(self.slowdowns)
+            + len(self.closures)
+        )
 
     def __bool__(self) -> bool:
         return len(self) > 0

@@ -23,7 +23,10 @@ class Robot:
     ``stalled_until`` is the fault-injection hook: while a stall fault
     is active the robot cannot start (or resume) moving before that
     second, and the engine delays stage handovers accordingly.
-    ``stalls`` counts the faults that hit this robot over the day.
+    ``slow_until``/``slow_factor`` play the same role for slowdown
+    faults: routes overlapping the window are stretched so every move
+    takes ``slow_factor`` seconds.  ``stalls`` and ``slowdowns`` count
+    the faults that hit this robot over the day.
     """
 
     robot_id: int
@@ -32,6 +35,9 @@ class Robot:
     tasks_served: int = 0
     stalled_until: int = -1
     stalls: int = 0
+    slow_until: int = -1
+    slow_factor: int = 1
+    slowdowns: int = 0
 
     def is_idle(self, now: int) -> bool:
         return self.busy_until <= now

@@ -98,6 +98,30 @@ class TestCommands:
             assert isinstance(row["og_s"], int)
             assert isinstance(row["tc_ms"], float)
 
+    def test_simulate_joint_recovery_with_fault_flags(self, capsys):
+        import json
+
+        code = main(
+            [
+                "simulate", "--dataset", "W-1", "--scale", "0.25",
+                "--tasks", "12", "--day", "150",
+                "--stalls", "4", "--blockages", "2",
+                "--slowdowns", "2", "--closures", "1",
+                "--fault-seed", "9", "--recovery", "joint",
+                "--validate", "--json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        (row,) = [json.loads(line) for line in out.splitlines() if line]
+        assert row["recovery"] == "joint"
+        assert row["faults"] == 9
+        assert row["closure_cells"] > 0
+        for key in ("replan_attempts", "decommitted_segments",
+                    "recovery_clusters", "max_cluster_size", "cluster_robots",
+                    "recovery_cbs", "recovery_serial", "slowdown_stretches"):
+            assert isinstance(row[key], int)
+
     def test_serve_and_load_round_trip(self, capsys):
         import json
         import threading

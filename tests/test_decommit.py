@@ -174,9 +174,14 @@ class TestCrossingLedgerVersioning:
         ledger.add((1, 1), (1, 2), 5)
         v1 = ledger.version
         assert v1 != v0
-        # Re-adding the same key is a content no-op: version is stable.
+        # A second reference (a forced recovery commit overlapping an
+        # existing claim) is a membership no-op: version is stable and
+        # the key stays committed until the last reference is released.
         ledger.add((1, 1), (1, 2), 5)
         assert ledger.version == v1
+        ledger.remove((1, 1), (1, 2), 5)
+        assert ledger.version == v1
+        assert ((1, 1), (1, 2), 5) in ledger
         ledger.remove((1, 1), (1, 2), 5)
         assert ledger.version != v1
         assert ((1, 1), (1, 2), 5) not in ledger

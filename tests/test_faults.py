@@ -16,7 +16,15 @@ from repro.analysis import assert_collision_free, audit_planner_state
 from repro.baselines import make_baseline
 from repro.core.planner import SRPPlanner
 from repro.exceptions import InvalidQueryError, SimulationError
-from repro.simulation import BlockageFault, FaultPlan, Simulation, StallFault, run_day
+from repro.simulation import (
+    AisleClosureFault,
+    BlockageFault,
+    FaultPlan,
+    Simulation,
+    SlowdownFault,
+    StallFault,
+    run_day,
+)
 from repro.types import Query
 from repro.warehouse import TaskTraceSpec, generate_tasks, w1
 
@@ -59,6 +67,126 @@ class TestFaultPlan:
     def test_empty_plan_is_falsy(self):
         plan = FaultPlan.empty()
         assert not plan and len(plan) == 0 and list(plan) == []
+
+    def test_generate_with_all_kinds_is_deterministic(self, small_warehouse):
+        kwargs = dict(
+            n_robots=6, day_length=300, n_stalls=5, n_blockages=4,
+            n_slowdowns=3, n_closures=2, seed=9,
+        )
+        a = FaultPlan.generate(small_warehouse, **kwargs)
+        b = FaultPlan.generate(small_warehouse, **kwargs)
+        assert list(a) == list(b)
+        assert len(a.slowdowns) == 3 and len(a.closures) == 2
+
+    def test_new_kinds_do_not_disturb_earlier_draws(self, small_warehouse):
+        """Stalls and blockages are drawn first, so a plan adding
+        slowdowns/closures keeps them bit-identical to the old draw."""
+        old = FaultPlan.generate(
+            small_warehouse, n_robots=6, day_length=300, n_stalls=5,
+            n_blockages=4, seed=9,
+        )
+        new = FaultPlan.generate(
+            small_warehouse, n_robots=6, day_length=300, n_stalls=5,
+            n_blockages=4, n_slowdowns=3, n_closures=2, seed=9,
+        )
+        assert new.stalls == old.stalls
+        assert new.blockages == old.blockages
+
+    def test_closures_are_contiguous_aisle_runs(self, small_warehouse):
+        plan = FaultPlan.generate(
+            small_warehouse, n_robots=6, day_length=300, n_closures=6, seed=2
+        )
+        for closure in plan.closures:
+            assert all(not small_warehouse.is_rack(c) for c in closure.cells)
+            # __post_init__ enforces collinearity/contiguity; spot-check
+            # the span really is a unit-step run.
+            cells = sorted(closure.cells)
+            steps = {
+                (b[0] - a[0], b[1] - a[1]) for a, b in zip(cells, cells[1:])
+            }
+            assert steps <= {(0, 1), (1, 0)}
+
+
+class TestRichFaultValidation:
+    def test_slowdown_rejects_bad_factor_and_duration(self):
+        with pytest.raises(SimulationError) as exc:
+            SlowdownFault(time=5, robot_id=0, factor=1, duration=4)
+        assert exc.value.phase == "fault-injection"
+        with pytest.raises(SimulationError):
+            SlowdownFault(time=5, robot_id=0, factor=2, duration=0)
+
+    def test_closure_rejects_degenerate_spans(self):
+        with pytest.raises(SimulationError):
+            AisleClosureFault(time=5, cells=(), duration=4)
+        with pytest.raises(SimulationError) as exc:
+            AisleClosureFault(time=5, cells=((0, 0), (1, 1)), duration=4)
+        assert "collinear" in str(exc.value)
+        with pytest.raises(SimulationError) as exc:
+            AisleClosureFault(time=5, cells=((0, 0), (0, 2)), duration=4)
+        assert "contiguous" in str(exc.value)
+        AisleClosureFault(time=5, cells=((0, 2), (0, 0), (0, 1)), duration=4)
+
+    def test_overlapping_stall_and_slowdown_on_one_robot_rejected(self):
+        plan = FaultPlan(
+            stalls=[StallFault(time=10, robot_id=3, duration=5)],
+            slowdowns=[SlowdownFault(time=12, robot_id=3, factor=2, duration=4)],
+        )
+        with pytest.raises(SimulationError) as exc:
+            plan.validate()
+        assert exc.value.phase == "fault-validation"
+        assert "robot 3" in str(exc.value)
+
+    def test_overlapping_slowdowns_on_one_robot_rejected(self):
+        plan = FaultPlan(
+            slowdowns=[
+                SlowdownFault(time=10, robot_id=1, factor=2, duration=6),
+                SlowdownFault(time=14, robot_id=1, factor=3, duration=6),
+            ],
+        )
+        with pytest.raises(SimulationError):
+            plan.validate()
+
+    def test_overlapping_closure_and_blockage_on_one_cell_rejected(self):
+        plan = FaultPlan(
+            blockages=[BlockageFault(time=10, cell=(2, 3), duration=5)],
+            closures=[
+                AisleClosureFault(time=12, cells=((2, 2), (2, 3)), duration=4)
+            ],
+        )
+        with pytest.raises(SimulationError) as exc:
+            plan.validate()
+        assert "(2, 3)" in str(exc.value)
+
+    def test_disjoint_windows_pass_validation(self):
+        plan = FaultPlan(
+            stalls=[StallFault(time=10, robot_id=3, duration=5)],
+            slowdowns=[SlowdownFault(time=30, robot_id=3, factor=2, duration=4)],
+            blockages=[BlockageFault(time=10, cell=(2, 3), duration=5)],
+            closures=[
+                AisleClosureFault(time=40, cells=((2, 2), (2, 3)), duration=4)
+            ],
+        )
+        plan.validate()  # no overlap on any robot or cell: fine
+        # Overlapping *stalls* stay legal (they merge via max, as before).
+        FaultPlan(
+            stalls=[
+                StallFault(time=10, robot_id=3, duration=5),
+                StallFault(time=12, robot_id=3, duration=5),
+            ]
+        ).validate()
+
+    def test_iteration_orders_kinds_at_equal_seconds(self):
+        plan = FaultPlan(
+            stalls=[StallFault(time=10, robot_id=0, duration=2)],
+            blockages=[BlockageFault(time=10, cell=(1, 1), duration=2)],
+            slowdowns=[SlowdownFault(time=10, robot_id=1, factor=2, duration=3)],
+            closures=[
+                AisleClosureFault(time=10, cells=((3, 3),), duration=2)
+            ],
+        )
+        kinds = [type(f) for f in plan]
+        assert kinds == [StallFault, SlowdownFault, BlockageFault,
+                         AisleClosureFault]
 
 
 class TestReplanFromAPI:

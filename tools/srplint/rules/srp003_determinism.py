@@ -59,6 +59,10 @@ class SRP003Determinism(Rule):
         "repro/core/",
         "repro/pathfinding/",
         "repro/simulation/faults.py",
+        # Joint cluster recovery must replay bit-identically from the
+        # fault seed: clustering, priority order, and every escalation
+        # decision are pure functions of committed state.
+        "repro/simulation/recovery.py",
         # The planning service keeps its scheduler and telemetry pure:
         # wall clocks are legal only in the I/O frontend (server.py)
         # and the load generator (loadgen.py).

@@ -182,6 +182,15 @@ class TestEngine:
         for path in out_of_scope:
             assert run_source(source, path) == [], path
 
+    def test_recovery_module_in_determinism_scope(self):
+        """Joint cluster recovery replays from the fault seed, so
+        ``repro/simulation/recovery.py`` is SRP003-scoped while the rest
+        of the simulation package (real-time metrics sampling) is not."""
+        source = "import time\nnow = time.time()\n"
+        findings = run_source(source, "src/repro/simulation/recovery.py")
+        assert [f.code for f in findings] == ["SRP003"]
+        assert run_source(source, "src/repro/simulation/metrics.py") == []
+
     def test_clean_tree_zero_findings(self):
         """The committed tree must satisfy every invariant — same gate as CI."""
         src = REPO_ROOT / "src"
