@@ -51,7 +51,12 @@ from benchmarks.conftest import (  # noqa: E402
 )
 from repro.core.planner import SRPPlanner  # noqa: E402
 from repro.service import ServiceConfig, ServiceCore  # noqa: E402
-from repro.service.loadgen import LoadSpec, make_schedule, run_soak  # noqa: E402
+from repro.service.loadgen import (  # noqa: E402
+    LoadSpec,
+    make_schedule,
+    run_soak,
+    run_soak_concurrent,
+)
 from repro.warehouse import datasets  # noqa: E402
 
 
@@ -81,8 +86,17 @@ def bench_service(
     overload: float,
     deadline_ms: int,
     queue_capacity: int,
+    workers: int = 0,
 ) -> dict:
-    """Run one calibrated soak and return the trajectory record."""
+    """Run one calibrated soak and return the trajectory record.
+
+    ``workers >= 1`` runs the region-sharded planner (that many worker
+    processes) with one consumer thread per shard.  Calibration always
+    uses a single plain planner, so the offered rate is the same
+    like-for-like stream at every point on the ``--workers`` axis —
+    scaling shows up as higher sustained qps and a lower shed rate
+    against the *same* overload, not as a larger offered load.
+    """
     warehouse = datasets.dataset_by_name(layout, scale=scale)
     # The calibration mix reuses the soak's seed so capacity is measured
     # on the same traffic shape the soak offers.
@@ -99,12 +113,26 @@ def bench_service(
         deadline_ms=deadline_ms,
     )
     schedule = make_schedule(warehouse, spec)
-    core = ServiceCore(
-        SRPPlanner(warehouse),
-        ServiceConfig(queue_capacity=queue_capacity,
-                      default_deadline_ms=deadline_ms),
-    )
-    results, elapsed_s = run_soak(core, schedule)
+    config = ServiceConfig(queue_capacity=queue_capacity,
+                           default_deadline_ms=deadline_ms)
+    router = None
+    if workers >= 1:
+        from repro.service import ShardedPlanner
+
+        planner = ShardedPlanner(warehouse, workers=workers, mode="process")
+        core = ServiceCore(planner, config)
+        try:
+            results, elapsed_s = run_soak_concurrent(
+                core, schedule, shards=planner.shard_count
+            )
+            router = planner.router_stats()
+        finally:
+            planner.close()
+        worker_count = planner.shard_count
+    else:
+        core = ServiceCore(SRPPlanner(warehouse), config)
+        results, elapsed_s = run_soak(core, schedule)
+        worker_count = 0
 
     counts: dict = {}
     for _, reply in results:
@@ -123,6 +151,8 @@ def bench_service(
         "overload": overload,
         "deadline_ms": deadline_ms,
         "queue_capacity": queue_capacity,
+        "worker_count": worker_count,
+        "cpu_count": os.cpu_count(),
         # -- measurements ---------------------------------------------
         "capacity_qps": round(capacity_qps, 2),
         "offered_qps": round(offered_qps, 2),
@@ -140,6 +170,8 @@ def bench_service(
         "commit": current_commit(),
         "machine": machine_fingerprint(),
     }
+    if router is not None:
+        record["router"] = {k: router[k] for k in sorted(router)}
     return record
 
 
@@ -153,6 +185,9 @@ def main(argv=None) -> int:
                         help="offered load as a multiple of measured capacity")
     parser.add_argument("--deadline-ms", type=int, default=250)
     parser.add_argument("--queue-cap", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="region-shard the planner across this many "
+                             "worker processes (0 = classic single planner)")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke: small warehouse and short soak")
     parser.add_argument("--append", action="store_true",
@@ -166,6 +201,7 @@ def main(argv=None) -> int:
     record = bench_service(
         args.layout, args.scale, args.queries, args.seed,
         args.overload, args.deadline_ms, args.queue_cap,
+        workers=args.workers,
     )
     print(json.dumps(record, indent=2, sort_keys=True))
     if record["shed_rate"] >= 1.0:

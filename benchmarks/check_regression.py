@@ -52,12 +52,21 @@ CONFIG_KEYS = ("layout", "scale", "n_queries", "day_length", "seed", "store_layo
 #: values assumed for config fields absent from old records — trajectory
 #: entries written before the columnar layout existed were measured on
 #: the object-backed stores
-CONFIG_DEFAULTS = {"store_layout": "object"}
+CONFIG_DEFAULTS = {
+    "store_layout": "object",
+    # Service records written before region sharding were single-planner
+    # runs: they read as worker_count 0 and never gate a sharded run
+    # (and vice versa).  cpu_count keeps multi-worker comparisons on the
+    # same class of machine — a 4-worker figure from a 2-core box is not
+    # a baseline for a 16-core one.
+    "worker_count": 0,
+    "cpu_count": None,
+}
 
 #: likewise for service-soak records (BENCH_service.json)
 SERVICE_CONFIG_KEYS = (
     "layout", "scale", "n_queries", "seed", "overload", "deadline_ms",
-    "queue_capacity",
+    "queue_capacity", "worker_count", "cpu_count",
 )
 
 

@@ -16,7 +16,7 @@ see DESIGN.md §4 on the idle-robot assumption).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import CollisionError
 from repro.types import Grid, Route
@@ -121,7 +121,12 @@ def assert_collision_free(routes: Sequence[Route]) -> None:
 _AUDIT_REPORT_CAP = 20
 
 
-def audit_planner_state(planner, routes: Sequence[Route], since: int = 0) -> List[str]:
+def audit_planner_state(
+    planner,
+    routes: Sequence[Route],
+    since: int = 0,
+    cell_filter: Optional[Callable[[Grid], bool]] = None,
+) -> List[str]:
     """Cross-check an SRP-shaped planner's stores against its routes.
 
     The segment stores and the crossing ledger are the planner's *model*
@@ -146,6 +151,12 @@ def audit_planner_state(planner, routes: Sequence[Route], since: int = 0) -> Lis
     decompositions are *not* compared — decommit truncation legally
     re-segments a route — only the occupancy they induce.
 
+    ``cell_filter`` restricts the comparison to cells it accepts — a
+    region-sharded worker audits against full cross-region routes but
+    only owns its own band, so expected occupancy is filtered to region
+    cells and a crossing key is expected iff either endpoint lies in the
+    region (boundary keys are committed to both adjacent shards).
+
     Returns human-readable violation strings, empty when consistent.
     """
     from repro.core.conversion import route_to_strip_artifacts
@@ -156,7 +167,7 @@ def audit_planner_state(planner, routes: Sequence[Route], since: int = 0) -> Lis
     expected: set = set()
     for route in routes:
         for t, grid in route.steps():
-            if t >= since:
+            if t >= since and (cell_filter is None or cell_filter(grid)):
                 expected.add((t, grid))
     blocked: set = set()
     for cell, t0, t1 in getattr(planner, "blockages", ()):
@@ -184,7 +195,12 @@ def audit_planner_state(planner, routes: Sequence[Route], since: int = 0) -> Lis
     expected_keys: set = set()
     for route in routes:
         _segments, keys = route_to_strip_artifacts(graph, route)
-        expected_keys.update(k for k in keys if k[2] >= since)
+        expected_keys.update(
+            k
+            for k in keys
+            if k[2] >= since
+            and (cell_filter is None or cell_filter(k[0]) or cell_filter(k[1]))
+        )
     stored_keys = {k for k in planner.crossings.iter_keys() if k[2] >= since}
     for key in sorted(stored_keys - expected_keys)[:_AUDIT_REPORT_CAP]:
         violations.append(

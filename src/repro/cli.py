@@ -240,7 +240,20 @@ def cmd_serve(args) -> int:
     from repro.tracing import save_trace
 
     warehouse = _load_warehouse(args)
-    planner = _make_planner(args.planner, warehouse, args.store, args.exact, args.store_layout)
+    if args.workers >= 1:
+        if args.planner != "SRP":
+            print("--workers requires the SRP planner", file=sys.stderr)
+            return 2
+        from repro.service import ShardedPlanner
+
+        planner = ShardedPlanner(
+            warehouse, workers=args.workers, partition=args.partition
+        )
+        print(f"region-sharded: {planner.shard_count} worker process(es)",
+              flush=True)
+    else:
+        planner = _make_planner(args.planner, warehouse, args.store, args.exact,
+                                args.store_layout)
     config = ServiceConfig(
         queue_capacity=args.queue_cap,
         default_deadline_ms=args.deadline_ms,
@@ -384,6 +397,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="min remaining budget for the full SRP rung")
     p_serve.add_argument("--cached-budget-ms", type=int, default=10,
                          help="min remaining budget for the cached rung")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="region-shard the SRP planner across this many "
+                              "worker processes (0 = classic in-process "
+                              "planner)")
+    p_serve.add_argument("--partition", default="aisle", choices=("aisle",),
+                         help="region partition strategy (full-width aisle "
+                              "rows; the only strategy today)")
     p_serve.add_argument("--telemetry-log", default=None,
                          help="append a JSONL telemetry snapshot periodically")
     p_serve.add_argument("--log-interval", type=float, default=5.0,

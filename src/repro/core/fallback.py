@@ -17,7 +17,7 @@ from repro.core.inter_strip import CrossingKey
 from repro.core.store_base import SegmentStore
 from repro.core.strips import StripGraph
 from repro.pathfinding.distance import DistanceMaps, StripDistanceMaps
-from repro.pathfinding.space_time_astar import space_time_astar
+from repro.pathfinding.space_time_astar import ConflictChecker, space_time_astar
 from repro.types import Grid, Query, Route
 
 #: anything with ``.get(target) -> dist_map``; SRP hands in the
@@ -59,6 +59,35 @@ class SegmentStoreChecker:
         return self._stores[strip].occupied(pos, t)
 
 
+class RegionRestrictedChecker:
+    """Checker wrapper that additionally forbids out-of-region strips.
+
+    Space-time A* only sees the ``ConflictChecker`` protocol, so
+    region-sharded planning restricts the fallback by reporting every
+    cell outside the worker's strip set as permanently blocked.
+    """
+
+    def __init__(
+        self,
+        inner: SegmentStoreChecker,
+        graph: StripGraph,
+        allowed: Sequence[bool],
+    ) -> None:
+        self._inner = inner
+        self._graph = graph
+        self._allowed = allowed
+
+    def move_blocked(self, a: Grid, b: Grid, t: int) -> bool:
+        if not self._allowed[self._graph.strip_index_of(b)]:
+            return True
+        return self._inner.move_blocked(a, b, t)
+
+    def cell_blocked(self, cell: Grid, t: int) -> bool:
+        if not self._allowed[self._graph.strip_index_of(cell)]:
+            return True
+        return self._inner.cell_blocked(cell, t)
+
+
 def fallback_plan(
     graph: StripGraph,
     stores: Sequence[SegmentStore],
@@ -67,15 +96,22 @@ def fallback_plan(
     query: Query,
     max_expansions: int = 200_000,
     horizon_slack: int = 256,
+    allowed: Optional[Sequence[bool]] = None,
 ) -> Optional[Route]:
     """Plan one query with space-time A* against the segment stores.
 
     ``distance_maps`` may be the exact per-cell :class:`DistanceMaps`
     or the strip-batched :class:`StripDistanceMaps` — A* only needs an
     admissible heuristic map, which both provide.
+
+    ``allowed`` optionally restricts the search to cells whose strips
+    pass the mask (region-sharded planning).
     """
     dist_map = distance_maps.get(query.destination)
-    checker = SegmentStoreChecker(graph, stores, crossings)
+    store_checker = SegmentStoreChecker(graph, stores, crossings)
+    checker: ConflictChecker = store_checker
+    if allowed is not None:
+        checker = RegionRestrictedChecker(store_checker, graph, allowed)
     return space_time_astar(
         graph.warehouse,
         query.origin,

@@ -249,6 +249,7 @@ class _Search:
         config: SearchConfig,
         stats: SearchStats,
         cache: Optional[PlanCache] = None,
+        allowed: Optional[Sequence[bool]] = None,
     ) -> None:
         self.graph = graph
         self.stores = stores
@@ -256,6 +257,9 @@ class _Search:
         self.config = config
         self.stats = stats
         self.cache = cache
+        #: per-strip admissibility mask (region-sharded planning); None
+        #: means every strip may be traversed
+        self.allowed = allowed
         self._exact = config.intra_exact
         # Raw view of the cache's entry dict: the probe below runs once
         # per edge relaxation, so even one extra method call shows up.
@@ -696,6 +700,8 @@ class _Search:
             labels[ori_strip_idx] = _Label(t0, ori_pos, -1, [], None)
             for cell in graph.warehouse.neighbors(ori):
                 v, vp = graph.locate(cell)
+                if self.allowed is not None and not self.allowed[v]:
+                    continue
                 crossing = self._plan_crossing(ori_strip_idx, v, t0, ori_pos, vp)
                 if crossing is None:
                     continue
@@ -710,6 +716,8 @@ class _Search:
         if dst_is_rack:
             for cell in graph.warehouse.neighbors(dst):
                 v, vp = graph.locate(cell)
+                if self.allowed is not None and not self.allowed[v]:
+                    continue
                 rack_targets.setdefault(v, []).append(vp)
             if not rack_targets:
                 return None  # walled-in rack
@@ -770,6 +778,7 @@ class _Search:
         heappush = heapq.heappush
         stats = self.stats
         labels_get = labels.get
+        allowed = self.allowed
 
         def settle(u: int) -> None:
             """Pop handler for a strip label: complete and queue edge stubs."""
@@ -792,6 +801,8 @@ class _Search:
                     record_completion(base, tail)
 
             for v, lo, hi, offset, multi in aisle_adjacency[u]:
+                if allowed is not None and not allowed[v]:
+                    continue
                 existing = labels_get(v)
                 if v not in target_strips:
                     # Common case: one greedy transit (Fig. 10), fully
@@ -922,6 +933,7 @@ def plan_route(
     config: SearchConfig,
     stats: Optional[SearchStats] = None,
     cache: Optional[PlanCache] = None,
+    allowed: Optional[Sequence[bool]] = None,
 ) -> Optional[RoutePlan]:
     """Run Algorithm 4 for one query; read-only against the stores.
 
@@ -929,9 +941,14 @@ def plan_route(
     (and within) queries; see :mod:`repro.core.plan_cache`.  Results are
     identical with and without it.
 
+    ``allowed`` optionally restricts the search to a subset of strips
+    (per-strip boolean mask): disallowed strips are never entered or
+    used as rack transit aisles.  Region-sharded planning uses this to
+    confine every worker to its own partition band.
+
     Returns the winning :class:`RoutePlan` or None when the restricted
     search fails (the caller then falls back to grid-level A*).
     """
     return _Search(
-        graph, stores, crossings, config, stats or SearchStats(), cache
+        graph, stores, crossings, config, stats or SearchStats(), cache, allowed
     ).run(query)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.columnar_store import ColumnarSegmentStore
 from repro.core.conversion import plan_to_route, route_to_strip_artifacts
@@ -185,10 +185,23 @@ class SRPPlanner(Planner):
         store_layout: Optional[str] = None,
         cache: bool = True,
         cache_size: int = 4096,
+        region: Optional[Sequence[bool]] = None,
     ) -> None:
         super().__init__()
         self.warehouse = warehouse
         self.graph: StripGraph = build_strip_graph(warehouse)
+        #: per-strip admissibility mask for region-sharded planning; None
+        #: (the default) plans over the whole strip graph.  With a mask,
+        #: queries must start and end on allowed strips and every search
+        #: (strip-level and the A* fallback) stays inside them.
+        self.region: Optional[Tuple[bool, ...]] = (
+            None if region is None else tuple(bool(x) for x in region)
+        )
+        if self.region is not None and len(self.region) != self.graph.n_vertices:
+            raise ValueError(
+                f"region mask covers {len(self.region)} strips, "
+                f"graph has {self.graph.n_vertices}"
+            )
         if store is None:
             store = "slope" if use_slope_index else "naive"
         factories = {
@@ -248,6 +261,13 @@ class SRPPlanner(Planner):
         #: members awaiting their replan (joint recovery only); always
         #: released again within the same cluster recovery.
         self._recovery_holds: Dict[int, Tuple[int, Segment]] = {}
+        #: outstanding boundary-strip claims of in-flight two-phase
+        #: commits (region-sharded cross-region planning): per query id,
+        #: the hold segments and inter-region crossing keys claimed
+        #: during *prepare* and not yet bound into the commit record.
+        self._boundary_claims: Dict[
+            int, Tuple[List[Tuple[int, Segment]], List[CrossingKey]]
+        ] = {}
         #: exogenous cell blockages committed via commit_blockage, as
         #: ``(cell, t0, t1)`` — kept so the post-run state audit can
         #: distinguish injected obstacles from phantom reservations.
@@ -327,6 +347,7 @@ class SRPPlanner(Planner):
             self.config,
             stats,
             self.plan_cache,
+            self.region,
         )
         elapsed = _time.perf_counter() - search_started
         self.stats.intra_time += stats.intra_time
@@ -366,6 +387,7 @@ class SRPPlanner(Planner):
             self.distance_maps,
             query,
             max_expansions=self.fallback_expansions,
+            allowed=self.region,
         )
         if route is not None:
             self.stats.fallbacks += 1
@@ -473,6 +495,7 @@ class SRPPlanner(Planner):
             self.plan_cache.clear()
         self._commits.clear()
         self._revisions.clear()
+        self._boundary_claims.clear()
         self.blockages.clear()
         self.stats.reset()
         self.timers.reset()
@@ -621,6 +644,119 @@ class SRPPlanner(Planner):
         held = self._recovery_holds.pop(query_id, None)
         if held is not None:
             self.stores.remove(held[0], held[1])
+
+    # ------------------------------------------------------------------
+    # Two-phase boundary commit (region-sharded cross-region planning)
+    # ------------------------------------------------------------------
+    def abort_commit(self, query_id: int) -> int:
+        """Remove *everything* ``query_id`` committed — the exact inverse.
+
+        The rollback half of the sharded two-phase commit: every store
+        insertion and crossing key recorded for the query is removed (an
+        exact inverse — ``remove()`` undoes one insertion, and the
+        record is a multiset view of them), leaving segment stores and
+        the crossing ledger bit-identical to their pre-commit state up
+        to content versions, which bump monotonically by design.  Any
+        outstanding boundary claims are released too.  Returns the
+        number of store removals.
+        """
+        removed = self.release_boundary_claims(query_id)
+        record = self._commits.pop(query_id, None)
+        if record is None:
+            if removed:
+                return removed
+            raise InvalidQueryError(
+                f"query {query_id} has no committed route to abort"
+            )
+        for strip_idx, seg in record.segments:
+            self.stores.remove(strip_idx, seg)
+            removed += 1
+        for key in record.crossings:
+            self.crossings.remove_key(key)
+        self.stats.decommitted_segments += removed
+        return removed
+
+    def claim_boundary_hold(
+        self, query_id: int, cell: Grid, t0: int, t1: int
+    ) -> bool:
+        """Claim a standing presence at a boundary cell over ``[t0, t1]``.
+
+        The *prepare* half-step of a cross-region hand-off: the robot
+        arrives at the boundary cell at ``t0`` but its onward leg only
+        departs at ``t1 + 1``, so the gap must be visibly reserved (the
+        sharded analogue of :meth:`commit_recovery_hold`).  The claim
+        only succeeds when the whole window is free; on refusal nothing
+        is inserted and the coordinator aborts the transaction.  Claims
+        are transient until :meth:`bind_boundary_claims` folds them into
+        the query's commit record or :meth:`release_boundary_claims`
+        rolls them back.
+        """
+        if t1 < t0:
+            return True  # empty window: the leg departs immediately
+        strip_idx, pos = self.graph.locate(cell)
+        store = self.stores[strip_idx]
+        if len(store) != 0 and store.first_occupied(pos, t0, t1) is not None:
+            return False
+        hold = Segment(t0, pos, t1, pos)
+        self.stores.materialize(strip_idx).insert(hold, query_id)
+        self._boundary_claims.setdefault(query_id, ([], []))[0].append(
+            (strip_idx, hold)
+        )
+        return True
+
+    def claim_boundary_crossing(self, query_id: int, key: CrossingKey) -> bool:
+        """Claim an inter-region boundary crossing event.
+
+        Registers ``(from_cell, to_cell, t)`` in this shard's ledger so
+        later local plans cannot commit the opposing swap.  Refused (and
+        nothing registered) when the exact reverse crossing is already
+        committed — the coordinator then aborts and retries elsewhere.
+        Both shards adjacent to a boundary claim the same key, keeping
+        each ledger self-contained for the per-shard audit.
+        """
+        if (key[1], key[0], key[2]) in self.crossings:
+            return False
+        self.crossings.add_key(key)
+        self._boundary_claims.setdefault(query_id, ([], []))[1].append(key)
+        return True
+
+    def bind_boundary_claims(self, query_id: int) -> None:
+        """The *commit* phase: make outstanding claims permanent.
+
+        Folds the query's boundary holds and crossing keys into its
+        commit record, so later :meth:`prune` / :meth:`abort_commit` /
+        recovery decommits treat them exactly like route artifacts.
+        No-op when the query has no outstanding claims.
+        """
+        claims = self._boundary_claims.pop(query_id, None)
+        if claims is None:
+            return
+        record = self._commits.get(query_id)
+        if record is None:
+            raise InvalidQueryError(
+                f"query {query_id} has boundary claims but no commit record"
+            )
+        record.segments.extend(claims[0])
+        record.crossings.extend(claims[1])
+
+    def release_boundary_claims(self, query_id: int) -> int:
+        """The *abort* phase for claims: exact rollback of prepare.
+
+        Removes every outstanding boundary hold and crossing key claimed
+        for ``query_id``.  Returns the number of store removals; no-op
+        (returning 0) when nothing is outstanding.
+        """
+        claims = self._boundary_claims.pop(query_id, None)
+        if claims is None:
+            return 0
+        removed = 0
+        for strip_idx, seg in claims[0]:
+            self.stores.remove(strip_idx, seg)
+            removed += 1
+        for key in claims[1]:
+            self.crossings.remove_key(key)
+        self.stats.decommitted_segments += removed
+        return removed
 
     def commit_recovered_route(
         self, query_id: int, cell: Grid, now: int, suffix: Route
@@ -926,6 +1062,12 @@ class SRPPlanner(Planner):
         for label, cell in (("origin", query.origin), ("destination", query.destination)):
             if not self.warehouse.in_bounds(cell):
                 raise InvalidQueryError(f"{label} {cell} is out of bounds")
+            if self.region is not None and not self.region[
+                self.graph.strip_index_of(cell)
+            ]:
+                raise InvalidQueryError(
+                    f"{label} {cell} is outside this planner's region"
+                )
 
     def _commit_plan(self, query: Query, plan: RoutePlan, route: Route) -> None:
         committed: List[Tuple[int, Segment]] = []

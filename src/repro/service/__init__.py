@@ -12,6 +12,10 @@ Layering (determinism first):
   place, with :mod:`repro.service.loadgen`, where real time is read).
 * :mod:`repro.service.loadgen` — seeded open-loop load generation,
   deterministic and wall-clock drivers, and the CI smoke entry point.
+* :mod:`repro.service.sharding` — region-sharded planning: K worker
+  processes (one per contiguous strip-graph region) behind a frontend
+  router with a two-phase boundary-strip commit for cross-region
+  queries.
 """
 
 from repro.service.core import (
@@ -27,12 +31,19 @@ from repro.service.core import (
 )
 from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.service.server import ServiceServer
+from repro.service.sharding import (
+    RegionPartition,
+    ShardedPlanner,
+    ShardWorker,
+    compute_partition,
+)
 from repro.service.telemetry import LatencyHistogram, TelemetryRegistry
 
 __all__ = [
     "PROTOCOL_VERSION",
     "LatencyHistogram",
     "ProtocolError",
+    "RegionPartition",
     "Reply",
     "ReplyStatus",
     "Request",
@@ -41,7 +52,10 @@ __all__ = [
     "ServiceConfig",
     "ServiceCore",
     "ServiceServer",
+    "ShardWorker",
+    "ShardedPlanner",
     "TelemetryRegistry",
+    "compute_partition",
     "plan_at_rung",
     "replay_session",
 ]

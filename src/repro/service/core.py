@@ -98,6 +98,10 @@ class Request:
     arrival_ms: int
     deadline_ms: int = 0
     client: Optional[object] = field(default=None, compare=False, repr=False)
+    #: owning shard when the planner is region-sharded (stamped at
+    #: admission so per-shard dispatchers can pull their own work);
+    #: -1 = unassigned, any dispatcher may take it
+    shard: int = field(default=-1, compare=False)
 
 
 @dataclass
@@ -180,6 +184,9 @@ class ServiceCore:
         self.telemetry = telemetry or TelemetryRegistry()
         self.trace = PlannerTrace(planner_name=planner.name)
         self._queue: Deque[Request] = deque()
+        # Region-sharded planners classify queries at admission so the
+        # frontend's per-shard dispatchers only pull their own work.
+        self._classify = getattr(planner, "shard_of_query", None)
 
     # -- admission -----------------------------------------------------
     def pending(self) -> int:
@@ -205,7 +212,10 @@ class ServiceCore:
                 request.arrival_ms,
                 request.arrival_ms + self.config.default_deadline_ms,
                 request.client,
+                request.shard,
             )
+        if self._classify is not None and request.shard < 0:
+            request.shard = self._classify(request.query)
         self._queue.append(request)
         self.telemetry.incr("admitted")
         self.telemetry.set_gauge("queue_depth", len(self._queue))
@@ -221,15 +231,32 @@ class ServiceCore:
             return (Rung.CACHED, Rung.FALLBACK)
         return (Rung.FALLBACK,)
 
-    def dequeue(self, now_ms: int) -> Optional[Dequeued]:
+    def dequeue(self, now_ms: int, shard: Optional[int] = None) -> Optional[Dequeued]:
         """Pop the oldest admitted request and size its deadline budget.
 
         Cheap bookkeeping only (no planning) so a threaded frontend can
         hold its state lock across it; ``None`` when the queue is empty.
+
+        With ``shard`` the oldest request *belonging to that shard* (or
+        unassigned, ``shard == -1``) is popped instead — per-shard
+        dispatcher threads pull their own work from the one FIFO queue,
+        preserving arrival order within each shard.  The scan is linear
+        but the queue is bounded by ``queue_capacity``.
         """
-        if not self._queue:
-            return None
-        request = self._queue.popleft()
+        if shard is None:
+            if not self._queue:
+                return None
+            request = self._queue.popleft()
+        else:
+            found = None
+            for idx, req in enumerate(self._queue):
+                if req.shard == shard or req.shard < 0:
+                    found = idx
+                    break
+            if found is None:
+                return None
+            request = self._queue[found]
+            del self._queue[found]
         self.telemetry.set_gauge("queue_depth", len(self._queue))
         queue_ms = max(0, now_ms - request.arrival_ms)
         self.telemetry.observe("queue_ms", queue_ms)
@@ -331,6 +358,12 @@ class ServiceCore:
         snap = self.telemetry.snapshot(extra=extra)
         snap["pending"] = self.pending()
         snap["trace_entries"] = len(self.trace)
+        shard_stats = getattr(self.planner, "shard_stats", None)
+        if shard_stats is not None:
+            snap["shards"] = shard_stats()
+        router_stats = getattr(self.planner, "router_stats", None)
+        if router_stats is not None:
+            snap["router"] = router_stats()
         return snap
 
 

@@ -194,6 +194,71 @@ def run_soak(
     return results, time.perf_counter() - t0
 
 
+def run_soak_concurrent(
+    core: ServiceCore, schedule: List[ScheduledQuery], shards: int
+) -> Tuple[List[Tuple[Request, Reply]], float]:
+    """Wall-clock open-loop drive with one consumer thread per shard.
+
+    The sharded analogue of :func:`run_soak`: the main thread admits
+    arrivals on schedule while ``shards`` consumer threads each drain
+    their own shard's requests (``ServiceCore.dequeue(shard=...)``) and
+    plan concurrently — planning runs outside the state lock, exactly
+    like the server's dispatcher threads, so worker processes genuinely
+    overlap.  Requires a thread-safe planner (:class:`ShardedPlanner`).
+    Returns the answered pairs (completion order) and elapsed seconds.
+    """
+    results: List[Tuple[Request, Reply]] = []
+    state = threading.Condition()
+    admitting = True
+    t0 = time.perf_counter()
+
+    def now_ms() -> int:
+        return int((time.perf_counter() - t0) * 1000)
+
+    def consumer(shard: int) -> None:
+        while True:
+            with state:
+                item = core.dequeue(now_ms(), shard=shard)
+                if item is None:
+                    if not admitting:
+                        break
+                    state.wait(timeout=0.05)
+                    continue
+            route, rung, note = core.plan_dequeued(item)
+            done = now_ms()
+            with state:
+                reply = core.record_outcome(item, route, rung, note)
+                core.telemetry.observe(
+                    "service_ms", done - item.request.arrival_ms
+                )
+                results.append((item.request, reply))
+
+    consumers = [
+        threading.Thread(target=consumer, args=(s,), daemon=True)
+        for s in range(shards)
+    ]
+    for thread in consumers:
+        thread.start()
+    for item in schedule:
+        wait_s = item.arrival_ms / 1000.0 - (time.perf_counter() - t0)
+        if wait_s > 0:
+            time.sleep(wait_s)
+        now = now_ms()
+        request = _request_of(item, now)
+        with state:
+            shed = core.submit(request, now)
+            if shed is not None:
+                results.append((request, shed))
+            state.notify_all()
+    # Admission stopped: each consumer exits once its shard view drains.
+    with state:
+        admitting = False
+        state.notify_all()
+    for thread in consumers:
+        thread.join()
+    return results, time.perf_counter() - t0
+
+
 # ----------------------------------------------------------------------
 # Socket client
 # ----------------------------------------------------------------------
@@ -363,10 +428,18 @@ class _ThrottledPlanner:
         return getattr(self._inner, name)
 
 
-def _build_planner(warehouse: Warehouse, plan_cost_ms: int = 0) -> Planner:
+def _build_planner(
+    warehouse: Warehouse, plan_cost_ms: int = 0, workers: int = 0
+) -> Planner:
     from repro.core.planner import SRPPlanner
 
-    planner: Planner = SRPPlanner(warehouse)
+    planner: Planner
+    if workers >= 1:
+        from repro.service.sharding import ShardedPlanner
+
+        planner = ShardedPlanner(warehouse, workers=workers, mode="process")
+    else:
+        planner = SRPPlanner(warehouse)
     if plan_cost_ms > 0:
         planner = _ThrottledPlanner(planner, plan_cost_ms)  # type: ignore[assignment]
     return planner
@@ -384,7 +457,9 @@ def smoke(args: argparse.Namespace) -> int:
     from repro.warehouse import datasets
 
     warehouse = datasets.dataset_by_name(args.dataset, scale=args.scale)
-    planner = _build_planner(warehouse, plan_cost_ms=args.plan_cost_ms)
+    planner = _build_planner(
+        warehouse, plan_cost_ms=args.plan_cost_ms, workers=args.workers
+    )
     config = ServiceConfig(
         queue_capacity=args.queue_cap,
         default_deadline_ms=args.deadline_ms,
@@ -406,6 +481,10 @@ def smoke(args: argparse.Namespace) -> int:
     summary["drain_acknowledged"] = acked
     summary["drain_clean"] = clean
     summary["trace_entries"] = len(server.core.trace)
+    router_stats = getattr(planner, "router_stats", None)
+    if callable(router_stats):
+        summary["router"] = router_stats()
+        summary["workers_alive_after_stop"] = planner.workers_alive()
     print(json.dumps(summary, indent=2, sort_keys=True))
 
     failures = []
@@ -417,6 +496,13 @@ def smoke(args: argparse.Namespace) -> int:
         failures.append("no request was shed despite the overload rate")
     if not (acked and clean):
         failures.append("drain did not complete cleanly")
+    if args.workers >= 2:
+        # The multi-worker contract: cross-region traffic actually
+        # exercised the boundary 2PC, and the drain reaped every worker.
+        if summary.get("router", {}).get("cross", 0) == 0:
+            failures.append("no cross-region query was routed")
+        if summary.get("workers_alive_after_stop", 0) != 0:
+            failures.append("worker process(es) survived the drain")
     for failure in failures:
         print(f"SMOKE FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -443,6 +529,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="self-serve only: floor each full plan() at this "
                              "many wall-clock ms, pinning the capacity so "
                              "--expect-shed is machine-independent")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="self-serve only: run a region-sharded planner "
+                             "with this many worker processes (0 = classic "
+                             "single-planner service)")
     parser.add_argument("--self-serve", action="store_true",
                         help="start an in-process server and drive it (CI smoke)")
     parser.add_argument("--expect-shed", action="store_true",

@@ -31,7 +31,7 @@ codec and the fixture tests can pin it.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional, Tuple
+from typing import IO, Any, Dict, Iterator, Optional, Tuple
 
 from repro.service.core import Reply, ReplyStatus
 from repro.types import Query, QueryKind, Route
@@ -41,9 +41,87 @@ PROTOCOL_VERSION = 1
 
 VALID_OPS = ("plan", "stats", "ping", "shutdown")
 
+#: hard cap on one wire line (request or shard message), newline
+#: included.  A line that exceeds it is *not* a request — the reader
+#: discards it (draining to the next newline so the connection survives)
+#: and the server replies with a structured error instead of buffering
+#: unbounded garbage.
+MAX_LINE_BYTES = 1_048_576
+
 
 class ProtocolError(ValueError):
     """A request line could not be parsed into a valid operation."""
+
+
+def iter_wire_lines(
+    rfile: IO[bytes], max_bytes: int = MAX_LINE_BYTES
+) -> Iterator[Optional[str]]:
+    """Yield decoded request lines from a byte stream, length-capped.
+
+    Yields one ``str`` per newline-terminated line (terminator
+    stripped).  An oversized line — no newline within ``max_bytes`` —
+    yields ``None`` exactly once while the remainder of that line is
+    discarded, so the caller can reply with a structured error and keep
+    the connection alive.  Handles partial reads transparently:
+    ``readline`` assembles lines across arbitrary buffer boundaries.
+    Bytes that do not decode as UTF-8 are surfaced as a normal line via
+    ``errors="replace"`` (the JSON parse then fails with a structured
+    error downstream).  Ends on EOF; a final unterminated fragment is
+    yielded as a line.
+    """
+    while True:
+        raw = rfile.readline(max_bytes + 1)
+        if not raw:
+            return
+        if len(raw) > max_bytes and not raw.endswith(b"\n"):
+            # Oversized: drain the rest of this line, then report once.
+            while True:
+                chunk = rfile.readline(max_bytes)
+                if not chunk or chunk.endswith(b"\n"):
+                    break
+            yield None
+            continue
+        yield raw.decode("utf-8", errors="replace").rstrip("\r\n")
+
+
+def encode_message(obj: Dict[str, Any]) -> bytes:
+    """Serialise one shard-transport message to its framed wire bytes.
+
+    The frontend↔worker pipe transport reuses the service's JSON-line
+    framing: one object per newline-terminated UTF-8 line.  Raises
+    :class:`ProtocolError` when the encoded form exceeds
+    :data:`MAX_LINE_BYTES` (the receiver would reject it anyway).
+    """
+    data = json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message of {len(data)} bytes exceeds MAX_LINE_BYTES")
+    return data
+
+
+def parse_message_line(data: bytes) -> Dict[str, Any]:
+    """Strict decode of one shard-transport message.
+
+    Raises :class:`ProtocolError` on oversized frames, non-UTF-8 bytes,
+    invalid JSON, non-object payloads, or a missing/non-string ``"op"``
+    — the worker loop converts these into structured error replies
+    instead of dying.
+    """
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message of {len(data)} bytes exceeds MAX_LINE_BYTES")
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"message is not valid UTF-8: {exc}") from exc
+    try:
+        obj = json.loads(text)
+    except ValueError as exc:
+        raise ProtocolError(f"message is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(obj).__name__}")
+    op = obj.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError(f"message op must be a string, got {op!r}")
+    return obj
 
 
 def _cell(value: Any, label: str) -> Tuple[int, int]:

@@ -36,10 +36,12 @@ from typing import BinaryIO, Callable, Optional
 from repro.planner_base import Planner
 from repro.service.core import Reply, ReplyStatus, Request, ServiceConfig, ServiceCore
 from repro.service.protocol import (
+    MAX_LINE_BYTES,
     ProtocolError,
     encode_error,
     encode_reply,
     encode_stats,
+    iter_wire_lines,
     parse_request_line,
 )
 
@@ -83,6 +85,7 @@ class ServiceServer:
         self._draining = False
         self.drained = threading.Event()
         self._started = False
+        self._active_workers = 0
         self._t0 = time.perf_counter()
         server = self
 
@@ -110,10 +113,30 @@ class ServiceServer:
         listener = threading.Thread(
             target=self._tcp.serve_forever, name="service-listener", daemon=True
         )
-        worker = threading.Thread(
-            target=self._worker_loop, name="service-worker", daemon=True
-        )
-        self._threads = [listener, worker]
+        # A region-sharded planner plans concurrently (one deterministic
+        # worker process per region), so it gets one dispatcher thread
+        # per shard, each pulling only its own shard's requests.  Plain
+        # planners keep the single worker invariant: only one thread
+        # ever touches them.
+        shard_count = int(getattr(self.core.planner, "shard_count", 0) or 0)
+        if shard_count > 1:
+            workers = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    args=(shard,),
+                    name=f"service-worker-{shard}",
+                    daemon=True,
+                )
+                for shard in range(shard_count)
+            ]
+        else:
+            workers = [
+                threading.Thread(
+                    target=self._worker_loop, name="service-worker", daemon=True
+                )
+            ]
+        self._active_workers = len(workers)
+        self._threads = [listener, *workers]
         if self.telemetry_log:
             logger = threading.Thread(
                 target=self._logger_loop, name="service-telemetry", daemon=True
@@ -140,6 +163,12 @@ class ServiceServer:
         self._tcp.server_close()
         for thread in self._threads:
             thread.join(timeout=5.0)
+        # Reap a sharded planner's worker processes: the drain already
+        # answered everything queued, so shutting the shards down now
+        # leaves no orphaned processes or leaked pipes behind.
+        close = getattr(self.core.planner, "close", None)
+        if callable(close):
+            close()
         return clean
 
     # -- connection handling -------------------------------------------
@@ -155,8 +184,14 @@ class ServiceServer:
     def _handle_connection(self, rfile: BinaryIO, wfile: BinaryIO) -> None:
         wlock = threading.Lock()
         write_line = self._make_writer(wfile, wlock)
-        for raw in rfile:
-            line = raw.decode("utf-8", errors="replace").strip()
+        for decoded in iter_wire_lines(rfile):
+            if decoded is None:  # oversized line: discarded, connection lives
+                self._safe_write(
+                    write_line,
+                    encode_error(f"request line exceeds {MAX_LINE_BYTES} bytes"),
+                )
+                continue
+            line = decoded.strip()
             if not line:
                 continue
             try:
@@ -210,17 +245,19 @@ class ServiceServer:
             pass  # client went away; planning state is unaffected
 
     # -- worker --------------------------------------------------------
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, shard: Optional[int] = None) -> None:
         while True:
             with self._state:
-                item = self.core.dequeue(self.clock_ms())
+                item = self.core.dequeue(self.clock_ms(), shard=shard)
                 if item is None:
                     if self._draining:
                         break
                     self._state.wait(timeout=0.2)
                     continue
-            # Planning runs outside the lock: only this thread ever
-            # touches the planner, and admission must stay responsive.
+            # Planning runs outside the lock: the planner is touched
+            # only by dispatcher threads, and a sharded planner is
+            # thread-safe across them (per-shard pipes are serialised
+            # by their handles), so admission stays responsive.
             route, rung, note = self.core.plan_dequeued(item)
             done = self.clock_ms()
             with self._state:
@@ -231,7 +268,14 @@ class ServiceServer:
             client = item.request.client
             if callable(client):
                 self._safe_write(client, encode_reply(reply))
-        self.drained.set()
+        # Drain barrier: admission stopped before workers exit, and each
+        # request was classified to exactly one shard at submit, so once
+        # every dispatcher sees an empty view the queue is globally empty.
+        with self._state:
+            self._active_workers -= 1
+            drained = self._active_workers <= 0
+        if drained:
+            self.drained.set()
 
     # -- telemetry logging ---------------------------------------------
     def _logger_loop(self) -> None:

@@ -1,5 +1,6 @@
 """Tests for the wire protocol codec and the threaded socket frontend."""
 
+import io
 import json
 import socket
 
@@ -14,13 +15,34 @@ from repro.service import (
     ServiceServer,
 )
 from repro.service.protocol import (
+    MAX_LINE_BYTES,
     decode_route,
+    encode_message,
     encode_reply,
     encode_route,
+    iter_wire_lines,
+    parse_message_line,
     parse_reply_line,
     parse_request_line,
 )
 from repro.types import Route
+
+
+class _ChunkedReader(io.RawIOBase):
+    """A byte stream that returns at most ``chunk`` bytes per read,
+    forcing line assembly across arbitrary buffer boundaries."""
+
+    def __init__(self, data: bytes, chunk: int) -> None:
+        self._buf = io.BytesIO(data)
+        self._chunk = chunk
+
+    def readable(self) -> bool:
+        return True
+
+    def readinto(self, b) -> int:
+        data = self._buf.read(min(len(b), self._chunk))
+        b[: len(data)] = data
+        return len(data)
 
 
 class TestProtocolCodec:
@@ -81,6 +103,74 @@ class TestProtocolCodec:
     def test_unknown_reply_status_raises(self):
         with pytest.raises(ProtocolError):
             parse_reply_line('{"status": "confused"}')
+
+
+class TestWireLines:
+    """Length-capped line reader: oversized, partial, and torn frames."""
+
+    def test_normal_lines_pass_through(self):
+        stream = io.BufferedReader(
+            _ChunkedReader(b'{"op": "ping"}\n{"op": "stats"}\n', 1024)
+        )
+        assert list(iter_wire_lines(stream)) == ['{"op": "ping"}', '{"op": "stats"}']
+
+    def test_partial_reads_across_buffer_boundaries(self):
+        """Lines split at every possible point still assemble whole."""
+        payload = b'{"op": "ping", "pad": "' + b"x" * 100 + b'"}\n{"op": "stats"}\n'
+        for chunk in (1, 2, 3, 7, 64):
+            stream = io.BufferedReader(_ChunkedReader(payload, chunk), buffer_size=16)
+            lines = list(iter_wire_lines(stream))
+            assert len(lines) == 2, chunk
+            assert json.loads(lines[0])["op"] == "ping"
+            assert json.loads(lines[1])["op"] == "stats"
+
+    def test_oversized_line_yields_none_once_and_stream_recovers(self):
+        giant = b"a" * (2 * MAX_LINE_BYTES)
+        stream = io.BufferedReader(
+            _ChunkedReader(giant + b"\n" + b'{"op": "ping"}\n', 65536)
+        )
+        lines = list(iter_wire_lines(stream))
+        assert lines == [None, '{"op": "ping"}']
+
+    def test_oversized_line_at_eof_without_newline(self):
+        stream = io.BufferedReader(
+            _ChunkedReader(b"b" * (MAX_LINE_BYTES + 10), 65536)
+        )
+        assert list(iter_wire_lines(stream)) == [None]
+
+    def test_final_unterminated_fragment_is_yielded(self):
+        stream = io.BufferedReader(_ChunkedReader(b'{"op": "ping"}', 8))
+        assert list(iter_wire_lines(stream)) == ['{"op": "ping"}']
+
+    def test_non_utf8_bytes_survive_as_replaced_text(self):
+        stream = io.BufferedReader(_ChunkedReader(b"\xff\xfe\n", 8))
+        (line,) = list(iter_wire_lines(stream))
+        assert isinstance(line, str)
+
+
+class TestShardMessageCodec:
+    """The strict frame codec used on the frontend-worker pipes."""
+
+    def test_round_trip(self):
+        msg = {"op": "plan", "id": 3, "origin": [1, 2]}
+        assert parse_message_line(encode_message(msg)) == msg
+
+    @pytest.mark.parametrize("data", [
+        b"not json",
+        b"[1, 2]",
+        b'{"no_op": 1}',
+        b'{"op": 7}',
+        b"\xff\xfe\xfd",
+    ])
+    def test_malformed_frames_raise(self, data):
+        with pytest.raises(ProtocolError):
+            parse_message_line(data)
+
+    def test_oversized_frames_rejected_both_ways(self):
+        with pytest.raises(ProtocolError):
+            encode_message({"op": "plan", "pad": "x" * (MAX_LINE_BYTES + 1)})
+        with pytest.raises(ProtocolError):
+            parse_message_line(b"x" * (MAX_LINE_BYTES + 1))
 
 
 @pytest.fixture
@@ -162,6 +252,13 @@ class TestServiceServer:
         assert reply["note"] == "server draining"
         assert server.stop(timeout=10) is True
 
+    def test_oversized_line_answers_error_and_keeps_serving(self, server):
+        giant = "x" * (MAX_LINE_BYTES + 100)
+        error, pong = talk(server.port, [giant, '{"op": "ping"}'])
+        assert error["status"] == "error"
+        assert "exceeds" in error["note"]
+        assert pong["pong"] is True
+
     def test_session_trace_is_replayable(self, server, small_warehouse):
         from repro.service import replay_session
 
@@ -193,3 +290,51 @@ class TestTelemetryLog:
         lines = [json.loads(ln) for ln in log.read_text().splitlines() if ln]
         assert lines, "at least the final snapshot must be written"
         assert all("counters" in line and "uptime_ms" in line for line in lines)
+
+
+class TestShardedServer:
+    """The socket frontend over a region-sharded planner."""
+
+    def test_inline_sharded_server_answers_and_drains(self, small_warehouse):
+        from repro.service import ShardedPlanner
+
+        planner = ShardedPlanner(small_warehouse, workers=2, mode="inline")
+        srv = ServiceServer(planner, ServiceConfig(queue_capacity=16), port=0)
+        srv.start()
+        try:
+            part = planner.partition
+            free = small_warehouse.free_cells()
+            top = [c for c in free if c[0] <= part.bounds[0][1]]
+            bottom = [c for c in free if c[0] >= part.bounds[1][0]]
+            lines = [
+                json.dumps({"op": "plan", "id": i,
+                            "origin": list(top[i]), "dest": list(bottom[i])})
+                for i in range(4)
+            ]
+            replies = talk(srv.port, lines)
+            assert sorted(r["id"] for r in replies) == list(range(4))
+            assert all(r["status"] in ("ok", "degraded") for r in replies)
+            assert planner.router_stats()["cross"] == 4
+        finally:
+            assert srv.stop(timeout=20) is True
+
+    def test_process_sharded_server_drain_reaps_workers(self, small_warehouse):
+        """SIGTERM-equivalent drain leaves no orphaned worker processes."""
+        from repro.service import ShardedPlanner
+
+        planner = ShardedPlanner(small_warehouse, workers=2, mode="process")
+        srv = ServiceServer(planner, ServiceConfig(queue_capacity=16), port=0)
+        srv.start()
+        free = small_warehouse.free_cells()
+        plan_line = json.dumps({
+            "op": "plan", "id": 9,
+            "origin": list(free[0]), "dest": list(free[-1]),
+        })
+        (reply,) = talk(srv.port, [plan_line])
+        assert reply["status"] in ("ok", "degraded")
+        srv.request_shutdown()
+        assert srv.drained.wait(20)
+        assert srv.stop(timeout=20) is True
+        assert planner.workers_alive() == 0
+        for shard in planner._shards:
+            assert not shard.process.is_alive()

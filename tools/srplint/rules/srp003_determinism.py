@@ -68,6 +68,10 @@ class SRP003Determinism(Rule):
         # and the load generator (loadgen.py).
         "repro/service/core.py",
         "repro/service/telemetry.py",
+        # Region sharding must replay bit-for-bit given the same
+        # partition: the partitioner, the router's attempt schedule and
+        # every worker are pure functions of (warehouse, K, queries).
+        "repro/service/sharding.py",
     )
 
     def check(self, tree: ast.Module, path: str) -> List[Finding]:

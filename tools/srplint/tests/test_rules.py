@@ -182,6 +182,25 @@ class TestEngine:
         for path in out_of_scope:
             assert run_source(source, path) == [], path
 
+    def test_sharding_module_in_determinism_scope(self):
+        """Region sharding replays bit-for-bit given the same partition,
+        so ``repro/service/sharding.py`` is SRP003-scoped: no wall
+        clock, no unseeded randomness, no unordered-set iteration in
+        the partitioner, router, or workers."""
+        path = "src/repro/service/sharding.py"
+        clock = "import time\nnow = time.time()\n"
+        assert [f.code for f in run_source(clock, path)] == ["SRP003"]
+        set_iter = "def route(ids):\n    return [s for s in set(ids)]\n"
+        assert [f.code for f in run_source(set_iter, path)] == ["SRP003"]
+        rand = "import random\nchoice = random.randint(0, 3)\n"
+        assert [f.code for f in run_source(rand, path)] == ["SRP003"]
+        ok = (
+            "import time\n"
+            "def span():\n"
+            "    return time.perf_counter()\n"
+        )
+        assert run_source(ok, path) == []
+
     def test_recovery_module_in_determinism_scope(self):
         """Joint cluster recovery replays from the fault seed, so
         ``repro/simulation/recovery.py`` is SRP003-scoped while the rest
