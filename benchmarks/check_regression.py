@@ -247,48 +247,89 @@ def check_service(args) -> int:
     return exit_code
 
 
-def pragma_audit(root: str = os.path.join(_ROOT, "src")) -> list:
-    """Every ``# srplint: allow…`` pragma under ``root``, for the summary.
+def lint_snapshot(roots: tuple = ("src",)):
+    """Structured srplint result for the summary, or ``None``.
 
-    Suppressions are cheap to add and easy to forget; surfacing the
-    complete list (with the mandatory reasons) on every gate run keeps
-    the exemption surface reviewed instead of quietly growing.  Returns
-    ``[(path, line, code, reason), ...]``; empty when srplint is not on
-    the checkout (pre-lint seeds) so old baselines still gate cleanly.
+    Runs the whole-program analysis in-process and returns the same
+    result object ``srplint --json`` emits: per-rule finding counts,
+    the pragma inventory (with the mandatory reasons) and the stale
+    pragmas the audit caught.  Suppressions are cheap to add and easy
+    to forget; surfacing the complete list on every gate run keeps the
+    exemption surface reviewed instead of quietly growing.  Returns
+    ``None`` when srplint is not on the checkout (pre-lint seeds) so
+    old baselines still gate cleanly.
     """
     tools_dir = os.path.join(_ROOT, "tools")
     if tools_dir not in sys.path:
         sys.path.insert(0, tools_dir)
     try:
-        from srplint.engine import extract_pragmas, iter_python_files
+        from srplint.cli import _DEFAULT_EXCLUDE, _execute
+        from srplint.engine import default_rules, iter_python_files
     except ImportError:  # pragma: no cover - only on old checkouts
+        return None
+    paths = [os.path.join(_ROOT, root) for root in roots]
+    files = sorted(iter_python_files(paths, exclude=_DEFAULT_EXCLUDE))
+    if not files:
+        return None
+    return _execute(
+        files, default_rules(), True, True, _DEFAULT_EXCLUDE, paths
+    )
+
+
+def pragma_audit(root: str = os.path.join(_ROOT, "src")) -> list:
+    """Back-compat view: ``[(path, line, directive, reason), ...]``."""
+    result = lint_snapshot((os.path.relpath(root, _ROOT),))
+    if result is None:
         return []
-    entries = []
-    for path in iter_python_files([root]):
-        try:
-            source = open(path, encoding="utf-8").read()
-        except OSError:
-            continue
-        rel = os.path.relpath(path, _ROOT)
-        for line, directive, reason in extract_pragmas(source).entries:
-            entries.append((rel, line, directive, reason))
-    return sorted(entries)
+    return sorted(
+        (os.path.relpath(e["path"], _ROOT), e["line"],
+         e["directive"], e["reason"])
+        for e in result["pragmas"]
+    )
 
 
-def report_pragmas(entries) -> None:
-    """Print the audit and mirror it into ``$GITHUB_STEP_SUMMARY``."""
-    print(f"srplint pragma audit: {len(entries)} suppression(s) in src/")
-    for rel, line, directive, reason in entries:
-        print(f"  {rel}:{line}: {directive} — {reason}")
+def report_lint(result) -> None:
+    """Print the lint snapshot and mirror it into ``$GITHUB_STEP_SUMMARY``."""
+    if result is None:
+        return
+    pragmas = sorted(
+        (os.path.relpath(e["path"], _ROOT), e["line"],
+         e["directive"], e["reason"])
+        for e in result["pragmas"]
+    )
+    stale = {(os.path.relpath(e["path"], _ROOT), e["line"])
+             for e in result.get("unused_pragmas", [])}
+    counts = result.get("counts", {})
+    rule_cells = ", ".join(
+        f"{code}={n}" for code, n in sorted(counts.items())
+    ) or "all rules clean"
+    print(
+        f"srplint snapshot: {result['files_checked']} file(s), "
+        f"{len(result['findings'])} finding(s) ({rule_cells}); "
+        f"{len(pragmas)} suppression(s)"
+    )
+    for rel, line, directive, reason in pragmas:
+        mark = "  [STALE]" if (rel, line) in stale else ""
+        print(f"  {rel}:{line}: {directive} — {reason}{mark}")
+    for rel, line in sorted(stale):
+        emit(f"WARN stale srplint pragma at {rel}:{line} — the srplint CI "
+             "gate fails on it; delete the suppression", err=True)
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not summary_path:
         return
     with open(summary_path, "a", encoding="utf-8") as fh:
-        fh.write(f"\n### srplint pragma audit ({len(entries)} suppression(s))\n\n")
-        if entries:
+        fh.write(
+            f"\n### srplint pragma audit ({len(pragmas)} suppression(s), "
+            f"{len(result['findings'])} finding(s))\n\n"
+        )
+        if counts:
+            fh.write("per-rule findings: " + rule_cells + "\n\n")
+        if pragmas:
             fh.write("| location | pragma | reason |\n|---|---|---|\n")
-            for rel, line, directive, reason in entries:
-                fh.write(f"| `{rel}:{line}` | {directive} | {reason} |\n")
+            for rel, line, directive, reason in pragmas:
+                mark = " **(stale)**" if (rel, line) in stale else ""
+                fh.write(f"| `{rel}:{line}` | {directive} "
+                         f"| {reason}{mark} |\n")
 
 
 def main(argv=None) -> int:
@@ -345,7 +386,7 @@ def main(argv=None) -> int:
         args.service_queries = min(args.service_queries, 120)
         args.repeats = 1
 
-    report_pragmas(pragma_audit())
+    report_lint(lint_snapshot())
 
     records = load_records()
     exit_code = 0

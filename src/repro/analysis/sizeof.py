@@ -36,7 +36,7 @@ def deep_sizeof(obj: Any) -> int:
     total = 0
     while stack:
         cur = stack.pop()
-        oid = id(cur)
+        oid = id(cur)  # srplint: allow(SRP007) same-process visited-set membership; ids never ordered or persisted
         if oid in seen:
             continue
         seen.add(oid)

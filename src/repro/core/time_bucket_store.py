@@ -88,7 +88,7 @@ class TimeBucketStore(SegmentStore):
         seen: Set[int] = set()
         for b in self._bucket_range(segment.t0, segment.t1):
             for other in self._buckets.get(b, ()):
-                oid = id(other)
+                oid = id(other)  # srplint: allow(SRP007) per-query dedup membership; never ordered or persisted
                 if oid in seen:
                     continue
                 seen.add(oid)
@@ -143,8 +143,9 @@ class TimeBucketStore(SegmentStore):
         seen: Set[int] = set()
         for bucket in self._buckets.values():
             for segment in bucket:
-                if id(segment) not in seen:
-                    seen.add(id(segment))
+                sid = id(segment)  # srplint: allow(SRP007) per-call dedup membership; iteration order comes from the buckets, not the ids
+                if sid not in seen:
+                    seen.add(sid)
                     yield segment
 
     def prune(self, before: int) -> int:
@@ -162,7 +163,7 @@ class TimeBucketStore(SegmentStore):
                 if segment.t1 >= before:
                     kept.append(segment)
                 else:
-                    dropped_ids.add(id(segment))
+                    dropped_ids.add(id(segment))  # srplint: allow(SRP007) counted for cardinality only; ids never ordered or persisted
             if kept:
                 self._buckets[b] = kept
             else:

@@ -34,7 +34,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import InvalidQueryError, PlanningFailedError
 from repro.planner_base import Planner
@@ -343,9 +343,9 @@ class ServiceCore:
         """Forward a simulated-time prune to the planner."""
         self.planner.prune(before)
 
-    def stats_snapshot(self) -> dict:
+    def stats_snapshot(self) -> Dict[str, Any]:
         """Telemetry snapshot including the planner's cache counters."""
-        extra: dict = {"queries": self.planner.timers.queries}
+        extra: Dict[str, Any] = {"queries": self.planner.timers.queries}
         stats = getattr(self.planner, "stats", None)
         if stats is not None:
             extra["cache_hit_rate"] = getattr(stats, "cache_hit_rate", 0.0)

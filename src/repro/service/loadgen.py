@@ -31,12 +31,12 @@ import sys
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.planner_base import Planner
 from repro.service.core import Reply, Request, ServiceCore
 from repro.service.protocol import ProtocolError, parse_reply_line
-from repro.types import Query
+from repro.types import Query, Route
 from repro.warehouse.matrix import Warehouse
 
 
@@ -267,13 +267,13 @@ class ClientReport:
     """Outcome of one open-loop client run against a live server."""
 
     n_sent: int = 0
-    replies: Dict[int, dict] = field(default_factory=dict)
+    replies: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     status_counts: Dict[str, int] = field(default_factory=dict)
     protocol_errors: int = 0
     elapsed_s: float = 0.0
     #: round-trip wall ms per request id (send to reply)
     rtt_ms: Dict[int, int] = field(default_factory=dict)
-    stats: Optional[dict] = None
+    stats: Optional[Dict[str, Any]] = None
 
     @property
     def n_replies(self) -> int:
@@ -282,7 +282,7 @@ class ClientReport:
     def count(self, status: str) -> int:
         return self.status_counts.get(status, 0)
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, Any]:
         rtts = sorted(self.rtt_ms.values())
 
         def pct(p: int) -> int:
@@ -420,11 +420,11 @@ class _ThrottledPlanner:
         self._inner = inner
         self._cost_s = cost_ms / 1000.0
 
-    def plan(self, query: Query):
+    def plan(self, query: Query) -> Route:
         time.sleep(self._cost_s)
         return self._inner.plan(query)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self._inner, name)
 
 

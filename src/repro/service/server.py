@@ -31,7 +31,7 @@ import json
 import socketserver
 import threading
 import time
-from typing import BinaryIO, Callable, Optional
+from typing import Any, BinaryIO, Callable, Dict, Optional
 
 from repro.planner_base import Planner
 from repro.service.core import Reply, ReplyStatus, Request, ServiceConfig, ServiceCore
@@ -213,7 +213,7 @@ class ServiceServer:
             else:  # plan
                 self._admit(request, write_line)
 
-    def _admit(self, parsed: dict, write_line: WriteLine) -> None:
+    def _admit(self, parsed: Dict[str, Any], write_line: WriteLine) -> None:
         now = self.clock_ms()
         deadline = parsed["deadline_ms"]
         request = Request(

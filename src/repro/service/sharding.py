@@ -300,31 +300,44 @@ class ShardWorker:
         if route is None:
             return {"status": "refused", "note": "no route at this rung"}
         qid = query.query_id
-        entry = msg.get("entry")
-        if entry is not None:
-            t_in = int(entry["time"])
-            cell = (int(entry["cell"][0]), int(entry["cell"][1]))
-            from_cell = (int(entry["from"][0]), int(entry["from"][1]))
-            # The onward leg departs at route.start_time >= t_in; the
-            # robot stands at the boundary cell for the whole gap.
-            if not planner.claim_boundary_hold(qid, cell, t_in, route.start_time - 1):
-                planner.abort_commit(qid)
-                return {"status": "refused", "note": "boundary hold window occupied"}
-            if not planner.claim_boundary_crossing(qid, (from_cell, cell, t_in)):
-                planner.abort_commit(qid)
-                return {"status": "refused", "note": "opposing boundary crossing committed"}
-        exit_to = msg.get("exit_to")
-        if exit_to is not None:
-            out_cell = (int(exit_to[0]), int(exit_to[1]))
-            key = (route.destination, out_cell, route.finish_time + 1)
-            if not planner.claim_boundary_crossing(qid, key):
-                planner.abort_commit(qid)
-                return {"status": "refused", "note": "opposing boundary crossing committed"}
-        return {
-            "status": "ok",
-            "route": encode_route(route),
-            "arrival": route.finish_time,
-        }
+        try:
+            entry = msg.get("entry")
+            if entry is not None:
+                t_in = int(entry["time"])
+                cell = (int(entry["cell"][0]), int(entry["cell"][1]))
+                from_cell = (int(entry["from"][0]), int(entry["from"][1]))
+                # The onward leg departs at route.start_time >= t_in; the
+                # robot stands at the boundary cell for the whole gap.
+                if not planner.claim_boundary_hold(qid, cell, t_in, route.start_time - 1):
+                    planner.abort_commit(qid)
+                    return {"status": "refused", "note": "boundary hold window occupied"}
+                if not planner.claim_boundary_crossing(qid, (from_cell, cell, t_in)):
+                    planner.abort_commit(qid)
+                    return {"status": "refused", "note": "opposing boundary crossing committed"}
+            exit_to = msg.get("exit_to")
+            if exit_to is not None:
+                out_cell = (int(exit_to[0]), int(exit_to[1]))
+                key = (route.destination, out_cell, route.finish_time + 1)
+                if not planner.claim_boundary_crossing(qid, key):
+                    planner.abort_commit(qid)
+                    return {"status": "refused", "note": "opposing boundary crossing committed"}
+            reply = {
+                "status": "ok",
+                "route": encode_route(route),
+                "arrival": route.finish_time,
+            }
+        except Exception:
+            # A malformed field or codec error *after* the tentative
+            # commit must not leak claims: handle() turns the exception
+            # into an error reply, and the coordinator only aborts the
+            # shards that replied "ok" — this one has to roll itself
+            # back before the error propagates.
+            planner.abort_commit(qid)
+            raise
+        # Success intentionally exits with the claims held: they belong
+        # to the coordinator now, which resolves them via _op_commit /
+        # _op_abort.
+        return reply  # srplint: holds(claim_boundary_hold, claim_boundary_crossing) 2PC prepare hands claims to the coordinator
 
     def _op_commit(self, msg: Dict[str, Any]) -> Dict[str, Any]:
         self.planner.bind_boundary_claims(int(msg["id"]))

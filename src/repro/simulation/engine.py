@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.validate import (
     Conflict,
@@ -60,6 +60,10 @@ from repro.types import Grid, Query, QueryKind, Route, Task
 from repro.warehouse.matrix import Warehouse
 
 _STAGE_KINDS = (QueryKind.PICKUP, QueryKind.TRANSMISSION, QueryKind.RETURN)
+
+#: event-heap entry: (time, seq, kind, payload); kinds: 0 release,
+#: 1 stage done, 2 fault injection
+_Event = Tuple[int, int, int, Any]
 
 #: busy horizon marking a robot as claimed while its stage is planned
 _CLAIMED = 1 << 60
@@ -242,7 +246,7 @@ class Simulation:
         """Execute the whole day and return the aggregates."""
         # Event heap: (time, seq, kind, payload); kinds: 0 release,
         # 1 stage done, 2 fault injection.
-        events: List = []
+        events: List[_Event] = []
         for task in self.tasks:
             events.append((task.release_time, self._next_seq(), 0, task))
         for fault in self.faults:
@@ -311,7 +315,7 @@ class Simulation:
         )
 
     # ------------------------------------------------------------------
-    def _start_stage(self, active: _ActiveTask, now: int, events: List) -> None:
+    def _start_stage(self, active: _ActiveTask, now: int, events: List[_Event]) -> None:
         task, robot = active.task, active.robot
         kind = _STAGE_KINDS[active.stage]
         if kind is QueryKind.PICKUP:
@@ -368,7 +372,7 @@ class Simulation:
             # replan supersedes the event pushed above via the epoch.
             self._resolve_disturbances(route.start_time, events)
 
-    def _advance_stage(self, active: _ActiveTask, now: int, events: List) -> None:
+    def _advance_stage(self, active: _ActiveTask, now: int, events: List[_Event]) -> None:
         self._executing.pop(active.query_id, None)
         active.stage += 1
         if active.stage < len(_STAGE_KINDS):
@@ -388,7 +392,7 @@ class Simulation:
     # ------------------------------------------------------------------
     # Fault injection and stop-and-replan recovery
     # ------------------------------------------------------------------
-    def _inject_fault(self, fault: Fault, now: int, events: List) -> None:
+    def _inject_fault(self, fault: Fault, now: int, events: List[_Event]) -> None:
         self.faults_injected += 1
         forced: List[Tuple[_ActiveTask, Grid, int]] = []
         if isinstance(fault, StallFault):
@@ -462,7 +466,7 @@ class Simulation:
             self._active_blockages.append(fault)
         self._resolve_disturbances(now, events, forced=forced)
 
-    def _apply_slowdown(self, fault: SlowdownFault, now: int, events: List) -> None:
+    def _apply_slowdown(self, fault: SlowdownFault, now: int, events: List[_Event]) -> None:
         """Slow a robot down: stretch its in-flight routes in place.
 
         The stretched suffix visits the same cells in the same order at
@@ -504,7 +508,7 @@ class Simulation:
     def _resolve_disturbances(
         self,
         now: int,
-        events: List,
+        events: List[_Event],
         forced: Sequence[Tuple[_ActiveTask, Grid, int]] = (),
     ) -> None:
         """Stop-and-replan every robot whose surviving route conflicts.
@@ -578,10 +582,10 @@ class Simulation:
     def _replan_execution(
         self,
         active: _ActiveTask,
-        cell,
+        cell: Grid,
         now: int,
         hold_until: int,
-        events: List,
+        events: List[_Event],
         decommitted: bool = False,
         context: Optional[Dict[str, object]] = None,
     ) -> None:
@@ -631,7 +635,7 @@ class Simulation:
         self._install_revision(active, revised, events)
 
     def _install_revision(
-        self, active: _ActiveTask, revised: Route, events: List
+        self, active: _ActiveTask, revised: Route, events: List[_Event]
     ) -> None:
         """Adopt a recovered route: bump the epoch, re-arm the stage event."""
         robot = active.robot

@@ -35,10 +35,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple, Union
+from typing import TYPE_CHECKING, Iterator, List, Tuple, Union
 
 from repro.exceptions import SimulationError
 from repro.types import Grid
+
+if TYPE_CHECKING:
+    from repro.warehouse.matrix import Warehouse
 
 
 @dataclass(frozen=True)
@@ -184,7 +187,7 @@ class FaultPlan:
     @classmethod
     def generate(
         cls,
-        warehouse,
+        warehouse: Warehouse,
         *,
         n_robots: int,
         day_length: int,

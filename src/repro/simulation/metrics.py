@@ -11,7 +11,7 @@ fixed progress increments (2% in the paper's snapshot comparison).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.analysis.sizeof import deep_sizeof
 from repro.planner_base import Planner
@@ -59,11 +59,11 @@ class SimulationMetrics:
         while self._next_snapshot <= progress + 1e-12:
             self._next_snapshot += self.snapshot_every
 
-    def tc_series(self):
+    def tc_series(self) -> List[Tuple[float, float]]:
         """(progress, cumulative TC seconds) pairs for Figs. 16-18."""
         return [(s.progress, s.tc_seconds) for s in self.snapshots]
 
-    def mc_series(self):
+    def mc_series(self) -> List[Tuple[float, Optional[int]]]:
         """(progress, MC bytes) pairs for Figs. 19-21."""
         return [(s.progress, s.mc_bytes) for s in self.snapshots if s.mc_bytes is not None]
 

@@ -40,7 +40,16 @@ measured serial-vs-joint comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.analysis.validate import find_conflicts
 from repro.baselines.cbs import ClusterAgent, solve_conflict_cluster
@@ -166,7 +175,7 @@ class _Member:
 def resolve_joint(
     sim: "Simulation",
     now: int,
-    events: List,
+    events: List[Tuple[int, int, int, Any]],
     forced: Sequence[Tuple["_ActiveTask", Grid, int]] = (),
 ) -> None:
     """Joint counterpart of the engine's serial recovery cascade.
@@ -275,7 +284,7 @@ def _recover_cluster(
     group: List["_ActiveTask"],
     pending: Dict[int, Tuple["_ActiveTask", Grid, int]],
     now: int,
-    events: List,
+    events: List[Tuple[int, int, int, Any]],
 ) -> Dict[str, object]:
     """Recover one conflict cluster: prioritised -> CBS -> serial ladder."""
     planner = sim.planner
@@ -312,7 +321,7 @@ def _recover_cluster(
     decommits = 0
     for member in members:
         decommits += planner.decommit_for_recovery(member.active.query_id, member.cell, now)
-        planner.commit_recovery_hold(
+        planner.commit_recovery_hold(  # srplint: allow(SRP008) hold spans the phase loops; a mid-recovery exception aborts the whole replay, so there is no later run to leak into
             member.active.query_id, member.cell, now, member.hold
         )
     sim._apply_revisions()
@@ -388,7 +397,7 @@ def _recover_cluster(
     context = {"cluster_size": size, "strategy": "serial", "decommits": decommits}
     for member in members:
         if member.active.query_id in sim._executing:
-            planner.commit_recovery_hold(
+            planner.commit_recovery_hold(  # srplint: allow(SRP008) pre-holds span the serial ladder loop; a mid-recovery exception aborts the whole replay
                 member.active.query_id, member.cell, now, member.hold
             )
     for member in members:

@@ -1,0 +1,415 @@
+"""Per-function control-flow graphs with exception edges.
+
+SRP008's acquire/release pairing proof needs to know, for every
+``claim_boundary_hold`` / ``commit_recovery_hold`` call, which function
+exits are reachable afterwards — **including the exits the happy path
+never sees**: an exception thrown between the claim and the release, a
+``return`` hidden in an error branch, a ``break`` that skips the
+release loop.  This module builds that graph from the AST alone.
+
+Shape: one node per *simple* statement; compound statements contribute
+their header (the ``if``/``while`` test, the ``for`` iterable, the
+``with`` items) as a node and their bodies as subgraphs.  Edges carry a
+kind:
+
+``normal``
+    ordinary fall-through / branch flow;
+``exc``
+    potential exception flow, from any statement that can raise to the
+    innermost matching handlers (and onward to the function's
+    exceptional exit when no broad handler encloses it);
+``back``
+    a loop back edge (body exit or ``continue`` to the loop header);
+``skip``
+    the zero-iteration edge of a loop (header straight to the code
+    after the loop).
+
+Loop bodies additionally get a ``normal`` edge from their exit to the
+code after the loop, so an analysis that drops ``back`` and ``skip``
+edges sees every loop as *executing exactly once* — the standard
+abstraction for lightweight pairing checkers: it keeps the graph
+acyclic without hiding the body's acquire/release events, at the price
+of ignoring zero-iteration and re-iteration interleavings.
+
+``try``/``finally`` is modelled by building the ``finally`` body once
+per continuation kind — the normal fall-through, the exceptional one,
+and (when the protected region returns) the return path — so a release
+inside ``finally`` correctly covers all three.  Exception edges are
+conservative about *what* raises: any statement containing a call,
+attribute access, subscript, binary operation, ``raise`` or ``assert``
+is assumed able to raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+ENTRY = "entry"
+EXIT = "exit"
+EXC_EXIT = "exc_exit"
+STMT = "stmt"
+JOIN = "join"
+
+#: handler annotations broad enough to stop upward exception propagation
+_BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+
+@dataclass
+class CFGNode:
+    idx: int
+    kind: str                     # entry / exit / exc_exit / stmt / join
+    stmt: Optional[ast.AST] = None
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    @property
+    def is_return(self) -> bool:
+        return isinstance(self.stmt, ast.Return)
+
+
+@dataclass
+class CFG:
+    nodes: List[CFGNode] = field(default_factory=list)
+    #: idx -> [(successor idx, edge kind), ...]
+    succs: Dict[int, List[Tuple[int, str]]] = field(default_factory=dict)
+    entry: int = 0
+    exit: int = 0
+    exc_exit: int = 0
+
+    def successors(
+        self, idx: int, *, ignore: Sequence[str] = ()
+    ) -> List[Tuple[int, str]]:
+        return [
+            (dst, kind)
+            for dst, kind in self.succs.get(idx, [])
+            if kind not in ignore
+        ]
+
+    def node(self, idx: int) -> CFGNode:
+        return self.nodes[idx]
+
+    def edges(self) -> List[Tuple[int, int, str]]:
+        return [
+            (src, dst, kind)
+            for src, succ in self.succs.items()
+            for dst, kind in succ
+        ]
+
+
+def _can_raise(parts: Sequence[Optional[ast.AST]]) -> bool:
+    for part in parts:
+        if part is None:
+            continue
+        for node in ast.walk(part):
+            if isinstance(
+                node,
+                (ast.Call, ast.Attribute, ast.Subscript, ast.BinOp,
+                 ast.Raise, ast.Assert, ast.Await, ast.Yield, ast.YieldFrom),
+            ):
+                return True
+    return False
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.cfg.entry = self._add(ENTRY)
+        self.cfg.exit = self._add(EXIT)
+        self.cfg.exc_exit = self._add(EXC_EXIT)
+        self._loop_headers: List[int] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _add(self, kind: str, stmt: Optional[ast.AST] = None) -> int:
+        node = CFGNode(len(self.cfg.nodes), kind, stmt)
+        self.cfg.nodes.append(node)
+        self.cfg.succs[node.idx] = []
+        return node.idx
+
+    def _edge(self, src: int, dst: int, kind: str = "normal") -> None:
+        edges = self.cfg.succs[src]
+        if (dst, kind) not in edges:
+            edges.append((dst, kind))
+
+    def _wire(
+        self, preds: Sequence[int], dst: int, kind: str = "normal"
+    ) -> None:
+        for pred in preds:
+            self._edge(pred, dst, kind)
+
+    def _exc(
+        self,
+        idx: int,
+        exc_targets: Sequence[int],
+        parts: Sequence[Optional[ast.AST]],
+    ) -> None:
+        if _can_raise(parts):
+            for target in exc_targets:
+                self._edge(idx, target, "exc")
+
+    # -- construction --------------------------------------------------
+    def build(self, fn: ast.AST) -> CFG:
+        body = list(getattr(fn, "body", []))
+        exits = self._stmts(body, [self.cfg.entry], [self.cfg.exc_exit],
+                            None, None)
+        self._wire(exits, self.cfg.exit)
+        self._retag_skip_edges()
+        return self.cfg
+
+    def _retag_skip_edges(self) -> None:
+        """Re-tag each loop header's fall-through edge as ``skip``.
+
+        A header's first normal successor is its body entry (added
+        first); any later normal edge is the zero-iteration
+        continuation past the loop.
+        """
+        for src in self._loop_headers:
+            edges = self.cfg.succs[src]
+            seen_body = False
+            for i, (dst, kind) in enumerate(edges):
+                if kind != "normal":
+                    continue
+                if not seen_body:
+                    seen_body = True
+                    continue
+                edges[i] = (dst, "skip")
+
+    def _stmts(
+        self,
+        stmts: Sequence[ast.stmt],
+        preds: List[int],
+        exc_targets: List[int],
+        breaks: Optional[List[int]],
+        continue_to: Optional[int],
+    ) -> List[int]:
+        current = list(preds)
+        for stmt in stmts:
+            if not current:
+                break  # unreachable after return/raise/break/continue
+            current = self._stmt(stmt, current, exc_targets, breaks,
+                                 continue_to)
+        return current
+
+    def _stmt(
+        self,
+        stmt: ast.stmt,
+        preds: List[int],
+        exc_targets: List[int],
+        breaks: Optional[List[int]],
+        continue_to: Optional[int],
+    ) -> List[int]:
+        if isinstance(stmt, ast.If):
+            node = self._add(STMT, stmt)
+            self._wire(preds, node)
+            self._exc(node, exc_targets, [stmt.test])
+            body_exits = self._stmts(stmt.body, [node], exc_targets,
+                                     breaks, continue_to)
+            else_exits = (
+                self._stmts(stmt.orelse, [node], exc_targets, breaks,
+                            continue_to)
+                if stmt.orelse else [node]
+            )
+            return body_exits + else_exits
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds, exc_targets, breaks, continue_to)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._add(STMT, stmt)
+            self._wire(preds, node)
+            self._exc(node, exc_targets,
+                      [item.context_expr for item in stmt.items])
+            return self._stmts(stmt.body, [node], exc_targets, breaks,
+                               continue_to)
+
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds, exc_targets, breaks, continue_to)
+
+        if isinstance(stmt, ast.Match):
+            node = self._add(STMT, stmt)
+            self._wire(preds, node)
+            self._exc(node, exc_targets, [stmt.subject])
+            exits: List[int] = []
+            exhaustive = False
+            for case in stmt.cases:
+                exits.extend(self._stmts(case.body, [node], exc_targets,
+                                         breaks, continue_to))
+                if (
+                    isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None
+                ):
+                    exhaustive = True
+            if not exhaustive:
+                exits.append(node)
+            return exits
+
+        # Simple statements: one node each.
+        node = self._add(STMT, stmt)
+        self._wire(preds, node)
+        if isinstance(stmt, ast.Return):
+            self._exc(node, exc_targets, [stmt.value])
+            self._edge(node, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            for target in exc_targets:
+                self._edge(node, target, "exc")
+            return []
+        if isinstance(stmt, ast.Break):
+            if breaks is not None:
+                breaks.append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if continue_to is not None:
+                self._edge(node, continue_to, "back")
+            return []
+        self._exc(node, exc_targets, [stmt])
+        return [node]
+
+    def _loop(
+        self,
+        stmt: ast.stmt,
+        preds: List[int],
+        exc_targets: List[int],
+        breaks: Optional[List[int]],
+        continue_to: Optional[int],
+    ) -> List[int]:
+        node = self._add(STMT, stmt)
+        self._wire(preds, node)
+        self._loop_headers.append(node)
+        if isinstance(stmt, ast.While):
+            header: Optional[ast.AST] = stmt.test
+            infinite = (
+                isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+            )
+        else:
+            header = stmt.iter  # type: ignore[union-attr]
+            infinite = False
+        self._exc(node, exc_targets, [header])
+        loop_breaks: List[int] = []
+        body_exits = self._stmts(
+            stmt.body,  # type: ignore[attr-defined]
+            [node], exc_targets, loop_breaks, node,
+        )
+        for exit_idx in body_exits:
+            self._edge(exit_idx, node, "back")
+        # Loop-once abstraction: the body exit continues past the loop
+        # on a normal edge; the header's own fall-through is re-tagged
+        # to "skip" at the end of the build.
+        after_preds: List[int] = list(loop_breaks) + list(body_exits)
+        if not infinite:
+            after_preds.append(node)
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            after_preds = self._stmts(orelse, after_preds, exc_targets,
+                                      breaks, continue_to)
+        return after_preds
+
+    def _try(
+        self,
+        stmt: ast.Try,
+        preds: List[int],
+        exc_targets: List[int],
+        breaks: Optional[List[int]],
+        continue_to: Optional[int],
+    ) -> List[int]:
+        has_broad = any(_is_broad(h) for h in stmt.handlers)
+
+        # Exceptional continuation once this statement gives up: through
+        # an exceptional copy of ``finally`` when present, else straight
+        # to the enclosing targets.
+        if stmt.finalbody:
+            exc_join = self._add(JOIN, stmt)
+            exc_final_exits = self._stmts(stmt.finalbody, [exc_join],
+                                          exc_targets, breaks, continue_to)
+            for target in exc_targets:
+                self._wire(exc_final_exits, target, "exc")
+            outward: List[int] = [exc_join]
+        else:
+            outward = list(exc_targets)
+
+        first_inner = len(self.cfg.nodes)
+        handler_entries: List[int] = []
+        handler_exits: List[int] = []
+        for handler in stmt.handlers:
+            entry = self._add(STMT, handler)
+            handler_entries.append(entry)
+            handler_exits.extend(self._stmts(handler.body, [entry], outward,
+                                             breaks, continue_to))
+        inner_targets = list(handler_entries)
+        if not has_broad or not stmt.handlers:
+            inner_targets.extend(outward)
+
+        body_exits = self._stmts(stmt.body, list(preds), inner_targets,
+                                 breaks, continue_to)
+        if stmt.orelse:
+            body_exits = self._stmts(stmt.orelse, body_exits, inner_targets,
+                                     breaks, continue_to)
+        normal_exits = body_exits + handler_exits
+        if stmt.finalbody:
+            self._reroute_returns(first_inner, stmt, exc_targets, breaks,
+                                  continue_to)
+            join = self._add(JOIN, stmt)
+            self._wire(normal_exits, join)
+            return self._stmts(stmt.finalbody, [join], exc_targets, breaks,
+                               continue_to)
+        return normal_exits
+
+    def _reroute_returns(
+        self,
+        first_inner: int,
+        stmt: ast.Try,
+        exc_targets: List[int],
+        breaks: Optional[List[int]],
+        continue_to: Optional[int],
+    ) -> None:
+        """Route ``return``s inside a ``try``/``finally`` through ``finally``.
+
+        During construction the only normal edges into the exit node
+        come from ``return`` statements (or from a nested re-route),
+        so any such edge from a node built for this statement's body or
+        handlers is a return path that must execute ``finally`` first.
+        """
+        returners = [
+            idx
+            for idx in range(first_inner, len(self.cfg.nodes))
+            if any(
+                dst == self.cfg.exit and kind == "normal"
+                for dst, kind in self.cfg.succs[idx]
+            )
+        ]
+        if not returners:
+            return
+        for idx in returners:
+            self.cfg.succs[idx] = [
+                (dst, kind)
+                for dst, kind in self.cfg.succs[idx]
+                if not (dst == self.cfg.exit and kind == "normal")
+            ]
+        ret_join = self._add(JOIN, stmt)
+        self._wire(returners, ret_join)
+        ret_exits = self._stmts(stmt.finalbody, [ret_join], exc_targets,
+                                breaks, continue_to)
+        self._wire(ret_exits, self.cfg.exit)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for t in types:
+        name = t.id if isinstance(t, ast.Name) else getattr(t, "attr", None)
+        if name in _BROAD_HANDLERS:
+            return True
+    return False
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """Build the CFG of one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    return _Builder().build(fn)

@@ -10,11 +10,21 @@ Pragma syntax (one comment, trailing the offending line)::
 
     x = 0.5  # srplint: allow-float  <reason why a float is sound here>
     foo()    # srplint: allow(SRP003) <reason>
+    return ok  # srplint: holds(claim_boundary_hold) <reason>
+    self.done = 1  # srplint: shared(done) <reason>
 
-``allow-float`` is sugar for ``allow(SRP002)``.  A pragma **must** carry
-a non-empty reason; a bare pragma is itself reported as ``SRP000`` so
-that suppressions stay auditable (``benchmarks/check_regression.py``
-surfaces the full pragma inventory in CI job summaries).
+``allow-float`` is sugar for ``allow(SRP002)``.  ``holds(...)`` declares
+that the annotated ``return`` intentionally exits with the named
+resources still acquired (a 2PC *prepare* handing claims to its
+coordinator — consumed by SRP008); ``shared(...)`` declares the named
+attributes/variables safe to touch from a thread body without a lock
+(immutable hand-off, monotonic flag — consumed by SRP009).  A pragma
+**must** carry a non-empty reason; a bare pragma is itself reported as
+``SRP000`` so that suppressions stay auditable
+(``benchmarks/check_regression.py`` surfaces the full pragma inventory
+in CI job summaries).  Project mode additionally tracks which pragmas
+actually fired, so dead suppressions are reported by
+``--report-unused-pragmas`` instead of quietly accumulating.
 """
 
 from __future__ import annotations
@@ -31,9 +41,15 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 TOOL_CODE = "SRP000"
 
 _PRAGMA_RE = re.compile(
-    r"#\s*srplint:\s*(?P<directive>allow-float|allow\((?P<code>[A-Z]{3}\d{3})\))"
+    r"#\s*srplint:\s*(?P<directive>allow-float|allow\((?P<code>[A-Z]{3}\d{3})\)"
+    r"|holds\((?P<holds>[A-Za-z_][\w ,]*)\)"
+    r"|shared\((?P<shared>[A-Za-z_][\w ,]*)\))"
     r"(?P<reason>.*)$"
 )
+
+
+def _split_names(raw: str) -> Tuple[str, ...]:
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
 
 
 @dataclass(frozen=True)
@@ -68,9 +84,64 @@ class Pragmas:
     errors: List[Tuple[int, int, str]] = field(default_factory=list)
     #: (line, directive, reason) for every well-formed pragma (audit feed)
     entries: List[Tuple[int, str, str]] = field(default_factory=list)
+    #: line -> resource names an exit on that line may legitimately hold
+    #: (SRP008's 2PC-prepare escape hatch)
+    holds: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    #: file-scoped attribute/variable names declared safe to share across
+    #: threads without a lock (SRP009), name -> declaration line
+    shared: Dict[str, int] = field(default_factory=dict)
+    #: (line, directive) pairs that suppressed or informed ≥1 finding —
+    #: everything else is a dead pragma (``--report-unused-pragmas``)
+    used: set = field(default_factory=set)
 
     def allows(self, line: int, code: str) -> bool:
-        return code in self.allowed.get(line, ())
+        if code in self.allowed.get(line, ()):
+            self.mark_used(line, f"allow({code})")
+            if code == "SRP002":
+                self.mark_used(line, "allow-float")
+            return True
+        return False
+
+    def mark_used(self, line: int, directive: str) -> None:
+        self.used.add((line, directive))
+
+    def mark_holds_used(self, line: int) -> None:
+        """Mark the ``holds(...)`` entry on *line* as consulted (SRP008)."""
+        for entry_line, directive, _reason in self.entries:
+            if entry_line == line and directive.startswith("holds("):
+                self.used.add((entry_line, directive))
+
+    def mark_shared_used(self, name: str) -> None:
+        """Mark the ``shared(...)`` entry declaring *name* as consulted."""
+        line = self.shared.get(name)
+        if line is None:
+            return
+        for entry_line, directive, _reason in self.entries:
+            if entry_line == line and directive.startswith("shared("):
+                self.used.add((entry_line, directive))
+
+    def unused_entries(self, active_codes: set) -> List[Tuple[int, str, str]]:
+        """Pragma entries that never fired, restricted to *active_codes*.
+
+        A pragma for a rule that was not part of this run is never
+        reported: only codes the run could have exercised count.
+        ``holds``/``shared`` map to the rules that consume them.
+        """
+        out: List[Tuple[int, str, str]] = []
+        for line, directive, reason in self.entries:
+            if directive.startswith("allow-float"):
+                code = "SRP002"
+            elif directive.startswith("allow("):
+                code = directive[6:12]
+            elif directive.startswith("holds("):
+                code = "SRP008"
+            else:  # shared(...)
+                code = "SRP009"
+            if code not in active_codes:
+                continue
+            if (line, directive) not in self.used:
+                out.append((line, directive, reason))
+        return out
 
 
 def extract_pragmas(source: str) -> Pragmas:
@@ -94,7 +165,9 @@ def extract_pragmas(source: str) -> Pragmas:
     for lineno, col, text in comments:
         match = _PRAGMA_RE.search(text)
         if match is None:
-            if "srplint" in text:
+            # Only comments that look like a pragma (tool name followed
+            # by a colon) are errors; prose mentions are fine.
+            if "srplint" + ":" in text:
                 pragmas.errors.append(
                     (lineno, col, "unrecognised srplint pragma (expected "
                      "'# srplint: allow-float <reason>' or "
@@ -102,7 +175,6 @@ def extract_pragmas(source: str) -> Pragmas:
                 )
             continue
         directive = match.group("directive")
-        code = match.group("code") or "SRP002"
         reason = match.group("reason").strip(" :-—")
         if not reason:
             pragmas.errors.append(
@@ -110,7 +182,15 @@ def extract_pragmas(source: str) -> Pragmas:
                  f"srplint pragma '{directive}' is missing a reason")
             )
             continue
-        pragmas.allowed.setdefault(lineno, set()).add(code)
+        if match.group("holds") is not None:
+            names = _split_names(match.group("holds"))
+            pragmas.holds[lineno] = pragmas.holds.get(lineno, ()) + names
+        elif match.group("shared") is not None:
+            for name in _split_names(match.group("shared")):
+                pragmas.shared[name] = lineno
+        else:
+            code = match.group("code") or "SRP002"
+            pragmas.allowed.setdefault(lineno, set()).add(code)
         pragmas.entries.append((lineno, directive, reason))
     return pragmas
 
@@ -144,6 +224,25 @@ class Rule:
             code=self.code,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules (SRP007–SRP010).
+
+    A project rule sees the complete
+    :class:`srplint.project.ProjectIndex` — every parsed module, the
+    function index, the call graph — instead of one tree at a time, so
+    it can reason across files and processes.  ``scope`` still applies:
+    it selects which modules' *definitions* the rule analyses (findings
+    may land anywhere the analysis reaches).  In per-file mode project
+    rules are silent; ``--project`` runs them exactly once per run.
+    """
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        return []
+
+    def check_project(self, project: "object") -> List[Finding]:
+        raise NotImplementedError
 
 
 def default_rules() -> List[Rule]:
@@ -199,11 +298,23 @@ def run_path(
     return run_source(source, str(path), rules=rules)
 
 
-def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
-    """Yield every ``.py`` file under *paths* (files or directories)."""
+def iter_python_files(
+    paths: Iterable[str], exclude: Sequence[str] = ()
+) -> Iterator[Path]:
+    """Yield every ``.py`` file under *paths* (files or directories).
+
+    ``exclude`` is a sequence of POSIX path substrings; any file whose
+    path contains one is skipped (the CLI default excludes the seeded
+    rule-violation fixtures under ``tests/fixtures/``).
+    """
+
+    def keep(p: Path) -> bool:
+        posix = p.as_posix()
+        return not any(part in posix for part in exclude)
+
     for raw in paths:
         p = Path(raw)
         if p.is_dir():
-            yield from sorted(p.rglob("*.py"))
-        elif p.suffix == ".py":
+            yield from (f for f in sorted(p.rglob("*.py")) if keep(f))
+        elif p.suffix == ".py" and keep(p):
             yield p

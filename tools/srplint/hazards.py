@@ -1,0 +1,143 @@
+"""Nondeterminism-hazard detection shared by SRP003 and SRP007.
+
+One walk, one classification: every construct whose result can differ
+across runs or machines — wall clocks, unseeded PRNGs, hash-randomised
+set iteration, allocation-order ``id()``, process environment reads —
+is reported as a ``(node, kind, message)`` triple.  SRP003 (per-file,
+direct scope) consumes the :data:`SRP003_KINDS` subset with messages
+unchanged from its original per-file implementation; SRP007 (the
+call-graph closure) consumes the full set, including the two kinds
+that only matter once helper modules are in view:
+
+``id``
+    ``id()`` values are CPython allocation addresses — stable within a
+    process, different across runs.  Using one for *membership* is
+    deterministic; letting one reach an ordering or a cache key is not,
+    and the AST cannot tell the two apart, so closure code gets a
+    finding and legitimate membership uses carry a reasoned pragma.
+
+``env``
+    ``os.environ`` / ``os.getenv`` make planning output a function of
+    the shell that launched it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+WALL_CLOCK_ATTRS = frozenset({"time", "time_ns"})
+TIME_MODULES = frozenset({"time", "_time"})
+DATETIME_ATTRS = frozenset({"now", "today", "utcnow"})
+SEEDED_RANDOM_OK = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence", "RandomState"})
+
+#: hazard kinds the per-file SRP003 rule reports itself
+SRP003_KINDS = frozenset({
+    "wall_clock", "datetime", "random", "np_random", "secrets", "urandom",
+    "uuid", "set_iter",
+})
+
+#: additional kinds only the whole-program SRP007 closure reports
+SRP007_EXTRA_KINDS = frozenset({"id", "env"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _attr_hazard(node: ast.Attribute) -> Iterator[Tuple[ast.AST, str, str]]:
+    if isinstance(node.value, ast.Name):
+        base, attr = node.value.id, node.attr
+        if base in TIME_MODULES and attr in WALL_CLOCK_ATTRS:
+            yield (node, "wall_clock",
+                   f"wall-clock read {base}.{attr} in deterministic "
+                   "planning code (perf_counter is fine for reporting)")
+        elif base == "datetime" and attr in DATETIME_ATTRS:
+            yield (node, "datetime",
+                   f"wall-clock read datetime.{attr} in deterministic "
+                   "planning code")
+        elif base == "random" and attr not in SEEDED_RANDOM_OK:
+            yield (node, "random",
+                   f"unseeded random.{attr} in planning code; "
+                   "instantiate random.Random(seed) instead")
+        elif base == "secrets":
+            yield (node, "secrets",
+                   f"secrets.{attr} is nondeterministic by design")
+        elif base == "os" and attr == "urandom":
+            yield (node, "urandom", "os.urandom is nondeterministic")
+        elif base == "os" and attr == "environ":
+            yield (node, "env",
+                   "os.environ read makes planning output depend on the "
+                   "launching shell")
+        elif base == "uuid" and attr in ("uuid1", "uuid4"):
+            yield (node, "uuid",
+                   f"uuid.{attr} is nondeterministic; derive ids from "
+                   "query ids / seeds instead")
+    elif isinstance(node.value, ast.Attribute):
+        inner = node.value
+        if (
+            isinstance(inner.value, ast.Name)
+            and inner.value.id in ("np", "numpy")
+            and inner.attr == "random"
+            and node.attr not in NP_RANDOM_OK
+        ):
+            yield (node, "np_random",
+                   f"unseeded {inner.value.id}.random.{node.attr}; use "
+                   "default_rng(seed)")
+
+
+def scan_hazards(root: ast.AST) -> Iterator[Tuple[ast.AST, str, str]]:
+    """Yield ``(node, kind, message)`` for every hazard under *root*.
+
+    *root* may be a module or a single function node; the walk covers
+    everything beneath it (callers that index nested functions
+    separately should use :func:`scan_function_hazards`).
+    """
+    for node in ast.walk(root):
+        yield from _node_hazards(node)
+
+
+def _node_hazards(node: ast.AST) -> Iterator[Tuple[ast.AST, str, str]]:
+    if isinstance(node, ast.Attribute):
+        yield from _attr_hazard(node)
+    elif isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            if node.func.id == "id" and len(node.args) == 1:
+                yield (node, "id",
+                       "id() is allocation order — deterministic only for "
+                       "same-process membership tests, never for ordering "
+                       "or keys that outlive the run")
+            elif node.func.id == "getattr":
+                pass
+        if (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "os"
+            and node.func.attr == "getenv"
+        ):
+            yield (node, "env",
+                   "os.getenv read makes planning output depend on the "
+                   "launching shell")
+    elif isinstance(node, (ast.For, ast.comprehension)):
+        if _is_set_expr(node.iter):
+            yield (node.iter, "set_iter",
+                   "iteration over a set has hash-randomised order; "
+                   "sort it or use a list/tuple when the order can "
+                   "reach route construction")
+
+
+def scan_function_hazards(
+    fn_node: ast.AST,
+) -> Iterator[Tuple[ast.AST, str, str]]:
+    """Hazards in one function body, not descending into nested defs."""
+    from srplint.project import function_body_walk
+
+    for node in function_body_walk(fn_node):
+        yield from _node_hazards(node)

@@ -1,0 +1,670 @@
+"""Project-wide module index and call graph (srplint's whole-program layer).
+
+Per-file AST rules cannot see the invariants the planner's correctness
+now rests on: determinism laundered through a helper module, a 2PC
+prepare that leaks a claim on one exception edge, a message type
+constructed in one module and dispatched (or not) in another.  This
+module builds — once per run — everything those analyses share:
+
+* a **module index**: every ``.py`` file under the linted paths, parsed
+  once, with its dotted module name derived from ``__init__.py``
+  package roots and its pragma table attached;
+* a **function index**: one :class:`FunctionInfo` per function, method
+  and *nested* function (qualified ``module.Class.method`` /
+  ``module.func.inner`` names) plus a ``<module>`` pseudo-function for
+  module-level code;
+* a **class index** with methods, project-resolved bases, and a light
+  attribute-type map (``self.planner = SRPPlanner(...)`` in any method
+  records ``planner -> repro.core.planner.SRPPlanner``);
+* a **call graph**: for each function, the project functions it may
+  call.  Resolution handles plain names (local defs, nested defs,
+  ``from x import y`` including re-export chains, ``import x as m``),
+  ``self.``/``cls.`` methods through project-internal bases, attributes
+  of typed ``self`` fields and of locally constructed instances, and —
+  as a last resort — a *unique-method* heuristic: an unresolved
+  ``obj.meth(...)`` links to ``meth`` when exactly one project class
+  defines it and the name is not a generic container/IO verb.
+
+Everything is standard-library ``ast``; nothing is imported or
+executed.  The graph **over-approximates** (extra edges are possible,
+e.g. through the unique-method heuristic) which is the safe direction
+for SRP007's closure; the pragma escape hatches cover the residue.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from srplint.engine import (
+    Finding,
+    Pragmas,
+    Rule,
+    TOOL_CODE,
+    extract_pragmas,
+    iter_python_files,
+)
+
+#: method names too generic to resolve by uniqueness — linking ``.get``
+#: or ``.append`` to some project class would wire the graph to every
+#: dict and list in the tree
+_GENERIC_NAMES = frozenset({
+    "get", "set", "items", "keys", "values", "append", "extend", "insert",
+    "add", "pop", "remove", "discard", "clear", "update", "copy", "sort",
+    "reverse", "index", "count", "join", "split", "strip", "read", "write",
+    "readline", "flush", "open", "close", "start", "stop", "wait", "notify",
+    "notify_all", "acquire", "release", "put", "send", "recv", "encode",
+    "decode", "format", "render", "reset", "run", "main", "check", "handle",
+    "plan", "request", "submit", "setdefault",
+})
+
+_MODULE_FUNC = "<module>"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: tree, source, pragmas, dotted name."""
+
+    path: str
+    name: str
+    tree: ast.Module
+    source: str
+    pragmas: Pragmas
+    #: alias -> dotted target for every import binding in the module
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level definition names (functions, classes, assignments)
+    defs: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method/nested function (or ``<module>`` body)."""
+
+    qualname: str
+    module: ModuleInfo
+    node: Optional[ast.AST]  # FunctionDef/AsyncFunctionDef; None = <module>
+    class_name: Optional[str] = None
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    """One project class: methods, bases (as written), attr types."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    methods: Dict[str, str] = field(default_factory=dict)
+    base_names: List[str] = field(default_factory=list)
+    #: self attribute -> class qualname (from ``self.x = Cls(...)``)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of *path*, walking ``__init__.py`` package roots."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.resolve().parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+class ProjectIndex:
+    """The whole-program index every project rule shares."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}        # by path (posix)
+        self.by_name: Dict[str, ModuleInfo] = {}        # by dotted name
+        self.functions: Dict[str, FunctionInfo] = {}    # by qualname
+        self.classes: Dict[str, ClassInfo] = {}         # by qualname
+        #: caller qualname -> [(callee qualname, call node), ...]
+        self.calls: Dict[str, List[Tuple[str, ast.Call]]] = {}
+        #: method name -> class qualnames defining it
+        self.method_index: Dict[str, List[str]] = {}
+        #: findings produced while building (unparsable files, pragma errors)
+        self.build_findings: List[Finding] = []
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(
+        cls, paths: Iterable[str], exclude: Sequence[str] = ()
+    ) -> "ProjectIndex":
+        project = cls()
+        for path in iter_python_files(paths, exclude=exclude):
+            project._index_file(path)
+        for module in project.modules.values():
+            project._collect_imports(module)
+        for module in project.modules.values():
+            project._collect_defs(module)
+        for info in project.classes.values():
+            project._collect_attr_types(info)
+        for module in project.modules.values():
+            project._collect_calls(module)
+        return project
+
+    def _index_file(self, path: Path) -> None:
+        posix = path.as_posix()
+        source = path.read_text(encoding="utf-8")
+        pragmas = extract_pragmas(source)
+        for line, col, message in pragmas.errors:
+            self.build_findings.append(
+                Finding(posix, line, col, TOOL_CODE, message)
+            )
+        try:
+            tree = ast.parse(source, filename=posix)
+        except SyntaxError as exc:
+            self.build_findings.append(
+                Finding(posix, exc.lineno or 1, (exc.offset or 1) - 1,
+                        TOOL_CODE, f"could not parse file: {exc.msg}")
+            )
+            return
+        module = ModuleInfo(posix, module_name_for(path), tree, source, pragmas)
+        self.modules[posix] = module
+        self.by_name[module.name] = module
+
+    def _collect_imports(self, module: ModuleInfo) -> None:
+        package = module.name.rsplit(".", 1)[0] if "." in module.name else ""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    module.imports[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # Relative: strip (level - 1) trailing components off
+                    # the package of this module.
+                    base_parts = package.split(".") if package else []
+                    if node.level - 1:
+                        base_parts = base_parts[: -(node.level - 1)] or []
+                    base = ".".join(base_parts)
+                else:
+                    base = node.module or ""
+                if node.level and node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    module.imports[bound] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+
+    def _collect_defs(self, module: ModuleInfo) -> None:
+        mod_fn = FunctionInfo(f"{module.name}.{_MODULE_FUNC}", module, None)
+        self.functions[mod_fn.qualname] = mod_fn
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(module, stmt, prefix=module.name,
+                                     class_name=None)
+                module.defs[stmt.name] = f"{module.name}.{stmt.name}"
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(module, stmt)
+                module.defs[stmt.name] = f"{module.name}.{stmt.name}"
+            else:
+                for target in _assigned_names(stmt):
+                    module.defs.setdefault(
+                        target, f"{module.name}.{target}"
+                    )
+
+    def _index_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        info = ClassInfo(qualname, module, node)
+        for base in node.bases:
+            name = _dotted_name(base)
+            if name:
+                info.base_names.append(name)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._index_function(
+                    module, stmt, prefix=qualname, class_name=node.name
+                )
+                info.methods[stmt.name] = fn.qualname
+                self.method_index.setdefault(stmt.name, []).append(qualname)
+            elif isinstance(stmt, ast.ClassDef):  # nested class: index flat
+                self._index_class(module, stmt)
+        self.classes[qualname] = info
+
+    def _index_function(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        prefix: str,
+        class_name: Optional[str],
+    ) -> FunctionInfo:
+        qualname = f"{prefix}.{node.name}"  # type: ignore[attr-defined]
+        fn = FunctionInfo(qualname, module, node, class_name)
+        self.functions[qualname] = fn
+        for stmt in ast.walk(node):  # nested defs get their own entry
+            if stmt is node:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._enclosing_is(node, stmt):
+                    self._index_function(
+                        module, stmt, prefix=qualname, class_name=class_name
+                    )
+        return fn
+
+    @staticmethod
+    def _enclosing_is(outer: ast.AST, inner: ast.AST) -> bool:
+        """True when *inner* is nested directly in *outer* (no def between)."""
+        stack = [(outer, False)]
+        while stack:
+            node, crossed = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if child is inner:
+                    return not crossed
+                nested = isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ) and child is not inner
+                stack.append((child, crossed or nested))
+        return False
+
+    def _collect_attr_types(self, info: ClassInfo) -> None:
+        module = info.module
+        for method_qualname in info.methods.values():
+            fn = self.functions[method_qualname]
+            if fn.node is None:
+                continue
+            for stmt in ast.walk(fn.node):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                if not isinstance(stmt.value, ast.Call):
+                    continue
+                cls_qual = self._resolve_class(module, stmt.value.func)
+                if cls_qual is None:
+                    continue
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        info.attr_types[target.attr] = cls_qual
+
+    def _resolve_class(
+        self, module: ModuleInfo, func: ast.AST
+    ) -> Optional[str]:
+        """Resolve a constructor expression to a project class qualname."""
+        name = _dotted_name(func)
+        if name is None:
+            return None
+        target = self.resolve_symbol(module, name)
+        if target is not None and target in self.classes:
+            return target
+        return None
+
+    # -- symbol resolution ---------------------------------------------
+    def resolve_symbol(
+        self, module: ModuleInfo, dotted: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[str]:
+        """Resolve a (possibly dotted) name in *module* to a project qualname.
+
+        Follows the import table and re-export chains; returns a
+        function/class qualname, a module name, or None for anything
+        outside the project.
+        """
+        seen = _seen if _seen is not None else set()
+        key = f"{module.name}:{dotted}"
+        if key in seen:
+            return None
+        seen.add(key)
+        head, _, rest = dotted.partition(".")
+        target: Optional[str] = None
+        if head in module.defs:
+            target = module.defs[head]
+        elif head in module.imports:
+            target = module.imports[head]
+        elif dotted in self.by_name:
+            return dotted
+        else:
+            return None
+        full = f"{target}.{rest}" if rest else target
+        # A direct hit on a function/class qualname is final.
+        if full in self.functions or full in self.classes:
+            return full
+        if full in self.by_name:
+            return full
+        # Otherwise split into the longest module prefix + symbol chain
+        # and recurse through that module's bindings (re-exports).
+        parts = full.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod_name = ".".join(parts[:cut])
+            if mod_name in self.by_name:
+                inner = self.by_name[mod_name]
+                sym = ".".join(parts[cut:])
+                if inner is module and sym == dotted:
+                    return None
+                return self.resolve_symbol(inner, sym, seen)
+        return None
+
+    def resolve_base(
+        self, module: ModuleInfo, base_name: str
+    ) -> Optional[ClassInfo]:
+        target = self.resolve_symbol(module, base_name)
+        if target is not None and target in self.classes:
+            return self.classes[target]
+        return None
+
+    def resolve_method(
+        self, class_qual: str, method: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[str]:
+        """Find *method* on the class or its project-internal bases."""
+        seen = _seen if _seen is not None else set()
+        if class_qual in seen or class_qual not in self.classes:
+            return None
+        seen.add(class_qual)
+        info = self.classes[class_qual]
+        if method in info.methods:
+            return info.methods[method]
+        for base_name in info.base_names:
+            base = self.resolve_base(info.module, base_name)
+            if base is not None:
+                found = self.resolve_method(base.qualname, method, seen)
+                if found is not None:
+                    return found
+        return None
+
+    # -- call graph ----------------------------------------------------
+    def _collect_calls(self, module: ModuleInfo) -> None:
+        mod_qual = f"{module.name}.{_MODULE_FUNC}"
+        self.calls.setdefault(mod_qual, [])
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for call in _calls_in(stmt):
+                callee = self._resolve_call(module, call, None, mod_qual)
+                if callee is not None:
+                    self.calls[mod_qual].append((callee, call))
+        for qualname, fn in list(self.functions.items()):
+            if fn.module is not module or fn.node is None:
+                continue
+            edges = self.calls.setdefault(qualname, [])
+            for call in function_body_calls(fn.node):
+                callee = self._resolve_call(module, call, fn, qualname)
+                if callee is not None:
+                    edges.append((callee, call))
+
+    def _resolve_call(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        fn: Optional[FunctionInfo],
+        caller_qual: str,
+    ) -> Optional[str]:
+        target = self.resolve_callable(module, call.func, fn, caller_qual)
+        # Thread/Process creation: the *target=* callable is what runs.
+        if target in ("threading.Thread", "multiprocessing.Process"):
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    return self.resolve_callable(
+                        module, kw.value, fn, caller_qual
+                    )
+        return target if target in self.functions else (
+            self._init_of(target) if target else None
+        )
+
+    def _init_of(self, target: Optional[str]) -> Optional[str]:
+        if target is not None and target in self.classes:
+            init = self.resolve_method(target, "__init__")
+            return init
+        return None
+
+    def resolve_callable(
+        self,
+        module: ModuleInfo,
+        func: ast.AST,
+        fn: Optional[FunctionInfo],
+        caller_qual: str,
+    ) -> Optional[str]:
+        """Resolve a callable expression to a qualname (or dotted name)."""
+        if isinstance(func, ast.Name):
+            # Nested function defined in an enclosing function chain?
+            # (Class scopes are skipped: a bare name inside a method
+            # resolves to module scope, not to sibling methods.)
+            prefix = caller_qual
+            while prefix:
+                if prefix not in self.classes:
+                    candidate = f"{prefix}.{func.id}"
+                    if candidate in self.functions:
+                        return candidate
+                prefix = prefix.rsplit(".", 1)[0] if "." in prefix else ""
+            return self.resolve_symbol(module, func.id)
+        if isinstance(func, ast.Attribute):
+            recv = func.value
+            # self.method() / cls.method()
+            if (
+                isinstance(recv, ast.Name)
+                and recv.id in ("self", "cls")
+                and fn is not None
+                and fn.class_name is not None
+            ):
+                class_qual = f"{module.name}.{fn.class_name}"
+                found = self.resolve_method(class_qual, func.attr)
+                if found is not None:
+                    return found
+                # self.attr_typed_field.method() handled below via
+                # attr_types; a plain unknown self-method falls through
+                # to the unique-method heuristic.
+            # module_alias.func() or Class.method()
+            if isinstance(recv, ast.Name):
+                target = self.resolve_symbol(module, f"{recv.id}.{func.attr}")
+                if target is not None:
+                    return target
+                base = self.resolve_symbol(module, recv.id)
+                if base is not None and base in self.classes:
+                    return self.resolve_method(base, func.attr)
+                if base is not None and base in self.by_name:
+                    return None  # project module, but symbol unknown
+            # self.field.method() with a typed field
+            if (
+                isinstance(recv, ast.Attribute)
+                and isinstance(recv.value, ast.Name)
+                and recv.value.id == "self"
+                and fn is not None
+                and fn.class_name is not None
+            ):
+                class_qual = f"{module.name}.{fn.class_name}"
+                info = self.classes.get(class_qual)
+                if info is not None:
+                    field_cls = info.attr_types.get(recv.attr)
+                    if field_cls is not None:
+                        found = self.resolve_method(field_cls, func.attr)
+                        if found is not None:
+                            return found
+            # local_var.method() where local_var = ProjectClass(...)
+            if isinstance(recv, ast.Name) and fn is not None and fn.node is not None:
+                local_cls = self._local_var_type(module, fn, recv.id)
+                if local_cls is not None:
+                    found = self.resolve_method(local_cls, func.attr)
+                    if found is not None:
+                        return found
+            # Unique-method heuristic.
+            owners = self.method_index.get(func.attr, [])
+            if len(owners) == 1 and func.attr not in _GENERIC_NAMES:
+                return self.classes[owners[0]].methods[func.attr]
+        return None
+
+    def _local_var_type(
+        self, module: ModuleInfo, fn: FunctionInfo, var: str
+    ) -> Optional[str]:
+        assert fn.node is not None
+        for stmt in ast.walk(fn.node):
+            if not isinstance(stmt, ast.Assign) or not any(
+                isinstance(t, ast.Name) and t.id == var for t in stmt.targets
+            ):
+                continue
+            if isinstance(stmt.value, ast.Call):
+                return self._resolve_class(module, stmt.value.func)
+            # ``planner = self.planner`` propagates the field's type.
+            if (
+                isinstance(stmt.value, ast.Attribute)
+                and isinstance(stmt.value.value, ast.Name)
+                and stmt.value.value.id == "self"
+                and fn.class_name is not None
+            ):
+                info = self.classes.get(f"{module.name}.{fn.class_name}")
+                if info is not None:
+                    return info.attr_types.get(stmt.value.attr)
+        return None
+
+    # -- reachability --------------------------------------------------
+    def reachable_from(
+        self, roots: Iterable[str]
+    ) -> Dict[str, Optional[str]]:
+        """BFS closure over the call graph.
+
+        Returns ``{qualname: parent_qualname}`` for every reachable
+        function (roots map to None), so callers can reconstruct one
+        call chain per finding.
+        """
+        parents: Dict[str, Optional[str]] = {}
+        queue: List[str] = []
+        for root in roots:
+            if root not in parents:
+                parents[root] = None
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for callee, _call in self.calls.get(current, ()):
+                if callee not in parents:
+                    parents[callee] = current
+                    queue.append(callee)
+        return parents
+
+    def chain_to(
+        self, parents: Dict[str, Optional[str]], qualname: str, limit: int = 4
+    ) -> List[str]:
+        """Call chain from a root to *qualname* (root first, truncated)."""
+        chain: List[str] = []
+        cursor: Optional[str] = qualname
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = parents.get(cursor)
+        chain.reverse()
+        if len(chain) > limit:
+            chain = chain[:1] + ["..."] + chain[-(limit - 1):]
+        return chain
+
+    def pragmas_for(self, path: str) -> Optional[Pragmas]:
+        module = self.modules.get(path)
+        return module.pragmas if module is not None else None
+
+
+def _assigned_names(stmt: ast.stmt) -> List[str]:
+    names: List[str] = []
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(
+                t.id for t in target.elts if isinstance(t, ast.Name)
+            )
+    return names
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def function_body_calls(node: ast.AST) -> List[ast.Call]:
+    """Call nodes in a function body, not descending into nested defs."""
+    calls: List[ast.Call] = []
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                calls.append(child)
+            stack.append(child)
+    return calls
+
+
+def function_body_walk(node: ast.AST) -> List[ast.AST]:
+    """All nodes of a function body, not descending into nested defs."""
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            out.append(child)
+            stack.append(child)
+    return out
+
+
+def _calls_in(stmt: ast.stmt) -> List[ast.Call]:
+    return [n for n in ast.walk(stmt) if isinstance(n, ast.Call)]
+
+
+# ----------------------------------------------------------------------
+# Project-mode runner
+# ----------------------------------------------------------------------
+def run_project(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    respect_scope: bool = True,
+    exclude: Sequence[str] = (),
+) -> Tuple[List[Finding], ProjectIndex]:
+    """Lint *paths* in whole-program mode.
+
+    Builds the :class:`ProjectIndex` once, runs per-file rules on every
+    module and project rules (:class:`srplint.engine.ProjectRule`) once
+    over the index, filters everything through per-file pragmas, and
+    returns the sorted findings plus the index (for pragma audits).
+    """
+    from srplint.engine import ProjectRule, default_rules
+
+    if rules is None:
+        rules = default_rules()
+    project = ProjectIndex.build(paths, exclude=exclude)
+    raw: List[Finding] = list(project.build_findings)
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    for module in project.modules.values():
+        for rule in file_rules:
+            if respect_scope and not rule.applies_to(module.path):
+                continue
+            raw.extend(rule.check(module.tree, module.path))
+    for rule in project_rules:
+        raw.extend(rule.check_project(project))
+    findings: List[Finding] = []
+    for finding in raw:
+        pragmas = project.pragmas_for(finding.path)
+        if (
+            pragmas is not None
+            and finding.code != TOOL_CODE
+            and pragmas.allows(finding.line, finding.code)
+        ):
+            continue
+        findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, project

@@ -1,9 +1,11 @@
 """Built-in srplint rules.
 
 Adding a rule: create ``srpNNN_<slug>.py`` exporting a
-:class:`srplint.engine.Rule` subclass, import it here, and append it to
-``ALL_RULES`` — the CLI, pragma machinery, and fixture-test harness pick
-it up automatically.  See ``docs/static-analysis.md``.
+:class:`srplint.engine.Rule` subclass (or
+:class:`srplint.engine.ProjectRule` for whole-program analyses), import
+it here, and append it to ``ALL_RULES`` — the CLI, pragma machinery,
+and fixture-test harness pick it up automatically.  See
+``docs/static-analysis.md``.
 """
 
 from srplint.rules.srp001_version_bump import SRP001VersionBump
@@ -12,6 +14,12 @@ from srplint.rules.srp003_determinism import SRP003Determinism
 from srplint.rules.srp004_diagnostics import SRP004Diagnostics
 from srplint.rules.srp005_cache_keys import SRP005CacheKeyVersion
 from srplint.rules.srp006_integer_dtypes import SRP006IntegerDtypes
+from srplint.rules.srp007_transitive_determinism import (
+    SRP007TransitiveDeterminism,
+)
+from srplint.rules.srp008_pairing import SRP008AcquireReleasePairing
+from srplint.rules.srp009_thread_shared import SRP009ThreadSharedState
+from srplint.rules.srp010_protocol import SRP010ProtocolExhaustiveness
 
 ALL_RULES = [
     SRP001VersionBump,
@@ -20,6 +28,10 @@ ALL_RULES = [
     SRP004Diagnostics,
     SRP005CacheKeyVersion,
     SRP006IntegerDtypes,
+    SRP007TransitiveDeterminism,
+    SRP008AcquireReleasePairing,
+    SRP009ThreadSharedState,
+    SRP010ProtocolExhaustiveness,
 ]
 
 __all__ = [
@@ -30,4 +42,8 @@ __all__ = [
     "SRP004Diagnostics",
     "SRP005CacheKeyVersion",
     "SRP006IntegerDtypes",
+    "SRP007TransitiveDeterminism",
+    "SRP008AcquireReleasePairing",
+    "SRP009ThreadSharedState",
+    "SRP010ProtocolExhaustiveness",
 ]

@@ -32,22 +32,15 @@ import ast
 from typing import List
 
 from srplint.engine import Finding, Rule
-
-WALL_CLOCK_ATTRS = frozenset({"time", "time_ns"})
-TIME_MODULES = frozenset({"time", "_time"})
-DATETIME_ATTRS = frozenset({"now", "today", "utcnow"})
-SEEDED_RANDOM_OK = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
-NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence", "RandomState"})
-
-
-def _is_set_expr(node: ast.AST) -> bool:
-    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
-        return True
-    return (
-        isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Name)
-        and node.func.id in ("set", "frozenset")
-    )
+from srplint.hazards import (  # noqa: F401  (re-exported: rule tests import these)
+    DATETIME_ATTRS,
+    NP_RANDOM_OK,
+    SEEDED_RANDOM_OK,
+    SRP003_KINDS,
+    TIME_MODULES,
+    WALL_CLOCK_ATTRS,
+    scan_hazards,
+)
 
 
 class SRP003Determinism(Rule):
@@ -75,67 +68,11 @@ class SRP003Determinism(Rule):
     )
 
     def check(self, tree: ast.Module, path: str) -> List[Finding]:
-        findings: List[Finding] = []
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Attribute) and isinstance(
-                node.value, ast.Name
-            ):
-                base, attr = node.value.id, node.attr
-                if base in TIME_MODULES and attr in WALL_CLOCK_ATTRS:
-                    findings.append(self.finding(
-                        path, node,
-                        f"wall-clock read {base}.{attr} in deterministic "
-                        "planning code (perf_counter is fine for reporting)",
-                    ))
-                elif base == "datetime" and attr in DATETIME_ATTRS:
-                    findings.append(self.finding(
-                        path, node,
-                        f"wall-clock read datetime.{attr} in deterministic "
-                        "planning code",
-                    ))
-                elif base == "random" and attr not in SEEDED_RANDOM_OK:
-                    findings.append(self.finding(
-                        path, node,
-                        f"unseeded random.{attr} in planning code; "
-                        "instantiate random.Random(seed) instead",
-                    ))
-                elif base == "secrets":
-                    findings.append(self.finding(
-                        path, node,
-                        f"secrets.{attr} is nondeterministic by design",
-                    ))
-                elif base == "os" and attr == "urandom":
-                    findings.append(self.finding(
-                        path, node, "os.urandom is nondeterministic",
-                    ))
-                elif base == "uuid" and attr in ("uuid1", "uuid4"):
-                    findings.append(self.finding(
-                        path, node,
-                        f"uuid.{attr} is nondeterministic; derive ids from "
-                        "query ids / seeds instead",
-                    ))
-            elif isinstance(node, ast.Attribute) and isinstance(
-                node.value, ast.Attribute
-            ):
-                inner = node.value
-                if (
-                    isinstance(inner.value, ast.Name)
-                    and inner.value.id in ("np", "numpy")
-                    and inner.attr == "random"
-                    and node.attr not in NP_RANDOM_OK
-                ):
-                    findings.append(self.finding(
-                        path, node,
-                        f"unseeded {inner.value.id}.random.{node.attr}; use "
-                        "default_rng(seed)",
-                    ))
-            elif isinstance(node, (ast.For, ast.comprehension)):
-                it = node.iter
-                if _is_set_expr(it):
-                    findings.append(self.finding(
-                        path, it,
-                        "iteration over a set has hash-randomised order; "
-                        "sort it or use a list/tuple when the order can "
-                        "reach route construction",
-                    ))
-        return findings
+        # Detection lives in srplint.hazards (shared with SRP007's
+        # call-graph closure); this rule reports the direct, per-file
+        # subset with unchanged messages.
+        return [
+            self.finding(path, node, message)
+            for node, kind, message in scan_hazards(tree)
+            if kind in SRP003_KINDS
+        ]

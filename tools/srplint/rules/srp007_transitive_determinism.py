@@ -1,0 +1,82 @@
+"""SRP007 — transitive determinism: the call-graph closure of SRP003.
+
+SRP003 proves planning files clean of *direct* nondeterminism, but a
+wall-clock read laundered through a helper module is invisible to it:
+``core/planner.py`` calling ``analysis/stats.py`` calling
+``time.time()`` passes the per-file check while breaking replay all the
+same.  SRP007 closes that hole: starting from every function (and the
+module-level body) of the SRP003-scoped modules, it walks the project
+call graph and flags any reachable hazard, wherever it lives, with the
+call chain that reaches it.
+
+Two hazard kinds are reported *only* here (they need whole-program
+context to matter):
+
+* ``id()`` — allocation-order values; deterministic for same-process
+  membership, catastrophic as ordering or persisted keys, and the AST
+  cannot tell the uses apart, so every reachable site answers with a
+  finding or a reasoned pragma;
+* ``os.environ`` / ``os.getenv`` — planning output must not be a
+  function of the launching shell.
+
+Hazards that SRP003 already reports (wall clocks, unseeded PRNGs, set
+iteration) are *not* re-reported inside SRP003's own scope — SRP007
+adds the reachable-helper findings, it does not double up.
+
+Suppression: ``# srplint: allow(SRP007) <reason>`` on the hazard line.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from srplint.engine import Finding, ProjectRule
+from srplint.hazards import SRP003_KINDS, scan_function_hazards
+from srplint.rules.srp003_determinism import SRP003Determinism
+
+_MODULE_FUNC = "<module>"
+
+
+class SRP007TransitiveDeterminism(ProjectRule):
+    """Flag nondeterminism reachable from planning code via the call graph."""
+
+    code = "SRP007"
+    name = "transitive-determinism"
+    #: root scope — same files SRP003 pins (findings may land anywhere)
+    scope = SRP003Determinism.scope
+
+    def check_project(self, project: object) -> List[Finding]:
+        roots = [
+            qualname
+            for qualname, fn in project.functions.items()  # type: ignore[attr-defined]
+            if self.applies_to(fn.module.path)
+        ]
+        parents = project.reachable_from(roots)  # type: ignore[attr-defined]
+        findings: List[Finding] = []
+        for qualname in sorted(parents):
+            fn = project.functions.get(qualname)  # type: ignore[attr-defined]
+            if fn is None:
+                continue
+            in_scope = self.applies_to(fn.module.path)
+            node = fn.node if fn.node is not None else fn.module.tree
+            for hazard_node, kind, message in scan_function_hazards(node):
+                if kind in SRP003_KINDS and in_scope:
+                    continue  # SRP003 reports the direct finding itself
+                chain = project.chain_to(parents, qualname)  # type: ignore[attr-defined]
+                via = " -> ".join(_short(q) for q in chain)
+                findings.append(
+                    self.finding(
+                        fn.module.path,
+                        hazard_node,
+                        f"{message} [reachable from planning code: {via}]",
+                    )
+                )
+        return findings
+
+
+def _short(qualname: str) -> str:
+    """Trim ``pkg.mod.Class.method`` to ``mod.Class.method`` for messages."""
+    if qualname == "...":
+        return qualname
+    parts = qualname.split(".")
+    return ".".join(parts[-3:]) if len(parts) > 3 else qualname

@@ -1,0 +1,222 @@
+"""SRP008 — acquire/release pairing for 2PC claims and recovery holds.
+
+The sharded planning service runs a two-phase commit over boundary
+strips: ``_op_prepare`` takes ``claim_boundary_hold`` /
+``claim_boundary_crossing`` on the shard planner, and every one of
+those claims must end in exactly one of ``bind_boundary_claims``
+(commit) or ``abort_commit`` (rollback).  Joint cluster recovery has
+the same shape with ``commit_recovery_hold`` / ``release_recovery_hold``.
+A claim that survives an *exception* edge is the worst kind of bug:
+the happy-path tests never see it, and the leaked hold deadlocks the
+next query that touches the strip.
+
+This rule proves pairing **path-sensitively** on the per-function CFG
+(:mod:`srplint.cfg`): a claim acquired at some statement must be
+released — by one of its paired release calls — on *every* path from
+that statement to the function's normal exit and to its exceptional
+exit.  Loops are analysed under the loop-once abstraction (``back`` and
+``skip`` edges dropped), so an acquire-loop paired with a release-loop
+later in the same function checks clean.
+
+Deliberate imbalances have two escape hatches:
+
+* a 2PC *prepare* intentionally returns with claims held (the
+  coordinator commits or aborts them later) — annotate the ``return``
+  with ``# srplint: holds(claim_boundary_hold, ...) <reason>``; the
+  named resources are excused **on that exit only** (exception edges
+  stay checked);
+* anything else takes a standard ``# srplint: allow(SRP008) <reason>``
+  on the acquire line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from srplint.cfg import CFG, CFGNode, build_cfg
+from srplint.engine import Finding, ProjectRule
+
+#: acquire call name -> call names that release it
+PAIRS: Dict[str, frozenset] = {
+    "claim_boundary_hold": frozenset({"abort_commit", "bind_boundary_claims"}),
+    "claim_boundary_crossing": frozenset(
+        {"abort_commit", "bind_boundary_claims"}
+    ),
+    "commit_recovery_hold": frozenset({"release_recovery_hold"}),
+}
+
+_RELEASE_NAMES = frozenset(
+    name for releases in PAIRS.values() for name in releases
+)
+
+
+class _Site:
+    """One acquire call site inside one function."""
+
+    __slots__ = ("name", "node")
+
+    def __init__(self, name: str, node: ast.Call) -> None:
+        self.name = name
+        self.node = node
+
+
+class SRP008AcquireReleasePairing(ProjectRule):
+    """Prove every 2PC claim/recovery hold is released on every exit."""
+
+    code = "SRP008"
+    name = "acquire-release-pairing"
+    scope = ("repro/",)
+
+    def check_project(self, project: object) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname in sorted(project.functions):  # type: ignore[attr-defined]
+            fn = project.functions[qualname]  # type: ignore[attr-defined]
+            if fn.node is None or not self.applies_to(fn.module.path):
+                continue
+            findings.extend(self._check_function(fn))
+        return findings
+
+    def _check_function(self, fn: object) -> List[Finding]:
+        cfg = build_cfg(fn.node)  # type: ignore[attr-defined]
+        node_events = {
+            node.idx: _events(node) for node in cfg.nodes
+        }
+        if not any(acqs for acqs, _rels in node_events.values()):
+            return []
+        held = _propagate(cfg, node_events)
+        pragmas = fn.module.pragmas  # type: ignore[attr-defined]
+        findings: List[Finding] = []
+        reported: Set[int] = set()
+        for site, exit_kind, at_node in _leaks(cfg, held, node_events):
+            if exit_kind == "return" and at_node is not None:
+                excused = pragmas.holds.get(at_node.line, ())
+                if site.name in excused:
+                    pragmas.mark_holds_used(at_node.line)
+                    continue
+            if id(site) in reported:
+                continue
+            reported.add(id(site))
+            where = (
+                f"still held at return (line {at_node.line})"
+                if exit_kind == "return" and at_node is not None
+                else "leaks when an exception escapes"
+                + (f" (raised near line {at_node.line})" if at_node else "")
+            )
+            releases = " or ".join(sorted(PAIRS[site.name]))
+            findings.append(
+                self.finding(
+                    fn.module.path,  # type: ignore[attr-defined]
+                    site.node,
+                    f"{site.name} acquired here {where} in "
+                    f"{fn.qualname.rsplit('.', 1)[-1]}(); every path must "  # type: ignore[attr-defined]
+                    f"reach {releases} — release on the error path, or "
+                    "annotate an intentional 2PC hand-off with "
+                    f"'# srplint: holds({site.name}) <reason>' on the return",
+                )
+            )
+        return findings
+
+
+def _events(node: CFGNode) -> Tuple[List[_Site], Set[str]]:
+    """(acquire sites, release names) appearing in *node*'s own code."""
+    acquires: List[_Site] = []
+    releases: Set[str] = set()
+    for part in _own_exprs(node):
+        for sub in ast.walk(part):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = _call_name(sub)
+            if name in PAIRS:
+                acquires.append(_Site(name, sub))
+            elif name in _RELEASE_NAMES:
+                releases.add(name)
+    return acquires, releases
+
+
+def _own_exprs(node: CFGNode) -> List[ast.AST]:
+    """The AST parts evaluated *at* this CFG node (headers, not bodies)."""
+    stmt = node.stmt
+    if stmt is None or node.kind == "join":
+        return []
+    if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _propagate(
+    cfg: CFG, node_events: Dict[int, Tuple[List[_Site], Set[str]]]
+) -> Dict[Tuple[int, int, str], Set[_Site]]:
+    """Forward may-analysis: held acquire sites on every CFG edge.
+
+    ``back`` and ``skip`` edges are ignored (loop-once abstraction),
+    leaving an acyclic graph.  A node's releases clear matching sites
+    first; its acquires are then added to **normal** out-edges only —
+    if the acquire call itself raises, the claim was never taken, so
+    the exception edge of the acquiring statement carries the
+    pre-acquire state.
+    """
+    edge_state: Dict[Tuple[int, int, str], Set[_Site]] = {}
+    in_state: Dict[int, Set[_Site]] = {cfg.entry: set()}
+    worklist: List[int] = [cfg.entry]
+    while worklist:
+        idx = worklist.pop(0)
+        state = in_state.get(idx, set())
+        acquires, releases = node_events[idx]
+        after_release = {
+            site for site in state
+            if not (releases & PAIRS[site.name])
+        }
+        with_acquire = after_release | set(acquires)
+        for dst, kind in cfg.successors(idx, ignore=("back", "skip")):
+            out = with_acquire if kind == "normal" else after_release
+            key = (idx, dst, kind)
+            if edge_state.get(key) == out:
+                continue
+            edge_state[key] = set(out)
+            merged = in_state.get(dst, set()) | out
+            if merged != in_state.get(dst):
+                in_state[dst] = merged
+                if dst not in worklist:
+                    worklist.append(dst)
+    return edge_state
+
+
+def _leaks(
+    cfg: CFG,
+    edge_state: Dict[Tuple[int, int, str], Set[_Site]],
+    node_events: Dict[int, Tuple[List[_Site], Set[str]]],
+) -> List[Tuple[_Site, str, Optional[CFGNode]]]:
+    """Yield (site, exit kind, offending node) for every held-at-exit."""
+    out: List[Tuple[_Site, str, Optional[CFGNode]]] = []
+    for (src, dst, kind), sites in sorted(
+        edge_state.items(), key=lambda item: item[0][:2]
+    ):
+        if not sites:
+            continue
+        node = cfg.node(src)
+        if dst == cfg.exit:
+            for site in sorted(sites, key=lambda s: s.node.lineno):
+                out.append((site, "return", node))
+        elif dst == cfg.exc_exit and kind == "exc":
+            for site in sorted(sites, key=lambda s: s.node.lineno):
+                out.append((site, "exception", node))
+    return out

@@ -1,0 +1,475 @@
+"""SRP009 — thread-shared-state discipline.
+
+The service frontend is the one place the codebase runs real threads:
+``server.py`` spawns a listener, per-shard dispatcher loops and a
+telemetry logger over one shared ``ServiceServer``; the load generator
+drives consumer/reader closures over shared locals.  Every one of those
+threads shares mutable state with the spawning code, and the repo's
+rule is simple: **a field mutated both inside a thread body and outside
+it is touched only under a lock** (a ``with self._state:`` /
+``with lock:`` block around the mutation).
+
+This rule finds the thread targets — ``threading.Thread(target=...)``
+pointed at a ``self.method`` or at a nested closure function — and
+checks exactly that discipline, per attribute:
+
+* *class targets*: attributes of ``self`` written both by the thread
+  body (including same-class methods it calls) and by other methods
+  must have every write inside a ``with self.<lock>:`` block, where the
+  lock is any attribute assigned ``threading.Lock/RLock/Condition/
+  Semaphore/BoundedSemaphore``.  ``__init__`` and the spawning method
+  are pre-``start()`` hand-off and exempt;
+* *closure targets*: closure variables (and their attributes /
+  elements) written both by the nested thread body and by the
+  enclosing function **after the first ``Thread`` creation** get the
+  same treatment against locks held in enclosing locals.
+
+Mutations are assignments, augmented assignments, subscript stores and
+known in-place mutator calls (``append``/``update``/...).  Read-write
+races are out of scope — this is a write-write checker.
+
+Deliberately lock-free shared state (immutable hand-off, monotonic
+flags read racily on purpose) is declared once per file with
+``# srplint: shared(name, ...) <reason>`` — the names are attribute
+names for class targets and ``var`` / ``var.attr`` keys for closures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from srplint.engine import Finding, ProjectRule
+
+_LOCK_CTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "remove", "discard", "pop",
+    "popleft", "appendleft", "clear", "update", "setdefault", "sort",
+    "reverse",
+})
+
+#: (key, AST node, under_lock)
+_Mutation = Tuple[str, ast.AST, bool]
+
+
+class SRP009ThreadSharedState(ProjectRule):
+    """Flag unlocked writes to state shared between a thread and its spawner."""
+
+    code = "SRP009"
+    name = "thread-shared-state"
+    scope = ("repro/",)
+
+    def check_project(self, project: object) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in sorted(project.modules):  # type: ignore[attr-defined]
+            if not self.applies_to(path):
+                continue
+            module = project.modules[path]  # type: ignore[attr-defined]
+            findings.extend(_check_module(self, project, module))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# Thread-target discovery
+# ----------------------------------------------------------------------
+def _thread_targets(call: ast.Call) -> Optional[ast.AST]:
+    """The ``target=`` expression when *call* constructs a Thread."""
+    name: Optional[str] = None
+    if isinstance(call.func, ast.Name):
+        name = call.func.id
+    elif isinstance(call.func, ast.Attribute):
+        name = call.func.attr
+    if name != "Thread":
+        return None
+    for kw in call.keywords:
+        if kw.arg == "target":
+            return kw.value
+    return None
+
+
+def _check_module(rule, project, module) -> List[Finding]:
+    #: class qualname -> {method name spawned as a thread body}
+    class_spawns: Dict[str, Set[str]] = {}
+    #: class qualname -> {method name that creates the threads}
+    class_spawners: Dict[str, Set[str]] = {}
+    #: enclosing fn qualname -> [(nested fn qualname, creation line)]
+    closure_spawns: Dict[str, List[Tuple[str, int]]] = {}
+
+    for qualname, fn in project.functions.items():
+        if fn.module is not module or fn.node is None:
+            continue
+        from srplint.project import function_body_calls
+
+        for call in function_body_calls(fn.node):
+            target = _thread_targets(call)
+            if target is None:
+                continue
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and fn.class_name is not None
+            ):
+                class_qual = f"{module.name}.{fn.class_name}"
+                info = project.classes.get(class_qual)
+                if info is not None and target.attr in info.methods:
+                    class_spawns.setdefault(class_qual, set()).add(target.attr)
+                    class_spawners.setdefault(class_qual, set()).add(fn.name)
+            elif isinstance(target, ast.Name):
+                nested = f"{qualname}.{target.id}"
+                if nested in project.functions:
+                    closure_spawns.setdefault(qualname, []).append(
+                        (nested, call.lineno)
+                    )
+
+    findings: List[Finding] = []
+    for class_qual in sorted(class_spawns):
+        findings.extend(
+            _check_class(
+                rule, project, module, class_qual,
+                class_spawns[class_qual], class_spawners[class_qual],
+            )
+        )
+    for encl_qual in sorted(closure_spawns):
+        findings.extend(
+            _check_closure(
+                rule, project, module, encl_qual, closure_spawns[encl_qual]
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Class-based thread bodies
+# ----------------------------------------------------------------------
+def _check_class(
+    rule, project, module, class_qual: str,
+    body_methods: Set[str], spawner_methods: Set[str],
+) -> List[Finding]:
+    info = project.classes[class_qual]
+    lock_attrs = _class_lock_attrs(project, info)
+
+    def is_lock(expr: ast.AST) -> bool:
+        return (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in lock_attrs
+        )
+
+    # The thread body is the target method plus every same-class method
+    # it (transitively) calls.
+    thread_methods: Set[str] = set(body_methods)
+    roots = [info.methods[m] for m in body_methods]
+    for reached in project.reachable_from(roots):
+        if reached.startswith(class_qual + "."):
+            thread_methods.add(reached[len(class_qual) + 1:].split(".")[0])
+
+    body_muts: Dict[str, List[_Mutation]] = {}
+    outside_muts: Dict[str, List[_Mutation]] = {}
+    exempt = {"__init__"} | spawner_methods
+    for method_name, method_qual in info.methods.items():
+        fn = project.functions[method_qual]
+        if fn.node is None:
+            continue
+        muts = _collect_mutations(fn.node, is_lock, _self_key)
+        if method_name in thread_methods:
+            bucket = body_muts
+        elif method_name in exempt:
+            continue
+        else:
+            bucket = outside_muts
+        for key, node, locked in muts:
+            bucket.setdefault(key, []).append((key, node, locked))
+
+    lock_hint = (
+        f"self.{sorted(lock_attrs)[0]}" if lock_attrs else "a threading.Lock"
+    )
+    return _report_races(
+        rule, module, body_muts, outside_muts,
+        context=f"{info.node.name} thread body "
+                f"({', '.join(sorted(body_methods))})",
+        lock_hint=lock_hint,
+    )
+
+
+def _class_lock_attrs(project, info) -> Set[str]:
+    locks: Set[str] = set()
+    for method_qual in info.methods.values():
+        fn = project.functions[method_qual]
+        if fn.node is None:
+            continue
+        for stmt in ast.walk(fn.node):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not _is_lock_ctor(stmt.value):
+                continue
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    locks.add(target.attr)
+    return locks
+
+
+def _self_key(expr: ast.AST, rebinding: bool = True) -> Optional[str]:
+    """Shared-state key for a write through ``self`` (first attribute)."""
+    base = expr
+    while isinstance(base, ast.Subscript):
+        base = base.value
+    if (
+        isinstance(base, ast.Attribute)
+        and isinstance(base.value, ast.Name)
+        and base.value.id == "self"
+    ):
+        return base.attr
+    # self.a.b = ... mutates the object held in self.a
+    while isinstance(base, ast.Attribute):
+        inner = base.value
+        if isinstance(inner, ast.Attribute) and isinstance(
+            inner.value, ast.Name
+        ) and inner.value.id == "self":
+            return inner.attr
+        base = inner
+    return None
+
+
+# ----------------------------------------------------------------------
+# Closure-based thread bodies
+# ----------------------------------------------------------------------
+def _check_closure(
+    rule, project, module, encl_qual: str,
+    spawns: List[Tuple[str, int]],
+) -> List[Finding]:
+    encl = project.functions[encl_qual]
+    if encl.node is None:
+        return []
+    closure_vars = _bound_names(encl.node)
+    lock_vars = {
+        name for name in closure_vars
+        if _assigned_lock(encl.node, name)
+    }
+    start_line = min(line for _nested, line in spawns)
+
+    def is_lock(expr: ast.AST) -> bool:
+        return isinstance(expr, ast.Name) and expr.id in lock_vars
+
+    body_muts: Dict[str, List[_Mutation]] = {}
+    for nested_qual, _line in spawns:
+        nested = project.functions[nested_qual]
+        if nested.node is None:
+            continue
+        rebindable = _nonlocal_names(nested.node)
+        key_of = _closure_key(closure_vars, rebindable)
+        for key, node, locked in _collect_mutations(
+            nested.node, is_lock, key_of
+        ):
+            body_muts.setdefault(key, []).append((key, node, locked))
+
+    # Writes in the enclosing body before the first Thread creation are
+    # pre-start initialisation; only post-spawn writes can race.
+    outside_muts: Dict[str, List[_Mutation]] = {}
+    key_of_outside = _closure_key(closure_vars, closure_vars)
+    for key, node, locked in _collect_mutations(
+        encl.node, is_lock, key_of_outside
+    ):
+        if getattr(node, "lineno", 0) <= start_line:
+            continue
+        outside_muts.setdefault(key, []).append((key, node, locked))
+
+    lock_hint = (
+        sorted(lock_vars)[0] if lock_vars else "a threading.Lock local"
+    )
+    targets = ", ".join(q.rsplit(".", 1)[-1] for q, _l in spawns)
+    return _report_races(
+        rule, module, body_muts, outside_muts,
+        context=f"{encl.name}() thread body ({targets})",
+        lock_hint=lock_hint,
+    )
+
+
+def _closure_key(
+    tracked: Set[str], bare_ok: Set[str]
+) -> Callable[[ast.AST, bool], Optional[str]]:
+    def key_of(expr: ast.AST, rebinding: bool = True) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            if rebinding:
+                # bare rebinding: only a nonlocal (or the enclosing
+                # function's own local) is a shared write
+                return expr.id if expr.id in bare_ok else None
+            # mutator-call receiver (results.append(...)): any tracked
+            # closure variable counts
+            return expr.id if expr.id in tracked else None
+        base = expr
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        if isinstance(base, ast.Attribute) and isinstance(
+            base.value, ast.Name
+        ):
+            if base.value.id in tracked:
+                return f"{base.value.id}.{base.attr}"
+            return None
+        if isinstance(base, ast.Name):
+            return base.id if base.id in tracked else None
+        return None
+
+    return key_of
+
+
+def _bound_names(fn_node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    args = fn_node.args  # type: ignore[attr-defined]
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    from srplint.project import function_body_walk
+
+    for node in function_body_walk(fn_node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, ast.withitem):
+            if isinstance(node.optional_vars, ast.Name):
+                names.add(node.optional_vars.id)
+    return names
+
+
+def _nonlocal_names(fn_node: ast.AST) -> Set[str]:
+    from srplint.project import function_body_walk
+
+    out: Set[str] = set()
+    for node in function_body_walk(fn_node):
+        if isinstance(node, ast.Nonlocal):
+            out.update(node.names)
+    return out
+
+
+def _assigned_lock(fn_node: ast.AST, name: str) -> bool:
+    from srplint.project import function_body_walk
+
+    for node in function_body_walk(fn_node):
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == name
+                for t in node.targets
+            )
+            and _is_lock_ctor(node.value)
+        ):
+            return True
+    return False
+
+
+def _is_lock_ctor(expr: ast.AST) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    name = (
+        func.id if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute)
+        else None
+    )
+    return name in _LOCK_CTORS
+
+
+# ----------------------------------------------------------------------
+# Mutation collection (lock-context aware)
+# ----------------------------------------------------------------------
+def _collect_mutations(
+    fn_node: ast.AST,
+    is_lock: Callable[[ast.AST], bool],
+    key_of: Callable[[ast.AST, bool], Optional[str]],
+) -> List[_Mutation]:
+    out: List[_Mutation] = []
+
+    def write_exprs(stmt: ast.stmt) -> List[Tuple[ast.AST, bool]]:
+        if isinstance(stmt, ast.Assign):
+            return [(t, True) for t in stmt.targets]
+        if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            return [(stmt.target, True)]
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr in _MUTATORS
+        ):
+            return [(stmt.value.func.value, False)]
+        return []
+
+    def visit(stmts: Sequence[ast.stmt], locked: bool) -> None:
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = locked or any(
+                    is_lock(item.context_expr) for item in stmt.items
+                )
+                visit(stmt.body, inner)
+                continue
+            for expr, rebinding in write_exprs(stmt):
+                key = key_of(expr, rebinding)
+                if key is not None:
+                    out.append((key, expr, locked))
+            for attr in ("body", "orelse", "finalbody"):
+                visit(getattr(stmt, attr, []), locked)
+            for handler in getattr(stmt, "handlers", []):
+                visit(handler.body, locked)
+
+    visit(list(fn_node.body), False)  # type: ignore[attr-defined]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Race reporting
+# ----------------------------------------------------------------------
+def _report_races(
+    rule, module,
+    body_muts: Dict[str, List[_Mutation]],
+    outside_muts: Dict[str, List[_Mutation]],
+    context: str,
+    lock_hint: str,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for key in sorted(set(body_muts) & set(outside_muts)):
+        sites = body_muts[key] + outside_muts[key]
+        unlocked = [s for s in sites if not s[2]]
+        if not unlocked:
+            continue
+        base = key.split(".")[0]
+        if key in module.pragmas.shared or base in module.pragmas.shared:
+            module.pragmas.mark_shared_used(
+                key if key in module.pragmas.shared else base
+            )
+            continue
+        _key, node, _locked = min(
+            unlocked, key=lambda s: getattr(s[1], "lineno", 0)
+        )
+        findings.append(
+            rule.finding(
+                module.path,
+                node,
+                f"'{key}' is written both inside and outside the {context} "
+                f"but this write is not under {lock_hint}; hold the lock at "
+                "every write, or declare the hand-off safe with "
+                f"'# srplint: shared({key}) <reason>'",
+            )
+        )
+    return findings

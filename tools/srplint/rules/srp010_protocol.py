@@ -1,0 +1,177 @@
+"""SRP010 — protocol exhaustiveness for the service message ops.
+
+The planning service speaks two line protocols built from ``op``-tagged
+JSON objects: the socket frontend (``protocol.py`` / ``server.py``,
+ops gated by ``VALID_OPS``) and the coordinator/shard-worker protocol
+(``sharding.py``, dispatched via ``_op_<name>`` methods).  Both sides
+evolve independently, and nothing at runtime catches the drift until a
+request dies with an unknown-op error — or worse, a constructed op is
+silently never answered and a coordinator blocks on a reply that cannot
+come.
+
+This rule cross-references, across every module under
+``repro/service/``:
+
+* **constructed** op literals — dict literals carrying an ``"op"`` key
+  with a constant string value (``{"op": "prepare", ...}``);
+* **handled** op literals — ``_op_<name>`` method definitions,
+  equality tests of an op expression against a constant
+  (``op == "ping"``, ``msg.get("op") == "shutdown"``), membership
+  tests against inline tuples, and names listed in ``*_OPS`` constant
+  tuples (the protocol-level validity gate).
+
+Every constructed op must be handled somewhere, and every handled op
+must be constructed somewhere — a handler nothing can trigger is dead
+protocol surface and usually a typo.  Findings anchor at the
+construction site (unhandled) or the handler definition / comparison
+(never constructed).  Suppress deliberate asymmetries (e.g. an op kept
+for wire compatibility) with ``# srplint: allow(SRP010) <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Tuple
+
+from srplint.engine import Finding, ProjectRule
+
+_OP_METHOD_PREFIX = "_op_"
+
+
+class SRP010ProtocolExhaustiveness(ProjectRule):
+    """Cross-check constructed vs dispatched message ``op`` types."""
+
+    code = "SRP010"
+    name = "protocol-exhaustiveness"
+    scope = ("repro/service/",)
+
+    def check_project(self, project: object) -> List[Finding]:
+        constructed: Dict[str, List[Tuple[str, ast.AST]]] = {}
+        handled: Dict[str, List[Tuple[str, ast.AST]]] = {}
+        scoped = [
+            module
+            for path, module in sorted(project.modules.items())  # type: ignore[attr-defined]
+            if self.applies_to(path)
+        ]
+        if not scoped:
+            return []
+        for module in scoped:
+            for op, node in _constructed_ops(module.tree):
+                constructed.setdefault(op, []).append((module.path, node))
+            for op, node in _handled_ops(module.tree):
+                handled.setdefault(op, []).append((module.path, node))
+
+        findings: List[Finding] = []
+        for op in sorted(set(constructed) - set(handled)):
+            for path, node in constructed[op]:
+                findings.append(
+                    self.finding(
+                        path, node,
+                        f"message op '{op}' is constructed here but no "
+                        "dispatcher handles it (no _op_ method, comparison "
+                        "or *_OPS entry anywhere under repro/service/)",
+                    )
+                )
+        for op in sorted(set(handled) - set(constructed)):
+            for path, node in handled[op]:
+                findings.append(
+                    self.finding(
+                        path, node,
+                        f"message op '{op}' is dispatched here but never "
+                        "constructed anywhere under repro/service/ — dead "
+                        "protocol surface or a typo on one side",
+                    )
+                )
+        return findings
+
+
+def _constructed_ops(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    out: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "op"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                out.append((value.value, value))
+    return out
+
+
+def _handled_ops(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    out: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith(_OP_METHOD_PREFIX):
+                out.append((node.name[len(_OP_METHOD_PREFIX):], node))
+        elif isinstance(node, ast.Compare):
+            out.extend(_compare_ops(node))
+        elif isinstance(node, ast.Assign):
+            out.extend(_ops_constant(node))
+    return out
+
+
+def _compare_ops(node: ast.Compare) -> List[Tuple[str, ast.AST]]:
+    """Ops named in ``<op expr> ==/!=/in <literals>`` tests (either order)."""
+    operands = [node.left] + list(node.comparators)
+    if not any(_is_op_expr(o) for o in operands):
+        return []
+    if not all(
+        isinstance(o, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)) for o in node.ops
+    ):
+        return []
+    out: List[Tuple[str, ast.AST]] = []
+    for operand in operands:
+        if isinstance(operand, ast.Constant) and isinstance(
+            operand.value, str
+        ):
+            out.append((operand.value, operand))
+        elif isinstance(operand, (ast.Tuple, ast.List, ast.Set)):
+            out.extend(
+                (elt.value, elt)
+                for elt in operand.elts
+                if isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)
+            )
+    return out
+
+
+def _is_op_expr(expr: ast.AST) -> bool:
+    """True for ``op`` / ``<x>.get("op")`` / ``<x>["op"]`` expressions."""
+    if isinstance(expr, ast.Name) and expr.id == "op":
+        return True
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "get"
+        and expr.args
+        and isinstance(expr.args[0], ast.Constant)
+        and expr.args[0].value == "op"
+    ):
+        return True
+    if (
+        isinstance(expr, ast.Subscript)
+        and isinstance(expr.slice, ast.Constant)
+        and expr.slice.value == "op"
+    ):
+        return True
+    return False
+
+
+def _ops_constant(node: ast.Assign) -> List[Tuple[str, ast.AST]]:
+    """String elements of ``<NAME>_OPS = ("...", ...)`` constants."""
+    if not any(
+        isinstance(t, ast.Name) and t.id.endswith("_OPS")
+        for t in node.targets
+    ):
+        return []
+    if not isinstance(node.value, (ast.Tuple, ast.List, ast.Set)):
+        return []
+    return [
+        (elt.value, elt)
+        for elt in node.value.elts
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+    ]

@@ -1,0 +1,3 @@
+"""Re-export chain root: pkg.worker resolves through pkg.sub.api."""
+
+from pkg.sub.api import exported_worker

@@ -1,0 +1,47 @@
+"""Call-graph fixture: cycles, methods, typed fields, nested defs."""
+
+
+def helper():
+    return worker()  # mutual recursion: the index must not hang
+
+
+def worker():
+    return helper()
+
+
+def outer():
+    def inner():
+        return worker()
+
+    return inner()
+
+
+class Store:
+    def __init__(self):
+        self.version = 0
+
+    def bump(self):
+        self.version += 1
+        return self.touch()
+
+    def touch(self):
+        return self.version
+
+    def very_unique_probe(self):
+        return 42
+
+
+class Wrapper:
+    def __init__(self):
+        self.store = Store()
+
+    def run(self):
+        self.store.bump()
+        local = Store()
+        local.touch()
+        mystery = load_anything()
+        mystery.very_unique_probe()
+
+
+def load_anything():
+    return object()

@@ -1,0 +1,3 @@
+"""Middle hop of the re-export chain."""
+
+from pkg.impl import worker as exported_worker

@@ -1,0 +1,9 @@
+"""Caller through the re-export chain and a module alias."""
+
+import pkg.impl as impl
+from pkg import exported_worker
+
+
+def drive():
+    exported_worker()
+    impl.helper()

@@ -1,0 +1,10 @@
+"""SRP003-scoped root whose helpers hide nondeterminism (seeded bad)."""
+
+from repro.helpers.util import laundered_stamp, lookup_env
+
+
+def plan_route(query_id):
+    stamp = laundered_stamp()
+    flavour = lookup_env()
+    marker = id(query_id)
+    return (query_id, stamp, flavour, marker)

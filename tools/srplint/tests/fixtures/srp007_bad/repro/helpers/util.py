@@ -1,0 +1,21 @@
+"""Out-of-scope helper module: SRP003 never looks here."""
+
+import os
+import time
+
+
+def laundered_stamp():
+    return deep_stamp()
+
+
+def deep_stamp():
+    return int(time.time())
+
+
+def lookup_env():
+    return os.getenv("ROUTE_FLAVOUR")
+
+
+def unreachable_clock():
+    # Not called from any planning root: must NOT be flagged.
+    return time.time()

@@ -1,0 +1,13 @@
+"""SRP003-scoped root whose helpers stay deterministic (companion good)."""
+
+from repro.helpers.util import span_ms, stamp_of
+
+
+def plan_route(query_id):
+    stamp = stamp_of(query_id)
+    span = span_ms()
+    seen = set()
+    oid = id(query_id)  # srplint: allow(SRP007) same-call membership probe only
+    if oid not in seen:
+        seen.add(oid)
+    return (query_id, stamp, span)

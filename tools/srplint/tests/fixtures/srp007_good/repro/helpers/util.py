@@ -1,0 +1,12 @@
+"""Deterministic helpers: derived stamps and reporting-only timing."""
+
+import time
+
+
+def stamp_of(query_id):
+    return query_id * 31
+
+
+def span_ms():
+    # perf_counter feeds reporting only and is allowed everywhere.
+    return int(time.perf_counter() * 1000)

@@ -1,0 +1,36 @@
+"""Acquire/release pairing fixtures — seeded violations.
+
+``leak_on_exception`` is the canonical seeded mutation: the hold is
+taken, the happy path binds it, but the release was removed from the
+exception edge between the two.
+"""
+
+
+def leak_on_exception(planner, qid, key, payload):
+    if not planner.claim_boundary_hold(qid, key, 0, 10):
+        planner.abort_commit(qid)
+        return {"status": "refused"}
+    encoded = encode(payload)
+    planner.bind_boundary_claims(qid)
+    return {"status": "ok", "route": encoded}
+
+
+def leak_on_return(planner, qid, key):
+    if not planner.claim_boundary_crossing(qid, key):
+        planner.abort_commit(qid)
+        return {"status": "refused"}
+    if key[2] < 0:
+        return {"status": "error"}
+    planner.bind_boundary_claims(qid)
+    return {"status": "ok"}
+
+
+def leak_recovery_hold(planner, qid, cell, now):
+    planner.commit_recovery_hold(qid, cell, now, now + 5)
+    revised = planner.replan_from(qid, cell, now)
+    planner.release_recovery_hold(qid)
+    return revised
+
+
+def encode(payload):
+    return list(payload)

@@ -1,0 +1,52 @@
+"""Acquire/release pairing fixtures — clean companions.
+
+Every shape the rule must stay silent on: rollback on every exception
+edge, the 2PC hand-off pragma on the success return, and the
+acquire-loop/release-loop pattern under the loop-once abstraction.
+"""
+
+
+def prepare_handoff(planner, qid, key, payload):
+    if not planner.claim_boundary_hold(qid, key, 0, 10):
+        planner.abort_commit(qid)
+        return {"status": "refused"}
+    try:
+        encoded = encode(payload)
+    except Exception:
+        planner.abort_commit(qid)
+        raise
+    return {"status": "ok", "route": encoded}  # srplint: holds(claim_boundary_hold) prepare hands the claim to its coordinator
+
+
+def balanced_exception(planner, qid, key):
+    if not planner.claim_boundary_crossing(qid, key):
+        planner.abort_commit(qid)
+        return {"status": "refused"}
+    try:
+        planner.bind_boundary_claims(qid)
+    except Exception:
+        planner.abort_commit(qid)
+        raise
+    return {"status": "ok"}
+
+
+def released_in_finally(planner, qid, cell, now):
+    planner.commit_recovery_hold(qid, cell, now, now + 5)
+    try:
+        return planner.replan_from(qid, cell, now)
+    finally:
+        planner.release_recovery_hold(qid)
+
+
+def recover_cluster(planner, members, now):
+    for member in members:
+        planner.commit_recovery_hold(member.qid, member.cell, now, now + 5)
+    routes = []
+    for member in members:
+        planner.release_recovery_hold(member.qid)
+        routes.append(member.qid)
+    return routes
+
+
+def encode(payload):
+    return list(payload)

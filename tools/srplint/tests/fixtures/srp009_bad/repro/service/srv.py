@@ -1,0 +1,44 @@
+"""Thread-shared-state fixtures — seeded violations."""
+
+import threading
+
+
+class Dispatcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.active = 0
+        self.done = 0
+
+    def start(self):
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        while True:
+            self.active += 1
+            with self._lock:
+                self.done += 1
+
+    def shutdown(self):
+        self.active = 0
+        with self._lock:
+            self.done = 0
+
+
+def run_workers(jobs):
+    results = []
+    state = threading.Lock()
+    flag = True
+
+    def consumer():
+        nonlocal flag
+        results.append(1)
+        with state:
+            flag = False
+
+    worker = threading.Thread(target=consumer, daemon=True)
+    worker.start()
+    results.append(len(jobs))
+    with state:
+        flag = True
+    return results

@@ -1,0 +1,45 @@
+"""Thread-shared-state fixtures — clean companions.
+
+Every write to cross-thread state happens under the lock, except the
+heartbeat counter, which is declared racy-by-design with a file-scoped
+``shared(...)`` pragma.
+"""
+
+import threading
+
+# srplint: shared(beat) monotonic telemetry heartbeat; readers tolerate racy values by design
+
+
+class Worker:
+    def __init__(self):
+        self._state = threading.Condition()
+        self.pending = 0
+        self.beat = 0
+
+    def start(self):
+        threading.Thread(target=self._loop, daemon=True).start()
+
+    def _loop(self):
+        with self._state:
+            self.pending -= 1
+        self.beat += 1
+
+    def put(self):
+        with self._state:
+            self.pending += 1
+        self.beat = 0
+
+
+def run_workers(jobs):
+    results = []
+    state = threading.Lock()
+
+    def consumer():
+        with state:
+            results.append(1)
+
+    worker = threading.Thread(target=consumer, daemon=True)
+    worker.start()
+    with state:
+        results.append(len(jobs))
+    return results

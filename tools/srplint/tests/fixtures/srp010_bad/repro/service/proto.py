@@ -1,0 +1,24 @@
+"""Protocol exhaustiveness fixtures — seeded violations."""
+
+VALID_OPS = ("plan", "ping")
+
+
+def make_requests():
+    plan = {"op": "plan", "id": 1}
+    ping = {"op": "ping"}
+    mystery = {"op": "mystery", "id": 2}
+    return plan, ping, mystery
+
+
+class Worker:
+    def _op_plan(self, msg):
+        return {"status": "ok"}
+
+    def _op_ghost(self, msg):
+        return {"status": "gone"}
+
+
+def dispatch(op, msg):
+    if op == "ping":
+        return {"status": "pong"}
+    return {"status": "error"}

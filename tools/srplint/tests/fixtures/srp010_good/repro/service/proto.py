@@ -1,0 +1,22 @@
+"""Protocol exhaustiveness fixtures — clean companions.
+
+Every constructed op is handled (via an ``_op_`` method, a comparison,
+or the ``*_OPS`` validity gate) and every handled op is constructed.
+"""
+
+SHARD_OPS = ("plan", "shutdown")
+
+
+def make_requests():
+    return [{"op": "plan"}, {"op": "shutdown"}, {"op": "stats"}]
+
+
+class Worker:
+    def _op_stats(self, msg):
+        return {"status": "ok"}
+
+
+def loop(msg):
+    if msg.get("op") == "shutdown":
+        return None
+    return msg["op"]

@@ -1,0 +1,158 @@
+"""Tests for the per-function CFG, focused on exception edges."""
+
+import ast
+
+from srplint.cfg import build_cfg
+
+
+def cfg_of(source):
+    tree = ast.parse(source)
+    fn = next(
+        n for n in tree.body
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(fn)
+
+
+def node_at(cfg, line):
+    for node in cfg.nodes:
+        if node.kind == "stmt" and node.line == line:
+            return node
+    raise AssertionError(f"no stmt node at line {line}")
+
+
+def edge_kinds(cfg, src_idx):
+    return {(dst, kind) for dst, kind in cfg.succs[src_idx]}
+
+
+class TestExceptionEdges:
+    SRC_NARROW = (
+        "def f(x):\n"
+        "    try:\n"
+        "        y = g(x)\n"           # line 3: can raise
+        "    except ValueError:\n"     # line 4: handler
+        "        y = 0\n"
+        "    return y\n"
+    )
+
+    def test_raising_stmt_reaches_handler_and_exc_exit(self):
+        cfg = cfg_of(self.SRC_NARROW)
+        body = node_at(cfg, 3)
+        exc_targets = {
+            dst for dst, kind in cfg.succs[body.idx] if kind == "exc"
+        }
+        handler = node_at(cfg, 4)
+        # A narrow handler may not match, so the exception also
+        # propagates to the function's exceptional exit.
+        assert handler.idx in exc_targets
+        assert cfg.exc_exit in exc_targets
+
+    def test_broad_handler_stops_propagation(self):
+        src = self.SRC_NARROW.replace("except ValueError", "except Exception")
+        cfg = cfg_of(src)
+        body = node_at(cfg, 3)
+        exc_targets = {
+            dst for dst, kind in cfg.succs[body.idx] if kind == "exc"
+        }
+        assert cfg.exc_exit not in exc_targets
+
+    def test_pure_statements_have_no_exc_edges(self):
+        cfg = cfg_of("def f():\n    x = 1\n    return x\n")
+        assign = node_at(cfg, 2)
+        assert all(kind != "exc" for _dst, kind in cfg.succs[assign.idx])
+
+    def test_raise_always_exits_exceptionally(self):
+        cfg = cfg_of("def f():\n    raise ValueError('boom')\n")
+        rs = node_at(cfg, 2)
+        assert (cfg.exc_exit, "exc") in edge_kinds(cfg, rs.idx)
+
+
+class TestReturnsAndFinally:
+    def test_return_wires_to_exit(self):
+        cfg = cfg_of("def f():\n    return 1\n")
+        ret = node_at(cfg, 2)
+        assert (cfg.exit, "normal") in edge_kinds(cfg, ret.idx)
+
+    def test_return_in_try_finally_routes_through_finally(self):
+        src = (
+            "def f(res):\n"
+            "    try:\n"
+            "        return res.value\n"   # line 3
+            "    finally:\n"
+            "        res.close()\n"        # line 5 (built once per path)
+        )
+        cfg = cfg_of(src)
+        ret = node_at(cfg, 3)
+        # No direct normal edge return -> exit: it must pass a copy of
+        # the finally body first.
+        assert (cfg.exit, "normal") not in edge_kinds(cfg, ret.idx)
+        succ = [dst for dst, kind in cfg.succs[ret.idx] if kind == "normal"]
+        assert len(succ) == 1
+        frontier = {succ[0]}
+        seen_close = False
+        for _ in range(10):
+            nxt = set()
+            for idx in frontier:
+                node = cfg.nodes[idx]
+                if node.kind == "stmt" and node.line == 5:
+                    seen_close = True
+                    assert (cfg.exit, "normal") in edge_kinds(cfg, idx)
+                nxt.update(
+                    dst for dst, kind in cfg.succs[idx] if kind == "normal"
+                )
+            frontier = nxt
+            if seen_close or not frontier:
+                break
+        assert seen_close
+
+    def test_exception_in_try_finally_routes_through_finally(self):
+        src = (
+            "def f(res):\n"
+            "    try:\n"
+            "        work(res)\n"          # line 3
+            "    finally:\n"
+            "        res.close()\n"
+        )
+        cfg = cfg_of(src)
+        body = node_at(cfg, 3)
+        # The raising statement must not jump straight to exc_exit.
+        assert (cfg.exc_exit, "exc") not in edge_kinds(cfg, body.idx)
+        assert any(kind == "exc" for _d, kind in cfg.succs[body.idx])
+
+
+class TestLoops:
+    SRC_LOOP = (
+        "def f(items):\n"
+        "    total = 0\n"
+        "    for item in items:\n"   # line 3: header
+        "        total += item\n"    # line 4: body
+        "    return total\n"         # line 6? no - line 5
+    )
+
+    def test_back_skip_and_loop_once_edges(self):
+        cfg = cfg_of(self.SRC_LOOP)
+        header = node_at(cfg, 3)
+        body = node_at(cfg, 4)
+        ret = node_at(cfg, 5)
+        kinds = edge_kinds(cfg, body.idx)
+        assert (header.idx, "back") in kinds          # re-iteration
+        assert (ret.idx, "normal") in kinds           # loop-once exit
+        assert (ret.idx, "skip") in edge_kinds(cfg, header.idx)  # zero-iter
+
+    def test_ignoring_back_and_skip_leaves_loop_once(self):
+        cfg = cfg_of(self.SRC_LOOP)
+        body = node_at(cfg, 4)
+        succ = cfg.successors(body.idx, ignore=("back", "skip"))
+        assert all(kind == "normal" for _dst, kind in succ)
+
+    def test_while_true_has_no_skip_edge(self):
+        src = (
+            "def f(q):\n"
+            "    while True:\n"
+            "        if q.step():\n"
+            "            break\n"
+            "    return q\n"
+        )
+        cfg = cfg_of(src)
+        header = node_at(cfg, 2)
+        assert all(kind != "skip" for _d, kind in cfg.succs[header.idx])

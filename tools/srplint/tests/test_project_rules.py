@@ -1,0 +1,147 @@
+"""Fixture-driven tests for the whole-program rules (SRP007–SRP010).
+
+Mirrors ``test_rules.py``: every seeded-violation fixture tree must
+produce the exact (code, line) pairs pinned here, and the companion
+good trees must come back clean.  The final gate lints the real tree in
+project mode — the same invocation CI runs.
+"""
+
+from pathlib import Path
+
+from srplint.project import run_project
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def lint_tree(name, code):
+    findings, _project = run_project([str(FIXTURES / name)])
+    return [f for f in findings if f.code == code]
+
+
+def codes_and_lines(findings):
+    return [(f.code, f.line, Path(f.path).name) for f in findings]
+
+
+class TestSRP007TransitiveDeterminism:
+    def test_seeded_violations_exact(self):
+        findings = lint_tree("srp007_bad", "SRP007")
+        assert codes_and_lines(findings) == [
+            ("SRP007", 9, "planner.py"),   # id() in scoped code
+            ("SRP007", 12, "util.py"),     # time.time two hops away
+            ("SRP007", 16, "util.py"),     # os.getenv in a helper
+        ]
+
+    def test_chain_named_in_message(self):
+        findings = lint_tree("srp007_bad", "SRP007")
+        deep = next(f for f in findings if f.line == 12)
+        assert "plan_route" in deep.message
+        assert "deep_stamp" in deep.message
+
+    def test_unreachable_hazard_not_flagged(self):
+        findings = lint_tree("srp007_bad", "SRP007")
+        assert all(f.line != 20 for f in findings)  # unreachable_clock
+
+    def test_clean_helpers_and_pragma_probe_accepted(self):
+        assert lint_tree("srp007_good", "SRP007") == []
+
+    def test_direct_hazards_left_to_srp003(self):
+        # time.time directly in scoped code is SRP003's finding; SRP007
+        # must not double-report it.
+        findings, _ = run_project([str(FIXTURES / "srp007_bad")])
+        srp003_lines = {f.line for f in findings if f.code == "SRP003"}
+        srp007_lines = {f.line for f in findings if f.code == "SRP007"}
+        assert not srp003_lines & srp007_lines
+
+
+class TestSRP008AcquireReleasePairing:
+    def test_seeded_violations_exact(self):
+        findings = lint_tree("srp008_bad", "SRP008")
+        assert codes_and_lines(findings) == [
+            ("SRP008", 10, "twopc.py"),  # hold leaks past encode() exception
+            ("SRP008", 19, "twopc.py"),  # crossing held at an error return
+            ("SRP008", 29, "twopc.py"),  # recovery hold leaks past replan
+        ]
+
+    def test_seeded_exception_edge_mutation_fires(self):
+        """The canonical mutation: hold taken, release removed from one
+        exception edge — the happy path still binds, so only the
+        path-sensitive check can see it."""
+        findings = lint_tree("srp008_bad", "SRP008")
+        leak = next(f for f in findings if f.line == 10)
+        assert "exception" in leak.message
+        assert "claim_boundary_hold" in leak.message
+
+    def test_balanced_shapes_and_holds_pragma_accepted(self):
+        assert lint_tree("srp008_good", "SRP008") == []
+
+    def test_holds_pragma_marked_used(self):
+        _findings, project = run_project([str(FIXTURES / "srp008_good")])
+        module = next(iter(project.modules.values()))
+        assert any(
+            directive.startswith("holds(")
+            for _line, directive in module.pragmas.used
+        )
+
+
+class TestSRP009ThreadSharedState:
+    def test_seeded_violations_exact(self):
+        findings = lint_tree("srp009_bad", "SRP009")
+        assert codes_and_lines(findings) == [
+            ("SRP009", 18, "srv.py"),  # self.active written without the lock
+            ("SRP009", 35, "srv.py"),  # results.append outside the lock
+        ]
+
+    def test_messages_name_the_shared_field(self):
+        findings = lint_tree("srp009_bad", "SRP009")
+        assert "'active'" in findings[0].message
+        assert "'results'" in findings[1].message
+
+    def test_locked_writes_and_shared_pragma_accepted(self):
+        assert lint_tree("srp009_good", "SRP009") == []
+
+    def test_shared_pragma_marked_used(self):
+        _findings, project = run_project([str(FIXTURES / "srp009_good")])
+        module = next(iter(project.modules.values()))
+        assert any(
+            directive.startswith("shared(")
+            for _line, directive in module.pragmas.used
+        )
+
+
+class TestSRP010ProtocolExhaustiveness:
+    def test_seeded_violations_exact(self):
+        findings = lint_tree("srp010_bad", "SRP010")
+        assert codes_and_lines(findings) == [
+            ("SRP010", 9, "proto.py"),   # {"op": "mystery"} unhandled
+            ("SRP010", 17, "proto.py"),  # _op_ghost never constructed
+        ]
+
+    def test_ops_gate_comparisons_and_methods_all_count(self):
+        assert lint_tree("srp010_good", "SRP010") == []
+
+
+class TestProjectModeGate:
+    def test_real_tree_clean_in_project_mode(self):
+        """The committed tree passes whole-program mode — CI's gate."""
+        findings, _ = run_project(
+            [str(REPO_ROOT / "src")], exclude=("tests/fixtures",)
+        )
+        assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+    def test_unused_pragma_reported(self, tmp_path):
+        from srplint.cli import main
+
+        mod = tmp_path / "repro" / "core" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            "x = 2  # srplint: allow(SRP003) nothing here is nondeterministic\n",
+            encoding="utf-8",
+        )
+        assert main(
+            [str(tmp_path), "--project", "--report-unused-pragmas", "--quiet"]
+        ) == 1
+        mod.write_text("x = 2\n", encoding="utf-8")
+        assert main(
+            [str(tmp_path), "--project", "--report-unused-pragmas", "--quiet"]
+        ) == 0
