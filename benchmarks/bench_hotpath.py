@@ -48,6 +48,11 @@ try:  # faulted-day leg; absent on pre-fault checkouts (PR <= 2)
 except ImportError:  # pragma: no cover - only on old checkouts
     FaultPlan = Simulation = TaskTraceSpec = generate_tasks = None
 
+try:  # charging leg; absent on pre-battery checkouts (PR <= 9)
+    from repro.simulation import BatterySpec, place_stations  # noqa: E402
+except ImportError:  # pragma: no cover - only on old checkouts
+    BatterySpec = place_stations = None
+
 from benchmarks.conftest import append_bench_record, current_commit  # noqa: E402
 
 
@@ -308,6 +313,75 @@ def bench_faulted(warehouse, n_tasks: int, day_length: int, seed: int,
     return sub
 
 
+def run_charging_day(warehouse, tasks, battery, stations, use_cache: bool,
+                     store_layout: Optional[str] = None):
+    """One battery-constrained day; returns route fingerprints + timings."""
+    planner = make_planner(warehouse, use_cache, store_layout)
+    sim = Simulation(
+        warehouse, planner, tasks, validate=False, measure_memory=False,
+        battery=battery, stations=stations,
+    )
+    started = time.perf_counter()
+    cpu_started = time.process_time()
+    result = sim.run()
+    cpu_elapsed = time.process_time() - cpu_started
+    elapsed = time.perf_counter() - started
+    routes = {q: (r.start_time, tuple(r.grids)) for q, r in sim._routes.items()}
+    return routes, elapsed, cpu_elapsed, planner, result
+
+
+def bench_charging(warehouse, n_tasks: int, day_length: int, seed: int,
+                   store_layout: Optional[str] = None) -> Optional[dict]:
+    """Cache-on vs cache-off over a seeded battery-constrained day.
+
+    The battery axis closes the loop between routes and the planner's
+    inputs (routes drain batteries, low batteries trigger charge-trip
+    queries through the same planner), so the bit-identity gate here
+    covers the reservation scheduler and the charge-trip legs too.
+    Stranded robots are reported so the regression gate can flag a
+    provisioning change; the day is sized to keep them at zero.
+    """
+    if Simulation is None or BatterySpec is None:
+        return None  # old checkout without the battery subsystem
+    tasks = generate_tasks(
+        warehouse, TaskTraceSpec(n_tasks=n_tasks, day_length=day_length, seed=seed)
+    )
+    # Half-capacity low threshold: a robot taking a three-stage task
+    # just above it must still finish without stranding.
+    capacity = 1200
+    battery = BatterySpec(
+        capacity=capacity,
+        low_threshold=capacity // 2,
+        critical_threshold=capacity // 5,
+    )
+    stations = place_stations(warehouse, 2)
+    routes_off, secs_off, cpu_off, _, _ = run_charging_day(
+        warehouse, tasks, battery, stations, use_cache=False,
+        store_layout=store_layout,
+    )
+    routes_on, secs_on, cpu_on, planner, result = run_charging_day(
+        warehouse, tasks, battery, stations, use_cache=True,
+        store_layout=store_layout,
+    )
+    sub = {
+        "n_tasks": n_tasks,
+        "battery_capacity": capacity,
+        "n_stations": len(stations),
+        "speedup_cache": secs_off / secs_on if secs_on else 0.0,
+        "speedup_cache_cpu": cpu_off / cpu_on if cpu_on else 0.0,
+        "charge_trips": _counter(result, "charge_trips"),
+        "charge_aborts": _counter(result, "charge_aborts"),
+        "charge_queue_wait": _counter(result, "charge_queue_wait"),
+        "stranded_robots": _counter(result, "stranded_robots"),
+        "energy_drained": _counter(result, "energy_drained"),
+        "completed_tasks": result.completed_tasks,
+        "failed_tasks": result.failed_tasks,
+        "routes_identical": routes_off == routes_on,
+    }
+    sub.update(cache_counters(planner))
+    return sub
+
+
 def bench_layout(
     layout: str,
     scale: float,
@@ -397,6 +471,17 @@ def bench_layout(
     )
     if faulted_joint is not None:
         record["faulted_joint"] = faulted_joint
+    # The battery-constrained day: charge trips planned through the
+    # same planner must keep cached/uncached routes bit-identical.
+    charging = bench_charging(
+        warehouse,
+        n_tasks=max(20, n_queries // 5),
+        day_length=day_length,
+        seed=seed,
+        store_layout=store_layout,
+    )
+    if charging is not None:
+        record["charging"] = charging
     return record
 
 
@@ -407,8 +492,8 @@ def summary_markdown(records: List[dict]) -> str:
         "",
         "| layout | store layout | speedup (cache) | hit rate | window hits |"
         " shift hits | crossing hits | dmap hits/misses | bytes/strip |"
-        " routes identical | faulted day | joint recovery |",
-        "|---|---|---|---|---|---|---|---|---|---|---|---|",
+        " routes identical | faulted day | joint recovery | charging day |",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|",
     ]
     for rec in records:
         dmaps = rec.get("distance_maps") or {}
@@ -430,10 +515,19 @@ def summary_markdown(records: List[dict]) -> str:
                 joint.get("recovery_clusters", 0),
                 joint.get("replan_attempts", 0),
             )
+        charging = rec.get("charging")
+        if charging is None:
+            charging_cell = "skipped"
+        else:
+            charging_cell = "{} ({} trips, {} stranded)".format(
+                "identical" if charging["routes_identical"] else "**DIVERGED**",
+                charging.get("charge_trips", 0),
+                charging.get("stranded_robots", 0),
+            )
         lines.append(
             "| {layout} ({scale}) | {store_layout} | {speedup:.3f}x | {rate:.1%} |"
             " {window} | {shift} | {crossing} | {dh}/{dm} | {bps} |"
-            " {identical} | {faulted} | {joint} |".format(
+            " {identical} | {faulted} | {joint} | {charging} |".format(
                 layout=rec["layout"],
                 scale=rec["scale"],
                 store_layout=rec.get("store_layout", "object"),
@@ -448,6 +542,7 @@ def summary_markdown(records: List[dict]) -> str:
                 identical="yes" if rec["routes_identical"] else "**NO**",
                 faulted=faulted_cell,
                 joint=joint_cell,
+                charging=charging_cell,
             )
         )
     lines.append("")
@@ -528,6 +623,14 @@ def main(argv=None) -> int:
             print(
                 f"ERROR: {layout}: cached routes diverged on the "
                 "joint-recovery faulted day",
+                file=sys.stderr,
+            )
+            ok = False
+        charging = record.get("charging")
+        if charging is not None and not charging["routes_identical"]:
+            print(
+                f"ERROR: {layout}: cached routes diverged on the "
+                "battery-constrained day",
                 file=sys.stderr,
             )
             ok = False

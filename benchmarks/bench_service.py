@@ -141,6 +141,18 @@ def bench_service(
     shed, requests = core.telemetry.shed_rate() or (0, max(1, n_queries))
     service_hist = core.telemetry.histograms.get("service_ms")
     queue_hist = core.telemetry.histograms.get("queue_ms")
+    # Per-priority-tier shed rates, present only when the workload tagged
+    # requests with tiers (old records stay byte-compatible without it).
+    tier_rates: dict = {}
+    for name in sorted(core.telemetry.counters):
+        if not name.startswith("requests_tier_"):
+            continue
+        tier = name[len("requests_tier_"):]
+        seen = core.telemetry.count(name)
+        if seen:
+            tier_rates[tier] = round(
+                core.telemetry.count(f"shed_tier_{tier}") / seen, 4
+            )
 
     record = {
         # -- configuration (regression-gate identity) ------------------
@@ -170,6 +182,8 @@ def bench_service(
         "commit": current_commit(),
         "machine": machine_fingerprint(),
     }
+    if tier_rates:
+        record["shed_rate_tiers"] = tier_rates
     if router is not None:
         record["router"] = {k: router[k] for k in sorted(router)}
     return record

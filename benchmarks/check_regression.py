@@ -204,21 +204,18 @@ def service_throughput(record: dict) -> float:
     return record.get("sustained_qps") or 0.0
 
 
-def check_service(args) -> int:
-    """Run the service soak and gate it against ``BENCH_service.json``.
+TIER_LABELS = {"0": "carrying", "1": "charge", "2": "idle"}
 
-    Two conditions: sustained qps must not regress (same rules as the
-    hot path — hard gate same-machine, soft pass across machines), and
-    the shed rate must stay strictly below 100% at the configured
-    overload factor (an admission queue that sheds *everything* is a
-    liveness bug, machine speed notwithstanding).
+
+def service_shed_verdict(fresh: dict) -> int:
+    """Gate the shed rate of one service-soak record; 0 = pass, 1 = fail.
+
+    The flat ``shed_rate`` field stays the verdict input so records from
+    checkouts that predate priority tiers gate unchanged.  When the
+    record carries the newer ``shed_rate_tiers`` breakdown, each tier's
+    rate is reported alongside (most-urgent tier first) — a healthy
+    tiered queue sheds from the idle tier long before the carrying tier.
     """
-    fresh = bench_service(
-        args.layouts.split(",")[0].strip(), args.scale,
-        args.service_queries, args.seed, args.overload,
-        args.service_deadline_ms, args.service_queue_cap,
-    )
-    fresh.setdefault("machine", machine_fingerprint())
     exit_code = 0
     if fresh.get("shed_rate", 0.0) >= 1.0:
         emit(
@@ -234,6 +231,32 @@ def check_service(args) -> int:
             f"{fresh.get('overload')}x overload, p99 "
             f"{fresh.get('service_p99_ms')} ms"
         )
+    tiers = fresh.get("shed_rate_tiers") or {}
+    if tiers:
+        parts = ", ".join(
+            f"{TIER_LABELS.get(tier, f'tier {tier}')}={tiers[tier]:.1%}"
+            for tier in sorted(tiers)
+        )
+        emit(f"INFO [service] shed rate by priority tier: {parts}")
+    return exit_code
+
+
+def check_service(args) -> int:
+    """Run the service soak and gate it against ``BENCH_service.json``.
+
+    Two conditions: sustained qps must not regress (same rules as the
+    hot path — hard gate same-machine, soft pass across machines), and
+    the shed rate must stay strictly below 100% at the configured
+    overload factor (an admission queue that sheds *everything* is a
+    liveness bug, machine speed notwithstanding).
+    """
+    fresh = bench_service(
+        args.layouts.split(",")[0].strip(), args.scale,
+        args.service_queries, args.seed, args.overload,
+        args.service_deadline_ms, args.service_queue_cap,
+    )
+    fresh.setdefault("machine", machine_fingerprint())
+    exit_code = service_shed_verdict(fresh)
     baseline = find_baseline(
         load_records(BENCH_SERVICE_PATH), fresh, SERVICE_CONFIG_KEYS
     )
@@ -417,6 +440,20 @@ def main(argv=None) -> int:
                 emit(
                     f"WARN {layout}: joint recovery abandoned "
                     f"{joint['recovery_failures']} task(s) on the benchmark day"
+                )
+        charging = fresh.get("charging")
+        if charging is not None:
+            if not charging.get("routes_identical"):
+                emit(
+                    f"FAIL {layout}: cached routes diverged on the "
+                    "battery-constrained charging day",
+                    err=True,
+                )
+                exit_code = 1
+            if charging.get("stranded_robots"):
+                emit(
+                    f"WARN {layout}: {charging['stranded_robots']} robot(s) "
+                    "stranded at zero charge on the benchmark charging day"
                 )
         baseline = find_baseline(records, fresh)
         soft_checks(fresh, baseline)

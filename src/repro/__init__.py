@@ -33,7 +33,15 @@ from repro.exceptions import (
     SimulationError,
 )
 from repro.planner_base import Planner
-from repro.simulation import Simulation, SimulationResult, run_day
+from repro.simulation import (
+    BatterySpec,
+    ChargingScheduler,
+    ChargingStation,
+    Simulation,
+    SimulationResult,
+    place_stations,
+    run_day,
+)
 from repro.types import Grid, Query, QueryKind, Route, Task, manhattan
 from repro.warehouse import (
     LayoutSpec,
@@ -77,6 +85,10 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "run_day",
+    "BatterySpec",
+    "ChargingScheduler",
+    "ChargingStation",
+    "place_stations",
     "find_conflicts",
     "assert_collision_free",
     "deep_sizeof",

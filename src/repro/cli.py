@@ -133,8 +133,27 @@ def cmd_simulate(args) -> int:
     warehouse = _load_warehouse(args)
     tasks = generate_tasks(
         warehouse,
-        TaskTraceSpec(n_tasks=args.tasks, day_length=args.day, seed=args.seed),
+        TaskTraceSpec(n_tasks=args.tasks, day_length=args.day, seed=args.seed,
+                      duty_cycle=args.duty_cycle),
     )
+    battery = None
+    stations = None
+    if args.battery > 0:
+        from repro.simulation import BatterySpec, place_stations
+
+        try:
+            # Head to a charger at half capacity: a robot picking up a
+            # three-stage task just above the threshold must still
+            # finish it without stranding.
+            battery = BatterySpec(
+                capacity=args.battery,
+                charge_rate=args.charge_rate,
+                low_threshold=max(1, args.battery // 2),
+                critical_threshold=max(0, args.battery // 5),
+            )
+            stations = place_stations(warehouse, args.stations)
+        except SimulationError as exc:
+            return _report_failure("charging setup failed", exc)
     faults = None
     if args.stalls or args.blockages or args.slowdowns or args.closures:
         faults = FaultPlan.generate(
@@ -154,7 +173,7 @@ def cmd_simulate(args) -> int:
         try:
             result = run_day(
                 warehouse, planner, tasks, validate=args.validate, faults=faults,
-                recovery=args.recovery,
+                recovery=args.recovery, battery=battery, stations=stations,
             )
         except SimulationError as exc:
             return _report_failure("simulation failed", exc)
@@ -179,6 +198,18 @@ def cmd_simulate(args) -> int:
                     phase="audit",
                 ),
             )
+        if result.stranded_robots:
+            # A stranded robot means the battery provisioning cannot
+            # carry the workload — fail loudly so CI smoke catches it.
+            return _report_failure(
+                "battery provisioning failed",
+                SimulationError(
+                    f"{name} stranded {result.stranded_robots} robot(s) "
+                    f"(capacity {args.battery}, {args.stations} stations, "
+                    f"charge rate {args.charge_rate})",
+                    phase="charging",
+                ),
+            )
         rows.append(
             {
                 "planner": name,
@@ -199,6 +230,12 @@ def cmd_simulate(args) -> int:
                 "recovery_serial": result.recovery_serial,
                 "slowdown_stretches": result.slowdown_stretches,
                 "closure_cells": result.closure_cells,
+                "charge_trips": result.charge_trips,
+                "charge_aborts": result.charge_aborts,
+                "charge_queue_wait": result.charge_queue_wait,
+                "stranded_robots": result.stranded_robots,
+                "energy_drained": result.energy_drained,
+                "charge_stations": result.charge_stations,
             }
         )
     if args.json:
@@ -211,6 +248,10 @@ def cmd_simulate(args) -> int:
     if faults is not None:
         title += (f", {len(faults)} faults (seed {args.fault_seed}, "
                   f"recovery={args.recovery})")
+    if battery is not None:
+        trips = "/".join(str(row["charge_trips"]) for row in rows)
+        title += (f", battery {args.battery} ({args.stations} stations, "
+                  f"{trips} trips)")
     print(
         format_table(
             ["planner", "OG (s)", "TC (ms)", "MC peak (KiB)", "done", "failed",
@@ -370,6 +411,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--recovery", default="serial", choices=("serial", "joint"),
                        help="fault recovery strategy: serial hold-and-replan "
                             "or joint conflict-cluster recovery (default serial)")
+    p_sim.add_argument("--battery", type=int, default=0,
+                       help="battery capacity in charge units; 0 (default) "
+                            "disables the battery/charging axis entirely")
+    p_sim.add_argument("--stations", type=int, default=2,
+                       help="charging stations to place (with --battery; "
+                            "default 2)")
+    p_sim.add_argument("--charge-rate", type=int, default=40,
+                       help="charge units restored per second docked "
+                            "(with --battery; default 40)")
+    p_sim.add_argument("--duty-cycle", type=float, default=1.0,
+                       help="fraction of the day carrying task releases; "
+                            "smaller values compress arrivals into an active "
+                            "shift followed by a quiet tail (default 1.0)")
     p_sim.add_argument("--json", action="store_true",
                        help="print one JSON object per planner row instead of a table")
     p_sim.set_defaults(func=cmd_simulate)

@@ -19,6 +19,9 @@ Layering (determinism first):
 """
 
 from repro.service.core import (
+    TIER_CARRYING,
+    TIER_CHARGE,
+    TIER_IDLE,
     Reply,
     ReplyStatus,
     Request,
@@ -55,6 +58,9 @@ __all__ = [
     "ShardWorker",
     "ShardedPlanner",
     "TelemetryRegistry",
+    "TIER_CARRYING",
+    "TIER_CHARGE",
+    "TIER_IDLE",
     "compute_partition",
     "plan_at_rung",
     "replay_session",

@@ -12,6 +12,18 @@ plus two non-answers decided by the scheduler alone: ``SHED`` (queue
 full at admission) and ``TIMEOUT`` (deadline expired before planning
 started).
 
+**Priority-tiered admission.**  Requests carry one of three priority
+tiers mirroring the fleet's urgency ordering — ``TIER_CARRYING`` (a
+robot with a rack on board), ``TIER_CHARGE`` (a critical-battery robot
+heading to a charger), ``TIER_IDLE`` (everything else; the default).
+Shedding is priority-aware: when the queue is full, an incoming
+request may *evict* the most recent queued request of a strictly less
+urgent tier instead of being shed itself, so a critical-battery
+request is never dropped while idle-tier requests queue.  Evicted
+requests are answered ``SHED`` in arrival order at dequeue time.  With
+every request at the default tier no eviction can trigger and the
+scheduler behaves exactly as the flat bounded FIFO it always was.
+
 **No wall clock, no randomness.**  Every method takes the current time
 as an integer-millisecond argument; the socket frontend passes real
 time, the tests and the soak harness pass a simulated clock.  Driving
@@ -41,6 +53,13 @@ from repro.planner_base import Planner
 from repro.service.telemetry import TelemetryRegistry
 from repro.tracing import PlannerTrace, ReplayReport, TraceEntry, replay_trace
 from repro.types import Query, Route
+
+
+#: priority tiers, most urgent first (numerically smallest = most
+#: urgent, matching the recovery ordering in simulation/recovery.py)
+TIER_CARRYING = 0
+TIER_CHARGE = 1
+TIER_IDLE = 2
 
 
 class Rung(enum.Enum):
@@ -102,6 +121,12 @@ class Request:
     #: admission so per-shard dispatchers can pull their own work);
     #: -1 = unassigned, any dispatcher may take it
     shard: int = field(default=-1, compare=False)
+    #: priority tier (TIER_CARRYING / TIER_CHARGE / TIER_IDLE); smaller
+    #: is more urgent and shields the request from eviction
+    priority: int = field(default=TIER_IDLE, compare=False)
+    #: set when a more urgent arrival claimed this request's queue slot;
+    #: answered SHED at dequeue without planning
+    evicted: bool = field(default=False, compare=False, repr=False)
 
 
 @dataclass
@@ -138,6 +163,9 @@ class Dequeued:
     queue_ms: int
     remaining_ms: Optional[int]
     timed_out: bool
+    #: the request lost its slot to a higher-priority admission and
+    #: must be answered SHED without planning
+    evicted: bool = False
 
 
 def plan_at_rung(planner: Planner, query: Query, rung: Rung,
@@ -184,6 +212,9 @@ class ServiceCore:
         self.telemetry = telemetry or TelemetryRegistry()
         self.trace = PlannerTrace(planner_name=planner.name)
         self._queue: Deque[Request] = deque()
+        #: evicted requests still physically queued (they no longer
+        #: occupy admission capacity; answered SHED at dequeue)
+        self._evicted_pending = 0
         # Region-sharded planners classify queries at admission so the
         # frontend's per-shard dispatchers only pull their own work.
         self._classify = getattr(planner, "shard_of_query", None)
@@ -199,12 +230,27 @@ class ServiceCore:
         Returns the immediate :class:`Reply` when the request was shed
         and ``None`` when it was admitted (the answer will come from a
         later :meth:`process_next` call).
+
+        Shedding is priority-aware: a full queue sheds the *least
+        urgent* work.  When the incoming request outranks a queued one
+        (strictly smaller tier number), the most recent queued request
+        of the least urgent tier is evicted to make room; otherwise the
+        incoming request itself is shed.  Per-tier ``requests_tier_*``
+        and ``shed_tier_*`` counters record both sides.
         """
         self.telemetry.incr("requests")
-        if len(self._queue) >= self.config.queue_capacity:
+        self.telemetry.incr(f"requests_tier_{request.priority}")
+        if len(self._queue) - self._evicted_pending >= self.config.queue_capacity:
+            victim = self._eviction_victim(request.priority)
+            if victim is None:
+                self.telemetry.incr("shed")
+                self.telemetry.incr(f"shed_tier_{request.priority}")
+                return Reply(request.request_id, ReplyStatus.SHED,
+                             note="admission queue full")
+            victim.evicted = True
+            self._evicted_pending += 1
             self.telemetry.incr("shed")
-            return Reply(request.request_id, ReplyStatus.SHED,
-                         note="admission queue full")
+            self.telemetry.incr(f"shed_tier_{victim.priority}")
         if request.deadline_ms == 0 and self.config.default_deadline_ms > 0:
             request = Request(
                 request.request_id,
@@ -213,13 +259,32 @@ class ServiceCore:
                 request.arrival_ms + self.config.default_deadline_ms,
                 request.client,
                 request.shard,
+                request.priority,
             )
         if self._classify is not None and request.shard < 0:
             request.shard = self._classify(request.query)
         self._queue.append(request)
         self.telemetry.incr("admitted")
-        self.telemetry.set_gauge("queue_depth", len(self._queue))
+        self.telemetry.set_gauge(
+            "queue_depth", len(self._queue) - self._evicted_pending
+        )
         return None
+
+    def _eviction_victim(self, priority: int) -> Optional[Request]:
+        """The queued request an arrival at ``priority`` may displace.
+
+        Scans for live requests of a strictly less urgent tier and
+        picks the least urgent, most recently admitted one (evicting
+        the oldest would maximise wasted queue time).  ``None`` when
+        nothing outranks — the arrival is shed instead.
+        """
+        victim: Optional[Request] = None
+        for req in self._queue:  # oldest -> newest
+            if req.evicted or req.priority <= priority:
+                continue
+            if victim is None or req.priority >= victim.priority:
+                victim = req
+        return victim
 
     # -- scheduling ----------------------------------------------------
     def _ladder(self, remaining_ms: Optional[int]) -> Tuple[Rung, ...]:
@@ -257,7 +322,18 @@ class ServiceCore:
                 return None
             request = self._queue[found]
             del self._queue[found]
-        self.telemetry.set_gauge("queue_depth", len(self._queue))
+        if request.evicted:
+            # Lost its slot to a higher-priority admission; the shed
+            # was already counted when the eviction happened, and the
+            # queue-latency histogram only tracks work actually served.
+            self._evicted_pending -= 1
+            self.telemetry.set_gauge(
+                "queue_depth", len(self._queue) - self._evicted_pending
+            )
+            return Dequeued(request, 0, None, False, evicted=True)
+        self.telemetry.set_gauge(
+            "queue_depth", len(self._queue) - self._evicted_pending
+        )
         queue_ms = max(0, now_ms - request.arrival_ms)
         self.telemetry.observe("queue_ms", queue_ms)
         remaining: Optional[int] = None
@@ -278,6 +354,8 @@ class ServiceCore:
         Returns ``(route, rung, note)``; route is ``None`` on timeout,
         invalid queries and ladder exhaustion.
         """
+        if item.evicted:
+            return None, None, "evicted by higher-priority admission"
         if item.timed_out:
             return None, None, "deadline expired in queue"
         try:
@@ -301,6 +379,9 @@ class ServiceCore:
     ) -> Reply:
         """Fold one planning outcome into telemetry + trace; build the reply."""
         request = item.request
+        if item.evicted:
+            # Counted as shed when the eviction happened.
+            return Reply(request.request_id, ReplyStatus.SHED, note=note)
         if item.timed_out:
             self.telemetry.incr("timeout")
             return Reply(request.request_id, ReplyStatus.TIMEOUT,
@@ -358,6 +439,13 @@ class ServiceCore:
         snap = self.telemetry.snapshot(extra=extra)
         snap["pending"] = self.pending()
         snap["trace_entries"] = len(self.trace)
+        tiers: Dict[str, float] = {}
+        for tier in (TIER_CARRYING, TIER_CHARGE, TIER_IDLE):
+            total = self.telemetry.count(f"requests_tier_{tier}")
+            if total:
+                tiers[str(tier)] = self.telemetry.count(f"shed_tier_{tier}") / total
+        if tiers:
+            snap["shed_rate_tiers"] = tiers
         shard_stats = getattr(self.planner, "shard_stats", None)
         if shard_stats is not None:
             snap["shards"] = shard_stats()

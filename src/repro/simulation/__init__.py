@@ -17,10 +17,24 @@ comparison."*
   exercised by the engine's decommit/replan recovery path;
 * :mod:`repro.simulation.recovery` — joint conflict-cluster recovery
   (prioritised replanning, CBS escalation, serial fallback) behind the
-  engine's ``recovery="joint"`` mode (see ``docs/robustness.md``).
+  engine's ``recovery="joint"`` mode (see ``docs/robustness.md``);
+* :mod:`repro.simulation.energy` — deterministic integer battery model
+  (per-move/per-hold drain, thresholds, charge rate);
+* :mod:`repro.simulation.charging` — charging stations and the
+  reservation-based minimum-admission-time scheduler (see
+  ``docs/charging.md``).
 """
 
-from repro.simulation.dispatch import Dispatcher, HungarianDispatcher, NearestIdleDispatcher
+from repro.simulation.charging import ChargingScheduler, ChargingStation, place_stations
+from repro.simulation.dispatch import (
+    BatteryAwareDispatcher,
+    Dispatcher,
+    FleetState,
+    FleetView,
+    HungarianDispatcher,
+    NearestIdleDispatcher,
+)
+from repro.simulation.energy import BatterySpec, FleetEnergy, route_drain
 from repro.simulation.engine import Simulation, SimulationResult, run_day
 from repro.simulation.faults import (
     AisleClosureFault,
@@ -54,9 +68,18 @@ __all__ = [
     "SimulationMetrics",
     "Robot",
     "RobotFleet",
+    "BatteryAwareDispatcher",
     "Dispatcher",
+    "FleetState",
+    "FleetView",
     "HungarianDispatcher",
     "NearestIdleDispatcher",
+    "BatterySpec",
+    "FleetEnergy",
+    "route_drain",
+    "ChargingScheduler",
+    "ChargingStation",
+    "place_stations",
     "Simulation",
     "SimulationResult",
     "run_day",

@@ -1,0 +1,239 @@
+"""Charging stations and the reservation-based charging scheduler.
+
+A :class:`ChargingStation` is three rack-free cells: the *pad* the
+robot docks on, an adjacent *queue* cell where it waits for the pad to
+free up, and an adjacent *exit* cell it clears to after charging (so
+the next robot can dock).  :func:`place_stations` places ``n`` such
+stations deterministically on any warehouse; the
+:class:`ChargingScheduler` keeps one reservation horizon per pad and
+picks, for each charge trip, the station with the **minimum admission
+time** — travel estimate (via the planner's strip distance maps, an
+admissible lower bound) plus the pad's queue occupancy — following the
+station-reservation schemes of the context-aware planning literature
+(Hvězda et al.).
+
+The scheduler only decides *which station and when*; the detour itself
+is planned through the normal SRP planner by the engine, so every
+charge-trip leg is collision-checked and committed like any delivery
+route.  Everything here is integer arithmetic over explicit state —
+this module is inside srplint's SRP003 determinism scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from repro.exceptions import SimulationError
+from repro.types import Grid, manhattan
+from repro.warehouse.matrix import Warehouse
+
+
+class DistanceEstimator(Protocol):
+    """Anything with an admissible ``distance(origin, target)`` bound."""
+
+    def distance(self, origin: Grid, target: Grid) -> int:
+        """Lower bound on the rack-avoiding distance; -1 = unreachable."""
+
+
+@dataclass(frozen=True)
+class ChargingStation:
+    """One charging station: pad, queue cell, exit cell.
+
+    The pad is exclusive (enforced by the scheduler's reservations, not
+    by route claims — docked robots are standing and standing presence
+    is non-blocking, DESIGN.md §4); the queue and exit cells are plain
+    floor cells robots route through like any other.
+    """
+
+    station_id: int
+    cell: Grid
+    queue_cell: Grid
+    exit_cell: Grid
+
+    def validate(self, warehouse: Warehouse) -> None:
+        """Reject stations on racks, out of bounds, or non-adjacent."""
+        for label, cell in (
+            ("pad", self.cell),
+            ("queue cell", self.queue_cell),
+            ("exit cell", self.exit_cell),
+        ):
+            if not warehouse.is_free(cell):
+                raise SimulationError(
+                    f"station {self.station_id}: {label} {cell} is not a "
+                    "rack-free cell",
+                    phase="setup",
+                )
+        for label, cell in (
+            ("queue cell", self.queue_cell),
+            ("exit cell", self.exit_cell),
+        ):
+            if manhattan(cell, self.cell) != 1:
+                raise SimulationError(
+                    f"station {self.station_id}: {label} {cell} is not "
+                    f"adjacent to the pad {self.cell}",
+                    phase="setup",
+                )
+
+
+def place_stations(warehouse: Warehouse, n: int) -> List[ChargingStation]:
+    """Place ``n`` stations deterministically on rack-free cells.
+
+    Candidate pads are free cells with at least two distinct free
+    neighbours (queue and exit must differ) that are neither picker
+    stations nor robot homes; picked evenly spaced through the
+    row-major candidate list so stations spread across the floor.  The
+    queue and exit cells are the pad's first two free neighbours in the
+    warehouse's fixed neighbour order.  Same warehouse, same ``n``,
+    same stations — always.
+    """
+    if n < 1:
+        raise SimulationError("need at least one charging station", phase="setup")
+    reserved = set(warehouse.pickers) | set(warehouse.robot_homes)
+    candidates: List[Tuple[Grid, Grid, Grid]] = []
+    for cell in warehouse.free_cells():
+        if cell in reserved:
+            continue
+        flanks = [
+            c for c in warehouse.neighbors(cell) if c not in reserved
+        ]
+        if len(flanks) < 2:
+            continue
+        candidates.append((cell, flanks[0], flanks[1]))
+    if len(candidates) < n:
+        raise SimulationError(
+            f"warehouse has only {len(candidates)} station-capable cells, "
+            f"cannot place {n} charging stations",
+            phase="setup",
+        )
+    stations: List[ChargingStation] = []
+    used = set(reserved)
+    stride = max(1, len(candidates) // n)
+    # Primary pass: every stride-th candidate (offset to mid-stride) so
+    # stations spread across the floor; fill pass: linear scan over the
+    # leftovers when overlaps left the primary pass short.
+    order = list(range(stride // 2, len(candidates), stride))
+    order += [i for i in range(len(candidates)) if i not in set(order)]
+    for index in order:
+        if len(stations) == n:
+            break
+        cell, queue_cell, exit_cell = candidates[index]
+        if cell in used or queue_cell in used or exit_cell in used:
+            continue
+        station = ChargingStation(len(stations), cell, queue_cell, exit_cell)
+        station.validate(warehouse)
+        stations.append(station)
+        used.update((cell, queue_cell, exit_cell))
+    if len(stations) < n:
+        raise SimulationError(
+            f"could only place {len(stations)} of {n} non-overlapping "
+            "charging stations",
+            phase="setup",
+        )
+    return stations
+
+
+class ChargingScheduler:
+    """Reservation-based minimum-admission-time station selection.
+
+    One integer reservation horizon per pad (``_free_at``): a robot
+    reserving the pad pushes the horizon to the end of its estimated
+    charge window, and later actual dockings push it further
+    (:meth:`occupy`) when congestion made the robot arrive late.  The
+    admission time of a candidate station is::
+
+        max(now + travel_estimate, pad_free_at)
+
+    and :meth:`pick` minimises it with deterministic ties (earlier
+    arrival estimate first, then smaller station id).  Travel estimates
+    use the planner's strip distance maps when available (an admissible
+    lower bound on the true rack-avoiding distance, always at least the
+    Manhattan distance it falls back to).
+    """
+
+    def __init__(
+        self,
+        stations: Sequence[ChargingStation],
+        distance_maps: Optional[DistanceEstimator] = None,
+    ) -> None:
+        if not stations:
+            raise SimulationError(
+                "the charging scheduler needs at least one station",
+                phase="setup",
+            )
+        self.stations = list(stations)
+        self.distance_maps = distance_maps
+        self._free_at: List[int] = [0] * len(self.stations)
+        #: charge trips admitted through :meth:`reserve`
+        self.trips = 0
+        #: total estimated seconds robots spent queueing for busy pads
+        self.queue_wait = 0
+
+    # -- estimates -----------------------------------------------------
+    def travel_estimate(self, origin: Grid, station: ChargingStation) -> int:
+        """Lower bound on the seconds to reach the station's queue cell."""
+        best = manhattan(origin, station.queue_cell)
+        if self.distance_maps is not None:
+            exact = self.distance_maps.distance(origin, station.queue_cell)
+            if exact > best:
+                best = exact
+        return best
+
+    def admission_time(
+        self, origin: Grid, station: ChargingStation, now: int
+    ) -> Tuple[int, int]:
+        """``(admission, arrival_estimate)`` for one candidate station.
+
+        Arrival adds the queue-to-pad docking move to the travel
+        estimate; admission is when the pad itself is expected free.
+        """
+        arrival = now + self.travel_estimate(origin, station) + 1
+        return max(arrival, self._free_at[station.station_id]), arrival
+
+    # -- scheduling ----------------------------------------------------
+    def pick(self, origin: Grid, now: int) -> Tuple[ChargingStation, int]:
+        """The station with the minimum admission time from ``origin``.
+
+        Returns ``(station, admission_time)``; ties break by the
+        earlier arrival estimate, then by station id.
+        """
+        best_station = self.stations[0]
+        best_key: Optional[Tuple[int, int, int]] = None
+        best_admit = 0
+        for station in self.stations:
+            admit, arrival = self.admission_time(origin, station, now)
+            key = (admit, arrival, station.station_id)
+            if best_key is None or key < best_key:
+                best_station, best_key, best_admit = station, key, admit
+        return best_station, best_admit
+
+    def reserve(
+        self, station: ChargingStation, origin: Grid, now: int, duration: int
+    ) -> int:
+        """Reserve the pad for one trip; returns the admission time.
+
+        ``duration`` is the estimated docking time (seconds to refill
+        the battery at the station's rate).  The wait between the
+        robot's estimated arrival and its admission is accounted as
+        queue wait.
+        """
+        admit, arrival = self.admission_time(origin, station, now)
+        self.queue_wait += admit - arrival
+        self._free_at[station.station_id] = admit + duration
+        self.trips += 1
+        return admit
+
+    def occupy(self, station: ChargingStation, until: int) -> None:
+        """Pin the pad as busy until ``until`` (actual docking known).
+
+        Called when a robot's real charge window is fixed: congestion
+        can put the true docking later than the reservation estimated,
+        and the next :meth:`pick` must not hand the pad out meanwhile.
+        """
+        sid = station.station_id
+        if until > self._free_at[sid]:
+            self._free_at[sid] = until
+
+    def free_at(self, station: ChargingStation) -> int:
+        """The pad's current reservation horizon (for tests/telemetry)."""
+        return self._free_at[station.station_id]

@@ -11,24 +11,74 @@ task stream into robot work.  Two are provided:
   ``scipy.optimize.linear_sum_assignment``.
 
 Both return (task, robot) pairs; the engine plans and executes them.
+Dispatchers see the fleet through the structural :class:`FleetView`
+protocol, so the battery axis can interpose a filtered
+:class:`FleetState` (robots bound for a charger are hidden from task
+assignment — the dispatch-layer leg of the carrying > going-to-charge >
+idle priority ordering) without the inner policies knowing.
 """
 
 from __future__ import annotations
 
-from typing import List, Protocol, Sequence, Tuple
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
-from repro.simulation.robots import Robot, RobotFleet
-from repro.types import Task, manhattan
+from repro.simulation.robots import Robot
+from repro.types import Grid, Task, manhattan
+
+
+class FleetView(Protocol):
+    """What a dispatcher needs from a fleet: robots and idleness."""
+
+    @property
+    def robots(self) -> Sequence[Robot]:
+        """All robots in a fixed, deterministic order."""
+
+    def idle_robots(self, now: int) -> List[Robot]:
+        """The robots idle at ``now``, in ``robots`` order."""
+
+
+class FleetState:
+    """A dispatch-facing snapshot of (a subset of) the fleet.
+
+    Built by filters such as :class:`BatteryAwareDispatcher` to hide
+    unavailable robots from an inner policy; implements the same
+    :class:`FleetView` surface as the engine's ``RobotFleet``.
+    """
+
+    def __init__(self, robots: Sequence[Robot]) -> None:
+        self.robots: List[Robot] = list(robots)
+
+    def __len__(self) -> int:
+        return len(self.robots)
+
+    def idle_robots(self, now: int) -> List[Robot]:
+        return [r for r in self.robots if r.is_idle(now)]
+
+    def nearest_idle(self, cell: Grid, now: int) -> Optional[Robot]:
+        """The idle robot closest (Manhattan) to ``cell``.
+
+        Distance ties break by robot id, never by iteration order, so
+        the choice is deterministic for any robot ordering in the view.
+        """
+        best: Optional[Robot] = None
+        best_key: Optional[Tuple[int, int]] = None
+        for robot in self.robots:
+            if not robot.is_idle(now):
+                continue
+            key = (manhattan(robot.cell, cell), robot.robot_id)
+            if best_key is None or key < best_key:
+                best, best_key = robot, key
+        return best
 
 
 class Dispatcher(Protocol):
     """Chooses which waiting tasks start now, and on which robots."""
 
     def assign(
-        self, waiting: Sequence[Task], fleet: RobotFleet, now: int
+        self, waiting: Sequence[Task], fleet: FleetView, now: int
     ) -> List[Tuple[Task, Robot]]:
         """Return (task, robot) pairs to start; leftovers keep waiting.
 
@@ -40,7 +90,7 @@ class NearestIdleDispatcher:
     """FIFO tasks, nearest idle robot each — the greedy default."""
 
     def assign(
-        self, waiting: Sequence[Task], fleet: RobotFleet, now: int
+        self, waiting: Sequence[Task], fleet: FleetView, now: int
     ) -> List[Tuple[Task, Robot]]:
         assignments: List[Tuple[Task, Robot]] = []
         taken = set()
@@ -70,7 +120,7 @@ class HungarianDispatcher:
     """
 
     def assign(
-        self, waiting: Sequence[Task], fleet: RobotFleet, now: int
+        self, waiting: Sequence[Task], fleet: FleetView, now: int
     ) -> List[Tuple[Task, Robot]]:
         idle = fleet.idle_robots(now)
         if not idle or not waiting:
@@ -82,3 +132,29 @@ class HungarianDispatcher:
                 cost[i, j] = manhattan(robot.cell, task.rack)
         rows, cols = linear_sum_assignment(cost)
         return [(batch[i], idle[j]) for i, j in zip(rows, cols)]
+
+
+class BatteryAwareDispatcher:
+    """Hide unavailable robots from an inner dispatch policy.
+
+    The engine interposes this when the battery axis is enabled:
+    ``unavailable`` matches robots whose charge is at or below the low
+    threshold, so they are never handed delivery tasks while they need
+    (or are on) a charge trip — going-to-charge outranks idle work, and
+    carrying robots are already excluded by being busy.  The inner
+    policy sees a plain :class:`FleetState` and stays oblivious.
+    """
+
+    def __init__(
+        self, inner: Dispatcher, unavailable: Callable[[Robot], bool]
+    ) -> None:
+        self.inner = inner
+        self.unavailable = unavailable
+
+    def assign(
+        self, waiting: Sequence[Task], fleet: FleetView, now: int
+    ) -> List[Tuple[Task, Robot]]:
+        eligible = FleetState(
+            [r for r in fleet.robots if not self.unavailable(r)]
+        )
+        return self.inner.assign(waiting, eligible, now)

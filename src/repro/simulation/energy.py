@@ -1,0 +1,168 @@
+"""Deterministic integer battery model for the simulated fleet.
+
+The paper's evaluation assumes robots with unlimited energy; real AMR
+fleets interleave delivery legs with charge detours.  This module is
+the *accounting* half of that axis: a frozen :class:`BatterySpec`
+(capacity, per-move and per-hold drain, the low-charge threshold that
+triggers a charge trip, and the station charge rate — all integers)
+plus :class:`FleetEnergy`, the per-robot charge ledger the engine
+drains as routes execute.
+
+Everything here is exact integer arithmetic over committed
+:class:`~repro.types.Route` objects, so a seeded charging day replays
+bit-identically — this module is inside srplint's SRP003 determinism
+scope.  The *scheduling* half (stations, reservations, admission) lives
+in :mod:`repro.simulation.charging`; the closed loop (routes drain
+batteries, batteries trigger new routes) is closed by the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import SimulationError
+from repro.types import Route
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """Integer battery parameters shared by every robot in the fleet.
+
+    Attributes:
+        capacity: charge units a full battery holds.
+        move_drain: units drained per one-cell move (one second).
+        hold_drain: units drained per second spent holding in place
+            while executing a route (waits planned around traffic,
+            recovery holds, slowdown stretches).  Idle parking between
+            stages does not drain — parked robots power down.
+        low_threshold: a robot whose charge is at or below this level
+            heads to a charging station as soon as it goes idle, and is
+            not assigned further tasks until recharged.
+        critical_threshold: charge level at or below which the robot's
+            charge trip is *critical*: its planning requests ride the
+            going-to-charge admission tier and must never be shed while
+            idle-tier requests queue (see ``service/core.py``).
+        charge_rate: units restored per second docked at a station pad.
+    """
+
+    capacity: int = 2000
+    move_drain: int = 2
+    hold_drain: int = 1
+    low_threshold: int = 500
+    critical_threshold: int = 200
+    charge_rate: int = 40
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise SimulationError("battery capacity must be positive", phase="setup")
+        if self.move_drain < 0 or self.hold_drain < 0:
+            raise SimulationError("drain rates must be non-negative", phase="setup")
+        if self.move_drain == 0 and self.hold_drain == 0:
+            raise SimulationError(
+                "at least one of move_drain/hold_drain must be positive "
+                "(a drain-free battery never triggers a charge trip)",
+                phase="setup",
+            )
+        if not 0 < self.low_threshold < self.capacity:
+            raise SimulationError(
+                f"low_threshold {self.low_threshold} must be inside "
+                f"(0, capacity={self.capacity})",
+                phase="setup",
+            )
+        if not 0 <= self.critical_threshold <= self.low_threshold:
+            raise SimulationError(
+                f"critical_threshold {self.critical_threshold} must be inside "
+                f"[0, low_threshold={self.low_threshold}]",
+                phase="setup",
+            )
+        if self.charge_rate < 1:
+            raise SimulationError("charge_rate must be positive", phase="setup")
+
+    def charge_duration(self, charge: int) -> int:
+        """Seconds to fill a battery holding ``charge`` units (ceil)."""
+        deficit = max(0, self.capacity - charge)
+        return -(-deficit // self.charge_rate)
+
+
+def route_drain(route: Route, spec: BatterySpec, until: Optional[int] = None) -> int:
+    """Exact charge drained executing ``route`` up to second ``until``.
+
+    Walks the route's unit-speed trajectory over
+    ``[start_time, min(until, finish_time)]`` and charges ``move_drain``
+    for every second the position changes and ``hold_drain`` for every
+    second it does not.  ``until=None`` covers the whole route.  Pure
+    and deterministic: same route, same spec, same drain, always.
+    """
+    end = route.finish_time if until is None else min(until, route.finish_time)
+    drain = 0
+    here = route.position_at(route.start_time)
+    for t in range(route.start_time, end):
+        there = route.position_at(t + 1)
+        drain += spec.move_drain if there != here else spec.hold_drain
+        here = there
+    return drain
+
+
+class FleetEnergy:
+    """The per-robot charge ledger the engine drains as routes execute.
+
+    Charges are plain integers indexed by robot id; every mutation goes
+    through :meth:`drain` / :meth:`refill` so the total drained, the
+    stranded set and the trip trigger all stay consistent.  A robot is
+    *stranded* once its charge reaches zero — a modelling failure (the
+    thresholds were too tight for the workload), counted loudly and
+    asserted zero by the CI charging smoke.
+    """
+
+    def __init__(self, spec: BatterySpec, n_robots: int) -> None:
+        if n_robots < 1:
+            raise SimulationError("a fleet needs at least one robot", phase="setup")
+        self.spec = spec
+        self.charge: List[int] = [spec.capacity] * n_robots
+        self.total_drained = 0
+        #: robot ids whose charge hit zero, in the order it happened
+        self.stranded_ids: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.charge)
+
+    # -- accounting ----------------------------------------------------
+    def drain(self, robot_id: int, amount: int) -> None:
+        """Drain ``amount`` units; clamps at zero and records stranding."""
+        if amount <= 0:
+            return
+        level = self.charge[robot_id]
+        spent = min(level, amount)
+        self.charge[robot_id] = level - spent
+        self.total_drained += spent
+        if level > 0 and self.charge[robot_id] == 0:
+            self.stranded_ids.append(robot_id)
+
+    def drain_route(
+        self, robot_id: int, route: Route, until: Optional[int] = None
+    ) -> int:
+        """Drain the exact cost of ``route`` (up to ``until``); returns it."""
+        cost = route_drain(route, self.spec, until)
+        self.drain(robot_id, cost)
+        return cost
+
+    def refill(self, robot_id: int) -> None:
+        """Set the battery back to full capacity (charge completed)."""
+        self.charge[robot_id] = self.spec.capacity
+
+    # -- queries -------------------------------------------------------
+    def needs_charge(self, robot_id: int) -> bool:
+        """True when the robot should head to a station once idle."""
+        return self.charge[robot_id] <= self.spec.low_threshold
+
+    def is_critical(self, robot_id: int) -> bool:
+        """True when the robot's charge trip is admission-critical."""
+        return self.charge[robot_id] <= self.spec.critical_threshold
+
+    def is_stranded(self, robot_id: int) -> bool:
+        return self.charge[robot_id] == 0
+
+    def charge_duration(self, robot_id: int) -> int:
+        """Seconds of docking needed to refill this robot's battery."""
+        return self.spec.charge_duration(self.charge[robot_id])

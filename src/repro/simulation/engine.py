@@ -44,7 +44,13 @@ from repro.analysis.validate import (
 )
 from repro.exceptions import PlanningFailedError, SimulationError
 from repro.planner_base import Planner
-from repro.simulation.dispatch import Dispatcher, NearestIdleDispatcher
+from repro.simulation.charging import ChargingScheduler, ChargingStation
+from repro.simulation.dispatch import (
+    BatteryAwareDispatcher,
+    Dispatcher,
+    NearestIdleDispatcher,
+)
+from repro.simulation.energy import BatterySpec, FleetEnergy
 from repro.simulation.faults import (
     AisleClosureFault,
     BlockageFault,
@@ -120,6 +126,20 @@ class SimulationResult:
     #: structured recovery events (cluster recoveries, abandoned
     #: tasks), bounded; each carries size/strategy/decommit counts
     recovery_events: List[Dict[str, object]] = field(default_factory=list)
+    #: charge trips launched over the day (0 with the battery disabled)
+    charge_trips: int = 0
+    #: charge-trip legs abandoned because planning failed (retried on a
+    #: later event; a persistently failing trip shows up here loudly)
+    charge_aborts: int = 0
+    #: total estimated seconds robots queued for busy charging pads
+    charge_queue_wait: int = 0
+    #: robots whose battery hit zero — must be 0 on a well-provisioned
+    #: day; anything else means the thresholds were too tight
+    stranded_robots: int = 0
+    #: total charge units drained executing routes over the day
+    energy_drained: int = 0
+    #: charging stations the day was provisioned with
+    charge_stations: int = 0
 
     @property
     def og(self) -> int:
@@ -129,15 +149,30 @@ class SimulationResult:
 
 @dataclass
 class _ActiveTask:
-    task: Task
+    """One in-flight stage: a delivery leg, or a charge-trip leg.
+
+    ``charging`` trips carry no :class:`~repro.types.Task`; their
+    ``stage`` indexes the charge-trip phases instead (0 travel to the
+    station's queue cell, 1 dock on the pad, 2 clear to the exit cell).
+    Both kinds flow through the same executing map, the same stage-done
+    events and the same recovery machinery.
+    """
+
+    task: Optional[Task]
     robot: Robot
-    stage: int = 0  # index into _STAGE_KINDS
+    stage: int = 0  # index into _STAGE_KINDS (or the charge phases)
     #: query id and committed route of the stage being executed
     query_id: int = -1
     route: Optional[Route] = None
     #: bumped on every recovery replan; stage-done events carry the
     #: epoch they were scheduled under, so superseded events are inert
     epoch: int = 0
+    #: True for charge-trip legs (battery-triggered detours)
+    charging: bool = False
+    #: the reserved charging station (charge trips only)
+    station: Optional[ChargingStation] = None
+    #: the scheduler's pad admission time for this trip
+    admit: int = 0
 
 
 class Simulation:
@@ -157,6 +192,8 @@ class Simulation:
         dispatcher: Optional[Dispatcher] = None,
         faults: Optional[FaultPlan] = None,
         recovery: str = "serial",
+        battery: Optional[BatterySpec] = None,
+        stations: Optional[Sequence[ChargingStation]] = None,
     ) -> None:
         if not tasks:
             raise SimulationError("cannot simulate an empty task list", phase="setup")
@@ -197,6 +234,36 @@ class Simulation:
         #: conflicting robots into clusters and recovers each jointly
         #: (see repro.simulation.recovery).
         self.recovery = recovery
+        #: battery/charging axis — None keeps the engine's behaviour
+        #: byte-identical to an energy-unaware run (every battery hook
+        #: below is gated on ``self.energy``).
+        self.battery = battery
+        self.energy: Optional[FleetEnergy] = None
+        self.charger: Optional[ChargingScheduler] = None
+        self.charge_stations: List[ChargingStation] = list(stations or ())
+        #: robots currently on a charge trip (launch guard: a leg
+        #: finishing at second t makes the robot look idle to events at
+        #: t that pop before its stage-done, and must not re-trip)
+        self._on_charge_trip: List[bool] = []
+        if battery is not None:
+            if not self.charge_stations:
+                raise SimulationError(
+                    "battery simulation needs at least one charging station "
+                    "(see repro.simulation.charging.place_stations)",
+                    phase="setup",
+                )
+            for station in self.charge_stations:
+                station.validate(warehouse)
+            self.energy = FleetEnergy(battery, len(self.fleet))
+            self.charger = ChargingScheduler(
+                self.charge_stations, getattr(planner, "distance_maps", None)
+            )
+            self._on_charge_trip = [False] * len(self.fleet)
+            # Priority threading at the dispatch layer: robots bound for
+            # a charger (or stranded) are never handed delivery tasks.
+            self.dispatcher = BatteryAwareDispatcher(
+                self.dispatcher, self._robot_needs_charge
+            )
         self.faults = faults if faults is not None else FaultPlan.empty()
         if self.faults:
             self.faults.validate()
@@ -239,6 +306,8 @@ class Simulation:
         self.slowdown_stretches = 0
         self.closure_cells = 0
         self.recovery_events: List[Dict[str, object]] = []
+        self.charge_trips = 0
+        self.charge_aborts = 0
         self._last_prune = 0
 
     # ------------------------------------------------------------------
@@ -261,9 +330,16 @@ class Simulation:
             elif kind == 1:
                 active, epoch = payload
                 if epoch == active.epoch:  # superseded by a recovery otherwise
-                    self._advance_stage(active, now, events)
+                    if active.charging:
+                        self._advance_charge(active, now, events)
+                    else:
+                        self._advance_stage(active, now, events)
             else:
                 self._inject_fault(payload, now, events)
+            # Low-battery robots head to a charger before task dispatch
+            # sees them: going-to-charge outranks idle work.
+            if self.energy is not None:
+                self._launch_charge_trips(now, events)
             # Dispatch as many waiting tasks as the policy allows.
             if waiting:
                 assignments = self.dispatcher.assign(waiting, self.fleet, now)
@@ -312,11 +388,26 @@ class Simulation:
             slowdown_stretches=self.slowdown_stretches,
             closure_cells=self.closure_cells,
             recovery_events=self.recovery_events,
+            charge_trips=self.charge_trips,
+            charge_aborts=self.charge_aborts,
+            charge_queue_wait=(
+                self.charger.queue_wait if self.charger is not None else 0
+            ),
+            stranded_robots=(
+                len(self.energy.stranded_ids) if self.energy is not None else 0
+            ),
+            energy_drained=(
+                self.energy.total_drained if self.energy is not None else 0
+            ),
+            charge_stations=(
+                len(self.charge_stations) if self.energy is not None else 0
+            ),
         )
 
     # ------------------------------------------------------------------
     def _start_stage(self, active: _ActiveTask, now: int, events: List[_Event]) -> None:
         task, robot = active.task, active.robot
+        assert task is not None  # delivery stages always carry a task
         kind = _STAGE_KINDS[active.stage]
         if kind is QueryKind.PICKUP:
             origin, destination = robot.cell, task.rack
@@ -334,6 +425,18 @@ class Simulation:
             self._task_finished(now)
             return
         self._record_route(query.query_id, route)
+        self._install_stage(active, query, route, events)
+
+    def _install_stage(
+        self, active: _ActiveTask, query: Query, route: Route, events: List[_Event]
+    ) -> None:
+        """Register one planned stage: slowdown stretch, event, cascade.
+
+        Shared by delivery stages and charge-trip legs — both commit
+        through the same planner, stretch under the same slowdown
+        windows, and arm the same epoch-stamped stage-done events.
+        """
+        robot = active.robot
         stretched_slow = False
         if (
             robot.slow_until > route.start_time
@@ -374,6 +477,8 @@ class Simulation:
 
     def _advance_stage(self, active: _ActiveTask, now: int, events: List[_Event]) -> None:
         self._executing.pop(active.query_id, None)
+        if self.energy is not None and active.route is not None:
+            self.energy.drain_route(active.robot.robot_id, active.route)
         active.stage += 1
         if active.stage < len(_STAGE_KINDS):
             active.robot.busy_until = _CLAIMED
@@ -388,6 +493,138 @@ class Simulation:
         self.completed += 1
         self.makespan = max(self.makespan, now)
         self._task_finished(now)
+
+    # ------------------------------------------------------------------
+    # Battery drain and charge trips
+    # ------------------------------------------------------------------
+    def _robot_needs_charge(self, robot: Robot) -> bool:
+        """Dispatch filter: low-battery robots take no delivery tasks."""
+        assert self.energy is not None
+        return self.energy.needs_charge(robot.robot_id)
+
+    def _launch_charge_trips(self, now: int, events: List[_Event]) -> None:
+        """Send every idle low-battery robot to its best station.
+
+        Runs once per event in robot-id order, so launches are
+        deterministic.  Stranded robots (charge exactly zero) stay
+        where they are — stranding is a provisioning failure counted
+        loudly, not silently healed by a free tow to the charger.
+        """
+        assert self.energy is not None and self.charger is not None
+        for robot in self.fleet.robots:
+            rid = robot.robot_id
+            if (
+                self._on_charge_trip[rid]
+                or not robot.is_idle(now)
+                or self.energy.is_stranded(rid)
+                or not self.energy.needs_charge(rid)
+            ):
+                continue
+            station, _admit = self.charger.pick(robot.cell, now)
+            duration = self.energy.charge_duration(rid)
+            admit = self.charger.reserve(station, robot.cell, now, duration)
+            self.charge_trips += 1
+            self._on_charge_trip[rid] = True
+            robot.busy_until = _CLAIMED
+            active = _ActiveTask(
+                None, robot, charging=True, station=station, admit=admit
+            )
+            self._start_charge_stage(active, max(now, robot.stalled_until), events)
+
+    def _start_charge_stage(
+        self, active: _ActiveTask, now: int, events: List[_Event]
+    ) -> None:
+        """Plan and commit one charge-trip leg through the SRP planner.
+
+        Legs are ordinary GENERIC queries — collision-checked and
+        committed into the segment stores like any delivery route, and
+        recovered by the same fault machinery.
+        """
+        station = active.station
+        assert station is not None
+        robot = active.robot
+        if active.stage == 0:
+            origin, destination, release = robot.cell, station.queue_cell, now
+        elif active.stage == 1:
+            # Hold at the queue cell until one second before admission,
+            # so the docking move lands on the pad right on time.
+            origin, destination = station.queue_cell, station.cell
+            release = max(now, active.admit - 1)
+        else:
+            origin, destination, release = station.cell, station.exit_cell, now
+        if origin == destination:
+            # Degenerate leg: the robot already stands on the target
+            # (it went low while idling on the station's queue cell).
+            # Nothing to plan or commit; advance the trip directly.
+            active.route = None
+            active.query_id = -1
+            robot.busy_until = _CLAIMED
+            heapq.heappush(
+                events, (release, self._next_seq(), 1, (active, active.epoch))
+            )
+            return
+        query = Query(
+            origin, destination, release, QueryKind.GENERIC,
+            self._next_query_id_value(),
+        )
+        try:
+            route = self.planner.plan(query)
+        except PlanningFailedError:
+            self._abort_charge(active, release)
+            return
+        self._record_route(query.query_id, route)
+        active.query_id = query.query_id
+        self._install_stage(active, query, route, events)
+
+    def _advance_charge(
+        self, active: _ActiveTask, now: int, events: List[_Event]
+    ) -> None:
+        """One charge-trip leg finished: dock, refill, or complete."""
+        assert self.energy is not None and self.charger is not None
+        station = active.station
+        assert station is not None
+        robot = active.robot
+        self._executing.pop(active.query_id, None)
+        if active.route is not None:
+            self.energy.drain_route(robot.robot_id, active.route)
+        active.stage += 1
+        if active.stage == 1:
+            # Arrived at the queue cell; dock when the pad admits us.
+            robot.busy_until = _CLAIMED
+            resume = max(now + self.handover_delay, robot.stalled_until)
+            self._start_charge_stage(active, resume, events)
+            return
+        if active.stage == 2:
+            # Docked.  Pin the pad busy for the *actual* charge window
+            # (congestion can put the docking later than the
+            # reservation estimated), refill, then clear to the exit
+            # cell so the next robot can dock.
+            fill = self.energy.charge_duration(robot.robot_id)
+            done = now + fill
+            self.charger.occupy(station, done)
+            self.energy.refill(robot.robot_id)
+            robot.busy_until = _CLAIMED
+            resume = max(done, now + self.handover_delay, robot.stalled_until)
+            self._start_charge_stage(active, resume, events)
+            return
+        # Trip complete: the robot idles, fully charged, at the exit cell.
+        robot.busy_until = now
+        self._on_charge_trip[robot.robot_id] = False
+
+    def _abort_charge(self, active: _ActiveTask, now: int) -> None:
+        """Abandon a charge trip whose leg could not be planned.
+
+        The robot frees up where it stands, still low on battery, so a
+        later event relaunches the trip (possibly to another station).
+        Retries push no new events, so a persistently unplannable trip
+        is bounded by the day's event count and shows up loudly in
+        ``charge_aborts`` instead of hanging the loop.
+        """
+        self.charge_aborts += 1
+        active.epoch += 1
+        self._executing.pop(active.query_id, None)
+        active.robot.busy_until = now
+        self._on_charge_trip[active.robot.robot_id] = False
 
     # ------------------------------------------------------------------
     # Fault injection and stop-and-replan recovery
@@ -615,7 +852,14 @@ class Simulation:
                 {"time": now, "event": "task-abandoned", **exc.diagnostics()}
             )
             self._apply_revisions()
-            self.failed += 1
+            if self.energy is not None and active.route is not None:
+                # Drain the prefix actually driven before the stop.
+                self.energy.drain_route(robot.robot_id, active.route, until=now)
+            if active.charging:
+                self.charge_aborts += 1
+                self._on_charge_trip[robot.robot_id] = False
+            else:
+                self.failed += 1
             self.recovery_failures += 1
             active.epoch += 1  # neutralise the pending stage-done event
             self._executing.pop(active.query_id, None)
@@ -628,7 +872,8 @@ class Simulation:
             self._active_blockages.append(
                 BlockageFault(time=now, cell=cell, duration=release - now)
             )
-            self._task_finished(now)
+            if not active.charging:
+                self._task_finished(now)
             return
         self._apply_revisions()
         self.replans += 1
@@ -639,6 +884,12 @@ class Simulation:
     ) -> None:
         """Adopt a recovered route: bump the epoch, re-arm the stage event."""
         robot = active.robot
+        if self.energy is not None and active.route is not None:
+            # The executed prefix of the superseded route drains now;
+            # the revised route drains at its own stage-done.
+            self.energy.drain_route(
+                robot.robot_id, active.route, until=revised.start_time
+            )
         active.route = revised
         active.epoch += 1
         robot.cell = revised.destination
@@ -687,6 +938,8 @@ def run_day(
     dispatcher: Optional[Dispatcher] = None,
     faults: Optional[FaultPlan] = None,
     recovery: str = "serial",
+    battery: Optional[BatterySpec] = None,
+    stations: Optional[Sequence[ChargingStation]] = None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate one day and return the result."""
     sim = Simulation(
@@ -702,5 +955,7 @@ def run_day(
         dispatcher=dispatcher,
         faults=faults,
         recovery=recovery,
+        battery=battery,
+        stations=stations,
     )
     return sim.run()

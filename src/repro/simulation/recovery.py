@@ -106,12 +106,20 @@ def stretch_route_suffix(route: Route, now: int, factor: int, until: int) -> Rou
 def recovery_priority(active: "_ActiveTask") -> Tuple[int, int, int]:
     """Deterministic replanning order inside a cluster.
 
-    Carrying robots (transmission/return stages, a rack on board) go
-    first, in-transit pickups second, anything else last; ties break by
+    The fleet's three-tier priority ordering: carrying robots
+    (transmission/return stages, a rack on board) go first, charge-trip
+    legs second (a low battery is urgent but a rack on board is more
+    so), in-transit pickups and everything else last; ties break by
     robot id, then by query id (a robot briefly owning two in-flight
-    stages recovers the earlier stage first).
+    stages recovers the earlier stage first).  On runs without the
+    battery axis no charging legs exist and the order is unchanged.
     """
-    rank = 1 if active.stage == 0 else 0
+    if getattr(active, "charging", False):
+        rank = 1
+    elif active.stage == 0:
+        rank = 2
+    else:
+        rank = 0
     return (rank, active.robot.robot_id, active.query_id)
 
 

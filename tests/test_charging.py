@@ -1,0 +1,148 @@
+"""Charging stations, deterministic placement, and the scheduler.
+
+The contract under test (docs/charging.md):
+
+* :func:`place_stations` is a pure function of (warehouse, n): valid,
+  non-overlapping, rack-free stations, identical on every call;
+* :class:`ChargingScheduler` picks the minimum-admission-time station
+  with deterministic ties and accounts queue wait exactly;
+* admission estimates use the planner's strip distance maps when
+  available and never fall below the Manhattan bound.
+"""
+
+import pytest
+
+from repro.core.planner import SRPPlanner
+from repro.exceptions import SimulationError
+from repro.simulation import ChargingScheduler, ChargingStation, place_stations
+from repro.types import manhattan
+from repro.warehouse import w1
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    return w1(scale=0.3)
+
+
+class TestPlaceStations:
+    def test_deterministic(self, warehouse):
+        assert place_stations(warehouse, 3) == place_stations(warehouse, 3)
+
+    def test_count_and_validity(self, warehouse):
+        stations = place_stations(warehouse, 4)
+        assert len(stations) == 4
+        assert [s.station_id for s in stations] == [0, 1, 2, 3]
+        for station in stations:
+            station.validate(warehouse)  # rack-free, adjacent flanks
+
+    def test_no_cell_overlap(self, warehouse):
+        cells = []
+        for s in place_stations(warehouse, 4):
+            cells.extend((s.cell, s.queue_cell, s.exit_cell))
+        assert len(cells) == len(set(cells))
+
+    def test_avoids_pickers_and_homes(self, warehouse):
+        reserved = set(warehouse.pickers) | set(warehouse.robot_homes)
+        for s in place_stations(warehouse, 4):
+            assert not {s.cell, s.queue_cell, s.exit_cell} & reserved
+
+    def test_zero_stations_rejected(self, warehouse):
+        with pytest.raises(SimulationError):
+            place_stations(warehouse, 0)
+
+    def test_impossible_count_rejected(self, warehouse):
+        with pytest.raises(SimulationError):
+            place_stations(warehouse, 10_000)
+
+    def test_station_validation_rejects_rack_pad(self, warehouse):
+        rack = warehouse.rack_cells()[0]
+        near = (rack[0], rack[1] + 1)
+        bad = ChargingStation(0, rack, near, near)
+        with pytest.raises(SimulationError):
+            bad.validate(warehouse)
+
+    def test_station_validation_rejects_detached_queue(self, warehouse):
+        stations = place_stations(warehouse, 1)
+        s = stations[0]
+        far = s.exit_cell if manhattan(s.exit_cell, s.cell) != 1 else (
+            s.cell[0] + 5, s.cell[1] + 5)
+        with pytest.raises(SimulationError):
+            ChargingStation(0, s.cell, far, s.exit_cell).validate(warehouse)
+
+
+def _stations():
+    # Two synthetic stations on a bare grid: pads 10 apart on one row.
+    return [
+        ChargingStation(0, (0, 1), (0, 0), (0, 2)),
+        ChargingStation(1, (0, 11), (0, 10), (0, 12)),
+    ]
+
+
+class TestChargingScheduler:
+    def test_needs_stations(self):
+        with pytest.raises(SimulationError):
+            ChargingScheduler([])
+
+    def test_picks_nearest_when_both_free(self):
+        sched = ChargingScheduler(_stations())
+        station, admit = sched.pick(origin=(0, 3), now=100)
+        assert station.station_id == 0
+        # travel = |3-0| = 3 to the queue cell, +1 docking move
+        assert admit == 104
+
+    def test_busy_pad_redirects_to_farther_station(self):
+        sched = ChargingScheduler(_stations())
+        sched.occupy(sched.stations[0], until=500)
+        station, admit = sched.pick(origin=(0, 3), now=100)
+        assert station.station_id == 1
+        assert admit == 100 + manhattan((0, 3), (0, 10)) + 1
+
+    def test_waits_at_nearer_station_when_both_busy(self):
+        sched = ChargingScheduler(_stations())
+        sched.occupy(sched.stations[0], until=110)
+        sched.occupy(sched.stations[1], until=400)
+        station, admit = sched.pick(origin=(0, 3), now=100)
+        assert station.station_id == 0
+        assert admit == 110  # queued until the pad frees
+
+    def test_tie_breaks_by_station_id(self):
+        # Origin equidistant from both queue cells, both pads free.
+        sched = ChargingScheduler(_stations())
+        station, _ = sched.pick(origin=(0, 5), now=0)
+        assert station.station_id == 0
+
+    def test_reserve_accounts_queue_wait_and_horizon(self):
+        sched = ChargingScheduler(_stations())
+        station = sched.stations[0]
+        sched.occupy(station, until=110)
+        admit = sched.reserve(station, origin=(0, 3), now=100, duration=30)
+        assert admit == 110
+        assert sched.queue_wait == 110 - 104  # admit - estimated arrival
+        assert sched.free_at(station) == 140  # admit + duration
+        assert sched.trips == 1
+
+    def test_reserve_without_congestion_costs_no_wait(self):
+        sched = ChargingScheduler(_stations())
+        admit = sched.reserve(sched.stations[1], (0, 10), now=0, duration=10)
+        assert admit == 1  # adjacent: 0 travel + 1 docking move
+        assert sched.queue_wait == 0
+
+    def test_occupy_never_lowers_the_horizon(self):
+        sched = ChargingScheduler(_stations())
+        station = sched.stations[0]
+        sched.occupy(station, until=300)
+        sched.occupy(station, until=200)
+        assert sched.free_at(station) == 300
+
+    def test_distance_maps_tighten_the_estimate(self, warehouse):
+        planner = SRPPlanner(warehouse)
+        stations = place_stations(warehouse, 2)
+        plain = ChargingScheduler(stations)
+        mapped = ChargingScheduler(stations, distance_maps=planner.distance_maps)
+        origin = warehouse.robot_homes[0]
+        for station in stations:
+            lower = plain.travel_estimate(origin, station)
+            exact = mapped.travel_estimate(origin, station)
+            # dmaps route around racks: at least Manhattan, never less.
+            assert exact >= lower
+            assert lower == manhattan(origin, station.queue_cell)

@@ -1,0 +1,150 @@
+"""The regression gate's verdict logic on synthetic bench records.
+
+The gate's WARN/FAIL branches almost never fire on a healthy checkout,
+so CI would not notice them rotting; these tests drive each branch
+directly with hand-built records and assert on the emitted verdicts
+(the contract the CI summary and exit codes are built from).
+"""
+
+import pytest
+
+from benchmarks.check_regression import (
+    SERVICE_CONFIG_KEYS,
+    SUMMARY_LINES,
+    check,
+    find_baseline,
+    service_shed_verdict,
+    service_throughput,
+    soft_checks,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_summary():
+    """The gate collects verdicts in a module-global; isolate tests."""
+    SUMMARY_LINES.clear()
+    yield
+    SUMMARY_LINES.clear()
+
+
+def hotpath_record(**overrides):
+    record = {
+        "layout": "W-1", "scale": 0.4, "n_queries": 300, "day_length": 1000,
+        "seed": 11, "store_layout": "columnar", "machine": "boxA",
+        "commit": "abc1234", "qps_cached": 500.0, "speedup_cache": 1.4,
+        "cache_hit_rate": 0.9,
+    }
+    record.update(overrides)
+    return record
+
+
+def service_record(**overrides):
+    record = {
+        "layout": "W-1", "scale": 0.4, "n_queries": 400, "seed": 97,
+        "overload": 2.0, "deadline_ms": 250, "queue_capacity": 64,
+        "worker_count": 0, "cpu_count": 8, "machine": "boxA",
+        "commit": "abc1234", "sustained_qps": 120.0, "shed_rate": 0.31,
+        "service_p99_ms": 40,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestSoftChecks:
+    def test_warns_when_cache_slower_than_uncached(self, capsys):
+        soft_checks(hotpath_record(speedup_cache=0.81), hotpath_record())
+        out = capsys.readouterr().out
+        assert "WARN speedup_cache=0.810 < 1.0" in out
+
+    def test_silent_when_cache_pays_its_way(self, capsys):
+        soft_checks(hotpath_record(speedup_cache=1.2), hotpath_record())
+        assert capsys.readouterr().out == ""
+
+    def test_warns_on_hit_rate_collapse(self, capsys):
+        fresh = hotpath_record(cache_hit_rate=0.5)
+        soft_checks(fresh, hotpath_record(cache_hit_rate=0.9))
+        assert "WARN cache_hit_rate=0.500" in capsys.readouterr().out
+
+    def test_tolerates_missing_baseline(self, capsys):
+        soft_checks(hotpath_record(speedup_cache=1.2), None)
+        assert capsys.readouterr().out == ""
+
+
+class TestServiceShedVerdict:
+    def test_full_shed_fails(self, capsys):
+        assert service_shed_verdict(service_record(shed_rate=1.0)) == 1
+        err = capsys.readouterr().err
+        assert "FAIL [service] shed rate 100%" in err
+        assert "shed every request at overload 2.0x" in err
+
+    def test_partial_shed_passes(self, capsys):
+        assert service_shed_verdict(service_record(shed_rate=0.31)) == 0
+        out = capsys.readouterr().out
+        assert "PASS [service] shed rate 31.0% at 2.0x overload" in out
+
+    def test_pre_tier_records_stay_flat(self, capsys):
+        # Records from checkouts without priority tiers carry no
+        # breakdown: the verdict uses the flat field alone.
+        assert service_shed_verdict(service_record()) == 0
+        assert "tier" not in capsys.readouterr().out
+
+    def test_tier_breakdown_reported(self, capsys):
+        fresh = service_record(
+            shed_rate_tiers={"0": 0.0, "1": 0.05, "2": 0.42}
+        )
+        assert service_shed_verdict(fresh) == 0
+        out = capsys.readouterr().out
+        assert ("INFO [service] shed rate by priority tier: "
+                "carrying=0.0%, charge=5.0%, idle=42.0%") in out
+
+    def test_unknown_tier_labelled_by_number(self, capsys):
+        service_shed_verdict(service_record(shed_rate_tiers={"7": 0.5}))
+        assert "tier 7=50.0%" in capsys.readouterr().out
+
+
+class TestThroughputGate:
+    def test_no_baseline_passes(self, capsys):
+        assert check(hotpath_record(), None, 0.2) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_same_machine_regression_fails(self, capsys):
+        fresh = hotpath_record(qps_cached=300.0)
+        baseline = hotpath_record(qps_cached=500.0)
+        assert check(fresh, baseline, 0.2) == 1
+        err = capsys.readouterr().err
+        assert "FAIL [cached-planning]" in err
+        assert "dropped more than 20%" in err
+
+    def test_cross_machine_regression_soft_passes(self, capsys):
+        fresh = hotpath_record(qps_cached=300.0, machine="boxB")
+        baseline = hotpath_record(qps_cached=500.0)
+        assert check(fresh, baseline, 0.2) == 0
+        assert "SOFT PASS" in capsys.readouterr().out
+
+    def test_within_threshold_passes(self, capsys):
+        fresh = hotpath_record(qps_cached=450.0)
+        assert check(fresh, hotpath_record(qps_cached=500.0), 0.2) == 0
+        assert "PASS [cached-planning]" in capsys.readouterr().out
+
+    def test_service_gate_uses_sustained_qps(self, capsys):
+        fresh = service_record(sustained_qps=50.0)
+        baseline = service_record(sustained_qps=120.0)
+        code = check(fresh, baseline, 0.2, SERVICE_CONFIG_KEYS,
+                     service_throughput, label="service")
+        assert code == 1
+        assert "FAIL [service]" in capsys.readouterr().err
+
+
+class TestFindBaseline:
+    def test_latest_matching_config_wins(self):
+        old = service_record(commit="old", sustained_qps=100.0)
+        new = service_record(commit="new", sustained_qps=110.0)
+        other = service_record(commit="other", overload=4.0)
+        found = find_baseline([old, new, other],
+                              service_record(), SERVICE_CONFIG_KEYS)
+        assert found is not None and found["commit"] == "new"
+
+    def test_no_match_returns_none(self):
+        records = [service_record(overload=4.0)]
+        assert find_baseline(records, service_record(),
+                             SERVICE_CONFIG_KEYS) is None

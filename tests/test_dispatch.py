@@ -2,7 +2,14 @@
 
 
 from repro import SRPPlanner, TaskTraceSpec, generate_tasks, run_day
-from repro.simulation import HungarianDispatcher, NearestIdleDispatcher, RobotFleet
+from repro.simulation import (
+    BatteryAwareDispatcher,
+    FleetState,
+    HungarianDispatcher,
+    NearestIdleDispatcher,
+    RobotFleet,
+)
+from repro.simulation.robots import Robot
 from repro.types import Task
 
 
@@ -30,6 +37,71 @@ class TestNearestIdleDispatcher:
         fleet = RobotFleet([(0, 0)])
         pairs = NearestIdleDispatcher().assign(make_tasks((1, 1), (2, 2)), fleet, 0)
         assert len(pairs) == 1
+
+
+class TestFleetState:
+    def test_tie_broken_by_id_not_list_order(self):
+        # Two robots equidistant from the target, listed HIGH id first:
+        # the lower id must still win, pinning deterministic dispatch
+        # regardless of how a filter ordered the view.
+        view = FleetState([Robot(3, (2, 0)), Robot(1, (0, 2))])
+        assert view.nearest_idle((1, 1), now=0).robot_id == 1
+
+    def test_nearest_beats_lower_id(self):
+        view = FleetState([Robot(0, (5, 5)), Robot(7, (1, 1))])
+        assert view.nearest_idle((0, 0), now=0).robot_id == 7
+
+    def test_busy_robots_excluded(self):
+        busy = Robot(0, (0, 0), busy_until=100)
+        view = FleetState([busy, Robot(1, (9, 9))])
+        assert view.idle_robots(now=10) == [view.robots[1]]
+        assert view.nearest_idle((0, 0), now=10).robot_id == 1
+
+    def test_empty_view(self):
+        view = FleetState([])
+        assert len(view) == 0
+        assert view.nearest_idle((0, 0), now=0) is None
+
+    def test_matches_robot_fleet_tiebreak(self):
+        # RobotFleet (engine-owned) and FleetState (filter-owned) must
+        # pick the same robot on ties: the battery axis swaps one for
+        # the other and routes must not move.
+        fleet = RobotFleet([(0, 2), (2, 0)])
+        view = FleetState(fleet.robots)
+        assert (
+            fleet.nearest_idle((1, 1), 0).robot_id
+            == view.nearest_idle((1, 1), 0).robot_id
+        )
+
+
+class TestBatteryAwareDispatcher:
+    def test_hides_unavailable_robots(self):
+        fleet = RobotFleet([(0, 0), (10, 10)])
+        low = {0}  # robot 0 needs charge
+        dispatcher = BatteryAwareDispatcher(
+            NearestIdleDispatcher(), lambda r: r.robot_id in low
+        )
+        pairs = dispatcher.assign(make_tasks((1, 1)), fleet, now=0)
+        # Nearest robot is 0, but it is battery-unavailable.
+        assert len(pairs) == 1 and pairs[0][1].robot_id == 1
+
+    def test_no_eligible_robots(self):
+        fleet = RobotFleet([(0, 0)])
+        dispatcher = BatteryAwareDispatcher(
+            NearestIdleDispatcher(), lambda r: True
+        )
+        assert dispatcher.assign(make_tasks((1, 1)), fleet, now=0) == []
+
+    def test_transparent_when_all_charged(self):
+        fleet = RobotFleet([(0, 0), (10, 10)])
+        tasks = make_tasks((9, 9), (1, 1))
+        plain = NearestIdleDispatcher().assign(tasks, fleet, now=0)
+        wrapped = BatteryAwareDispatcher(
+            NearestIdleDispatcher(), lambda r: False
+        ).assign(tasks, fleet, now=0)
+        assert [(t.task_id, r.robot_id) for t, r in plain] == [
+            (t.task_id, r.robot_id) for t, r in wrapped
+        ]
 
 
 class TestHungarianDispatcher:

@@ -1,0 +1,259 @@
+"""The battery model and the battery-aware simulated day, end to end.
+
+The contract under test (docs/charging.md):
+
+* :class:`BatterySpec` / :func:`route_drain` / :class:`FleetEnergy` are
+  exact integer arithmetic — same route, same spec, same drain, always;
+* a seeded charging day replays bit-identically (routes and every
+  charging counter);
+* ``battery=None`` leaves the simulation bit-identical to a run with
+  the battery axis disabled entirely;
+* charge-trip routes go through the collision-checked planner: the
+  validator and the planner-state audit stay clean with charging on,
+  including under a fault storm.
+"""
+
+import pytest
+
+from repro.core.planner import SRPPlanner
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    BatterySpec,
+    FaultPlan,
+    FleetEnergy,
+    Simulation,
+    place_stations,
+    route_drain,
+    run_day,
+)
+from repro.types import Route
+from repro.warehouse import TaskTraceSpec, generate_tasks, w1
+
+
+def _routes_snapshot(sim: Simulation):
+    return {q: (r.start_time, tuple(r.grids)) for q, r in sim._routes.items()}
+
+
+class TestBatterySpec:
+    def test_defaults_valid(self):
+        spec = BatterySpec()
+        assert spec.capacity > spec.low_threshold > spec.critical_threshold
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity": 0},
+            {"move_drain": -1},
+            {"move_drain": 0, "hold_drain": 0},
+            {"low_threshold": 0},
+            {"low_threshold": 2000},
+            {"critical_threshold": -1},
+            {"critical_threshold": 600, "low_threshold": 500},
+            {"charge_rate": 0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            BatterySpec(**kwargs)
+
+    def test_charge_duration_is_ceil(self):
+        spec = BatterySpec(capacity=100, low_threshold=50,
+                           critical_threshold=20, charge_rate=40)
+        assert spec.charge_duration(100) == 0
+        assert spec.charge_duration(60) == 1  # 40 deficit / 40 rate
+        assert spec.charge_duration(30) == 2  # ceil(70 / 40)
+        assert spec.charge_duration(0) == 3   # ceil(100 / 40)
+
+
+class TestRouteDrain:
+    SPEC = BatterySpec(capacity=1000, move_drain=3, hold_drain=1,
+                       low_threshold=100, critical_threshold=10)
+
+    def test_pure_movement(self):
+        route = Route(5, [(0, 0), (0, 1), (0, 2)])
+        assert route_drain(route, self.SPEC) == 6  # 2 moves x 3
+
+    def test_holds_drain_less(self):
+        route = Route(0, [(0, 0), (0, 0), (0, 1)])
+        assert route_drain(route, self.SPEC) == 4  # hold 1 + move 3
+
+    def test_single_cell_route_is_free(self):
+        assert route_drain(Route(7, [(2, 2)]), self.SPEC) == 0
+
+    def test_until_prefix(self):
+        route = Route(10, [(0, 0), (0, 1), (0, 1), (0, 2)])
+        assert route_drain(route, self.SPEC, until=10) == 0
+        assert route_drain(route, self.SPEC, until=11) == 3
+        assert route_drain(route, self.SPEC, until=12) == 4
+        # beyond the finish clamps to the full route
+        assert route_drain(route, self.SPEC, until=99) == 7
+        assert route_drain(route, self.SPEC) == 7
+
+    def test_prefix_plus_suffix_never_exceeds_whole(self):
+        # Drain accounting at a mid-route revision (prefix up to the
+        # revision start, then the revised route) must not invent
+        # charge: prefix cost == whole cost minus the tail cost.
+        route = Route(0, [(0, 0), (0, 1), (1, 1), (1, 1), (1, 2)])
+        whole = route_drain(route, self.SPEC)
+        for cut in range(route.start_time, route.finish_time + 1):
+            prefix = route_drain(route, self.SPEC, until=cut)
+            assert 0 <= prefix <= whole
+
+
+class TestFleetEnergy:
+    def spec(self):
+        return BatterySpec(capacity=100, move_drain=2, hold_drain=1,
+                           low_threshold=40, critical_threshold=10)
+
+    def test_starts_full(self):
+        energy = FleetEnergy(self.spec(), 3)
+        assert len(energy) == 3
+        assert energy.charge == [100, 100, 100]
+        assert energy.total_drained == 0
+
+    def test_needs_fleet(self):
+        with pytest.raises(SimulationError):
+            FleetEnergy(self.spec(), 0)
+
+    def test_thresholds(self):
+        energy = FleetEnergy(self.spec(), 1)
+        assert not energy.needs_charge(0)
+        energy.drain(0, 60)
+        assert energy.needs_charge(0) and not energy.is_critical(0)
+        energy.drain(0, 30)
+        assert energy.is_critical(0) and not energy.is_stranded(0)
+
+    def test_drain_clamps_and_strands_once(self):
+        energy = FleetEnergy(self.spec(), 2)
+        energy.drain(1, 250)
+        assert energy.charge[1] == 0
+        assert energy.total_drained == 100  # only what was there
+        assert energy.is_stranded(1)
+        energy.drain(1, 10)  # already empty: no double stranding
+        assert energy.stranded_ids == [1]
+
+    def test_refill_and_duration(self):
+        energy = FleetEnergy(self.spec(), 1)
+        energy.drain(0, 77)
+        assert energy.charge_duration(0) == energy.spec.charge_duration(23)
+        energy.refill(0)
+        assert energy.charge[0] == 100
+        assert energy.charge_duration(0) == 0
+        # refill does not erase the drain ledger
+        assert energy.total_drained == 77
+
+    def test_drain_route_returns_cost(self):
+        energy = FleetEnergy(self.spec(), 1)
+        route = Route(0, [(0, 0), (0, 1), (0, 2)])
+        assert energy.drain_route(0, route) == 4
+        assert energy.charge[0] == 96
+
+
+class TestChargingDay:
+    @pytest.fixture(scope="class")
+    def w1_small(self):
+        return w1(scale=0.3)
+
+    @pytest.fixture(scope="class")
+    def w1_tasks(self, w1_small):
+        return generate_tasks(
+            w1_small, TaskTraceSpec(n_tasks=80, day_length=400, seed=7)
+        )
+
+    def battery(self):
+        return BatterySpec(capacity=1200, low_threshold=600,
+                           critical_threshold=240, charge_rate=40)
+
+    def charged_day(self, warehouse, tasks, faults=None, recovery="serial",
+                    validate=False):
+        planner = SRPPlanner(warehouse)
+        sim = Simulation(
+            warehouse, planner, tasks,
+            validate=validate, measure_memory=False,
+            battery=self.battery(),
+            stations=place_stations(warehouse, 2),
+            faults=faults, recovery=recovery,
+        )
+        result = sim.run()
+        return sim, result
+
+    def test_charging_day_is_deterministic(self, w1_small, w1_tasks):
+        """Acceptance: a seeded battery-constrained day is bit-identical
+        across two runs — routes, trips, waits, and drain."""
+        sim_a, res_a = self.charged_day(w1_small, w1_tasks)
+        sim_b, res_b = self.charged_day(w1_small, w1_tasks)
+        assert res_a.charge_trips > 0, "the day never exercised a charge trip"
+        assert _routes_snapshot(sim_a) == _routes_snapshot(sim_b)
+        for field in ("makespan", "completed_tasks", "failed_tasks",
+                      "charge_trips", "charge_aborts", "charge_queue_wait",
+                      "stranded_robots", "energy_drained"):
+            assert getattr(res_a, field) == getattr(res_b, field), field
+
+    def test_charging_day_collision_free_and_audited(self, w1_small, w1_tasks):
+        """Acceptance: charge-trip routes pass the ground-truth validator
+        and the planner-state audit like any delivery route."""
+        _, result = self.charged_day(w1_small, w1_tasks, validate=True)
+        assert result.charge_trips > 0
+        assert result.stranded_robots == 0
+        assert result.conflicts == []
+        assert result.audit_violations == []
+        assert result.completed_tasks + result.failed_tasks == len(w1_tasks)
+
+    def test_battery_none_is_bit_identical(self, w1_small, w1_tasks):
+        """Acceptance: ``battery=None`` reproduces the battery-free
+        engine byte-for-byte."""
+        def day(**kwargs):
+            planner = SRPPlanner(w1_small)
+            sim = Simulation(
+                w1_small, planner, w1_tasks,
+                validate=False, measure_memory=False, **kwargs,
+            )
+            result = sim.run()
+            return _routes_snapshot(sim), result.makespan, result.energy_drained
+
+        base = day()
+        explicit = day(battery=None)
+        assert explicit == base
+        assert base[2] == 0
+
+    def test_charging_survives_fault_storm(self, w1_small, w1_tasks):
+        """Acceptance: all four fault kinds plus charging stay clean."""
+        faults = FaultPlan.generate(
+            w1_small,
+            n_robots=len(w1_small.robot_homes),
+            day_length=600,
+            n_stalls=6,
+            n_blockages=3,
+            n_slowdowns=3,
+            n_closures=2,
+            seed=9,
+        )
+        _, result = self.charged_day(
+            w1_small, w1_tasks, faults=faults, recovery="joint", validate=True,
+        )
+        assert result.faults_injected == len(faults)
+        assert result.conflicts == []
+        assert result.audit_violations == []
+        assert result.stranded_robots == 0
+
+    def test_stations_required_with_battery(self, w1_small, w1_tasks):
+        with pytest.raises(SimulationError):
+            run_day(
+                w1_small, SRPPlanner(w1_small), w1_tasks,
+                measure_memory=False, battery=self.battery(), stations=[],
+            )
+
+    def test_tight_spec_strands_loudly(self, w1_small, w1_tasks):
+        """A hopeless provisioning (threshold too low to ever charge in
+        time) must surface as stranded robots, not hang or crash."""
+        planner = SRPPlanner(w1_small)
+        result = run_day(
+            w1_small, planner, w1_tasks,
+            measure_memory=False,
+            battery=BatterySpec(capacity=220, move_drain=2, hold_drain=1,
+                                low_threshold=40, critical_threshold=10,
+                                charge_rate=40),
+            stations=place_stations(w1_small, 2),
+        )
+        assert result.stranded_robots > 0
+        assert result.completed_tasks + result.failed_tasks <= len(w1_tasks)

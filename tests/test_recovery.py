@@ -54,6 +54,7 @@ class _StubActive:
     query_id: int
     robot: _StubRobot
     stage: int = 0
+    charging: bool = False
 
 
 def _active(query_id: int, robot_id: int, stage: int = 0) -> _StubActive:
@@ -120,6 +121,13 @@ class TestRecoveryPriority:
         a = _active(11, robot_id=3, stage=1)
         b = _active(4, robot_id=3, stage=2)
         assert sorted([a, b], key=recovery_priority)[0].query_id == 4
+
+    def test_charge_trips_rank_between_carrying_and_pickup(self):
+        carrying = _active(1, robot_id=5, stage=2)
+        pickup = _active(2, robot_id=1, stage=0)
+        charge = _StubActive(3, _StubRobot(9), stage=0, charging=True)
+        ordered = sorted([pickup, charge, carrying], key=recovery_priority)
+        assert [a.query_id for a in ordered] == [1, 3, 2]
 
 
 class TestBuildClusters:

@@ -14,6 +14,9 @@ from repro.core.planner import SRPPlanner
 from repro.exceptions import PlanningFailedError
 from repro.planner_base import Planner
 from repro.service import (
+    TIER_CARRYING,
+    TIER_CHARGE,
+    TIER_IDLE,
     Reply,
     ReplyStatus,
     Request,
@@ -186,6 +189,91 @@ class TestDeterminism:
         assert snap["pending"] == 0
         assert snap["trace_entries"] == len(core.trace)
         assert "cache_hit_rate" in snap["planner"]
+
+
+class TestPriorityTiers:
+    def full_core(self, warehouse, capacity=2):
+        core = ServiceCore(SRPPlanner(warehouse),
+                           ServiceConfig(queue_capacity=capacity))
+        qs = queries_from(warehouse, capacity)
+        for i, q in enumerate(qs):
+            assert core.submit(Request(i, q, 0), 0) is None  # idle tier
+        return core, queries_from(warehouse, capacity + 2)
+
+    def test_default_tier_is_idle(self, small_warehouse):
+        core = ServiceCore(SRPPlanner(small_warehouse))
+        q = queries_from(small_warehouse, 1)[0]
+        core.submit(Request(0, q, 0), 0)
+        assert core.telemetry.count(f"requests_tier_{TIER_IDLE}") == 1
+
+    def test_equal_tier_arrival_is_shed_not_evicting(self, small_warehouse):
+        core, qs = self.full_core(small_warehouse)
+        shed = core.submit(Request(9, qs[0], 0, priority=TIER_IDLE), 0)
+        assert shed is not None and shed.status is ReplyStatus.SHED
+        assert core.telemetry.count(f"shed_tier_{TIER_IDLE}") == 1
+        # both originally queued requests still get answered
+        answered = core.drain(0)
+        assert [req.request_id for req, _ in answered] == [0, 1]
+
+    def test_critical_arrival_evicts_newest_idle_request(self, small_warehouse):
+        """Acceptance: a critical-battery (charge-tier) request is never
+        shed while idle-tier requests sit in the queue."""
+        core, qs = self.full_core(small_warehouse)
+        assert core.submit(Request(9, qs[0], 0, priority=TIER_CHARGE), 0) is None
+        # the *most recent* idle request (id 1) lost its slot
+        answered = core.drain(0)
+        by_id = {req.request_id: reply for req, reply in answered}
+        assert by_id[1].status is ReplyStatus.SHED
+        assert by_id[1].note == "evicted by higher-priority admission"
+        assert by_id[0].status is ReplyStatus.OK
+        assert by_id[9].status is ReplyStatus.OK
+        # the shed was charged to the victim's tier, not the arrival's
+        assert core.telemetry.count(f"shed_tier_{TIER_IDLE}") == 1
+        assert core.telemetry.count(f"shed_tier_{TIER_CHARGE}") == 0
+
+    def test_carrying_outranks_charge(self, small_warehouse):
+        core = ServiceCore(SRPPlanner(small_warehouse),
+                           ServiceConfig(queue_capacity=1))
+        qs = queries_from(small_warehouse, 3)
+        assert core.submit(Request(0, qs[0], 0, priority=TIER_CHARGE), 0) is None
+        assert core.submit(Request(1, qs[1], 0, priority=TIER_CARRYING), 0) is None
+        # charge-tier work cannot displace carrying-tier work
+        shed = core.submit(Request(2, qs[2], 0, priority=TIER_CHARGE), 0)
+        assert shed is not None and shed.status is ReplyStatus.SHED
+        by_id = {req.request_id: r for req, r in core.drain(0)}
+        assert by_id[0].status is ReplyStatus.SHED  # evicted by request 1
+        assert by_id[1].status is ReplyStatus.OK
+
+    def test_eviction_keeps_capacity_accounting(self, small_warehouse):
+        core, qs = self.full_core(small_warehouse)
+        assert core.submit(Request(9, qs[0], 0, priority=TIER_CARRYING), 0) is None
+        # the evicted slot was freed: live depth is still == capacity,
+        # so the next idle arrival sheds rather than overfilling
+        assert core.pending() - core._evicted_pending == 2
+        shed = core.submit(Request(10, qs[1], 0, priority=TIER_IDLE), 0)
+        assert shed is not None and shed.status is ReplyStatus.SHED
+
+    def test_evicted_requests_skip_planner_and_histograms(self, small_warehouse):
+        core, qs = self.full_core(small_warehouse)
+        core.submit(Request(9, qs[0], 0, priority=TIER_CARRYING), 0)
+        core.drain(0)
+        hist = core.telemetry.histograms.get("queue_ms")
+        served = core.telemetry.count("ok") + core.telemetry.count("degraded")
+        assert hist is not None and hist.total == served
+        # the evicted request never reaches the trace
+        assert len(core.trace) == served
+
+    def test_snapshot_reports_per_tier_shed_rates(self, small_warehouse):
+        core, qs = self.full_core(small_warehouse)
+        core.submit(Request(9, qs[0], 0, priority=TIER_CHARGE), 0)
+        snap = core.stats_snapshot()
+        tiers = snap["shed_rate_tiers"]
+        assert tiers[str(TIER_IDLE)] == 0.5  # one of two idle requests shed
+        assert tiers[str(TIER_CHARGE)] == 0.0
+
+    def test_tierless_session_omits_tier_breakdown(self, small_warehouse):
+        core = ServiceCore(SRPPlanner(small_warehouse))
+        assert "shed_rate_tiers" not in core.stats_snapshot()
 
 
 class TestTraceRoundTrip:

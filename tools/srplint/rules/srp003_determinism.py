@@ -6,11 +6,12 @@ regression gates, the plan-cache equivalence suites, and the fault
 injection replays (seeded ``random.Random``) all depend on it.
 
 Flagged inside ``repro/core/``, ``repro/pathfinding/``,
-``repro/simulation/faults.py``, and the deterministic half of the
-planning service (``repro/service/core.py`` and
-``repro/service/telemetry.py`` — the socket frontend ``server.py`` and
-the load generator ``loadgen.py`` are the designated homes for real
-time and stay out of scope):
+``repro/simulation/faults.py``, the battery/charging subsystem
+(``repro/simulation/energy.py`` and ``repro/simulation/charging.py``),
+and the deterministic half of the planning service
+(``repro/service/core.py`` and ``repro/service/telemetry.py`` — the
+socket frontend ``server.py`` and the load generator ``loadgen.py``
+are the designated homes for real time and stay out of scope):
 
 * wall-clock reads: ``time.time`` / ``time.time_ns`` (``perf_counter``
   is fine — it only feeds *reporting*, never route construction),
@@ -65,6 +66,11 @@ class SRP003Determinism(Rule):
         # partition: the partitioner, the router's attempt schedule and
         # every worker are pure functions of (warehouse, K, queries).
         "repro/service/sharding.py",
+        # The battery model and charging scheduler feed route planning
+        # (charge trips commit occupancy): drain arithmetic, station
+        # placement, and admission times must be integer-deterministic.
+        "repro/simulation/energy.py",
+        "repro/simulation/charging.py",
     )
 
     def check(self, tree: ast.Module, path: str) -> List[Finding]:

@@ -201,6 +201,23 @@ class TestEngine:
         )
         assert run_source(ok, path) == []
 
+    def test_charging_modules_in_determinism_scope(self):
+        """The battery/charging subsystem feeds route planning (charge
+        trips commit occupancy), so ``repro/simulation/energy.py`` and
+        ``repro/simulation/charging.py`` are SRP003-scoped: integer
+        drain arithmetic, deterministic station placement, and
+        wall-clock-free admission times."""
+        clock = "import time\nnow = time.time()\n"
+        rand = "import random\npad = random.randint(0, 3)\n"
+        set_iter = "def pick(cells):\n    return [c for c in set(cells)]\n"
+        for path in (
+            "src/repro/simulation/energy.py",
+            "src/repro/simulation/charging.py",
+        ):
+            for source in (clock, rand, set_iter):
+                findings = run_source(source, path)
+                assert [f.code for f in findings] == ["SRP003"], path
+
     def test_recovery_module_in_determinism_scope(self):
         """Joint cluster recovery replays from the fault seed, so
         ``repro/simulation/recovery.py`` is SRP003-scoped while the rest
